@@ -1,0 +1,36 @@
+# Developer entry points for the HeteroSVD reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench validate examples all clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/ -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+validate:
+	$(PYTHON) -m repro.validation
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/mimo_beamforming.py
+	$(PYTHON) examples/recommender.py
+	$(PYTHON) examples/doa_estimation.py
+	$(PYTHON) examples/subspace_tracking.py
+	$(PYTHON) examples/precision_study.py
+	$(PYTHON) examples/placement_viewer.py
+	$(PYTHON) examples/image_compression.py
+	$(PYTHON) examples/energy_analysis.py
+	$(PYTHON) examples/dse_explorer.py 256 100
+	$(PYTHON) examples/paper_reproduction.py
+
+all: test bench validate
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} +
+	rm -rf .pytest_cache .hypothesis src/repro.egg-info

@@ -1,0 +1,56 @@
+"""Fig. 1 as numbers: the relative cost of the AIE communication
+mechanisms the co-design trades between.
+
+The paper's Fig. 1 is qualitative (neighbour access vs DMA vs
+broadcast/forwarding streams); this bench quantifies the model's
+mechanism costs for the column sizes the evaluation uses, and asserts
+the orderings the paper's narrative relies on: neighbour access is much
+faster than DMA, DMA needs double the memory, and streams are
+comparable to DMA.
+"""
+
+import pytest
+
+from repro.reporting.tables import Table
+from repro.units import FLOAT32_BITS
+from repro.versal.communication import (
+    MEMORY_OVERHEAD_FACTOR,
+    Transfer,
+    TransferKind,
+    transfer_cycles,
+)
+from repro.versal.device import VCK190
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1_mechanism_costs(benchmark, show):
+    col_bits_256 = 256 * FLOAT32_BITS
+    benchmark(lambda: transfer_cycles(TransferKind.DMA, col_bits_256))
+
+    table = Table(
+        "Fig. 1 quantified: one column transfer between AIEs (AIE cycles / us)",
+        ["column length", "neighbour", "DMA", "stream fwd",
+         "DMA/neighbour", "DMA extra memory"],
+    )
+    f_aie = VCK190.aie_frequency_hz
+    for m in (128, 256, 512, 1024):
+        bits = m * FLOAT32_BITS
+        nbr = transfer_cycles(TransferKind.NEIGHBOR, bits)
+        dma = transfer_cycles(TransferKind.DMA, bits)
+        fwd = transfer_cycles(TransferKind.STREAM_FORWARD, bits)
+        table.add_row(
+            m,
+            f"{nbr:.0f} cyc / {nbr / f_aie * 1e6:.3f}",
+            f"{dma:.0f} cyc / {dma / f_aie * 1e6:.3f}",
+            f"{fwd:.0f} cyc / {fwd / f_aie * 1e6:.3f}",
+            f"{dma / nbr:.1f}x",
+            f"{MEMORY_OVERHEAD_FACTOR[TransferKind.DMA]}x",
+        )
+        # Paper narrative: DMA is markedly slower than neighbour access
+        # and stream forwarding is comparable to DMA.
+        assert dma > 4 * nbr
+        assert 0.5 < fwd / dma < 2.0
+        # DMA's double buffering (Section II-B).
+        t = Transfer(src=(0, 0), dst=(0, 2), bits=bits, kind=TransferKind.DMA)
+        assert t.memory_bits == 2 * bits
+    show(table)

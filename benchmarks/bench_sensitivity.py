@@ -1,0 +1,66 @@
+"""Calibration sensitivity (extension benchmark).
+
+Quantifies which calibrated constants actually carry the reproduction's
+timing claims: each knob is perturbed by +20% and the effect on the
+modelled task time recorded.  The expected result — the PLIO column gap
+dominates and the AIE-side constants barely register — is the
+quantitative form of the paper's "streaming-bound" characterization,
+and tells hardware owners which constants to re-measure first.
+"""
+
+import pytest
+
+from repro.analysis.sensitivity import sensitivity_analysis
+from repro.core.config import HeteroSVDConfig
+from repro.core.power_trace import trace_task_power
+from repro.reporting.tables import Table
+
+
+@pytest.mark.benchmark(group="sensitivity")
+def test_calibration_sensitivity(benchmark, show):
+    config = HeteroSVDConfig(m=256, n=256, p_eng=8, p_task=1,
+                             fixed_iterations=6)
+    results = benchmark(lambda: sensitivity_analysis(config, scale=1.2))
+
+    table = Table(
+        "Calibration sensitivity: +20% on each knob vs task time (256x256, P_eng=8)",
+        ["constant", "baseline", "task-time change"],
+    )
+    for result in results:
+        table.add_row(
+            result.parameter,
+            f"{result.baseline_value:.0f} cycles",
+            f"{result.relative_effect * 100:.3f}%",
+        )
+    ranked = {r.parameter: r.relative_effect for r in results}
+    # Stream-bound: the PLIO gap dominates everything AIE-side.
+    assert ranked["plio_column_gap"] == max(ranked.values())
+    assert ranked["plio_column_gap"] > 10 * ranked["kernel_overhead"]
+    show(table)
+
+
+@pytest.mark.benchmark(group="sensitivity")
+def test_power_phase_profile(benchmark, show):
+    config = HeteroSVDConfig(m=256, n=256, p_eng=8, p_task=1,
+                             fixed_iterations=6)
+    trace = benchmark(lambda: trace_task_power(config))
+
+    table = Table(
+        "Power trace: per-phase profile of one task (256x256, P_eng=8)",
+        ["phase", "duration (us)", "power (W)", "energy (mJ)"],
+    )
+    for phase in trace.phases:
+        table.add_row(
+            phase.name,
+            f"{phase.duration * 1e6:.1f}",
+            f"{phase.power_w:.2f}",
+            f"{phase.energy_j * 1e3:.3f}",
+        )
+    table.add_row(
+        "TOTAL", f"{trace.makespan * 1e6:.1f}",
+        f"avg {trace.average_power_w:.2f} / steady {trace.steady_power_w:.2f}",
+        f"{trace.total_energy_j * 1e3:.3f}",
+    )
+    assert trace.average_power_w < trace.steady_power_w
+    assert trace.peak_power_w < 39.0  # the paper's power envelope
+    show(table)

@@ -1,0 +1,80 @@
+"""Table V: performance-model accuracy across DSE-chosen application
+scenarios (single-matrix latency and batch-100 processing, one
+iteration, achievable PL clocks).
+
+The paper validates generalization of the model: max error 7.52%,
+average 4.33%, on configurations its DSE selected (frequencies
+310-450 MHz, P_eng in {4, 8}, P_task in {1, 7, 9}).  We re-run the DSE
+for every scenario, time the chosen design with the event simulation,
+and compare against the analytical model.
+"""
+
+import pytest
+
+from repro.core.dse import DesignSpaceExplorer
+from repro.core.perf_model import PerformanceModel
+from repro.core.timing import TimingSimulator
+from repro.reporting.tables import Table
+
+#: Paper rows: (size, batch) -> (freq MHz, P_eng, P_task, measured ms,
+#: model ms, error %).
+PAPER = {
+    (128, 1): (450, 8, 1, 0.357, 0.384, 7.52),
+    (256, 1): (420, 8, 1, 1.202, 1.120, 6.82),
+    (512, 1): (350, 8, 1, 7.815, 7.510, 3.90),
+    (1024, 1): (310, 8, 1, 58.885, 58.255, 1.02),
+    (128, 100): (330, 4, 9, 6.099, 6.412, 5.12),
+    (256, 100): (310, 4, 9, 27.836, 26.623, 4.36),
+    (512, 100): (310, 4, 7, 238.002, 224.301, 5.76),
+    (1024, 100): (310, 8, 1, 5872.181, 5878.970, 0.12),
+}
+
+MAX_ERROR = 0.12
+
+
+def _scenario(m, batch):
+    """DSE-chosen config and (measured, modelled) batch time, 1 iteration."""
+    dse = DesignSpaceExplorer(m, m, fixed_iterations=1)
+    objective = "latency" if batch == 1 else "throughput"
+    point = dse.best(objective, batch=batch, power_cap_w=45.0)
+    config = point.config
+    measured = TimingSimulator(config).simulate(batch).makespan
+    modelled = PerformanceModel(config).system_time(batch)
+    return config, measured, modelled
+
+
+@pytest.mark.benchmark(group="table5")
+def test_table5_dse_scenarios(benchmark, show):
+    benchmark(lambda: _scenario(128, 1))
+
+    table = Table(
+        "Table V reproduction: DSE scenarios, one iteration",
+        [
+            "size", "batch", "freq MHz (paper)", "P_eng (paper)",
+            "P_task (paper)", "measured ms (paper)", "model ms (ours)",
+            "error (paper)", "error (ours)",
+        ],
+    )
+    errors = []
+    for (m, batch), paper in sorted(PAPER.items(), key=lambda kv: (kv[0][1], kv[0][0])):
+        config, measured, modelled = _scenario(m, batch)
+        error = abs(modelled - measured) / measured
+        errors.append(error)
+        table.add_row(
+            f"{m}x{m}", batch,
+            f"{config.pl_frequency_hz / 1e6:.0f} ({paper[0]})",
+            f"{config.p_eng} ({paper[1]})",
+            f"{config.p_task} ({paper[2]})",
+            f"{measured * 1e3:.3f} ({paper[3]})",
+            f"{modelled * 1e3:.3f} ({paper[4]})",
+            f"{paper[5]:.2f}%",
+            f"{error * 100:.2f}%",
+        )
+        assert error < MAX_ERROR, (m, batch, error)
+    mean_error = sum(errors) / len(errors)
+    table.add_row(
+        "average", "-", "-", "-", "-", "-", "-", "4.33%",
+        f"{mean_error * 100:.2f}%",
+    )
+    assert mean_error < 0.08
+    show(table)

@@ -1,0 +1,76 @@
+"""Table VI: micro-architecture trade-offs at 256x256, 208.3 MHz, six
+iterations.
+
+The paper's discussion: raising ``P_eng`` cuts latency but limits task
+parallelism; raising ``P_task`` lifts throughput at the cost of URAM
+and therefore power.  We regenerate the four design points (the
+stage-1 maxima of the DSE for each ``P_eng``) and assert the ordering
+relations the paper draws from them.
+"""
+
+import pytest
+
+from repro.core.dse import DesignSpaceExplorer
+from repro.core.timing import TimingSimulator
+from repro.reporting.tables import Table
+from repro.units import mhz
+
+#: Paper rows: P_eng -> (P_task, AIE, URAM, latency ms, throughput, power W).
+PAPER = {
+    2: (26, 293, 416, 35.689, 707.501, 44.16),
+    4: (9, 357, 144, 19.303, 508.436, 34.63),
+    6: (4, 366, 120, 13.117, 306.876, 30.79),
+    8: (2, 322, 32, 9.247, 219.257, 26.06),
+}
+
+ITERATIONS = 6
+FREQ = mhz(208.3)
+
+
+def _design_point(dse, p_eng):
+    p_task = dse.max_p_task(p_eng, frequency_hz=FREQ)
+    point = dse.evaluate(p_eng, p_task, batch=4 * p_task, frequency_hz=FREQ)
+    latency = TimingSimulator(point.config).simulate(1).latency
+    return point, latency
+
+
+@pytest.mark.benchmark(group="table6")
+def test_table6_design_points(benchmark, show):
+    dse = DesignSpaceExplorer(256, 256, fixed_iterations=ITERATIONS)
+    benchmark(lambda: dse.max_p_task(8, frequency_hz=FREQ))
+
+    table = Table(
+        "Table VI reproduction: design points, 256x256 @ 208.3 MHz, 6 iters",
+        [
+            "P_eng", "P_task (paper)", "AIE (paper)", "URAM (paper)",
+            "latency ms (paper)", "throughput (paper)", "power W (paper)",
+        ],
+    )
+    rows = []
+    for p_eng in (2, 4, 6, 8):
+        point, latency = _design_point(dse, p_eng)
+        paper = PAPER[p_eng]
+        rows.append((p_eng, point, latency))
+        table.add_row(
+            p_eng,
+            f"{point.config.p_task} ({paper[0]})",
+            f"{point.usage.aie} ({paper[1]})",
+            f"{point.usage.uram} ({paper[2]})",
+            f"{latency * 1e3:.3f} ({paper[3]})",
+            f"{point.throughput:.1f} ({paper[4]})",
+            f"{point.power.total:.2f} ({paper[5]})",
+        )
+        # Stage-1 maxima match the paper exactly.
+        assert point.config.p_task == paper[0], (p_eng, point.config.p_task)
+
+    latencies = [lat for (_, _, lat) in rows]
+    throughputs = [p.throughput for (_, p, _) in rows]
+    powers = [p.power.total for (_, p, _) in rows]
+    urams = [p.usage.uram for (_, p, _) in rows]
+    # Paper's trade-off narrative: latency falls with P_eng, while
+    # throughput, URAM and power fall as P_task shrinks.
+    assert latencies == sorted(latencies, reverse=True)
+    assert throughputs == sorted(throughputs, reverse=True)
+    assert powers == sorted(powers, reverse=True)
+    assert urams == sorted(urams, reverse=True)
+    show(table)

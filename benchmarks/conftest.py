@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench target regenerates one of the paper's tables or figures and
+prints a paper-vs-reproduction comparison through ``capsys.disabled()``
+so the rows land on the real stdout (and therefore in ``tee`` logs)
+even under pytest's capture.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def show(capsys):
+    """Return a printer that bypasses pytest's output capture."""
+
+    def _show(renderable):
+        with capsys.disabled():
+            print()
+            if hasattr(renderable, "render"):
+                print(renderable.render())
+            else:
+                print(renderable)
+            print()
+
+    return _show

@@ -1,0 +1,64 @@
+"""Direction-of-arrival estimation — the sensor-array use case (ref [2]).
+
+A uniform linear array collects snapshots; the snapshot matrix's
+dominant left singular subspace spans the source steering vectors, and
+scanning the MUSIC pseudo-spectrum against it localizes the emitters.
+Real-time arrays re-estimate the subspace continuously, which is the
+sustained-throughput scenario HeteroSVD's task pipelines target.
+
+Run:  python examples/doa_estimation.py
+"""
+
+import numpy as np
+
+from repro import HeteroSVDAccelerator, HeteroSVDConfig, TimingSimulator
+from repro.core.scheduler import BatchScheduler, TaskSpec
+from repro.workloads.signal import estimate_doa, snapshot_matrix
+
+N_SENSORS = 16            # -> 32 rows in the real embedding
+N_SNAPSHOTS = 64
+TRUE_ANGLES_DEG = [-35.0, 10.0, 42.0]
+
+
+def main():
+    angles_rad = [np.deg2rad(a) for a in TRUE_ANGLES_DEG]
+    x = snapshot_matrix(
+        N_SENSORS, N_SNAPSHOTS, angles_rad, snr_db=12.0, seed=8
+    )
+    m, n = x.shape
+    print(f"array: {N_SENSORS} sensors, {N_SNAPSHOTS} snapshots "
+          f"(matrix {m}x{n}), sources at {TRUE_ANGLES_DEG} deg")
+
+    config = HeteroSVDConfig(m=m, n=n, p_eng=8, precision=1e-7)
+    result = HeteroSVDAccelerator(config).run(x)
+    estimated = estimate_doa(
+        result.u, result.sigma, N_SENSORS, len(TRUE_ANGLES_DEG)
+    )
+    estimated_deg = np.rad2deg(estimated)
+    print("estimated angles:",
+          ", ".join(f"{a:+.1f}" for a in estimated_deg), "deg")
+    errors = np.abs(np.sort(estimated_deg) - np.sort(TRUE_ANGLES_DEG))
+    print(f"max error: {errors.max():.2f} deg")
+
+    # Sustained operation: a mixed stream of subspace updates (full
+    # refresh + cheap partial refreshes) scheduled across pipelines.
+    refresh = TaskSpec(m=m, n=n, task_id=0)
+    partial = TaskSpec(m=m, n=16, task_id=1)
+    deployed = HeteroSVDConfig(m=m, n=n, p_eng=4, p_task=4, precision=1e-6)
+    scheduler = BatchScheduler(deployed)
+    batch = [refresh] * 4 + [partial] * 12
+    batch = [TaskSpec(t.m, t.n, i) for i, t in enumerate(batch)]
+    comparison = scheduler.compare_policies(batch)
+    plan = scheduler.schedule(batch, policy="lpt")
+    print(
+        f"\n16-task update stream on 4 pipelines: "
+        f"LPT makespan {comparison['lpt'] * 1e3:.3f} ms vs "
+        f"FIFO {comparison['fifo'] * 1e3:.3f} ms "
+        f"(balance {plan.balance * 100:.0f}%)"
+    )
+    latency = TimingSimulator(config).simulate(1).latency
+    print(f"single-refresh modelled latency: {latency * 1e6:.1f} us")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Interactive-style tour of the design-space exploration flow (Fig. 8).
+
+Walks the two DSE stages for a chosen problem size and prints the
+latency/throughput/power Pareto landscape — the analysis a designer
+would run before committing a HeteroSVD build, condensed from the seven
+hours per Vitis-compiled design point the paper motivates against to
+fractions of a second per point.
+
+Run:  python examples/dse_explorer.py [matrix_size] [batch]
+"""
+
+import sys
+
+from repro.core.dse import DesignSpaceExplorer, achievable_frequency_hz
+from repro.reporting.tables import Table
+
+
+def main():
+    size = int(sys.argv[1]) if len(sys.argv) > 1 else 256
+    batch = int(sys.argv[2]) if len(sys.argv) > 2 else 100
+    dse = DesignSpaceExplorer(size, size, precision=1e-6)
+
+    # Stage 1: maximum feasible task parallelism per engine parallelism.
+    stage1 = dse.stage1()
+    table1 = Table(
+        f"Stage 1 — feasible parallelism for {size}x{size}",
+        ["P_eng", "max P_task", "achievable PL clock (P_task=1)"],
+    )
+    for p_eng, max_tasks in stage1.items():
+        freq = achievable_frequency_hz(size, 1)
+        table1.add_row(p_eng, max_tasks, f"{freq / 1e6:.0f} MHz")
+    table1.print()
+
+    # Stage 2: evaluate and rank.
+    points = dse.explore("latency", batch=batch)
+    table2 = Table(
+        f"Stage 2 — top design points by latency (batch {batch})",
+        ["rank", "P_eng", "P_task", "freq MHz", "latency ms",
+         "throughput", "power W", "AIE", "URAM"],
+    )
+    for rank, point in enumerate(points[:8], start=1):
+        table2.add_row(
+            rank, point.config.p_eng, point.config.p_task,
+            f"{point.config.pl_frequency_hz / 1e6:.0f}",
+            f"{point.latency * 1e3:.3f}",
+            f"{point.throughput:.2f}",
+            f"{point.power.total:.1f}",
+            point.usage.aie, point.usage.uram,
+        )
+    table2.print()
+
+    for objective in ("latency", "throughput", "energy_efficiency"):
+        best = dse.best(objective, batch=batch, power_cap_w=39.0)
+        print(
+            f"best {objective:<18} (under 39 W): "
+            f"P_eng={best.config.p_eng:<2} P_task={best.config.p_task:<2} "
+            f"lat={best.latency * 1e3:8.3f} ms  "
+            f"thr={best.throughput:8.2f} tasks/s  "
+            f"P={best.power.total:5.1f} W"
+        )
+
+
+if __name__ == "__main__":
+    main()

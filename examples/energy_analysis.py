@@ -1,0 +1,60 @@
+"""Energy and roofline analysis of HeteroSVD design points.
+
+Combines three analysis tools on the Table VI design points:
+
+* the time-resolved power trace (energy per task, peak vs average),
+* the roofline characterization (which roof binds, and by how much),
+* the calibration sensitivity ranking (which constants carry the
+  timing claims).
+
+Run:  python examples/energy_analysis.py
+"""
+
+from repro.analysis.roofline import roofline_analysis
+from repro.analysis.sensitivity import sensitivity_analysis
+from repro.core.config import HeteroSVDConfig
+from repro.core.power_trace import trace_task_power
+from repro.reporting.tables import Table
+from repro.units import mhz
+
+POINTS = [(2, 26), (4, 9), (6, 4), (8, 2)]
+
+
+def main():
+    table = Table(
+        "Energy & roofline across the Table VI design points "
+        "(256x256, 208.3 MHz, 6 iterations)",
+        ["P_eng", "P_task", "energy/task (mJ)", "avg W", "peak W",
+         "bound", "compute util", "stream util"],
+    )
+    for p_eng, p_task in POINTS:
+        n = 256 if 256 % p_eng == 0 else (256 // p_eng + 1) * p_eng
+        config = HeteroSVDConfig(
+            m=256, n=n, p_eng=p_eng, p_task=p_task,
+            pl_frequency_hz=mhz(208.3), fixed_iterations=6,
+        )
+        trace = trace_task_power(config)
+        roofline = roofline_analysis(config)
+        table.add_row(
+            p_eng, p_task,
+            f"{trace.total_energy_j * 1e3:.2f}",
+            f"{trace.average_power_w:.1f}",
+            f"{trace.peak_power_w:.1f}",
+            roofline.bound,
+            f"{roofline.compute_utilization * 100:.1f}%",
+            f"{roofline.stream_utilization * 100:.1f}%",
+        )
+    table.print()
+
+    config = HeteroSVDConfig(m=256, n=256, p_eng=8, p_task=1,
+                             fixed_iterations=6)
+    print("Calibration sensitivity at the P_eng=8 point (+20% per knob):")
+    for result in sensitivity_analysis(config, scale=1.2):
+        print(f"  {result.parameter:<18} "
+              f"{result.relative_effect * 100:7.3f}% task-time change")
+    print("\nThe design is stream-bound everywhere: the PLIO rate "
+          "dominates both performance and the calibration's leverage.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Low-rank image compression — SVD as data approximation.
+
+Factors a synthetic image on the functional accelerator (with the
+randomized truncated solver for the top-k path) and reports the classic
+rank / compression-ratio / PSNR trade-off.
+
+Run:  python examples/image_compression.py
+"""
+
+from repro.linalg.truncated import truncated_svd
+from repro.reporting.tables import Table
+from repro.session import HeteroSVDSession
+from repro.workloads.imaging import (
+    compress_image,
+    compression_ratio,
+    psnr,
+    synthetic_image,
+)
+
+SIZE = 128
+
+
+def main():
+    image = synthetic_image(SIZE, SIZE, smoothness=2.0, seed=21)
+
+    # Full factorization on the configured accelerator model.
+    session = HeteroSVDSession(SIZE, SIZE, objective="latency",
+                               precision=1e-8, accumulate_v=True)
+    result = session.svd(image)
+    print(f"factored {SIZE}x{SIZE} image on: {session.describe()}")
+
+    table = Table(
+        "Rank / storage / quality trade-off",
+        ["rank", "compression", "PSNR (dB)"],
+    )
+    for rank in (2, 4, 8, 16, 32, 64):
+        approx = compress_image(
+            image, result.u, result.singular_values, result.v, rank
+        )
+        table.add_row(
+            rank,
+            f"{compression_ratio(SIZE, SIZE, rank):.1f}x",
+            f"{psnr(image, approx):.1f}",
+        )
+    table.print()
+
+    # The top-k-only path: randomized sketch + small dense Jacobi core.
+    rank = 16
+    sketched = truncated_svd(image, rank=rank, seed=0, power_iterations=2)
+    approx = compress_image(
+        image, sketched.u, sketched.singular_values, sketched.v, rank
+    )
+    print(
+        f"randomized top-{rank}: PSNR {psnr(image, approx):.1f} dB with a "
+        f"{sketched.u.shape[0]}x{rank} sketch core "
+        f"({sketched.sweeps} Jacobi sweeps on the small matrix)"
+    )
+
+
+if __name__ == "__main__":
+    main()

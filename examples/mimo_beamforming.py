@@ -1,0 +1,78 @@
+"""MIMO beamforming with accelerated SVD — the paper's wireless use case.
+
+SVD-based MIMO transmission (paper refs [1]-[3]) decomposes the channel
+``H = U S V^T`` and sends independent data streams along the
+eigen-beams: precode with ``V``, combine with ``U^T``, waterfill power
+over the singular values.  The channel changes every coherence
+interval, so the SVD must finish within a tight deadline — the
+latency-critical scenario HeteroSVD targets.
+
+This example:
+
+1. generates a batch of spatially-correlated Rayleigh channels,
+2. factors each with the functional accelerator model,
+3. verifies the beamformed channel is diagonal and computes the
+   waterfilling capacity,
+4. asks the timing model whether the chosen design point meets a 5G-ish
+   per-slot deadline.
+
+Run:  python examples/mimo_beamforming.py
+"""
+
+import numpy as np
+
+from repro import HeteroSVDAccelerator, HeteroSVDConfig, TimingSimulator
+from repro.workloads.mimo import mimo_channel, waterfill
+
+N_ANTENNAS = 16          # 16x16 complex channel -> 32x32 real embedding
+COHERENCE_DEADLINE_S = 500e-6
+SNR_POWER = 20.0
+
+
+def capacity_bits(sigma, powers):
+    """Shannon capacity of parallel eigen-beams (unit noise)."""
+    gains = (sigma**2) * powers
+    return float(np.sum(np.log2(1.0 + gains)))
+
+
+def main():
+    size = 2 * N_ANTENNAS
+    config = HeteroSVDConfig(m=size, n=size, p_eng=8, p_task=1,
+                             precision=1e-7)
+    accel = HeteroSVDAccelerator(config)
+
+    print(f"channel: {N_ANTENNAS}x{N_ANTENNAS} complex "
+          f"(real embedding {size}x{size}), correlation 0.5")
+    total_capacity = 0.0
+    for slot in range(4):
+        h = mimo_channel(N_ANTENNAS, N_ANTENNAS, correlation=0.5, seed=slot)
+        result = accel.run(h, accumulate_v=True)
+
+        # The real embedding duplicates each singular value; use one of
+        # each pair as the per-eigen-beam gain.
+        sigma = result.sigma[0::2]
+        powers = waterfill(sigma, total_power=SNR_POWER)
+        active = int(np.count_nonzero(powers))
+        cap = capacity_bits(sigma, powers)
+        total_capacity += cap
+
+        # Sanity: U^T H V must be diagonal (the whole point of SVD
+        # beamforming — streams do not interfere).
+        effective = result.u.T @ h @ result.v
+        off_diag = np.max(np.abs(effective - np.diag(np.diag(effective))))
+        print(f"slot {slot}: {result.iterations} sweeps, "
+              f"{active}/{N_ANTENNAS} beams active, "
+              f"capacity {cap:.1f} bit/s/Hz, "
+              f"interference {off_diag:.1e}")
+
+    print(f"mean capacity: {total_capacity / 4:.1f} bit/s/Hz")
+
+    # Does this design point meet the real-time deadline?
+    latency = TimingSimulator(config).simulate(1).latency
+    verdict = "MEETS" if latency < COHERENCE_DEADLINE_S else "MISSES"
+    print(f"modelled SVD latency {latency * 1e6:.1f} us — {verdict} the "
+          f"{COHERENCE_DEADLINE_S * 1e6:.0f} us coherence deadline")
+
+
+if __name__ == "__main__":
+    main()

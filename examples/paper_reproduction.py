@@ -1,0 +1,148 @@
+"""One-shot reproduction of every paper experiment, outside pytest.
+
+Runs compact versions of Tables II-VI and Figs. 3 & 9 sequentially and
+prints the paper-vs-reproduction tables (the benchmark harness under
+``benchmarks/`` runs the same experiments with assertions and
+pytest-benchmark timings; this script is the human-readable tour).
+
+Run:  python examples/paper_reproduction.py          # ~1-2 minutes
+"""
+
+from repro.baselines.fpga_bcv import FPGABaselineModel
+from repro.baselines.gpu_wcycle import GPUBaselineModel
+from repro.core.config import HeteroSVDConfig
+from repro.core.dataflow import DataflowMode
+from repro.core.dse import DesignSpaceExplorer
+from repro.core.ordering_codesign import (
+    MovementSchedule,
+    codesign_dma_transfers,
+    traditional_dma_transfers,
+)
+from repro.core.perf_model import PerformanceModel
+from repro.core.timing import TimingSimulator
+from repro.reporting.tables import Table
+from repro.units import mhz
+
+
+def table2():
+    fpga = FPGABaselineModel()
+    table = Table(
+        "Table II: latency (s) vs FPGA [6], 6 iterations, P_eng=8",
+        ["size", "FPGA", "HeteroSVD", "speedup", "paper speedup"],
+    )
+    paper = {128: 1.27, 256: 1.98, 512: 1.90, 1024: 1.79}
+    for m in (128, 256, 512, 1024):
+        point = DesignSpaceExplorer(m, m, fixed_iterations=6).evaluate(8, 1)
+        hetero = TimingSimulator(point.config).simulate(1).latency
+        fpga_latency = fpga.latency_seconds(m, 6)
+        table.add_row(
+            f"{m}x{m}", f"{fpga_latency:.4f}", f"{hetero:.4f}",
+            f"{fpga_latency / hetero:.2f}x", f"{paper[m]:.2f}x",
+        )
+    table.print()
+
+
+def table3():
+    gpu = GPUBaselineModel()
+    table = Table(
+        "Table III: vs GPU [11] (converged, batch 100, <39 W)",
+        ["size", "lat speedup", "thr speedup", "EE gain",
+         "paper (lat/thr/EE)"],
+    )
+    paper = {
+        128: "7.22x / 1.77x / 13.2x",
+        256: "3.30x / 1.10x / 7.8x",
+        512: "1.15x / 0.89x / 6.5x",
+        1024: "0.86x / 0.36x / 4.4x",
+    }
+    for m in (128, 256, 512, 1024):
+        dse = DesignSpaceExplorer(m, m)
+        lat_pt = dse.best("latency", power_cap_w=39.0)
+        thr_pt = dse.best("throughput", batch=100, power_cap_w=39.0)
+        h_lat = TimingSimulator(lat_pt.config).simulate(1).latency
+        h_thr = PerformanceModel(thr_pt.config).throughput(100)
+        h_ee = h_thr / thr_pt.power.total
+        table.add_row(
+            f"{m}x{m}",
+            f"{gpu.latency_seconds(m, m) / h_lat:.2f}x",
+            f"{h_thr / gpu.throughput_tasks_per_s(m, m, 100):.2f}x",
+            f"{h_ee / gpu.energy_efficiency(m, m, 100):.2f}x",
+            paper[m],
+        )
+    table.print()
+
+
+def table4():
+    table = Table(
+        "Table IV: model vs measured single-iteration time @ 208.3 MHz",
+        ["size", "P_eng", "measured ms", "model ms", "error",
+         "paper error"],
+    )
+    paper_err = {
+        (128, 2): 2.92, (256, 2): 3.03, (512, 2): 2.80,
+        (128, 4): 1.03, (256, 4): 1.66, (512, 4): 1.48,
+        (128, 8): 2.57, (256, 8): 0.05, (512, 8): 0.56,
+    }
+    for p_eng in (2, 4, 8):
+        for m in (128, 256, 512):
+            config = HeteroSVDConfig(
+                m=m, n=m, p_eng=p_eng, p_task=1,
+                pl_frequency_hz=mhz(208.3), fixed_iterations=1,
+            )
+            measured = TimingSimulator(config).measure_iteration_time()
+            modelled = PerformanceModel(config).iteration_time()
+            error = abs(modelled - measured) / measured * 100
+            table.add_row(
+                f"{m}x{m}", p_eng, f"{measured * 1e3:.3f}",
+                f"{modelled * 1e3:.3f}", f"{error:.2f}%",
+                f"{paper_err[(m, p_eng)]:.2f}%",
+            )
+    table.print()
+
+
+def table6():
+    table = Table(
+        "Table VI: design points at 256x256, 208.3 MHz, 6 iterations",
+        ["P_eng", "P_task", "AIE", "URAM", "latency ms", "power W"],
+    )
+    dse = DesignSpaceExplorer(256, 256, fixed_iterations=6)
+    for p_eng in (2, 4, 6, 8):
+        p_task = dse.max_p_task(p_eng, frequency_hz=mhz(208.3))
+        point = dse.evaluate(p_eng, p_task, frequency_hz=mhz(208.3))
+        table.add_row(
+            p_eng, p_task, point.usage.aie, point.usage.uram,
+            f"{point.latency * 1e3:.3f}", f"{point.power.total:.2f}",
+        )
+    table.print()
+
+
+def fig3():
+    table = Table(
+        "Fig. 3: DMA transfers per block-pair sweep",
+        ["k", "traditional 2k(k-1)", "co-design 2(k-1)", "reduction"],
+    )
+    for k in (2, 3, 4, 6, 8, 11):
+        trad = MovementSchedule(k=k, shifting=False).dma_count(
+            DataflowMode.NAIVE
+        )
+        code = MovementSchedule(k=k, shifting=True).dma_count(
+            DataflowMode.RELOCATED
+        )
+        assert trad == traditional_dma_transfers(k)
+        assert code == codesign_dma_transfers(k)
+        table.add_row(k, trad, code, f"{trad / max(1, code):.0f}x")
+    table.print()
+
+
+def main():
+    fig3()
+    table4()
+    table2()
+    table6()
+    table3()
+    print("Full assertions and Fig. 9 live in benchmarks/ "
+          "(pytest benchmarks/ --benchmark-only).")
+
+
+if __name__ == "__main__":
+    main()

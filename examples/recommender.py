@@ -1,0 +1,72 @@
+"""SVD-based collaborative filtering — the paper's recommender use case.
+
+Classic latent-factor recommendation (paper refs [4]-[5]): impute the
+sparse rating matrix, factor it, keep the top-``r`` singular triplets,
+and predict unseen ratings from the low-rank reconstruction.  Edge
+deployments re-factor as ratings stream in, which is where a
+low-power SVD accelerator earns its keep.
+
+This example builds a synthetic rating matrix with a known latent
+rank, factors it on the functional accelerator model, and measures
+prediction quality against held-out entries.
+
+Run:  python examples/recommender.py
+"""
+
+import numpy as np
+
+from repro import HeteroSVDAccelerator, HeteroSVDConfig
+from repro.core.dse import DesignSpaceExplorer
+from repro.workloads.recsys import rating_matrix, top_k_approximation
+
+N_USERS, N_ITEMS = 96, 64
+LATENT_RANK = 6
+
+
+def main():
+    # Ground truth ratings, then a training copy with 30% hidden.
+    truth = rating_matrix(N_USERS, N_ITEMS, latent_rank=LATENT_RANK,
+                          noise=0.2, seed=42)
+    rng = np.random.default_rng(7)
+    hidden = rng.random(truth.shape) < 0.3
+    training = truth.copy()
+    training[hidden] = truth[~hidden].mean()  # mean-impute held-out cells
+
+    config = HeteroSVDConfig(m=N_USERS, n=N_ITEMS, p_eng=8, precision=1e-7)
+    accel = HeteroSVDAccelerator(config)
+    result = accel.run(training, accumulate_v=True)
+    print(f"factored {N_USERS}x{N_ITEMS} ratings in "
+          f"{result.iterations} sweeps "
+          f"(converged={result.converged})")
+
+    baseline = np.full_like(truth, training.mean())
+    baseline_rmse = np.sqrt(np.mean((truth[hidden] - baseline[hidden]) ** 2))
+    print(f"rank  RMSE(held-out)   vs mean-baseline {baseline_rmse:.3f}")
+    best = (None, np.inf)
+    for rank in (2, 4, 6, 8, 12):
+        predicted = top_k_approximation(
+            result.u, result.sigma, result.v, k=rank
+        )
+        rmse = np.sqrt(np.mean((truth[hidden] - predicted[hidden]) ** 2))
+        marker = ""
+        if rmse < best[1]:
+            best = (rank, rmse)
+            marker = "  <- best"
+        print(f"{rank:>4}  {rmse:.3f}{marker}")
+    print(f"best truncation rank {best[0]} "
+          f"(true latent rank {LATENT_RANK})")
+
+    # What would the accelerator cost to deploy for nightly refactoring
+    # of a much larger catalogue?
+    dse = DesignSpaceExplorer(1024, 1024)
+    point = dse.best("energy_efficiency", batch=100, power_cap_w=39.0)
+    print(
+        f"1024x1024 catalogue: best efficiency config "
+        f"P_eng={point.config.p_eng}, P_task={point.config.p_task} -> "
+        f"{point.throughput:.2f} tasks/s at {point.power.total:.1f} W "
+        f"({point.energy_efficiency:.3f} tasks/s/W)"
+    )
+
+
+if __name__ == "__main__":
+    main()

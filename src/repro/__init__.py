@@ -1,0 +1,76 @@
+"""HeteroSVD reproduction library.
+
+A from-scratch Python implementation of *HeteroSVD: Efficient SVD
+Accelerator on Versal ACAP with Algorithm-Hardware Co-Design*
+(DAC 2025): the block Hestenes-Jacobi SVD algorithm with the paper's
+shifting-ring ordering, a behavioural model of the Versal ACAP
+substrate (AIE array, PL, PLIO, NoC/DDR), the AIE placement and
+dynamic-forwarding routing, an analytical performance model, a
+cycle-approximate timing simulator, and the two-stage design-space
+exploration flow — plus calibrated models of the FPGA [6] and GPU [11]
+baselines the paper compares against.
+
+Quick start::
+
+    import numpy as np
+    from repro import svd, HeteroSVDConfig, HeteroSVDAccelerator
+
+    a = np.random.default_rng(0).standard_normal((128, 128))
+    result = svd(a)                      # software block-Jacobi SVD
+
+    config = HeteroSVDConfig(m=128, n=128, p_eng=8)
+    accel = HeteroSVDAccelerator(config) # full hardware functional model
+    hw = accel.run(a)
+
+    from repro import DesignSpaceExplorer
+    best = DesignSpaceExplorer(256, 256).best("latency")
+"""
+
+from repro.linalg import svd, SVDResult, hestenes_svd, truncated_svd
+from repro.core import (
+    HeteroSVDConfig,
+    HeteroSVDAccelerator,
+    AcceleratorResult,
+    PerformanceModel,
+    TimingSimulator,
+    DesignSpaceExplorer,
+    DesignPoint,
+)
+from repro.core import BatchScheduler, CoSimulator, IncrementalSVD, TaskSpec
+from repro.session import HeteroSVDSession
+from repro.core.placement import Placement, place
+from repro.core.resources import ResourceUsage, estimate_resources
+from repro.core.power import PowerModel
+from repro.baselines import FPGABaselineModel, GPUBaselineModel
+from repro.versal import VCK190, AIEArray
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "svd",
+    "SVDResult",
+    "hestenes_svd",
+    "HeteroSVDConfig",
+    "HeteroSVDAccelerator",
+    "AcceleratorResult",
+    "PerformanceModel",
+    "TimingSimulator",
+    "DesignSpaceExplorer",
+    "DesignPoint",
+    "BatchScheduler",
+    "CoSimulator",
+    "IncrementalSVD",
+    "HeteroSVDSession",
+    "truncated_svd",
+    "TaskSpec",
+    "Placement",
+    "place",
+    "ResourceUsage",
+    "estimate_resources",
+    "PowerModel",
+    "FPGABaselineModel",
+    "GPUBaselineModel",
+    "VCK190",
+    "AIEArray",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""Analysis tools built on the hardware and performance models.
+
+* :mod:`repro.analysis.roofline` — arithmetic-intensity and
+  bandwidth-bound analysis of HeteroSVD design points, formalizing the
+  Fig. 9 discussion (why the design is stream-bound and where more RAM
+  or clock would move it).
+* :mod:`repro.analysis.pareto` — Pareto-front extraction over the DSE's
+  latency/throughput/power objectives.
+* :mod:`repro.analysis.sensitivity` — how much each calibration
+  constant moves the modelled task time.
+"""
+
+from repro.analysis.roofline import RooflinePoint, roofline_analysis
+from repro.analysis.pareto import pareto_front
+from repro.analysis.sensitivity import SensitivityResult, sensitivity_analysis
+
+__all__ = [
+    "RooflinePoint",
+    "roofline_analysis",
+    "pareto_front",
+    "SensitivityResult",
+    "sensitivity_analysis",
+]

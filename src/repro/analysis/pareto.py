@@ -1,0 +1,51 @@
+"""Pareto-front extraction over DSE design points.
+
+The paper's Table VI shows the latency/throughput/power tension across
+design points; a deployer usually wants the non-dominated set rather
+than a single winner.  A point dominates another when it is no worse in
+every objective (lower latency, higher throughput, lower power) and
+strictly better in at least one.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.dse import DesignPoint
+from repro.errors import DesignSpaceError
+
+
+def _dominates(a: DesignPoint, b: DesignPoint) -> bool:
+    """True when ``a`` Pareto-dominates ``b``."""
+    no_worse = (
+        a.latency <= b.latency
+        and a.throughput >= b.throughput
+        and a.power.total <= b.power.total
+    )
+    strictly_better = (
+        a.latency < b.latency
+        or a.throughput > b.throughput
+        or a.power.total < b.power.total
+    )
+    return no_worse and strictly_better
+
+
+def pareto_front(points: Sequence[DesignPoint]) -> List[DesignPoint]:
+    """Non-dominated design points, sorted by ascending latency.
+
+    Raises:
+        DesignSpaceError: for an empty candidate set.
+    """
+    if not points:
+        raise DesignSpaceError("no design points to filter")
+    front = [
+        candidate
+        for candidate in points
+        if not any(
+            _dominates(other, candidate)
+            for other in points
+            if other is not candidate
+        )
+    ]
+    front.sort(key=lambda p: p.latency)
+    return front

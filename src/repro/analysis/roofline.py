@@ -1,0 +1,103 @@
+"""Roofline analysis of HeteroSVD design points.
+
+The paper's Fig. 9 discussion argues HeteroSVD is limited by PL memory
+and streaming rather than by AIE compute.  This module quantifies that:
+for a design point it computes
+
+* the **arithmetic intensity** of the orthogonalization stage —
+  fp32 operations per byte streamed over the PLIOs,
+* the **compute roof** — the placed orth-AIEs' aggregate MAC rate,
+* the **stream roof** — the Tx PLIOs' aggregate bandwidth at the PL
+  clock, and
+* the achieved operation rate from the performance model,
+
+identifying which roof binds.  For HeteroSVD's streaming dataflow the
+stream roof binds at every paper configuration (the model's
+``t_AIEwait`` is zero), which is exactly why the co-design's DMA
+savings show up at high clocks and why URAM, not AIEs, limits task
+parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import HeteroSVDConfig
+from repro.core.perf_model import PerformanceModel
+from repro.units import FLOAT32_BITS
+from repro.versal.kernels import orth_kernel_cycles
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """Roofline characterization of one design point.
+
+    Attributes:
+        arithmetic_intensity: fp32 operations per byte streamed.
+        compute_roof_flops: Aggregate orth-AIE operation rate (op/s).
+        stream_roof_bytes_per_s: Aggregate Tx PLIO bandwidth (B/s).
+        achieved_flops: Operation rate the performance model predicts.
+        bound: ``"stream"`` or ``"compute"`` — which roof binds.
+    """
+
+    arithmetic_intensity: float
+    compute_roof_flops: float
+    stream_roof_bytes_per_s: float
+    achieved_flops: float
+    bound: str
+
+    @property
+    def compute_utilization(self) -> float:
+        """Achieved fraction of the compute roof."""
+        return min(1.0, self.achieved_flops / self.compute_roof_flops)
+
+    @property
+    def stream_utilization(self) -> float:
+        """Achieved fraction of the stream roof."""
+        streamed = self.achieved_flops / self.arithmetic_intensity
+        return min(1.0, streamed / self.stream_roof_bytes_per_s)
+
+
+def pair_operations(m: int, pair_cols: int) -> float:
+    """fp32 operations of one block-pair sweep.
+
+    Each of the ``(2k-1) * k`` rotations performs three length-``m``
+    dot products and a ``2 x 2`` column update: ``~14 m`` operations
+    (7 m MACs).
+    """
+    k = pair_cols // 2
+    rotations = (2 * k - 1) * k
+    return rotations * 14.0 * m
+
+
+def roofline_analysis(config: HeteroSVDConfig) -> RooflinePoint:
+    """Characterize a design point against its compute/stream roofs."""
+    model = PerformanceModel(config)
+    m = config.m
+
+    ops = pair_operations(m, config.pair_cols)
+    bytes_streamed = config.pair_cols * m * FLOAT32_BITS / 8
+    intensity = ops / bytes_streamed
+
+    # Compute roof: each orth-AIE retires macs_per_cycle fused ops
+    # (2 flops) per cycle; one task has k(2k-1) of them.
+    per_aie = 2.0 * config.device.macs_per_cycle * config.device.aie_frequency_hz
+    compute_roof = config.orth_aies_per_task * per_aie
+
+    # Stream roof: the two Tx PLIOs at the PL clock (the effective rate
+    # including per-column gaps is what t_tx models; use the raw wire
+    # rate as the roof).
+    stream_roof = 2 * config.device.plio_width_bits / 8 * config.pl_frequency_hz
+
+    # Operation rate in steady state: one pair's operations retire per
+    # pair initiation interval.
+    achieved = ops / model.t_period()
+
+    bound = "stream" if model.t_aiewait() == 0.0 else "compute"
+    return RooflinePoint(
+        arithmetic_intensity=intensity,
+        compute_roof_flops=compute_roof,
+        stream_roof_bytes_per_s=stream_roof,
+        achieved_flops=achieved,
+        bound=bound,
+    )

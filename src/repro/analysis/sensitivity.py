@@ -1,0 +1,112 @@
+"""Calibration sensitivity analysis of the performance model.
+
+The reproduction's timing rests on a handful of calibrated constants
+(EXPERIMENTS.md documents the fit).  This module quantifies how much
+each one actually matters: it perturbs one knob at a time by a given
+factor and reports the relative change in the modelled task time.
+
+Knowing that, e.g., the PLIO column gap moves latency 30x more than the
+kernel overhead tells a user which constants deserve re-measurement on
+real hardware — and tells reviewers which parts of the reproduction's
+absolute numbers are robust.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.config import HeteroSVDConfig
+from repro.core.perf_model import PerformanceModel
+from repro.errors import ConfigurationError
+from repro.versal import kernels
+from repro.core import perf_model as perf_model_module
+from repro.versal import communication
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    """Effect of perturbing one calibration constant.
+
+    Attributes:
+        parameter: Constant name.
+        baseline_value: Unperturbed value.
+        relative_effect: ``|t(scaled) - t(base)| / t(base)`` for the
+            requested scale factor.
+    """
+
+    parameter: str
+    baseline_value: float
+    relative_effect: float
+
+
+#: The calibration knobs under study: (module, attribute).
+KNOBS = {
+    "plio_column_gap": (perf_model_module, "COLUMN_GAP_PL_CYCLES"),
+    "kernel_overhead": (kernels, "KERNEL_OVERHEAD_CYCLES"),
+    "rotation_scalar": (kernels, "ROTATION_SCALAR_CYCLES"),
+    "norm_scalar": (kernels, "NORM_SCALAR_CYCLES"),
+    "dma_setup": (communication, "TRANSFER_SETUP_CYCLES"),
+}
+
+
+@contextmanager
+def _scaled(module, attribute: str, factor: float):
+    """Temporarily scale a module-level constant (dict values scale
+    element-wise)."""
+    original = getattr(module, attribute)
+    if isinstance(original, dict):
+        scaled = {key: value * factor for key, value in original.items()}
+    else:
+        scaled = original * factor
+    setattr(module, attribute, scaled)
+    try:
+        yield
+    finally:
+        setattr(module, attribute, original)
+
+
+def _task_time(config: HeteroSVDConfig) -> float:
+    return PerformanceModel(config).task_time()
+
+
+def sensitivity_analysis(
+    config: HeteroSVDConfig, scale: float = 1.2
+) -> List[SensitivityResult]:
+    """Perturb each calibration knob by ``scale`` and rank the effects.
+
+    Args:
+        config: Design point to analyze.
+        scale: Multiplicative perturbation (e.g. 1.2 = +20%).
+
+    Returns:
+        Results sorted by descending effect.
+
+    Raises:
+        ConfigurationError: for a non-positive or identity scale.
+    """
+    if scale <= 0 or scale == 1.0:
+        raise ConfigurationError(
+            f"scale must be positive and != 1, got {scale}"
+        )
+    baseline = _task_time(config)
+    results = []
+    for name, (module, attribute) in KNOBS.items():
+        original = getattr(module, attribute)
+        baseline_value = (
+            float(sum(original.values()))
+            if isinstance(original, dict)
+            else float(original)
+        )
+        with _scaled(module, attribute, scale):
+            perturbed = _task_time(config)
+        results.append(
+            SensitivityResult(
+                parameter=name,
+                baseline_value=baseline_value,
+                relative_effect=abs(perturbed - baseline) / baseline,
+            )
+        )
+    results.sort(key=lambda r: -r.relative_effect)
+    return results

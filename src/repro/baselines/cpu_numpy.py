@@ -1,0 +1,37 @@
+"""CPU reference: LAPACK (numpy) wall-clock timing.
+
+Not a paper baseline — provided so examples and sanity checks can show
+where a tuned software SVD lands relative to the modelled accelerators
+on the machine running the reproduction.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def lapack_svd_seconds(m: int, n: int, repeats: int = 3, seed: int = 0) -> float:
+    """Median wall-clock seconds of ``numpy.linalg.svd`` on ``m x n``.
+
+    Args:
+        m / n: Matrix dimensions.
+        repeats: Timed repetitions (median reported).
+        seed: RNG seed for the random input.
+    """
+    if m < 1 or n < 1:
+        raise ConfigurationError(f"invalid matrix size {m}x{n}")
+    if repeats < 1:
+        raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((m, n))
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        np.linalg.svd(a, full_matrices=False)
+        samples.append(time.perf_counter() - start)
+    samples.sort()
+    return samples[len(samples) // 2]

@@ -1,0 +1,106 @@
+"""FPGA baseline: the ultra-parallel BCV-Jacobi solver of [6].
+
+Hu et al. implement a fully hardware BCV (batch column-vector) Jacobi
+SVD on a XC7V690T.  The paper benchmarks it at its maximum task
+parallelism and a peak clock of 200 MHz (Section V-B).
+
+Behavioural model: a one-sided Jacobi sweep over an ``n x n`` matrix
+performs ``~6 n^3 / 2`` MAC-equivalent operations (three dot products
+plus the two-column update per pair, ``n(n-1)/2`` pairs).  The design's
+DSP array sustains a fixed number of MACs per cycle, so
+
+.. math::
+
+    t_{iter} = \\frac{3 n^3}{R \\cdot f}, \\qquad R = 140\\ \\text{MACs/cycle},
+
+where ``R`` is calibrated once against Table II: back-solving the
+reported 0.0014 / 0.0113 / 0.0829 / 0.6119 s (six iterations, 200 MHz)
+gives effective rates of 134.8 / 133.6 / 145.7 / 157.9 MACs/cycle; the
+constant 140 reproduces all four latencies within 12% (the residual
+trend reflects the baseline's slightly size-dependent efficiency,
+which we do not model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import mhz
+
+
+@dataclass(frozen=True)
+class FPGAResources:
+    """Resource usage of the baseline design (reported in Table II)."""
+
+    lut: int
+    lut_fraction: float
+    bram: float
+    bram_fraction: float
+    dsp: int
+    dsp_fraction: float
+
+
+#: Table II resource row for the XC7V690T design.
+FPGA_RESOURCES = FPGAResources(
+    lut=212_000,
+    lut_fraction=0.306,
+    bram=519.5,
+    bram_fraction=0.314,
+    dsp=1602,
+    dsp_fraction=0.445,
+)
+
+
+class FPGABaselineModel:
+    """Latency model of the BCV-Jacobi FPGA accelerator.
+
+    Args:
+        frequency_hz: Achievable clock (paper uses the 200 MHz peak).
+        sustained_macs_per_cycle: Calibrated effective MAC rate of the
+            DSP array.
+        board_power_w: Typical power draw of the design (the paper does
+            not report FPGA power; 25 W is representative of a ~45%
+            utilized XC7V690T and is used only for context, never for a
+            headline claim).
+    """
+
+    def __init__(
+        self,
+        frequency_hz: float = mhz(200.0),
+        sustained_macs_per_cycle: float = 140.0,
+        board_power_w: float = 25.0,
+    ):
+        if frequency_hz <= 0 or sustained_macs_per_cycle <= 0:
+            raise ConfigurationError(
+                "frequency and MAC rate must be positive"
+            )
+        self.frequency_hz = frequency_hz
+        self.sustained_macs_per_cycle = sustained_macs_per_cycle
+        self.board_power_w = board_power_w
+
+    def iteration_seconds(self, n: int) -> float:
+        """One Jacobi sweep over an ``n x n`` matrix."""
+        if n < 2:
+            raise ConfigurationError(f"matrix size must be >= 2, got {n}")
+        operations = 3.0 * n**3
+        return operations / (
+            self.sustained_macs_per_cycle * self.frequency_hz
+        )
+
+    def latency_seconds(self, n: int, iterations: int = 6) -> float:
+        """End-to-end latency of one SVD at a fixed sweep count."""
+        if iterations < 1:
+            raise ConfigurationError(
+                f"iterations must be >= 1, got {iterations}"
+            )
+        return iterations * self.iteration_seconds(n)
+
+    def throughput_tasks_per_s(self, n: int, iterations: int = 6) -> float:
+        """Tasks per second (the design processes one task at a time)."""
+        return 1.0 / self.latency_seconds(n, iterations)
+
+    @property
+    def resources(self) -> FPGAResources:
+        """Reported resource usage (Table II)."""
+        return FPGA_RESOURCES

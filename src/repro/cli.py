@@ -1,0 +1,343 @@
+"""Command-line interface.
+
+Installed as the ``heterosvd`` console script::
+
+    heterosvd svd --size 128                 # factor a random matrix
+    heterosvd svd --input matrix.npy         # factor a saved matrix
+    heterosvd dse --size 256 --batch 100     # explore the design space
+    heterosvd model --size 256 --p-eng 8     # performance breakdown
+    heterosvd placement --p-eng 8 --p-task 2 # render the AIE placement
+
+Every subcommand is a thin veneer over the public API so scripted use
+and library use stay in sync.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.accelerator import HeteroSVDAccelerator
+from repro.core.config import HeteroSVDConfig
+from repro.core.dse import DesignSpaceExplorer
+from repro.core.perf_model import PerformanceModel
+from repro.core.placement import place
+from repro.core.timing import TimingSimulator
+from repro.reporting.tables import Table
+from repro.units import mhz
+from repro.versal.tile import TileKind
+from repro.workloads.matrices import random_matrix
+
+
+def _padded(n: int, p_eng: int) -> int:
+    return n if n % p_eng == 0 else (n // p_eng + 1) * p_eng
+
+
+def _load_matrix(args) -> np.ndarray:
+    if args.input:
+        return np.load(args.input)
+    return random_matrix(args.size, args.size, seed=args.seed)
+
+
+def cmd_svd(args) -> int:
+    """Factor a matrix on the functional accelerator model."""
+    a = _load_matrix(args)
+    m, n = a.shape
+    config = HeteroSVDConfig(
+        m=m,
+        n=_padded(n, args.p_eng),
+        p_eng=args.p_eng,
+        p_task=1,
+        precision=args.precision,
+    )
+    if config.n != n:
+        a = np.hstack([a, np.zeros((m, config.n - n))])
+    result = HeteroSVDAccelerator(config).run(a)
+    s_ref = np.linalg.svd(a, compute_uv=False)
+    deviation = float(np.max(np.abs(result.sigma[: len(s_ref)] - s_ref)))
+    print(f"matrix {m}x{n}, P_eng={args.p_eng}")
+    print(f"iterations: {result.iterations} (converged={result.converged})")
+    print(f"leading singular values: "
+          + ", ".join(f"{v:.4f}" for v in result.sigma[:5]))
+    print(f"max deviation vs LAPACK: {deviation:.3e}")
+    print(f"traffic: {result.transfers.dma_transfers} DMA / "
+          f"{result.transfers.neighbor_transfers} neighbour transfers")
+    if args.output:
+        np.savez(args.output, u=result.u, sigma=result.sigma)
+        print(f"saved factors to {args.output}")
+    return 0
+
+
+def cmd_dse(args) -> int:
+    """Run the two-stage DSE and print the ranked design points."""
+    dse = DesignSpaceExplorer(args.size, args.size, precision=args.precision)
+    points = dse.explore(
+        args.objective,
+        batch=args.batch,
+        power_cap_w=args.power_cap,
+    )
+    table = Table(
+        f"DSE: {args.size}x{args.size}, objective={args.objective}, "
+        f"batch={args.batch}",
+        ["rank", "P_eng", "P_task", "freq MHz", "latency ms",
+         "tasks/s", "power W", "AIE", "URAM"],
+    )
+    for rank, point in enumerate(points[: args.top], start=1):
+        table.add_row(
+            rank, point.config.p_eng, point.config.p_task,
+            f"{point.config.pl_frequency_hz / 1e6:.0f}",
+            f"{point.latency * 1e3:.3f}",
+            f"{point.throughput:.2f}",
+            f"{point.power.total:.1f}",
+            point.usage.aie, point.usage.uram,
+        )
+    table.print()
+    if args.save:
+        from repro.io import save_design_points
+
+        save_design_points(points, args.save)
+        print(f"saved {len(points)} design points to {args.save}")
+    return 0
+
+
+def cmd_model(args) -> int:
+    """Print the performance-model breakdown for one design point."""
+    config = HeteroSVDConfig(
+        m=args.size,
+        n=_padded(args.size, args.p_eng),
+        p_eng=args.p_eng,
+        p_task=args.p_task,
+        pl_frequency_hz=mhz(args.freq),
+        fixed_iterations=args.iterations,
+    )
+    model = PerformanceModel(config)
+    breakdown = model.breakdown()
+    table = Table(
+        f"Performance model: {config.describe()}",
+        ["term", "value"],
+    )
+    for name in (
+        "t_tx", "t_rx", "t_orth", "t_stage", "t_aiewait", "t_algo",
+        "t_period", "t_datawait", "t_ddr", "t_hls_per_iteration",
+        "aie_total", "t_iter", "t_norm",
+    ):
+        table.add_row(name, f"{getattr(breakdown, name) * 1e6:.3f} us")
+    table.add_row("task_time", f"{model.task_time() * 1e3:.3f} ms")
+    simulated = TimingSimulator(config).simulate(1).latency
+    table.add_row("simulated", f"{simulated * 1e3:.3f} ms")
+    table.print()
+    return 0
+
+
+def cmd_validate(args) -> int:
+    """Run the cross-implementation self-test."""
+    from repro.validation import main as validation_main
+
+    return validation_main()
+
+
+def cmd_sensitivity(args) -> int:
+    """Rank the calibration constants by their timing impact."""
+    from repro.analysis.sensitivity import sensitivity_analysis
+
+    config = HeteroSVDConfig(
+        m=args.size,
+        n=_padded(args.size, args.p_eng),
+        p_eng=args.p_eng,
+        p_task=args.p_task,
+        fixed_iterations=6,
+    )
+    results = sensitivity_analysis(config, scale=args.scale)
+    table = Table(
+        f"Calibration sensitivity ({config.describe()}, x{args.scale})",
+        ["constant", "baseline (cycles)", "task-time change"],
+    )
+    for result in results:
+        table.add_row(
+            result.parameter,
+            f"{result.baseline_value:.0f}",
+            f"{result.relative_effect * 100:.3f}%",
+        )
+    table.print()
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Generate a self-contained HTML reproduction report.
+
+    Runs the fast experiments (Table IV model accuracy, Fig. 3 DMA
+    counts, Table VI resource points) and renders them with
+    paper-reference values into one HTML file.
+    """
+    from repro.core.dataflow import DataflowMode
+    from repro.core.ordering_codesign import (
+        MovementSchedule,
+        codesign_dma_transfers,
+        traditional_dma_transfers,
+    )
+    from repro.core.resources import estimate_resources
+    from repro.reporting.experiments import ExperimentLog
+    from repro.reporting.html import write_report
+
+    logs = []
+
+    fig3 = ExperimentLog("Fig. 3 — DMA transfers per block-pair sweep")
+    for k in range(2, 12):
+        fig3.record(
+            f"k={k}", "traditional",
+            MovementSchedule(k=k, shifting=False).dma_count(
+                DataflowMode.NAIVE
+            ),
+            paper_value=traditional_dma_transfers(k),
+        )
+        fig3.record(
+            f"k={k}", "co-design",
+            MovementSchedule(k=k, shifting=True).dma_count(
+                DataflowMode.RELOCATED
+            ),
+            paper_value=codesign_dma_transfers(k),
+        )
+    logs.append(fig3)
+
+    table4 = ExperimentLog("Table IV — single-iteration time (ms) @ 208.3 MHz")
+    paper_measured = {
+        (128, 2): 0.993, (256, 2): 6.151, (512, 2): 43.229,
+        (128, 4): 0.395, (256, 4): 2.853, (512, 4): 21.584,
+        (128, 8): 0.214, (256, 8): 1.475, (512, 8): 10.965,
+    }
+    for (m, p_eng), paper in paper_measured.items():
+        config = HeteroSVDConfig(
+            m=m, n=m, p_eng=p_eng, p_task=1,
+            pl_frequency_hz=mhz(208.3), fixed_iterations=1,
+        )
+        measured = TimingSimulator(config).measure_iteration_time() * 1e3
+        table4.record(f"{m}x{m} P_eng={p_eng}", "measured (ms)",
+                      measured, paper_value=paper)
+    logs.append(table4)
+
+    table6 = ExperimentLog("Table VI — resources at 256x256")
+    paper_resources = {
+        (2, 26): (293, 416), (4, 9): (357, 144),
+        (6, 4): (366, 120), (8, 2): (322, 32),
+    }
+    for (p_eng, p_task), (paper_aie, paper_uram) in paper_resources.items():
+        n = 256 if 256 % p_eng == 0 else (256 // p_eng + 1) * p_eng
+        config = HeteroSVDConfig(m=256, n=n, p_eng=p_eng, p_task=p_task)
+        usage = estimate_resources(config)
+        table6.record(f"P_eng={p_eng} P_task={p_task}", "AIE",
+                      usage.aie, paper_value=paper_aie)
+        table6.record(f"P_eng={p_eng} P_task={p_task}", "URAM",
+                      usage.uram, paper_value=paper_uram)
+    logs.append(table6)
+
+    path = write_report(logs, args.output)
+    print(f"wrote {path} ({sum(len(l.records) for l in logs)} data points)")
+    return 0
+
+
+def cmd_placement(args) -> int:
+    """Render the AIE placement as ASCII art."""
+    glyph = {
+        TileKind.ORTH: "O", TileKind.NORM: "N",
+        TileKind.MEM: "M", TileKind.IDLE: ".",
+    }
+    config = HeteroSVDConfig(
+        m=args.size,
+        n=_padded(args.size, args.p_eng),
+        p_eng=args.p_eng,
+        p_task=args.p_task,
+    )
+    placement = place(config)
+    array = placement.array
+    print(f"{config.describe()}: {placement.num_orth} orth, "
+          f"{placement.num_norm} norm, {placement.num_mem} mem "
+          f"({placement.aie_utilization() * 100:.1f}% of the array)")
+    for row in range(array.rows - 1, -1, -1):
+        cells = "".join(
+            glyph[array.tile(row, col).kind] for col in range(array.cols)
+        )
+        print(f"row {row}: {cells}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="heterosvd",
+        description="HeteroSVD reproduction: accelerated SVD, performance "
+        "modelling and design-space exploration",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_svd = sub.add_parser("svd", help="factor a matrix")
+    p_svd.add_argument("--size", type=int, default=128)
+    p_svd.add_argument("--seed", type=int, default=0)
+    p_svd.add_argument("--input", help="path to a .npy matrix")
+    p_svd.add_argument("--output", help="save factors to a .npz")
+    p_svd.add_argument("--p-eng", type=int, default=8)
+    p_svd.add_argument("--precision", type=float, default=1e-6)
+    p_svd.set_defaults(func=cmd_svd)
+
+    p_dse = sub.add_parser("dse", help="explore the design space")
+    p_dse.add_argument("--size", type=int, default=256)
+    p_dse.add_argument("--batch", type=int, default=1)
+    p_dse.add_argument(
+        "--objective", default="latency",
+        choices=["latency", "throughput", "energy_efficiency"],
+    )
+    p_dse.add_argument("--power-cap", type=float, default=None)
+    p_dse.add_argument("--precision", type=float, default=1e-6)
+    p_dse.add_argument("--top", type=int, default=10)
+    p_dse.add_argument("--save", help="write ranked points to a JSON file")
+    p_dse.set_defaults(func=cmd_dse)
+
+    p_model = sub.add_parser("model", help="performance-model breakdown")
+    p_model.add_argument("--size", type=int, default=256)
+    p_model.add_argument("--p-eng", type=int, default=8)
+    p_model.add_argument("--p-task", type=int, default=1)
+    p_model.add_argument("--freq", type=float, default=208.3,
+                         help="PL clock in MHz")
+    p_model.add_argument("--iterations", type=int, default=6)
+    p_model.set_defaults(func=cmd_model)
+
+    p_place = sub.add_parser("placement", help="render the AIE placement")
+    p_place.add_argument("--size", type=int, default=256)
+    p_place.add_argument("--p-eng", type=int, default=8)
+    p_place.add_argument("--p-task", type=int, default=1)
+    p_place.set_defaults(func=cmd_placement)
+
+    p_validate = sub.add_parser(
+        "validate", help="cross-implementation self-test"
+    )
+    p_validate.set_defaults(func=cmd_validate)
+
+    p_sens = sub.add_parser(
+        "sensitivity", help="rank calibration constants by timing impact"
+    )
+    p_sens.add_argument("--size", type=int, default=256)
+    p_sens.add_argument("--p-eng", type=int, default=8)
+    p_sens.add_argument("--p-task", type=int, default=1)
+    p_sens.add_argument("--scale", type=float, default=1.2)
+    p_sens.set_defaults(func=cmd_sensitivity)
+
+    p_report = sub.add_parser(
+        "report", help="write an HTML reproduction report"
+    )
+    p_report.add_argument("--output", default="heterosvd_report.html")
+    p_report.set_defaults(func=cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``heterosvd`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,270 @@
+"""Two-stage design-space exploration (paper Section IV-C, Fig. 8).
+
+Stage 1 enumerates the engine parallelism ``P_eng`` and determines, for
+each value, the largest task parallelism ``P_task`` the placement and
+the resource budgets (Eq. 16) admit.  Stage 2 evaluates every surviving
+``(P_eng, P_task)`` point with the performance model and ranks by the
+requested objective:
+
+.. math::
+
+    \\min\\ runtime(P_{eng}, P_{task}, Freq)
+    \\quad \\text{s.t.} \\quad Resource_i \\le C_i .
+
+Because EDA backends degrade the achievable PL clock as designs grow,
+the explorer also models the frequency a design point closes timing at
+(fitted to the paper's Table V: 450 MHz for a small single-task design
+down to 310 MHz for large or many-task designs).  A full exploration
+covers the paper's 286-point space in well under a minute — versus the
+seven hours per point of the Vitis flow the paper motivates against.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.config import P_ENG_RANGE, P_TASK_RANGE, HeteroSVDConfig
+from repro.core.perf_model import PerformanceModel
+from repro.core.placement import place
+from repro.core.power import PowerEstimate, PowerModel
+from repro.core.resources import (
+    ResourceUsage,
+    check_budgets,
+    estimate_resources,
+)
+from repro.errors import (
+    ConfigurationError,
+    DesignSpaceError,
+    PlacementError,
+    ResourceBudgetError,
+)
+from repro.units import mhz
+
+#: Frequency model bounds observed in the paper's experiments (MHz).
+MAX_PL_FREQUENCY_MHZ = 450.0
+MIN_PL_FREQUENCY_MHZ = 310.0
+
+#: Fitted slopes: per doubling of the matrix size and per extra task.
+FREQUENCY_SIZE_SLOPE_MHZ = 45.0
+FREQUENCY_TASK_SLOPE_MHZ = 12.0
+
+VALID_OBJECTIVES = ("latency", "throughput", "energy_efficiency")
+
+
+def achievable_frequency_hz(m: int, p_task: int) -> float:
+    """PL clock a design of this size/parallelism closes timing at.
+
+    Fitted to the paper's Table V frequency column; larger matrices and
+    more task pipelines increase PL congestion and lower the clock.
+    """
+    if m < 1 or p_task < 1:
+        raise ConfigurationError(
+            f"invalid frequency query: m={m}, p_task={p_task}"
+        )
+    estimate = (
+        MAX_PL_FREQUENCY_MHZ
+        - FREQUENCY_SIZE_SLOPE_MHZ * max(0.0, math.log2(m / 128))
+        - FREQUENCY_TASK_SLOPE_MHZ * (p_task - 1)
+    )
+    clamped = min(MAX_PL_FREQUENCY_MHZ, max(MIN_PL_FREQUENCY_MHZ, estimate))
+    return mhz(clamped)
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated point of the design space.
+
+    Attributes:
+        config: The (possibly column-padded) configuration evaluated.
+        latency: Single-task end-to-end seconds (Eq. 14 task time).
+        throughput: Tasks per second at the evaluation batch size.
+        power: Decomposed power estimate.
+        energy_efficiency: Tasks/s/W (Table III metric).
+        usage: Resource consumption.
+        batch: Batch size used for the throughput figure.
+    """
+
+    config: HeteroSVDConfig
+    latency: float
+    throughput: float
+    power: PowerEstimate
+    energy_efficiency: float
+    usage: ResourceUsage
+    batch: int
+
+    def objective_value(self, objective: str) -> float:
+        """Scalar score (higher is better) for a ranking objective."""
+        if objective == "latency":
+            return -self.latency
+        if objective == "throughput":
+            return self.throughput
+        if objective == "energy_efficiency":
+            return self.energy_efficiency
+        raise ConfigurationError(
+            f"unknown objective {objective!r}; expected one of "
+            f"{VALID_OBJECTIVES}"
+        )
+
+
+class DesignSpaceExplorer:
+    """DSE engine for one problem size.
+
+    Args:
+        m / n: Matrix dimensions of the target workload.
+        precision: Convergence threshold for converged-mode runs.
+        fixed_iterations: Fix the sweep count (benchmark mode) instead
+            of estimating it from the precision.
+        power_model: Power coefficients; defaults to the Table VI fit.
+    """
+
+    def __init__(
+        self,
+        m: int,
+        n: int,
+        precision: float = 1e-6,
+        fixed_iterations: Optional[int] = None,
+        power_model: Optional[PowerModel] = None,
+    ):
+        if m < 1 or n < 2:
+            raise ConfigurationError(f"invalid problem size {m}x{n}")
+        self.m = m
+        self.n = n
+        self.precision = precision
+        self.fixed_iterations = fixed_iterations
+        self.power_model = power_model if power_model is not None else PowerModel()
+
+    # -- configuration helpers ------------------------------------------------
+    def _padded_n(self, p_eng: int) -> int:
+        """Column count padded so blocks tile evenly (>= 2 blocks)."""
+        blocks = max(2, math.ceil(self.n / p_eng))
+        return blocks * p_eng
+
+    def make_config(
+        self,
+        p_eng: int,
+        p_task: int,
+        frequency_hz: Optional[float] = None,
+    ) -> HeteroSVDConfig:
+        """Build the configuration of one candidate point."""
+        freq = (
+            frequency_hz
+            if frequency_hz is not None
+            else achievable_frequency_hz(self.m, p_task)
+        )
+        return HeteroSVDConfig(
+            m=self.m,
+            n=self._padded_n(p_eng),
+            p_eng=p_eng,
+            p_task=p_task,
+            pl_frequency_hz=freq,
+            precision=self.precision,
+            fixed_iterations=self.fixed_iterations,
+        )
+
+    # -- stage 1: feasibility ----------------------------------------------------
+    def max_p_task(self, p_eng: int, frequency_hz: Optional[float] = None) -> int:
+        """Largest feasible ``P_task`` for an engine parallelism.
+
+        Feasibility combines the placement geometry and every Eq. 16
+        budget; returns 0 when even a single task does not fit.
+        """
+        best = 0
+        for p_task in P_TASK_RANGE:
+            try:
+                config = self.make_config(p_eng, p_task, frequency_hz)
+                usage = estimate_resources(config)
+                check_budgets(usage, config)
+            except (PlacementError, ResourceBudgetError, ConfigurationError):
+                break
+            best = p_task
+        return best
+
+    def stage1(
+        self, frequency_hz: Optional[float] = None
+    ) -> Dict[int, int]:
+        """Stage 1 of Fig. 8: ``P_eng -> max feasible P_task``."""
+        result: Dict[int, int] = {}
+        for p_eng in P_ENG_RANGE:
+            max_tasks = self.max_p_task(p_eng, frequency_hz)
+            if max_tasks > 0:
+                result[p_eng] = max_tasks
+        return result
+
+    # -- stage 2: evaluation --------------------------------------------------------
+    def evaluate(
+        self,
+        p_eng: int,
+        p_task: int,
+        batch: int = 1,
+        frequency_hz: Optional[float] = None,
+    ) -> DesignPoint:
+        """Stage 2 of Fig. 8: score one design point with the model."""
+        if batch < 1:
+            raise ConfigurationError(f"batch must be >= 1, got {batch}")
+        config = self.make_config(p_eng, p_task, frequency_hz)
+        placement = place(config)
+        usage = estimate_resources(config, placement)
+        check_budgets(usage, config)
+        model = PerformanceModel(config)
+        latency = model.task_time()
+        throughput = model.throughput(batch)
+        power = self.power_model.estimate(config, usage)
+        efficiency = throughput / power.total
+        return DesignPoint(
+            config=config,
+            latency=latency,
+            throughput=throughput,
+            power=power,
+            energy_efficiency=efficiency,
+            usage=usage,
+            batch=batch,
+        )
+
+    def explore(
+        self,
+        objective: str = "latency",
+        batch: int = 1,
+        frequency_hz: Optional[float] = None,
+        power_cap_w: Optional[float] = None,
+    ) -> List[DesignPoint]:
+        """Evaluate the whole feasible space, best point first.
+
+        Args:
+            power_cap_w: When given, drop points whose estimated power
+                exceeds the cap (the paper's HeteroSVD configurations
+                stay under 39 W).
+
+        Raises:
+            DesignSpaceError: when nothing is feasible.
+        """
+        if objective not in VALID_OBJECTIVES:
+            raise ConfigurationError(
+                f"unknown objective {objective!r}; expected one of "
+                f"{VALID_OBJECTIVES}"
+            )
+        points: List[DesignPoint] = []
+        for p_eng, max_tasks in self.stage1(frequency_hz).items():
+            for p_task in range(1, max_tasks + 1):
+                point = self.evaluate(p_eng, p_task, batch, frequency_hz)
+                if power_cap_w is not None and point.power.total > power_cap_w:
+                    continue
+                points.append(point)
+        if not points:
+            raise DesignSpaceError(
+                f"no feasible design point for {self.m}x{self.n}"
+                + (f" under {power_cap_w} W" if power_cap_w else "")
+            )
+        points.sort(key=lambda p: p.objective_value(objective), reverse=True)
+        return points
+
+    def best(
+        self,
+        objective: str = "latency",
+        batch: int = 1,
+        frequency_hz: Optional[float] = None,
+        power_cap_w: Optional[float] = None,
+    ) -> DesignPoint:
+        """The optimal design point for an objective."""
+        return self.explore(objective, batch, frequency_hz, power_cap_w)[0]

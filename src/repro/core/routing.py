@@ -1,0 +1,116 @@
+"""Dynamic-forwarding routing rules (paper Section III-C, Fig. 5).
+
+The sender packs each column into a packet whose header selects the
+destination orth-AIE.  The forwarding rule implemented here follows the
+paper's convention: odd and even columns of a block pair come from
+different blocks and travel on separate PLIOs; within a stream, the
+packet header routes each column to the slot of the first orth-layer
+that consumes it.  Norm traffic uses two more PLIOs with the blocks of
+a pair sent sequentially.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import RoutingError
+from repro.core.placement import Placement, TaskPlacement
+
+Coord = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class PLIOAssignment:
+    """PLIO indices assigned to one task pipeline.
+
+    Attributes:
+        orth_tx: The two Tx streams feeding the orth-layers (one per
+            block of the pair).
+        orth_rx: The two Rx streams draining the last orth-layer.
+        norm_tx: Stream feeding the norm-AIEs.
+        norm_rx: Stream draining ``Sigma`` and ``U``.
+    """
+
+    orth_tx: "tuple[int, int]"
+    orth_rx: "tuple[int, int]"
+    norm_tx: int
+    norm_rx: int
+
+    def all_plios(self) -> List[int]:
+        """All six PLIO indices of the task, in order."""
+        return [*self.orth_tx, *self.orth_rx, self.norm_tx, self.norm_rx]
+
+
+class ForwardingRule:
+    """Routes packets of one task to its placed AIEs.
+
+    Args:
+        task_placement: The placed task providing destination tiles.
+    """
+
+    def __init__(self, task_placement: TaskPlacement):
+        self._task = task_placement
+        if not task_placement.orth:
+            raise RoutingError(
+                f"task {task_placement.task} has no placed orth-AIEs"
+            )
+        self._k = 1 + max(slot for (_, slot) in task_placement.orth)
+
+    def route_orth(self, slot: int, side: int) -> Coord:
+        """Destination of a first-layer column packet.
+
+        Args:
+            slot: Pair slot within the first orth-layer.
+            side: 0 for the left column (first block), 1 for the right
+                column (second block); both land on the same tile — the
+                side selects the memory buffer, not the tile.
+
+        Raises:
+            RoutingError: for out-of-range slots or sides.
+        """
+        if side not in (0, 1):
+            raise RoutingError(f"side must be 0 or 1, got {side}")
+        key = (0, slot)
+        if key not in self._task.orth:
+            raise RoutingError(
+                f"no orth-AIE at layer 0 slot {slot} of task {self._task.task}"
+            )
+        return self._task.orth[key]
+
+    def route_norm(self, column_in_block: int) -> Coord:
+        """Destination norm-AIE of one block column (round-robin)."""
+        if not self._task.norm:
+            raise RoutingError(f"task {self._task.task} has no norm-AIEs")
+        return self._task.norm[column_in_block % len(self._task.norm)]
+
+    def destinations(self) -> List[Coord]:
+        """All first-layer destinations, slot order (for route setup)."""
+        return [self.route_orth(slot, 0) for slot in range(self._k)]
+
+
+def assign_plios(placement: Placement) -> Dict[int, PLIOAssignment]:
+    """Assign PLIO indices to every task of a placed design.
+
+    PLIOs are numbered consecutively: task ``t`` holds indices
+    ``6t .. 6t + 5``.
+
+    Raises:
+        RoutingError: when the device does not have enough PLIOs.
+    """
+    budget = placement.config.device.max_plio
+    needed = placement.config.total_plios
+    if needed > budget:
+        raise RoutingError(
+            f"design needs {needed} PLIOs, device offers {budget}"
+        )
+    assignments: Dict[int, PLIOAssignment] = {}
+    for task in placement.tasks:
+        base = 6 * task.task
+        assignments[task.task] = PLIOAssignment(
+            orth_tx=(base, base + 1),
+            orth_rx=(base + 2, base + 3),
+            norm_tx=base + 4,
+            norm_rx=base + 5,
+        )
+    return assignments

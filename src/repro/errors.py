@@ -1,0 +1,74 @@
+"""Exception hierarchy for the HeteroSVD reproduction.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by this package with a single ``except`` clause.
+The hierarchy mirrors the major subsystems: numerical algorithms, the
+Versal hardware model, placement/routing, and the design-space
+exploration flow.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid or inconsistent configuration was supplied."""
+
+
+class NumericalError(ReproError):
+    """A numerical routine received invalid input or failed to converge."""
+
+
+class ConvergenceError(NumericalError):
+    """An iterative solver exhausted its iteration budget before converging."""
+
+    def __init__(self, message: str, iterations: int, residual: float):
+        super().__init__(message)
+        #: Number of sweeps/iterations performed before giving up.
+        self.iterations = iterations
+        #: Convergence metric value at the point of failure.
+        self.residual = residual
+
+
+class HardwareModelError(ReproError):
+    """The Versal hardware model was used inconsistently."""
+
+
+class MemoryAllocationError(HardwareModelError):
+    """An AIE memory module could not satisfy an allocation request."""
+
+
+class CommunicationError(HardwareModelError):
+    """An illegal transfer was requested between tiles or over a PLIO."""
+
+
+class PlacementError(ReproError):
+    """The AIE placement strategy could not place a design on the array."""
+
+
+class RoutingError(ReproError):
+    """Dynamic-forwarding routing rules could not route a packet."""
+
+
+class ResourceBudgetError(ReproError):
+    """A design point exceeds a device resource budget (Eq. 16)."""
+
+    def __init__(self, resource: str, required: float, budget: float):
+        super().__init__(
+            f"resource {resource!r} over budget: required {required}, "
+            f"budget {budget}"
+        )
+        self.resource = resource
+        self.required = required
+        self.budget = budget
+
+
+class DesignSpaceError(ReproError):
+    """The DSE flow found no feasible design point."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation engine reached an invalid state."""

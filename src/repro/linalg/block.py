@@ -1,0 +1,153 @@
+"""Column-block partitioning for block Hestenes-Jacobi (Algorithm 1).
+
+To decompose an SVD beyond the capacity of a single AIE group, the data
+arrangement module splits ``A_{m x n}`` into ``p = n / k`` column blocks
+of shape ``m x k`` and enumerates *block pairs*.  Each block pair
+``(A_u, A_v)`` holds ``2k`` columns and is shipped to the orth-AIEs,
+which run a full shifting-ring sweep over all ``2k`` columns — i.e.,
+``(2k-1) x k`` column-pair rotations per block pair.
+
+Because a block-pair sweep orthogonalizes *all* pairs among its ``2k``
+columns (intra-block pairs included), every column pair of the full
+matrix is rotated at least once per outer sweep as long as every block
+pair is visited; intra-block pairs are simply revisited, which is
+harmless for convergence and mirrors the hardware's behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+BlockPair = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class BlockPartition:
+    """Partition of an ``m x n`` matrix into ``p`` column blocks of width ``k``.
+
+    Attributes:
+        n_cols: Total column count ``n``.
+        block_width: Columns per block ``k`` (equals ``P_eng`` in the
+            HeteroSVD micro-architecture).
+    """
+
+    n_cols: int
+    block_width: int
+
+    def __post_init__(self):
+        if self.block_width < 1:
+            raise ConfigurationError(
+                f"block width must be >= 1, got {self.block_width}"
+            )
+        if self.n_cols < 2 * self.block_width:
+            raise ConfigurationError(
+                f"need at least two blocks: n_cols={self.n_cols}, "
+                f"block_width={self.block_width}"
+            )
+        if self.n_cols % self.block_width != 0:
+            raise ConfigurationError(
+                f"column count {self.n_cols} is not divisible by block "
+                f"width {self.block_width}; pad the matrix first"
+            )
+
+    @property
+    def n_blocks(self) -> int:
+        """Number of blocks ``p = n / k``."""
+        return self.n_cols // self.block_width
+
+    @property
+    def n_block_pairs(self) -> int:
+        """Block pairs per sweep, ``p (p - 1) / 2`` (the model's ``num``)."""
+        p = self.n_blocks
+        return p * (p - 1) // 2
+
+    def block_columns(self, block_index: int) -> List[int]:
+        """Global column indices belonging to one block."""
+        if not 0 <= block_index < self.n_blocks:
+            raise ConfigurationError(
+                f"block index {block_index} out of range [0, {self.n_blocks})"
+            )
+        start = block_index * self.block_width
+        return list(range(start, start + self.block_width))
+
+    def pair_columns(self, pair: BlockPair) -> List[int]:
+        """Global column indices of a block pair, first block then second."""
+        u, v = pair
+        return self.block_columns(u) + self.block_columns(v)
+
+    def extract_pair(self, a: np.ndarray, pair: BlockPair) -> np.ndarray:
+        """Gather the ``m x 2k`` submatrix of a block pair."""
+        return a[:, self.pair_columns(pair)]
+
+    def scatter_pair(self, a: np.ndarray, pair: BlockPair, data: np.ndarray) -> None:
+        """Write back an updated ``m x 2k`` block pair into ``a`` in place."""
+        cols = self.pair_columns(pair)
+        if data.shape != (a.shape[0], len(cols)):
+            raise ConfigurationError(
+                f"block-pair data has shape {data.shape}, expected "
+                f"{(a.shape[0], len(cols))}"
+            )
+        a[:, cols] = data
+
+
+def block_pairs(n_blocks: int) -> List[BlockPair]:
+    """Round-robin enumeration of all block pairs (tournament schedule).
+
+    Returns the ``p(p-1)/2`` block pairs in the order the data
+    arrangement module streams them: a circle-method tournament over
+    blocks, so consecutive pairs reuse at most one block — the pattern
+    the paper's round-robin reordering of receiver-FIFO data exploits.
+    For odd ``p`` a bye is inserted internally and skipped.
+    """
+    if n_blocks < 2:
+        raise ConfigurationError(f"need at least two blocks, got {n_blocks}")
+    players = list(range(n_blocks))
+    bye = None
+    if n_blocks % 2 != 0:
+        bye = -1
+        players.append(bye)
+    size = len(players)
+    pairs: List[BlockPair] = []
+    for _ in range(size - 1):
+        for slot in range(size // 2):
+            a, b = players[slot], players[size - 1 - slot]
+            if bye is not None and (a == bye or b == bye):
+                continue
+            pairs.append((a, b) if a < b else (b, a))
+        players = [players[0], players[-1], *players[1:-1]]
+    return pairs
+
+
+def block_pair_rounds(n_blocks: int) -> List[List[BlockPair]]:
+    """Block pairs grouped into rounds of disjoint pairs.
+
+    Pairs within a round touch disjoint blocks and could be processed by
+    independent task pipelines; HeteroSVD's task-level parallelism
+    instead assigns whole matrices to pipelines, but the grouping is
+    useful for tests and for the data-arrangement double-buffering
+    model.
+    """
+    if n_blocks < 2:
+        raise ConfigurationError(f"need at least two blocks, got {n_blocks}")
+    players = list(range(n_blocks))
+    bye = None
+    if n_blocks % 2 != 0:
+        bye = -1
+        players.append(bye)
+    size = len(players)
+    rounds: List[List[BlockPair]] = []
+    for _ in range(size - 1):
+        this_round = []
+        for slot in range(size // 2):
+            a, b = players[slot], players[size - 1 - slot]
+            if bye is not None and (a == bye or b == bye):
+                continue
+            this_round.append((a, b) if a < b else (b, a))
+        rounds.append(this_round)
+        players = [players[0], players[-1], *players[1:-1]]
+    return rounds

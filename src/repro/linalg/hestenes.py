@@ -1,0 +1,187 @@
+"""One-sided Hestenes-Jacobi SVD driver (paper Section II-A).
+
+The method iteratively orthogonalizes the columns of ``A`` by plane
+rotations: ``B = A V`` where ``V`` accumulates the rotations.  Once all
+column pairs satisfy the convergence criterion (Eq. 6), the
+normalization step (Eq. 7) recovers the factorization
+
+.. math::
+
+    \\Sigma = \\sqrt{B^T B}, \\qquad U = B / \\Sigma,
+
+so that ``A = U \\Sigma V^T``.
+
+This module is the *reference software implementation*: it performs the
+exact arithmetic the HeteroSVD accelerator distributes across orth-AIEs
+and norm-AIEs, and it is the golden model the hardware-level functional
+simulation (:mod:`repro.core.accelerator`) is validated against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Type
+
+import numpy as np
+
+from repro.errors import ConvergenceError, NumericalError
+from repro.linalg.convergence import (
+    DEFAULT_PRECISION,
+    pair_convergence_ratio,
+    zero_column_threshold_sq,
+)
+from repro.linalg.orderings import Ordering, RingOrdering
+from repro.linalg.rotations import apply_rotation, compute_rotation
+
+#: Safety cap on sweeps; Hestenes-Jacobi converges quadratically and in
+#: practice needs ~log2(n) + a few sweeps, so this is generous.
+DEFAULT_MAX_SWEEPS = 60
+
+
+@dataclass
+class HestenesResult:
+    """Output of :func:`hestenes_svd`.
+
+    Attributes:
+        u: Left singular vectors, shape ``(m, n)`` (thin form).
+        singular_values: Singular values in descending order, shape ``(n,)``.
+        v: Right singular vectors, shape ``(n, n)``.
+        sweeps: Number of full sweeps executed.
+        converged: Whether the convergence criterion was met.
+        rotations: Total non-identity rotations applied.
+        sweep_residuals: Off-diagonal ratio observed after each sweep.
+    """
+
+    u: np.ndarray
+    singular_values: np.ndarray
+    v: np.ndarray
+    sweeps: int
+    converged: bool
+    rotations: int
+    sweep_residuals: List[float] = field(default_factory=list)
+
+    def reconstruct(self) -> np.ndarray:
+        """Return ``U diag(S) V^T`` for residual checks."""
+        return (self.u * self.singular_values) @ self.v.T
+
+
+def normalize_columns(b: np.ndarray, v: np.ndarray) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+    """Normalization step (Eq. 7) plus descending sort of singular values.
+
+    Args:
+        b: The orthogonalized matrix ``B = A V``.
+        v: The accumulated rotation matrix.
+
+    Returns:
+        ``(u, singular_values, v_sorted)``.  Zero columns of ``B`` give
+        zero singular values with zero ``U`` columns, keeping
+        ``A = U S V^T`` exact for rank-deficient inputs.
+    """
+    sigma = np.linalg.norm(b, axis=0)
+    order = np.argsort(sigma)[::-1]
+    sigma = sigma[order]
+    b = b[:, order]
+    v = v[:, order]
+    u = np.zeros_like(b)
+    nonzero = sigma > 0
+    u[:, nonzero] = b[:, nonzero] / sigma[nonzero]
+    return u, sigma, v
+
+
+def hestenes_svd(
+    a: np.ndarray,
+    precision: float = DEFAULT_PRECISION,
+    max_sweeps: int = DEFAULT_MAX_SWEEPS,
+    ordering_cls: Optional[Type[Ordering]] = None,
+    fixed_sweeps: Optional[int] = None,
+) -> HestenesResult:
+    """Compute the thin SVD of ``a`` by one-sided Jacobi rotations.
+
+    Args:
+        a: Input matrix of shape ``(m, n)`` with ``m >= n`` and ``n``
+            even (HeteroSVD streams column pairs; odd widths are not a
+            hardware-relevant case and should be padded by the caller).
+        precision: Convergence threshold for Eq. 6.
+        max_sweeps: Iteration budget before raising
+            :class:`~repro.errors.ConvergenceError`.
+        ordering_cls: Ordering class scheduling the column pairs within
+            a sweep; defaults to :class:`RingOrdering`.  The choice
+            affects hardware dataflow, not the mathematical result.
+        fixed_sweeps: When given, run exactly this many sweeps without
+            checking convergence (the paper's fixed-6-iteration
+            benchmarking mode) and never raise on non-convergence.
+
+    Returns:
+        A :class:`HestenesResult`.
+
+    Raises:
+        NumericalError: for invalid shapes or non-finite input.
+        ConvergenceError: when ``max_sweeps`` is exhausted (only in
+            precision-driven mode).
+    """
+    a = np.asarray(a, dtype=float)
+    if a.ndim != 2:
+        raise NumericalError(f"expected a 2-D matrix, got shape {a.shape}")
+    m, n = a.shape
+    if m < n:
+        raise NumericalError(
+            f"Hestenes-Jacobi requires m >= n (got {m}x{n}); "
+            "pass the transpose and swap U/V"
+        )
+    if n < 2 or n % 2 != 0:
+        raise NumericalError(f"column count must be even and >= 2, got {n}")
+    if not np.all(np.isfinite(a)):
+        raise NumericalError("input matrix contains non-finite entries")
+
+    ordering = (ordering_cls or RingOrdering)(n)
+    zero_sq = zero_column_threshold_sq(float(np.linalg.norm(a)), a.dtype)
+    b = a.copy()
+    v = np.eye(n)
+    rotations = 0
+    sweep_residuals: List[float] = []
+    converged = False
+    budget = fixed_sweeps if fixed_sweeps is not None else max_sweeps
+
+    sweeps_done = 0
+    for _ in range(budget):
+        sweep_worst = 0.0
+        for one_round in ordering:
+            for i, j in one_round:
+                alpha = float(b[:, i] @ b[:, i])
+                beta = float(b[:, j] @ b[:, j])
+                gamma = float(b[:, i] @ b[:, j])
+                ratio = pair_convergence_ratio(alpha, beta, gamma, zero_sq)
+                if ratio > sweep_worst:
+                    sweep_worst = ratio
+                if ratio < precision:
+                    continue
+                rotation = compute_rotation(alpha, beta, gamma)
+                b[:, i], b[:, j] = apply_rotation(b[:, i], b[:, j], rotation)
+                v[:, i], v[:, j] = apply_rotation(v[:, i], v[:, j], rotation)
+                rotations += 1
+        sweeps_done += 1
+        sweep_residuals.append(sweep_worst)
+        if fixed_sweeps is None and sweep_worst < precision:
+            converged = True
+            break
+
+    if fixed_sweeps is not None:
+        converged = sweep_residuals[-1] < precision if sweep_residuals else False
+    elif not converged:
+        raise ConvergenceError(
+            f"Hestenes-Jacobi did not converge in {max_sweeps} sweeps "
+            f"(residual {sweep_residuals[-1]:.3e})",
+            iterations=sweeps_done,
+            residual=sweep_residuals[-1],
+        )
+
+    u, sigma, v = normalize_columns(b, v)
+    return HestenesResult(
+        u=u,
+        singular_values=sigma,
+        v=v,
+        sweeps=sweeps_done,
+        converged=converged,
+        rotations=rotations,
+        sweep_residuals=sweep_residuals,
+    )

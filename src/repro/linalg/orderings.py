@@ -1,0 +1,228 @@
+"""Parallel Jacobi orderings: ring, round-robin, and shifting-ring.
+
+A *sweep* of one-sided Jacobi must orthogonalize every unordered column
+pair exactly once.  A parallel ordering arranges the ``n(n-1)/2`` pairs
+into ``n-1`` rounds of ``n/2`` disjoint pairs so that all pairs in a
+round can be rotated concurrently — in HeteroSVD, by one row ("layer")
+of orth-AIEs per round.
+
+Three orderings are provided:
+
+* :class:`RingOrdering` — the classic circle-method ("ring") schedule
+  cited by the paper as the traditional baseline [16].  One pivot column
+  is fixed; the remaining ``n-1`` columns rotate one position around a
+  ring each round.
+* :class:`RoundRobinOrdering` — the Brent-Luk tournament schedule [17]:
+  two rows of ``n/2`` columns, the top row shifting right and the bottom
+  row shifting left around a fixed corner element.
+* :class:`ShiftingRingOrdering` — the paper's co-design contribution:
+  the *same pair schedule* as the ring ordering, but each round's pairs
+  are cyclically right-shifted across hardware slots by
+  ``floor(round / 2)`` (Section III-B).  The shift changes only where
+  each pair executes, never which pairs are rotated, so numerical
+  behaviour is identical to the ring ordering by construction.
+
+All orderings operate on an even number of columns; HeteroSVD block
+pairs always contain ``2k`` columns.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+Pair = Tuple[int, int]
+Round = List[Pair]
+
+
+def _require_even(n_cols: int) -> None:
+    if n_cols < 2 or n_cols % 2 != 0:
+        raise ConfigurationError(
+            f"parallel Jacobi orderings require an even column count >= 2, "
+            f"got {n_cols}"
+        )
+
+
+def sweep_rounds(n_cols: int) -> List[Round]:
+    """Circle-method rounds covering every pair of ``n_cols`` columns.
+
+    Round ``r`` contains ``n_cols / 2`` disjoint pairs; over the
+    ``n_cols - 1`` rounds every unordered pair appears exactly once.
+    Pairs are normalized so the smaller index is first.
+    """
+    _require_even(n_cols)
+    players = list(range(n_cols))
+    rounds: List[Round] = []
+    for _ in range(n_cols - 1):
+        this_round = []
+        for slot in range(n_cols // 2):
+            a = players[slot]
+            b = players[n_cols - 1 - slot]
+            this_round.append((a, b) if a < b else (b, a))
+        rounds.append(this_round)
+        # Rotate every player except the pivot at position 0.
+        players = [players[0], players[-1], *players[1:-1]]
+    return rounds
+
+
+class Ordering:
+    """Base class for parallel Jacobi pair schedules.
+
+    Subclasses compute a list of rounds at construction; the base class
+    provides iteration, validation helpers, and the hardware-facing
+    ``slot_of`` mapping (which slot/AIE a pair occupies in its round).
+    """
+
+    def __init__(self, n_cols: int):
+        _require_even(n_cols)
+        self.n_cols = n_cols
+        self._rounds = self._build_rounds()
+
+    # -- schedule construction (subclass responsibility) -----------------
+    def _build_rounds(self) -> List[Round]:
+        raise NotImplementedError
+
+    # -- read-only views --------------------------------------------------
+    @property
+    def n_rounds(self) -> int:
+        """Number of rounds per sweep (``n_cols - 1``)."""
+        return len(self._rounds)
+
+    @property
+    def pairs_per_round(self) -> int:
+        """Concurrent pairs per round (``n_cols / 2``)."""
+        return self.n_cols // 2
+
+    def round_pairs(self, round_index: int) -> Round:
+        """The pairs rotated in the given round, in slot order."""
+        return list(self._rounds[round_index])
+
+    def rounds(self) -> List[Round]:
+        """All rounds of one sweep, each a list of pairs in slot order."""
+        return [list(r) for r in self._rounds]
+
+    def __iter__(self) -> Iterator[Round]:
+        return iter(self.rounds())
+
+    def all_pairs(self) -> List[Pair]:
+        """Every pair touched in one sweep, in execution order."""
+        return [pair for one_round in self._rounds for pair in one_round]
+
+    # -- hardware mapping --------------------------------------------------
+    def slot_shift(self, round_index: int) -> int:
+        """Cyclic right-shift applied to this round's slots (0 = none)."""
+        if not 0 <= round_index < self.n_rounds:
+            raise ConfigurationError(
+                f"round index {round_index} out of range [0, {self.n_rounds})"
+            )
+        return 0
+
+    def slot_of(self, round_index: int, pair_index: int) -> int:
+        """Hardware slot (AIE column within the layer) executing a pair.
+
+        ``pair_index`` is the pair's position in :meth:`round_pairs`;
+        the slot applies the ordering's cyclic shift for the round.
+        """
+        k = self.pairs_per_round
+        if not 0 <= pair_index < k:
+            raise ConfigurationError(
+                f"pair index {pair_index} out of range [0, {k})"
+            )
+        return (pair_index + self.slot_shift(round_index)) % k
+
+
+class RingOrdering(Ordering):
+    """Traditional ring (circle-method) ordering — the paper's baseline.
+
+    All rounds map pair ``i`` to slot ``i``: a monolithic data-movement
+    pattern that, on the Versal AIE array, forces DMA transfers on every
+    odd-to-even row transition (see
+    :mod:`repro.core.ordering_codesign`).
+    """
+
+    def _build_rounds(self) -> List[Round]:
+        return sweep_rounds(self.n_cols)
+
+
+class RoundRobinOrdering(Ordering):
+    """Brent-Luk round-robin tournament ordering [17].
+
+    Columns are arranged in two rows of ``k = n/2``; pairs are the
+    vertical dominoes ``(top[i], bot[i])``.  Between rounds the top row
+    shifts right and the bottom row shifts left, with ``top[0]`` fixed.
+    """
+
+    def _build_rounds(self) -> List[Round]:
+        k = self.n_cols // 2
+        top = list(range(0, self.n_cols, 2))
+        bot = list(range(1, self.n_cols, 2))
+        rounds: List[Round] = []
+        for _ in range(self.n_cols - 1):
+            this_round = []
+            for slot in range(k):
+                a, b = top[slot], bot[slot]
+                this_round.append((a, b) if a < b else (b, a))
+            rounds.append(this_round)
+            new_top = [top[0], bot[0], *top[1:-1]]
+            new_bot = [*bot[1:], top[-1]]
+            top, bot = new_top, new_bot
+        return rounds
+
+
+class ShiftingRingOrdering(Ordering):
+    """The paper's shifting ring ordering (Section III-B, Fig. 3b).
+
+    The pair schedule is identical to :class:`RingOrdering`; only the
+    slot mapping changes: the pairs of round ``r`` are cyclically
+    right-shifted by ``floor(r / 2)`` hardware slots.  The shift
+    increments on every odd-to-even AIE row transition, aligning the
+    inter-round data movement with the alternating core/memory topology
+    of the AIE array and converting non-neighbour DMA transfers into
+    direct neighbour accesses.
+    """
+
+    def _build_rounds(self) -> List[Round]:
+        return sweep_rounds(self.n_cols)
+
+    def slot_shift(self, round_index: int) -> int:
+        if not 0 <= round_index < self.n_rounds:
+            raise ConfigurationError(
+                f"round index {round_index} out of range [0, {self.n_rounds})"
+            )
+        return round_index // 2
+
+
+def validate_ordering(rounds: Sequence[Round], n_cols: int) -> None:
+    """Check that a schedule is a valid parallel Jacobi sweep.
+
+    Requirements: ``n_cols - 1`` rounds, each round pairs every column
+    exactly once, and across the sweep every unordered pair appears
+    exactly once.
+
+    Raises:
+        ConfigurationError: when any requirement is violated.
+    """
+    _require_even(n_cols)
+    if len(rounds) != n_cols - 1:
+        raise ConfigurationError(
+            f"expected {n_cols - 1} rounds, got {len(rounds)}"
+        )
+    seen = set()
+    for index, one_round in enumerate(rounds):
+        touched = [col for pair in one_round for col in pair]
+        if sorted(touched) != list(range(n_cols)):
+            raise ConfigurationError(
+                f"round {index} does not pair every column exactly once: "
+                f"{one_round}"
+            )
+        for i, j in one_round:
+            key = (min(i, j), max(i, j))
+            if key in seen:
+                raise ConfigurationError(f"pair {key} scheduled twice")
+            seen.add(key)
+    expected = n_cols * (n_cols - 1) // 2
+    if len(seen) != expected:
+        raise ConfigurationError(
+            f"sweep covers {len(seen)} pairs, expected {expected}"
+        )

@@ -1,0 +1,86 @@
+"""Golden-model validation helpers.
+
+Every SVD implementation in this package — the software Hestenes driver,
+the block-Jacobi variant, and the hardware functional simulation — is
+checked against ``numpy.linalg`` (LAPACK) through the metrics below.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Accuracy metrics of a computed SVD against the input matrix.
+
+    Attributes:
+        reconstruction_error: ``||A - U S V^T||_F / ||A||_F`` (relative;
+            absolute when ``A`` is zero).
+        u_orthogonality: ``||U^T U - I||_max`` over the thin factor.
+        v_orthogonality: ``||V^T V - I||_max``.
+        singular_value_error: Max relative deviation of the computed
+            spectrum from LAPACK's, scaled by the largest singular value.
+    """
+
+    reconstruction_error: float
+    u_orthogonality: float
+    v_orthogonality: float
+    singular_value_error: float
+
+    def within(self, tolerance: float) -> bool:
+        """True when every metric is below ``tolerance``."""
+        return (
+            self.reconstruction_error < tolerance
+            and self.u_orthogonality < tolerance
+            and self.v_orthogonality < tolerance
+            and self.singular_value_error < tolerance
+        )
+
+
+def reconstruction_error(
+    a: np.ndarray, u: np.ndarray, s: np.ndarray, v: np.ndarray
+) -> float:
+    """Relative Frobenius reconstruction error of ``A ~ U diag(S) V^T``."""
+    approx = (u * s) @ v.T
+    denom = np.linalg.norm(a)
+    err = np.linalg.norm(a - approx)
+    return float(err / denom) if denom > 0 else float(err)
+
+
+def orthogonality_error(q: np.ndarray) -> float:
+    """Max-norm deviation of ``Q^T Q`` from the identity.
+
+    Columns with zero norm (padding of rank-deficient factorizations)
+    are excluded: they carry no directional information.
+    """
+    norms = np.linalg.norm(q, axis=0)
+    live = q[:, norms > 0]
+    if live.shape[1] == 0:
+        return 0.0
+    gram = live.T @ live
+    return float(np.max(np.abs(gram - np.eye(live.shape[1]))))
+
+
+def singular_value_error(a: np.ndarray, s: np.ndarray) -> float:
+    """Max deviation of a computed spectrum from LAPACK, relative to ``s_max``."""
+    s_ref = np.linalg.svd(a, compute_uv=False)
+    k = min(len(s_ref), len(s))
+    s_ref = s_ref[:k]
+    s_sorted = np.sort(np.asarray(s))[::-1][:k]
+    scale = s_ref[0] if len(s_ref) and s_ref[0] > 0 else 1.0
+    return float(np.max(np.abs(s_sorted - s_ref)) / scale)
+
+
+def validate_svd(
+    a: np.ndarray, u: np.ndarray, s: np.ndarray, v: np.ndarray
+) -> ValidationReport:
+    """Full validation of one factorization against the golden model."""
+    return ValidationReport(
+        reconstruction_error=reconstruction_error(a, u, s, v),
+        u_orthogonality=orthogonality_error(u),
+        v_orthogonality=orthogonality_error(v),
+        singular_value_error=singular_value_error(a, s),
+    )

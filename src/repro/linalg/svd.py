@@ -1,0 +1,298 @@
+"""Public SVD entry point.
+
+:func:`svd` is the library-level API: it accepts any real matrix,
+handles transposition (``m < n``) and zero-padding (odd column counts),
+dispatches to the monolithic Hestenes-Jacobi driver or the block-Jacobi
+variant, and returns a uniform :class:`SVDResult`.
+
+The block variant performs the same restructuring HeteroSVD implements
+in hardware (Algorithm 1): block pairs are enumerated round-robin and a
+full parallel-ordering sweep runs over each block pair's ``2k`` columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Type
+
+import numpy as np
+
+from repro.errors import ConvergenceError, NumericalError
+from repro.linalg.block import BlockPartition, block_pairs
+from repro.linalg.convergence import (
+    DEFAULT_PRECISION,
+    off_diagonal_ratio,
+    zero_column_threshold_sq,
+)
+from repro.linalg.hestenes import (
+    DEFAULT_MAX_SWEEPS,
+    HestenesResult,
+    hestenes_svd,
+    normalize_columns,
+)
+from repro.linalg.orderings import Ordering, ShiftingRingOrdering
+from repro.linalg.rotations import apply_rotation, compute_rotation
+from repro.linalg.convergence import pair_convergence_ratio
+
+
+@dataclass
+class SVDResult:
+    """Thin SVD ``A = U diag(S) V^H`` with solver diagnostics.
+
+    Attributes:
+        u: Shape ``(m, r)`` where ``r = min(m, n)``.
+        singular_values: Shape ``(r,)``, descending.
+        v: Shape ``(n, r)``; complex for complex inputs.
+        sweeps: Outer sweeps executed.
+        converged: Whether the precision target was met.
+        method: ``"hestenes"`` or ``"block"``.
+        sweep_residuals: Off-diagonal ratio after each sweep.
+    """
+
+    u: np.ndarray
+    singular_values: np.ndarray
+    v: np.ndarray
+    sweeps: int
+    converged: bool
+    method: str
+    sweep_residuals: List[float] = field(default_factory=list)
+
+    def reconstruct(self) -> np.ndarray:
+        """Return ``U diag(S) V^H`` (``V^T`` for real factors)."""
+        return (self.u * self.singular_values) @ np.conj(self.v).T
+
+
+def _block_jacobi_svd(
+    a: np.ndarray,
+    block_width: int,
+    precision: float,
+    max_sweeps: int,
+    ordering_cls: Type[Ordering],
+    fixed_sweeps: Optional[int],
+) -> HestenesResult:
+    """Block Hestenes-Jacobi: the software mirror of Algorithm 1."""
+    m, n = a.shape
+    partition = BlockPartition(n_cols=n, block_width=block_width)
+    ordering = ordering_cls(2 * block_width)
+    pairs = block_pairs(partition.n_blocks)
+
+    zero_sq = zero_column_threshold_sq(float(np.linalg.norm(a)), a.dtype)
+    b = a.copy()
+    v = np.eye(n)
+    rotations = 0
+    sweep_residuals: List[float] = []
+    converged = False
+    budget = fixed_sweeps if fixed_sweeps is not None else max_sweeps
+
+    sweeps_done = 0
+    for _ in range(budget):
+        sweep_worst = 0.0
+        for pair in pairs:
+            cols = partition.pair_columns(pair)
+            for one_round in ordering:
+                for local_i, local_j in one_round:
+                    gi, gj = cols[local_i], cols[local_j]
+                    alpha = float(b[:, gi] @ b[:, gi])
+                    beta = float(b[:, gj] @ b[:, gj])
+                    gamma = float(b[:, gi] @ b[:, gj])
+                    ratio = pair_convergence_ratio(
+                        alpha, beta, gamma, zero_sq
+                    )
+                    if ratio > sweep_worst:
+                        sweep_worst = ratio
+                    if ratio < precision:
+                        continue
+                    rotation = compute_rotation(alpha, beta, gamma)
+                    b[:, gi], b[:, gj] = apply_rotation(
+                        b[:, gi], b[:, gj], rotation
+                    )
+                    v[:, gi], v[:, gj] = apply_rotation(
+                        v[:, gi], v[:, gj], rotation
+                    )
+                    rotations += 1
+        sweeps_done += 1
+        # The per-pair worst ratio is measured before rotations of later
+        # pairs touch the same columns; re-measure globally so the
+        # stopping rule matches Eq. 6 exactly.
+        residual = off_diagonal_ratio(b)
+        sweep_residuals.append(residual)
+        if fixed_sweeps is None and residual < precision:
+            converged = True
+            break
+
+    if fixed_sweeps is not None:
+        converged = sweep_residuals[-1] < precision if sweep_residuals else False
+    elif not converged:
+        raise ConvergenceError(
+            f"block Jacobi did not converge in {max_sweeps} sweeps "
+            f"(residual {sweep_residuals[-1]:.3e})",
+            iterations=sweeps_done,
+            residual=sweep_residuals[-1],
+        )
+
+    u, sigma, v = normalize_columns(b, v)
+    return HestenesResult(
+        u=u,
+        singular_values=sigma,
+        v=v,
+        sweeps=sweeps_done,
+        converged=converged,
+        rotations=rotations,
+        sweep_residuals=sweep_residuals,
+    )
+
+
+def _complex_svd(
+    a: np.ndarray,
+    **kwargs,
+) -> SVDResult:
+    """SVD of a complex matrix via the real embedding.
+
+    The embedding ``E = [[Re A, -Im A], [Im A, Re A]]`` carries each
+    singular value of ``A`` with multiplicity two, and a real singular
+    pair ``(u_r, v_r)`` of ``E`` maps back to the complex pair
+    ``u = u_r[:m] + i u_r[m:]``, ``v = v_r[:n] + i v_r[n:]`` (the block
+    structure makes ``E phi(w) = phi(A w)`` for the stacked
+    real/imaginary representation ``phi``).  One vector of each
+    duplicated pair is kept, giving the thin complex factorization
+    ``A = U diag(S) V^H``.  HeteroSVD streams real data, so this is
+    also exactly how a complex workload (e.g. a MIMO channel) would be
+    offloaded to the accelerator.
+    """
+    m, n = a.shape
+    embedding = np.block([[a.real, -a.imag], [a.imag, a.real]])
+    real = svd(embedding, **kwargs)
+    r = min(m, n)
+    # Duplicated spectrum, descending: entries (0,1), (2,3), ... pair
+    # up; keep the first of each pair.
+    keep = list(range(0, 2 * r, 2))
+    s = real.singular_values[keep]
+    u = real.u[:m, keep] + 1j * real.u[m:, keep]
+    v = real.v[:n, keep] + 1j * real.v[n:, keep]
+    # The embedding splits each complex singular direction across two
+    # real columns; renormalize the retained representative.
+    u_norms = np.linalg.norm(u, axis=0)
+    v_norms = np.linalg.norm(v, axis=0)
+    nonzero = (u_norms > 0) & (v_norms > 0)
+    u[:, nonzero] = u[:, nonzero] / u_norms[nonzero]
+    v[:, nonzero] = v[:, nonzero] / v_norms[nonzero]
+    return SVDResult(
+        u=u,
+        singular_values=s,
+        v=v,
+        sweeps=real.sweeps,
+        converged=real.converged,
+        method=real.method,
+        sweep_residuals=real.sweep_residuals,
+    )
+
+
+def svd(
+    a: np.ndarray,
+    method: str = "hestenes",
+    block_width: Optional[int] = None,
+    precision: float = DEFAULT_PRECISION,
+    max_sweeps: int = DEFAULT_MAX_SWEEPS,
+    ordering_cls: Optional[Type[Ordering]] = None,
+    fixed_sweeps: Optional[int] = None,
+) -> SVDResult:
+    """Compute the thin SVD of a real matrix by one-sided Jacobi.
+
+    Args:
+        a: Any real 2-D array.  Wide matrices are handled by factoring
+            the transpose; odd column counts by zero-padding one column
+            (the padding contributes a zero singular value that is
+            dropped from the result).
+        method: ``"hestenes"`` for the monolithic driver or ``"block"``
+            for the block-Jacobi restructuring of Algorithm 1.
+        block_width: Columns per block for the block method (defaults to
+            ``min(8, n // 2)``, i.e. the largest engine parallelism the
+            paper evaluates).
+        precision: Convergence threshold for Eq. 6.
+        max_sweeps: Sweep budget in precision-driven mode.
+        ordering_cls: Pair-scheduling ordering; defaults to the paper's
+            :class:`ShiftingRingOrdering` (numerically identical to the
+            ring ordering).
+        fixed_sweeps: Run exactly this many sweeps without convergence
+            checks (benchmark mode).
+
+    Returns:
+        An :class:`SVDResult` with ``min(m, n)`` singular triplets.
+    """
+    a = np.asarray(a)
+    if a.ndim != 2:
+        raise NumericalError(f"expected a 2-D matrix, got shape {a.shape}")
+    if a.size == 0:
+        raise NumericalError("cannot factor an empty matrix")
+    if np.iscomplexobj(a):
+        return _complex_svd(
+            a,
+            method=method,
+            block_width=block_width,
+            precision=precision,
+            max_sweeps=max_sweeps,
+            ordering_cls=ordering_cls,
+            fixed_sweeps=fixed_sweeps,
+        )
+    a = a.astype(float)
+
+    m, n = a.shape
+    transposed = m < n
+    work = a.T.copy() if transposed else a.copy()
+    rank_bound = min(m, n)
+
+    padded = work.shape[1] % 2 != 0
+    padded_row = False
+    if padded:
+        work = np.hstack([work, np.zeros((work.shape[0], 1))])
+        if work.shape[0] < work.shape[1]:
+            # Square odd input: the extra column made the matrix wide;
+            # pad a zero row as well to restore m >= n.
+            work = np.vstack([work, np.zeros((1, work.shape[1]))])
+            padded_row = True
+
+    ordering = ordering_cls or ShiftingRingOrdering
+    if method == "hestenes":
+        result = hestenes_svd(
+            work,
+            precision=precision,
+            max_sweeps=max_sweeps,
+            ordering_cls=ordering,
+            fixed_sweeps=fixed_sweeps,
+        )
+    elif method == "block":
+        width = block_width if block_width is not None else min(8, work.shape[1] // 2)
+        result = _block_jacobi_svd(
+            work,
+            block_width=width,
+            precision=precision,
+            max_sweeps=max_sweeps,
+            ordering_cls=ordering,
+            fixed_sweeps=fixed_sweeps,
+        )
+    else:
+        raise NumericalError(f"unknown SVD method {method!r}")
+
+    u = result.u
+    if padded_row:
+        u = u[:-1, :]
+    u = u[:, :rank_bound]
+    s = result.singular_values[:rank_bound]
+    v = result.v
+    if padded:
+        # Drop the padded coordinate: right singular vectors of the
+        # padded matrix have a zero component there for every nonzero
+        # singular value, so the restriction stays orthonormal.
+        v = v[:-1, :]
+    v = v[:, :rank_bound]
+    if transposed:
+        u, v = v, u
+    return SVDResult(
+        u=u,
+        singular_values=s,
+        v=v,
+        sweeps=result.sweeps,
+        converged=result.converged,
+        method=method,
+        sweep_residuals=result.sweep_residuals,
+    )

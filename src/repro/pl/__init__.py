@@ -1,0 +1,31 @@
+"""Programmable-logic substrate: the PL half of Fig. 2.
+
+The PL side of HeteroSVD hosts the data arrangement module (DDR access,
+blocking, round-robin reordering), the sender (packetization with
+dynamic-forwarding headers), the receiver (packet reassembly and
+convergence reduction), the system module (the convergence FSM of
+Algorithm 1's outer loop), and the on-chip buffering in BRAM/URAM.
+"""
+
+from repro.pl.fifo import FIFO
+from repro.pl.data_arrangement import BlockPairJob, DataArrangement
+from repro.pl.sender import Packet, Sender
+from repro.pl.receiver import Receiver
+from repro.pl.system_module import Phase, SystemModule
+from repro.pl.memory import PLMemoryEstimate, estimate_pl_memory
+from repro.pl.hls import HLS_LOOP_SWITCH_CYCLES, loop_overhead_seconds
+
+__all__ = [
+    "FIFO",
+    "BlockPairJob",
+    "DataArrangement",
+    "Packet",
+    "Sender",
+    "Receiver",
+    "Phase",
+    "SystemModule",
+    "PLMemoryEstimate",
+    "estimate_pl_memory",
+    "HLS_LOOP_SWITCH_CYCLES",
+    "loop_overhead_seconds",
+]

@@ -1,0 +1,88 @@
+"""Bounded FIFO with occupancy statistics.
+
+Models the sender/receiver FIFOs of the data arrangement pipeline
+(Fig. 2).  The functional simulation uses it as an ordinary queue; the
+occupancy statistics (high-water mark, overflow refusals) feed the
+BRAM sizing estimate and backpressure diagnostics.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.errors import SimulationError
+
+
+class FIFO:
+    """A bounded first-in first-out queue of opaque items.
+
+    Args:
+        name: Identifier used in error messages and traces.
+        capacity: Maximum item count; ``None`` for unbounded (used by
+            tests and by stages whose backpressure is modelled
+            elsewhere).
+    """
+
+    def __init__(self, name: str, capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise SimulationError(f"FIFO {name!r} capacity must be >= 1")
+        self.name = name
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        #: Peak occupancy observed (for buffer sizing).
+        self.high_water = 0
+        #: Total number of pushes accepted.
+        self.pushed = 0
+        #: Total number of pops served.
+        self.popped = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def full(self) -> bool:
+        """True when a push would be refused."""
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        """True when a pop would fail."""
+        return not self._items
+
+    def push(self, item: Any) -> None:
+        """Append an item.
+
+        Raises:
+            SimulationError: when the FIFO is full — the caller is
+                expected to model backpressure, not drop data.
+        """
+        if self.full:
+            raise SimulationError(
+                f"FIFO {self.name!r} overflow (capacity {self.capacity})"
+            )
+        self._items.append(item)
+        self.pushed += 1
+        if len(self._items) > self.high_water:
+            self.high_water = len(self._items)
+
+    def pop(self) -> Any:
+        """Remove and return the oldest item.
+
+        Raises:
+            SimulationError: when empty.
+        """
+        if not self._items:
+            raise SimulationError(f"FIFO {self.name!r} underflow")
+        self.popped += 1
+        return self._items.popleft()
+
+    def peek(self) -> Any:
+        """Return the oldest item without removing it."""
+        if not self._items:
+            raise SimulationError(f"FIFO {self.name!r} underflow on peek")
+        return self._items[0]
+
+    def clear(self) -> None:
+        """Drop all contents (statistics are preserved)."""
+        self._items.clear()

@@ -1,0 +1,49 @@
+"""HLS loop-overhead model (the paper's ``t_hls``).
+
+High-level synthesis inserts extra cycles when control passes between
+loops: the pipeline of the inner loop must flush before the outer loop
+iterates (see UG1399).  The paper computes ``t_hls`` "based on the loop
+structure in the code"; we model it as a fixed per-transition cost
+multiplied by the number of loop boundary crossings a task executes.
+
+For HeteroSVD's PL dataflow the relevant loop nest per task is::
+
+    for iteration:              # ITER
+        for block_pair:         # num
+            for column_packet:  # 2k   (pipelined, II=1)
+
+so one task crosses ``ITER * num`` inner-loop boundaries plus ``ITER``
+outer boundaries, plus a handful of one-off stage transitions.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+#: Cycles lost per loop boundary crossing (pipeline flush + re-prime).
+HLS_LOOP_SWITCH_CYCLES = 6
+
+#: One-off transitions per task (start-up, orth->norm, norm->writeback).
+HLS_FIXED_TRANSITIONS = 3
+
+
+def loop_overhead_cycles(iterations: int, num_block_pairs: int) -> float:
+    """Total HLS loop-switch cycles for one task."""
+    if iterations < 0 or num_block_pairs < 0:
+        raise ConfigurationError(
+            f"negative loop counts: iterations={iterations}, "
+            f"num={num_block_pairs}"
+        )
+    crossings = iterations * num_block_pairs + iterations + HLS_FIXED_TRANSITIONS
+    return crossings * HLS_LOOP_SWITCH_CYCLES
+
+
+def loop_overhead_seconds(
+    iterations: int, num_block_pairs: int, pl_frequency_hz: float
+) -> float:
+    """``t_hls`` in seconds at a given PL clock."""
+    if pl_frequency_hz <= 0:
+        raise ConfigurationError(
+            f"PL frequency must be positive, got {pl_frequency_hz}"
+        )
+    return loop_overhead_cycles(iterations, num_block_pairs) / pl_frequency_hz

@@ -1,0 +1,97 @@
+"""PL memory (BRAM/URAM) usage estimation.
+
+The data arrangement module keeps the whole working matrix of each task
+on chip between iterations (the receiver FIFOs feed blocks back without
+a DDR round trip), double-buffered so iteration ``i+1`` can stream
+while ``i`` drains.  The storage is banked ``2 * P_eng`` ways so one
+block pair's ``2k`` columns can be read in parallel.
+
+URAM model (calibrated against the paper's Table II and Table VI
+utilization columns):
+
+* small matrices (working set under four URAMs) are packed linearly:
+  ``ceil(bits / uram_bits)``;
+* otherwise each of the ``2 * P_eng`` banks rounds up to whole URAMs:
+  ``2k * ceil(bits / 2k / uram_bits)``.
+
+This reproduces Table VI's 16 URAM/task at 256x256 for ``P_eng`` in
+{2, 4, 8} and Table II's 4 / 64 / ~244 URAM at 128 / 512 / 1024.
+
+BRAM holds the shallow sender/receiver FIFOs and control buffers; LUT
+usage is dominated by the fixed dataflow infrastructure (the paper
+reports ~15K LUTs nearly independent of matrix size).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import FLOAT32_BITS
+from repro.versal.device import DeviceSpec, VCK190
+
+#: Double buffering factor for the on-chip working set (ping/pong).
+DOUBLE_BUFFER = 2
+
+#: BRAM blocks per task for sender/receiver FIFOs and control state.
+BRAM_PER_TASK = 8
+
+#: Fixed LUT cost of the PL infrastructure (data arrangement, sender,
+#: receiver, system module) — the paper reports ~15.1K at 128x128.
+BASE_LUTS = 15_000
+
+#: Marginal LUTs per additional task pipeline and per doubling of the
+#: matrix size (address widths grow logarithmically).
+LUTS_PER_TASK = 450
+LUTS_PER_SIZE_DOUBLING = 200
+
+
+@dataclass(frozen=True)
+class PLMemoryEstimate:
+    """Estimated PL-side resource usage of a full design.
+
+    Attributes:
+        uram: URAM blocks over all task pipelines.
+        bram: BRAM blocks over all task pipelines.
+        luts: LUT estimate for the PL design.
+    """
+
+    uram: int
+    bram: int
+    luts: int
+
+
+def uram_per_task(m: int, n: int, p_eng: int, device: DeviceSpec = VCK190) -> int:
+    """URAM blocks one task pipeline needs for its working set."""
+    if m < 1 or n < 1:
+        raise ConfigurationError(f"matrix dimensions must be positive: {m}x{n}")
+    if p_eng < 1:
+        raise ConfigurationError(f"P_eng must be >= 1, got {p_eng}")
+    bits = DOUBLE_BUFFER * m * n * FLOAT32_BITS
+    linear = math.ceil(bits / device.uram_bits)
+    if linear <= 4:
+        return linear
+    banks = 2 * p_eng
+    return banks * math.ceil(bits / banks / device.uram_bits)
+
+
+def estimate_pl_memory(
+    m: int,
+    n: int,
+    p_eng: int,
+    p_task: int,
+    device: DeviceSpec = VCK190,
+) -> PLMemoryEstimate:
+    """Resource estimate for ``p_task`` parallel task pipelines."""
+    if p_task < 1:
+        raise ConfigurationError(f"P_task must be >= 1, got {p_task}")
+    uram = p_task * uram_per_task(m, n, p_eng, device)
+    bram = p_task * BRAM_PER_TASK
+    size_doublings = max(0, int(math.log2(max(m, n))) - 7)  # relative to 128
+    luts = (
+        BASE_LUTS
+        + LUTS_PER_TASK * (p_task - 1)
+        + LUTS_PER_SIZE_DOUBLING * size_doublings
+    )
+    return PLMemoryEstimate(uram=uram, bram=bram, luts=luts)

@@ -1,0 +1,86 @@
+"""Receiver module: packet reassembly and convergence reduction.
+
+The receiver reunites the per-column packets arriving from the AIE
+array, sorts them back into block-pair column order, stores the result
+into the receiver FIFOs, and reduces the per-pair convergence ratios
+into the iteration's convergence rate for the system module (Fig. 2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import RoutingError
+from repro.pl.sender import Packet
+
+
+class Receiver:
+    """Collects result packets of one block pair and tracks convergence.
+
+    Args:
+        expected_columns: Global column indices the reassembled pair
+            must contain, in order.
+    """
+
+    def __init__(self, expected_columns: Sequence[int]):
+        self._expected = list(expected_columns)
+        self._arrived: Dict[int, np.ndarray] = {}
+        #: Worst pair-convergence ratio reported by the orth-AIEs for
+        #: this block pair (before its rotations), reduced with max().
+        self.convergence_ratio = 0.0
+
+    @property
+    def complete(self) -> bool:
+        """True when every expected column has arrived."""
+        return all(c in self._arrived for c in self._expected)
+
+    @property
+    def missing(self) -> List[int]:
+        """Columns still outstanding."""
+        return [c for c in self._expected if c not in self._arrived]
+
+    def accept(self, packet: Packet, convergence_ratio: float = 0.0) -> None:
+        """Accept one result packet and fold in its convergence report.
+
+        Raises:
+            RoutingError: for unexpected or duplicate columns, or a
+                payload failing its integrity checksum.
+        """
+        col = packet.column_index
+        if col not in self._expected:
+            raise RoutingError(f"unexpected column {col} at receiver")
+        if col in self._arrived:
+            raise RoutingError(f"duplicate column {col} at receiver")
+        if not packet.verify():
+            raise RoutingError(
+                f"column {col} failed its integrity checksum in flight"
+            )
+        self._arrived[col] = packet.payload
+        if convergence_ratio > self.convergence_ratio:
+            self.convergence_ratio = convergence_ratio
+
+    def reassemble(self) -> np.ndarray:
+        """Return the pair data in expected-column order.
+
+        Raises:
+            RoutingError: when packets are missing.
+        """
+        if not self.complete:
+            raise RoutingError(f"columns missing at receiver: {self.missing}")
+        return np.column_stack([self._arrived[c] for c in self._expected])
+
+
+def reduce_convergence(ratios: Sequence[float]) -> float:
+    """Iteration-level convergence rate: the max over all block pairs.
+
+    The system module compares this against the user precision to
+    decide whether another orthogonalization sweep is needed (Eq. 6
+    applied across the whole matrix).
+    """
+    worst = 0.0
+    for r in ratios:
+        if r > worst:
+            worst = r
+    return worst

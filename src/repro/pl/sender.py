@@ -1,0 +1,145 @@
+"""Sender module: packetization and dynamic-forwarding headers.
+
+The sender splits each block of a block pair into per-column packets,
+prepends a routing header selecting the destination orth-AIE, and
+pushes the packets onto the PLIO streams.  Odd and even columns of the
+pair come from different blocks and travel on separate PLIOs
+(Section III-C), which is why one task uses four orth PLIOs (two Tx
+shown here, two Rx in the receiver).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import RoutingError
+
+Coord = Tuple[int, int]
+
+#: Routing header size in bits (one stream word).
+PACKET_HEADER_BITS = 32
+
+
+def payload_checksum(payload: np.ndarray) -> int:
+    """TLAST-word integrity checksum of a column payload.
+
+    The AXI-stream protocol carries a trailing word per packet; the
+    model uses it as a 32-bit XOR fold of the payload bytes so the
+    receiver can detect corruption in flight.
+    """
+    raw = np.ascontiguousarray(payload, dtype=np.float32).view(np.uint32)
+    checksum = 0
+    for word in raw:
+        checksum ^= int(word)
+    return checksum
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One column travelling PL -> AIE with a dynamic-forwarding header.
+
+    Attributes:
+        header: Destination tile coordinate resolved by the forwarding
+            rule (the hardware carries a packet ID; the model carries
+            the resolved coordinate directly).
+        column_index: Global column index of the payload.
+        payload: The column data.
+        plio: Index of the PLIO stream carrying this packet (0 or 1 for
+            the two orth Tx streams).
+        checksum: Integrity word computed at packetization; ``None``
+            when the sender ran with integrity disabled.
+    """
+
+    header: Coord
+    column_index: int
+    payload: np.ndarray
+
+    plio: int
+    checksum: "int | None" = None
+
+    @property
+    def bits(self) -> int:
+        """Wire size: header word plus fp32 payload (plus the trailer
+        when integrity is on)."""
+        trailer = PACKET_HEADER_BITS if self.checksum is not None else 0
+        return PACKET_HEADER_BITS + int(self.payload.size) * 32 + trailer
+
+    def verify(self) -> bool:
+        """True when the payload matches its checksum (or none is set)."""
+        if self.checksum is None:
+            return True
+        return payload_checksum(self.payload) == self.checksum
+
+
+class Sender:
+    """Packetizes block pairs according to a routing function.
+
+    Args:
+        route: Callable mapping a pair slot (``slot`` in the first
+            orth-layer) and side (0 = left column, 1 = right column) to
+            a destination tile coordinate.  Provided by
+            :mod:`repro.core.routing` from the placement.
+        integrity: Attach a checksum trailer to every packet (costs one
+            stream word per column).
+    """
+
+    def __init__(self, route, integrity: bool = False):
+        self._route = route
+        self.integrity = integrity
+
+    def packetize(
+        self, columns: Sequence[int], data: np.ndarray
+    ) -> List[Packet]:
+        """Build the packet stream for a block pair.
+
+        Column ``2s`` and ``2s + 1`` of the pair form the slot-``s``
+        input; the left column of every slot comes from the first block
+        (even position, PLIO 0) and the right column from the second
+        block (odd position, PLIO 1).
+
+        Args:
+            columns: Global column indices of the pair (first block then
+                second block, as produced by the data arrangement).
+            data: The ``m x 2k`` pair data in the same order.
+
+        Raises:
+            RoutingError: when the column count is odd or the routing
+                function rejects a slot.
+        """
+        n = len(columns)
+        if n % 2 != 0 or data.shape[1] != n:
+            raise RoutingError(
+                f"block pair must have an even column count matching its "
+                f"data: {n} columns, data shape {data.shape}"
+            )
+        k = n // 2
+        packets: List[Packet] = []
+        for slot in range(k):
+            for side in (0, 1):
+                # Left columns come from the first block (positions
+                # 0..k-1), right columns from the second (k..2k-1).
+                position = slot if side == 0 else k + slot
+                dest = self._route(slot, side)
+                payload = data[:, position].copy()
+                packets.append(
+                    Packet(
+                        header=dest,
+                        column_index=columns[position],
+                        payload=payload,
+                        plio=side,
+                        checksum=(
+                            payload_checksum(payload)
+                            if self.integrity
+                            else None
+                        ),
+                    )
+                )
+        return packets
+
+    @staticmethod
+    def stream_bits(packets: Sequence[Packet], plio: int) -> int:
+        """Total bits carried by one PLIO stream for a packet batch."""
+        return sum(p.bits for p in packets if p.plio == plio)

@@ -1,0 +1,99 @@
+"""System module: the convergence-control FSM of Algorithm 1.
+
+Drives the outer loop: run orthogonalization sweeps until the reduced
+convergence rate drops below the user precision (or a fixed iteration
+budget is reached, the paper's benchmarking mode), then switch to the
+normalization stage and finally signal completion.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional
+
+from repro.errors import SimulationError
+from repro.linalg.convergence import DEFAULT_PRECISION
+
+
+class Phase(enum.Enum):
+    """Operating phase of the accelerator."""
+
+    ORTHOGONALIZATION = "orth"
+    NORMALIZATION = "norm"
+    DONE = "done"
+
+
+class SystemModule:
+    """Tracks iterations and decides phase transitions.
+
+    Args:
+        precision: Convergence threshold (Eq. 6).
+        max_iterations: Safety bound in precision mode.
+        fixed_iterations: When set, exactly this many sweeps run and the
+            convergence rate is ignored (the paper's fixed-6-iteration
+            comparisons).
+    """
+
+    def __init__(
+        self,
+        precision: float = DEFAULT_PRECISION,
+        max_iterations: int = 60,
+        fixed_iterations: Optional[int] = None,
+    ):
+        if fixed_iterations is not None and fixed_iterations < 1:
+            raise SimulationError(
+                f"fixed_iterations must be >= 1, got {fixed_iterations}"
+            )
+        self.precision = precision
+        self.max_iterations = max_iterations
+        self.fixed_iterations = fixed_iterations
+        self.phase = Phase.ORTHOGONALIZATION
+        self.iterations_completed = 0
+        #: Convergence rate reported after each completed sweep.
+        self.history: List[float] = []
+
+    def report_iteration(self, convergence_rate: float) -> Phase:
+        """Record one finished sweep and return the next phase.
+
+        Raises:
+            SimulationError: if called outside the orthogonalization
+                phase or once the iteration bound is exceeded.
+        """
+        if self.phase is not Phase.ORTHOGONALIZATION:
+            raise SimulationError(
+                f"iteration reported during phase {self.phase.value}"
+            )
+        self.iterations_completed += 1
+        self.history.append(convergence_rate)
+
+        if self.fixed_iterations is not None:
+            if self.iterations_completed >= self.fixed_iterations:
+                self.phase = Phase.NORMALIZATION
+        elif convergence_rate < self.precision:
+            self.phase = Phase.NORMALIZATION
+        elif self.iterations_completed >= self.max_iterations:
+            raise SimulationError(
+                f"orthogonalization did not converge within "
+                f"{self.max_iterations} iterations "
+                f"(rate {convergence_rate:.3e})"
+            )
+        return self.phase
+
+    def report_normalization_done(self) -> Phase:
+        """Mark the normalization stage finished.
+
+        Raises:
+            SimulationError: if normalization was not in progress.
+        """
+        if self.phase is not Phase.NORMALIZATION:
+            raise SimulationError(
+                f"normalization completion reported during phase "
+                f"{self.phase.value}"
+            )
+        self.phase = Phase.DONE
+        return self.phase
+
+    @property
+    def converged(self) -> bool:
+        """Whether the last sweep met the precision target."""
+        return bool(self.history) and self.history[-1] < self.precision

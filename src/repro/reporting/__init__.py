@@ -1,0 +1,18 @@
+"""Reporting helpers for the benchmark harness.
+
+* :mod:`repro.reporting.tables` — fixed-width ASCII tables matching the
+  layout of the paper's result tables.
+* :mod:`repro.reporting.experiments` — paper-vs-measured record keeping
+  feeding EXPERIMENTS.md.
+"""
+
+from repro.reporting.tables import Table, format_seconds, format_ratio
+from repro.reporting.experiments import ExperimentRecord, ExperimentLog
+
+__all__ = [
+    "Table",
+    "format_seconds",
+    "format_ratio",
+    "ExperimentRecord",
+    "ExperimentLog",
+]

@@ -1,0 +1,88 @@
+"""Paper-vs-measured record keeping.
+
+Benchmark targets register each reproduced figure against the value the
+paper reports; the aggregate log renders the comparison table that
+EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+from repro.reporting.tables import Table
+
+
+@dataclass(frozen=True)
+class ExperimentRecord:
+    """One paper-vs-measured data point.
+
+    Attributes:
+        experiment: Experiment id (e.g. ``"Table II"``).
+        case: Row label (e.g. ``"256x256"``).
+        metric: What is measured (e.g. ``"latency (s)"``).
+        paper_value: The value the paper reports, or None when the
+            paper gives only a relationship.
+        measured_value: Our reproduction's value.
+    """
+
+    experiment: str
+    case: str
+    metric: str
+    paper_value: Optional[float]
+    measured_value: float
+
+    @property
+    def ratio(self) -> Optional[float]:
+        """measured / paper, when a paper value exists."""
+        if self.paper_value is None or self.paper_value == 0:
+            return None
+        return self.measured_value / self.paper_value
+
+
+class ExperimentLog:
+    """Accumulates records and renders the comparison table."""
+
+    def __init__(self, experiment: str):
+        if not experiment:
+            raise ConfigurationError("experiment id must be non-empty")
+        self.experiment = experiment
+        self.records: List[ExperimentRecord] = []
+
+    def record(
+        self,
+        case: str,
+        metric: str,
+        measured_value: float,
+        paper_value: Optional[float] = None,
+    ) -> ExperimentRecord:
+        """Add one data point and return it."""
+        rec = ExperimentRecord(
+            experiment=self.experiment,
+            case=case,
+            metric=metric,
+            paper_value=paper_value,
+            measured_value=measured_value,
+        )
+        self.records.append(rec)
+        return rec
+
+    def render(self) -> str:
+        """Paper-vs-measured table for this experiment."""
+        table = Table(
+            f"{self.experiment}: paper vs reproduction",
+            ["case", "metric", "paper", "measured", "measured/paper"],
+        )
+        for rec in self.records:
+            paper = "-" if rec.paper_value is None else f"{rec.paper_value:.6g}"
+            ratio = "-" if rec.ratio is None else f"{rec.ratio:.2f}"
+            table.add_row(
+                rec.case, rec.metric, paper, f"{rec.measured_value:.6g}", ratio
+            )
+        return table.render()
+
+    def print(self) -> None:
+        """Print the comparison table."""
+        print(self.render())
+        print()

@@ -1,0 +1,115 @@
+"""Terminal plots for the figure-reproduction benches.
+
+The paper's Fig. 3 and Fig. 9 are charts; the bench harness prints
+their series as tables *and* as quick ASCII plots so the trends (the
+DMA gap, the throughput crossover) are visible directly in the bench
+log.  Log-scale support matters because both figures span orders of
+magnitude.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+#: Glyphs assigned to successive series.
+SERIES_GLYPHS = "ox*+#@"
+
+
+def _scale(value: float, lo: float, hi: float, width: int, log: bool) -> int:
+    if log:
+        value, lo, hi = math.log10(value), math.log10(lo), math.log10(hi)
+    if hi == lo:
+        return 0
+    position = (value - lo) / (hi - lo)
+    return min(width - 1, max(0, round(position * (width - 1))))
+
+
+def line_chart(
+    title: str,
+    x_labels: Sequence[str],
+    series: Dict[str, Sequence[float]],
+    width: int = 50,
+    log: bool = True,
+) -> str:
+    """Render series as a horizontal dot chart, one row per x value.
+
+    Args:
+        title: Chart heading.
+        x_labels: Row labels (e.g. matrix sizes).
+        series: Mapping series name -> values (same length as labels).
+        width: Plot width in characters.
+        log: Logarithmic value axis.
+
+    Raises:
+        ConfigurationError: on ragged series or non-positive values in
+            log mode.
+    """
+    if not series:
+        raise ConfigurationError("need at least one series")
+    for name, values in series.items():
+        if len(values) != len(x_labels):
+            raise ConfigurationError(
+                f"series {name!r} has {len(values)} points, expected "
+                f"{len(x_labels)}"
+            )
+        if log and any(v <= 0 for v in values):
+            raise ConfigurationError(
+                f"log-scale chart requires positive values ({name!r})"
+            )
+
+    all_values = [v for values in series.values() for v in values]
+    lo, hi = min(all_values), max(all_values)
+    label_width = max(len(str(label)) for label in x_labels)
+
+    lines = [title, "=" * len(title)]
+    legend = "  ".join(
+        f"{SERIES_GLYPHS[i % len(SERIES_GLYPHS)]} = {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(legend)
+    for row, label in enumerate(x_labels):
+        canvas = [" "] * width
+        for i, (name, values) in enumerate(series.items()):
+            col = _scale(values[row], lo, hi, width, log)
+            glyph = SERIES_GLYPHS[i % len(SERIES_GLYPHS)]
+            canvas[col] = glyph if canvas[col] == " " else "&"
+        lines.append(f"{str(label).rjust(label_width)} |{''.join(canvas)}|")
+    scale_name = "log" if log else "linear"
+    lines.append(
+        f"{' ' * label_width}  {scale_name} scale: "
+        f"{lo:.3g} .. {hi:.3g}"
+    )
+    return "\n".join(lines)
+
+
+def bar_chart(
+    title: str,
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    log: bool = False,
+) -> str:
+    """Render one series as horizontal bars."""
+    if len(labels) != len(values):
+        raise ConfigurationError(
+            f"{len(labels)} labels vs {len(values)} values"
+        )
+    if not values:
+        raise ConfigurationError("need at least one bar")
+    if log and any(v <= 0 for v in values):
+        raise ConfigurationError("log-scale bars require positive values")
+    hi = max(values)
+    lo = min(values) if log else 0.0
+    if log:
+        lo = lo / 10  # headroom so the smallest bar is visible
+    label_width = max(len(str(label)) for label in labels)
+    lines = [title, "=" * len(title)]
+    for label, value in zip(labels, values):
+        length = _scale(value, lo, hi, width, log) + 1
+        lines.append(
+            f"{str(label).rjust(label_width)} |{'#' * length} {value:.4g}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""Fixed-width ASCII tables for benchmark output.
+
+The benchmark harness prints the same rows the paper's tables report;
+this module handles alignment and numeric formatting so every bench
+target produces directly comparable, diff-friendly output.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+
+class Table:
+    """A simple column-aligned text table.
+
+    Args:
+        title: Heading printed above the table.
+        columns: Column headers.
+    """
+
+    def __init__(self, title: str, columns: Sequence[str]):
+        if not columns:
+            raise ConfigurationError("a table needs at least one column")
+        self.title = title
+        self.columns = [str(c) for c in columns]
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *values: Any) -> None:
+        """Append one row; values are stringified as-is."""
+        if len(values) != len(self.columns):
+            raise ConfigurationError(
+                f"row has {len(values)} cells, table has "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append([str(v) for v in values])
+
+    def render(self) -> str:
+        """The formatted table as a string."""
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [self.title, "=" * len(self.title)]
+        lines.append(
+            " | ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        )
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(
+                " | ".join(c.ljust(w) for c, w in zip(row, widths))
+            )
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        """Print the table followed by a blank line."""
+        print(self.render())
+        print()
+
+
+def format_seconds(seconds: float, digits: int = 4) -> str:
+    """Seconds with an auto-chosen unit (s / ms / us)."""
+    if seconds >= 1.0:
+        return f"{seconds:.{digits}f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.{digits}f} ms"
+    return f"{seconds * 1e6:.{digits}f} us"
+
+
+def format_ratio(value: float, reference: float) -> str:
+    """A 'speedup' cell: ``reference / value`` as ``N.NNx``."""
+    if value <= 0:
+        return "inf"
+    return f"{reference / value:.2f}x"

@@ -1,0 +1,218 @@
+"""High-level session API: configure once, factor anything.
+
+:class:`HeteroSVDSession` is the facade a downstream application would
+use: it runs the DSE once for the deployment's dominant problem size
+and objective, keeps the chosen design point, and then accepts
+arbitrary matrices — padding, transposing, and batching them onto the
+configured accelerator model transparently, with the timing model
+available for admission control (will this finish before my deadline?).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.accelerator import HeteroSVDAccelerator
+from repro.core.config import HeteroSVDConfig
+from repro.core.dse import DesignPoint, DesignSpaceExplorer
+from repro.core.perf_model import PerformanceModel
+from repro.core.scheduler import BatchScheduler, Schedule, TaskSpec
+from repro.errors import ConfigurationError, NumericalError
+from repro.linalg.svd import SVDResult
+
+
+@dataclass
+class SessionResult:
+    """A factorization produced by the session.
+
+    Mirrors :class:`~repro.linalg.svd.SVDResult` plus the modelled
+    execution time of the task on the configured design.
+    """
+
+    u: np.ndarray
+    singular_values: np.ndarray
+    v: Optional[np.ndarray]
+    iterations: int
+    converged: bool
+    modelled_seconds: float
+
+    def reconstruct(self) -> np.ndarray:
+        """``U diag(S) V^H`` (requires V accumulation)."""
+        if self.v is None:
+            raise NumericalError("session was created with accumulate_v=False")
+        return (self.u * self.singular_values) @ np.conj(self.v).T
+
+
+class HeteroSVDSession:
+    """A configured HeteroSVD deployment.
+
+    Args:
+        m / n: Dominant problem size the deployment is optimized for.
+        objective: DSE objective (``"latency"``, ``"throughput"``,
+            ``"energy_efficiency"``).
+        batch_hint: Expected batch size (guides the DSE's throughput
+            estimates).
+        power_cap_w: Optional power envelope (the paper's designs stay
+            under 39 W).
+        precision: Convergence target.
+        accumulate_v: Also produce right singular vectors.
+    """
+
+    def __init__(
+        self,
+        m: int,
+        n: int,
+        objective: str = "latency",
+        batch_hint: int = 1,
+        power_cap_w: Optional[float] = None,
+        precision: float = 1e-6,
+        accumulate_v: bool = False,
+    ):
+        self.precision = precision
+        self.accumulate_v = accumulate_v
+        explorer = DesignSpaceExplorer(m, n, precision=precision)
+        self.design: DesignPoint = explorer.best(
+            objective, batch=batch_hint, power_cap_w=power_cap_w
+        )
+        self.config: HeteroSVDConfig = self.design.config
+        self._scheduler = BatchScheduler(self.config)
+        self._accelerators: dict = {}
+
+    # -- internals -------------------------------------------------------------
+    def _prepare(self, a: np.ndarray) -> "tuple[np.ndarray, bool, int, int]":
+        """Transpose tall-side-first and pad columns to the block width."""
+        a = np.asarray(a, dtype=float)
+        if a.ndim != 2 or a.size == 0:
+            raise NumericalError(f"expected a non-empty matrix, got {a.shape}")
+        transposed = a.shape[0] < a.shape[1]
+        work = a.T.copy() if transposed else a.copy()
+        m, n = work.shape
+        k = self.config.p_eng
+        blocks = max(2, math.ceil(n / k))
+        padded_n = blocks * k
+        if padded_n != n:
+            work = np.hstack([work, np.zeros((m, padded_n - n))])
+        return work, transposed, m, n
+
+    def _accelerator_for(self, m: int, n: int) -> HeteroSVDAccelerator:
+        key = (m, n)
+        if key not in self._accelerators:
+            config = HeteroSVDConfig(
+                m=m,
+                n=n,
+                p_eng=self.config.p_eng,
+                p_task=self.config.p_task,
+                pl_frequency_hz=self.config.pl_frequency_hz,
+                precision=self.precision,
+                use_codesign=self.config.use_codesign,
+                device=self.config.device,
+            )
+            self._accelerators[key] = HeteroSVDAccelerator(config)
+        return self._accelerators[key]
+
+    # -- public API --------------------------------------------------------------
+    def svd(self, a: np.ndarray) -> SessionResult:
+        """Factor one matrix on the configured design.
+
+        Wide inputs are factored through their transpose (swapping the
+        U/V roles), so V accumulation is forced on for them.  Complex
+        inputs are offloaded through the real embedding — the same way
+        a deployment streams I/Q data to the fp32 accelerator — and
+        come back with complex factors.
+        """
+        if np.iscomplexobj(np.asarray(a)):
+            return self._svd_complex(np.asarray(a))
+        work, transposed, rows, cols = self._prepare(a)
+        accel = self._accelerator_for(*work.shape)
+        need_v = self.accumulate_v or transposed
+        result = accel.run(work, accumulate_v=need_v)
+        rank = min(rows, cols)
+
+        sigma = result.sigma[:rank]
+        # Columns beyond `cols` are padding; the live coordinates of V
+        # are its first `cols` rows.
+        u_work = result.u[:, :rank]
+        v_work = result.v[:cols, :rank] if result.v is not None else None
+
+        if transposed:
+            # work = a.T: left vectors of a.T are right vectors of a.
+            u_final, v_final = v_work, u_work
+        else:
+            u_final = u_work
+            v_final = v_work if self.accumulate_v else None
+
+        modelled = PerformanceModel(accel.config).task_time()
+        return SessionResult(
+            u=u_final,
+            singular_values=sigma,
+            v=v_final,
+            iterations=result.iterations,
+            converged=result.converged,
+            modelled_seconds=modelled,
+        )
+
+    def _svd_complex(self, a: np.ndarray) -> SessionResult:
+        """Complex input via the real embedding (duplicated spectrum)."""
+        if a.ndim != 2 or a.size == 0:
+            raise NumericalError(f"expected a non-empty matrix, got {a.shape}")
+        m, n = a.shape
+        embedding = np.block([[a.real, -a.imag], [a.imag, a.real]])
+        need_v = True  # complex extraction always needs both factors
+        saved = self.accumulate_v
+        self.accumulate_v = need_v
+        try:
+            real = self.svd(embedding)
+        finally:
+            self.accumulate_v = saved
+        r = min(m, n)
+        keep = list(range(0, 2 * r, 2))
+        sigma = real.singular_values[keep]
+        u = real.u[:m, keep] + 1j * real.u[m:, keep]
+        v = real.v[:n, keep] + 1j * real.v[n:, keep]
+        u_norms = np.linalg.norm(u, axis=0)
+        v_norms = np.linalg.norm(v, axis=0)
+        live = (u_norms > 0) & (v_norms > 0)
+        u[:, live] = u[:, live] / u_norms[live]
+        v[:, live] = v[:, live] / v_norms[live]
+        return SessionResult(
+            u=u,
+            singular_values=sigma,
+            v=v,
+            iterations=real.iterations,
+            converged=real.converged,
+            modelled_seconds=real.modelled_seconds,
+        )
+
+    def svd_batch(self, matrices: Sequence[np.ndarray]) -> List[SessionResult]:
+        """Factor a batch (functionally sequential; timing via plan())."""
+        return [self.svd(a) for a in matrices]
+
+    def plan(self, matrices: Sequence[np.ndarray]) -> Schedule:
+        """Modelled schedule of a batch across the design's pipelines."""
+        specs = [
+            TaskSpec(m=a.shape[0], n=a.shape[1], task_id=i)
+            for i, a in enumerate(matrices)
+        ]
+        return self._scheduler.schedule(specs)
+
+    def meets_deadline(
+        self, matrices: Sequence[np.ndarray], deadline_seconds: float
+    ) -> bool:
+        """Admission control: will the batch finish inside the deadline?"""
+        if deadline_seconds <= 0:
+            raise ConfigurationError(
+                f"deadline must be positive, got {deadline_seconds}"
+            )
+        return self.plan(matrices).makespan <= deadline_seconds
+
+    def describe(self) -> str:
+        """Human-readable summary of the configured design."""
+        return (
+            f"{self.config.describe()} | modelled latency "
+            f"{self.design.latency * 1e3:.3f} ms | power "
+            f"{self.design.power.total:.1f} W"
+        )

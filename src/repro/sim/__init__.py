@@ -1,0 +1,12 @@
+"""Minimal discrete-event simulation engine.
+
+Used by :mod:`repro.core.timing` to resolve the actual interleaving of
+PLIO transfers, AIE kernel executions, and inter-layer moves — the
+"on-board measurement" stand-in the analytical performance model is
+validated against (Tables IV and V).
+"""
+
+from repro.sim.engine import Event, SimulationEngine, Resource
+from repro.sim.trace import TraceRecord, Trace
+
+__all__ = ["Event", "SimulationEngine", "Resource", "TraceRecord", "Trace"]

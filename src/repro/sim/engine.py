@@ -1,0 +1,121 @@
+"""Event-queue simulation kernel.
+
+A deliberately small engine: time-ordered events with deterministic
+tie-breaking, plus a :class:`Resource` primitive modelling a unit that
+serves one request at a time (a PLIO stream, an AIE core, a DMA
+channel).  Model code asks a resource for service and receives the
+completion time; the engine exists for models that need callbacks, and
+the resources can also be used standalone in a pure "timestamp algebra"
+style, which is how the timing simulator uses them.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Ordering is by time, then by insertion sequence (deterministic FIFO
+    for simultaneous events).
+    """
+
+    time: float
+    sequence: int
+    action: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+
+
+class SimulationEngine:
+    """Time-ordered event executor."""
+
+    def __init__(self):
+        self._queue: List[Event] = []
+        self._sequence = itertools.count()
+        self.now = 0.0
+        self.events_run = 0
+
+    def schedule(self, delay: float, action: Callable[[], None], label: str = "") -> None:
+        """Schedule ``action`` to run ``delay`` after the current time.
+
+        Raises:
+            SimulationError: for negative delays (causality violation).
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay} for event {label!r}")
+        heapq.heappush(
+            self._queue,
+            Event(self.now + delay, next(self._sequence), action, label),
+        )
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Execute events in time order; returns the final time.
+
+        Args:
+            until: Stop once the next event would exceed this time.
+        """
+        while self._queue:
+            if until is not None and self._queue[0].time > until:
+                break
+            event = heapq.heappop(self._queue)
+            self.now = event.time
+            self.events_run += 1
+            event.action()
+        return self.now
+
+    @property
+    def pending(self) -> int:
+        """Events still queued."""
+        return len(self._queue)
+
+
+class Resource:
+    """A serially-shared unit: one request at a time, FIFO order.
+
+    Usage follows timestamp algebra: ``serve(ready, duration)`` returns
+    the completion time of a request that becomes ready at ``ready`` and
+    occupies the resource for ``duration``.  The resource remembers when
+    it frees up and accumulates busy time for utilization reporting.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.free_at = 0.0
+        self.busy_time = 0.0
+        self.requests = 0
+
+    def serve(self, ready: float, duration: float) -> float:
+        """Serve a request; returns its completion time.
+
+        Raises:
+            SimulationError: for negative durations.
+        """
+        if duration < 0:
+            raise SimulationError(
+                f"negative service duration {duration} on {self.name!r}"
+            )
+        start = max(ready, self.free_at)
+        end = start + duration
+        self.free_at = end
+        self.busy_time += duration
+        self.requests += 1
+        return end
+
+    def utilization(self, horizon: float) -> float:
+        """Busy fraction over ``[0, horizon]``."""
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / horizon)
+
+    def reset(self) -> None:
+        """Forget all service history."""
+        self.free_at = 0.0
+        self.busy_time = 0.0
+        self.requests = 0

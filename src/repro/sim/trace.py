@@ -1,0 +1,71 @@
+"""Trace recording for the timing simulation.
+
+Each pipeline activity (Tx, orth layer, move, Rx, norm, DDR) can log a
+:class:`TraceRecord`; :class:`Trace` aggregates them into per-stage
+statistics used by the Fig. 7 pipeline-decomposition checks and by
+utilization reporting (Fig. 9).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One completed activity in the timing simulation.
+
+    Attributes:
+        stage: Activity class, e.g. ``"tx"``, ``"orth"``, ``"rx"``.
+        start: Activity start time (seconds).
+        end: Activity end time (seconds).
+        detail: Free-form tag (block pair id, layer index, ...).
+    """
+
+    stage: str
+    start: float
+    end: float
+    detail: str = ""
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds of the activity."""
+        return self.end - self.start
+
+
+class Trace:
+    """Accumulates :class:`TraceRecord` entries with cheap aggregation."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.records: List[TraceRecord] = []
+        self._stage_time: Dict[str, float] = defaultdict(float)
+        self._stage_count: Dict[str, int] = defaultdict(int)
+
+    def log(self, stage: str, start: float, end: float, detail: str = "") -> None:
+        """Record one activity (no-op when tracing is disabled)."""
+        self._stage_time[stage] += end - start
+        self._stage_count[stage] += 1
+        if self.enabled:
+            self.records.append(TraceRecord(stage, start, end, detail))
+
+    def stage_time(self, stage: str) -> float:
+        """Total busy seconds attributed to a stage."""
+        return self._stage_time.get(stage, 0.0)
+
+    def stage_count(self, stage: str) -> int:
+        """Number of activities logged for a stage."""
+        return self._stage_count.get(stage, 0)
+
+    def stages(self) -> List[str]:
+        """All stages seen, sorted."""
+        return sorted(self._stage_time)
+
+    def summary(self) -> Dict[str, "tuple[int, float]"]:
+        """Mapping stage -> (count, total seconds)."""
+        return {
+            stage: (self._stage_count[stage], self._stage_time[stage])
+            for stage in self.stages()
+        }

@@ -1,0 +1,79 @@
+"""Unit helpers shared across the hardware model and performance model.
+
+The paper mixes several unit systems: AIE kernel latencies in cycles at
+1.25 GHz, PL transfer times in cycles at a configurable frequency,
+PLIO bandwidths in GB/s, memory sizes in KB, and reported results in
+milliseconds.  Keeping the conversions in one module avoids the classic
+"cycles at which clock?" bugs.
+
+Conventions used throughout the package:
+
+* time is carried as ``float`` **seconds**,
+* frequencies as ``float`` **hertz**,
+* data sizes as ``int`` **bits** unless a name says otherwise,
+* cycle counts as ``float`` cycles (fractional cycles are meaningful for
+  analytic models and are rounded only at reporting boundaries).
+"""
+
+from __future__ import annotations
+
+KILO = 1_000
+MEGA = 1_000_000
+GIGA = 1_000_000_000
+
+#: Bits per byte, named to keep magic eights out of formulas.
+BITS_PER_BYTE = 8
+
+#: Size of a single-precision float in bits; HeteroSVD streams fp32 columns.
+FLOAT32_BITS = 32
+
+
+def mhz(value: float) -> float:
+    """Convert a frequency expressed in MHz to Hz."""
+    return value * MEGA
+
+
+def ghz(value: float) -> float:
+    """Convert a frequency expressed in GHz to Hz."""
+    return value * GIGA
+
+
+def kib(value: float) -> int:
+    """Convert kibibytes to bits (AIE memory banks are sized in KiB)."""
+    return int(value * 1024 * BITS_PER_BYTE)
+
+
+def gbytes_per_s_to_bits_per_s(value: float) -> float:
+    """Convert a GB/s bandwidth figure (as in PLIO specs) to bits/s."""
+    return value * GIGA * BITS_PER_BYTE
+
+
+def cycles_to_seconds(cycles: float, frequency_hz: float) -> float:
+    """Time taken by ``cycles`` clock cycles at ``frequency_hz``."""
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz}")
+    return cycles / frequency_hz
+
+
+def seconds_to_cycles(seconds: float, frequency_hz: float) -> float:
+    """Number of clock cycles elapsing in ``seconds`` at ``frequency_hz``."""
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz}")
+    return seconds * frequency_hz
+
+
+def floats_to_bits(count: int) -> int:
+    """Size in bits of ``count`` fp32 words."""
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    return count * FLOAT32_BITS
+
+
+def seconds_to_ms(seconds: float) -> float:
+    """Convert seconds to milliseconds (reporting helper)."""
+    return seconds * 1e3
+
+
+def seconds_to_us(seconds: float) -> float:
+    """Convert seconds to microseconds (reporting helper)."""
+    return seconds * 1e6

@@ -1,0 +1,461 @@
+"""A miniature AIE vector-ISA functional model.
+
+The cycle formulas in :mod:`repro.versal.kernels` summarize what an AIE
+kernel costs; this module *derives* those costs by executing the kernel
+as an instruction sequence on a small functional model of the core:
+
+* eight 256-bit vector registers (8 fp32 lanes each),
+* a vector unit retiring one 8-lane fused multiply-accumulate per
+  cycle (the AIE1 fp32 datapath),
+* a scalar unit handling the rotation math of Eqs. 4-5 with published
+  latencies for divide/sqrt,
+* single-ported vector loads/stores from the tile's data memory.
+
+The assembled orthogonalization kernel (:func:`build_orth_kernel`)
+performs the fused three-dot-product pass and the rotation update the
+paper's orth-AIE runs; executing it returns both the *numerical result*
+(validated against numpy) and the *cycle count* (validated against the
+closed-form model).  This pins the calibration: if someone edits the
+formula, the ISA-level schedule will disagree and the tests will say
+so.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+#: fp32 lanes per vector register / vector operation.
+LANES = 8
+
+#: Scalar-unit latencies (cycles) for the non-pipelined operations the
+#: rotation math needs.
+SCALAR_LATENCY = {
+    "sdiv": 8,
+    "ssqrt": 10,
+    "sadd": 1,
+    "smul": 2,
+    "sabs": 1,
+    "ssign": 1,
+    "smov": 1,
+}
+
+#: Pipelined unit costs (cycles per instruction).
+VECTOR_LATENCY = {
+    "vload": 1,
+    "vstore": 1,
+    "vfma": 1,
+    "vmul": 1,
+    "vreduce": 2,  # horizontal sum of one register
+    "vbcast": 1,  # broadcast a scalar into all lanes
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction.
+
+    Attributes:
+        opcode: Operation name (see the latency tables).
+        dest: Destination register name (``v0..v7`` or ``s0..``), or a
+            memory label for stores.
+        sources: Operand register names / memory labels / immediates.
+    """
+
+    opcode: str
+    dest: str
+    sources: Tuple = ()
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of running a kernel on the core model.
+
+    Attributes:
+        cycles: Total cycles consumed.
+        instructions: Instructions retired.
+        scalar_registers: Final scalar register file (name -> value).
+        memory: The data memory after execution (label -> array).
+    """
+
+    cycles: int
+    instructions: int
+    scalar_registers: Dict[str, float]
+    memory: Dict[str, np.ndarray]
+
+
+class AIECoreModel:
+    """Functional + cycle model of one AIE core.
+
+    Args:
+        memory: Named fp32 buffers representing the tile's data memory.
+        overhead_cycles: Fixed invocation overhead (lock acquisition,
+            prologue/epilogue) added to every kernel run.
+    """
+
+    def __init__(
+        self,
+        memory: Optional[Dict[str, np.ndarray]] = None,
+        overhead_cycles: int = 0,
+    ):
+        self.memory: Dict[str, np.ndarray] = {
+            name: np.asarray(buf, dtype=np.float64).copy()
+            for name, buf in (memory or {}).items()
+        }
+        self.overhead_cycles = overhead_cycles
+        self.vregs: Dict[str, np.ndarray] = {}
+        self.sregs: Dict[str, float] = {}
+
+    # -- operand helpers ---------------------------------------------------
+    def _vector(self, name: str) -> np.ndarray:
+        if name not in self.vregs:
+            raise SimulationError(f"vector register {name!r} unset")
+        return self.vregs[name]
+
+    def _scalar(self, operand) -> float:
+        if isinstance(operand, (int, float)):
+            return float(operand)
+        if operand in self.sregs:
+            return self.sregs[operand]
+        raise SimulationError(f"scalar operand {operand!r} unset")
+
+    def _memory_slice(self, label: str, offset: int) -> np.ndarray:
+        if label not in self.memory:
+            raise SimulationError(f"memory buffer {label!r} missing")
+        buf = self.memory[label]
+        if offset + LANES > len(buf):
+            raise SimulationError(
+                f"vector access past end of {label!r} at offset {offset}"
+            )
+        return buf[offset : offset + LANES]
+
+    # -- execution ------------------------------------------------------------
+    def execute(self, program: Sequence[Instruction]) -> ExecutionResult:
+        """Run a program; returns the result with its cycle count.
+
+        Cycle accounting models the AIE's VLIW issue: each cycle can
+        bundle one vector-compute operation with up to two vector loads
+        and one vector store (the software-pipelined steady state of a
+        streaming kernel), so the vector cost is the *maximum* over the
+        slot classes rather than the sum.  Scalar operations run on the
+        serial scalar unit and add their full latencies — in these
+        kernels they sit on the dependency chain between the dot pass
+        and the update pass.
+
+        Raises:
+            SimulationError: for undefined registers/buffers or unknown
+                opcodes.
+        """
+        compute_cycles = 0
+        load_count = 0
+        store_count = 0
+        scalar_cycles = 0
+        for inst in program:
+            op = inst.opcode
+            if op in VECTOR_LATENCY:
+                self._execute_vector(inst)
+                if op == "vload":
+                    load_count += 1
+                elif op == "vstore":
+                    store_count += 1
+                else:
+                    compute_cycles += VECTOR_LATENCY[op]
+            elif op in SCALAR_LATENCY:
+                scalar_cycles += SCALAR_LATENCY[op]
+                self._execute_scalar(inst)
+            else:
+                raise SimulationError(f"unknown opcode {op!r}")
+        vector_cycles = max(
+            compute_cycles, math.ceil(load_count / 2), store_count
+        )
+        cycles = self.overhead_cycles + scalar_cycles + vector_cycles
+        return ExecutionResult(
+            cycles=cycles,
+            instructions=len(program),
+            scalar_registers=dict(self.sregs),
+            memory=self.memory,
+        )
+
+    def _execute_vector(self, inst: Instruction) -> None:
+        op = inst.opcode
+        if op == "vload":
+            label, offset = inst.sources
+            self.vregs[inst.dest] = self._memory_slice(label, offset).copy()
+        elif op == "vstore":
+            (src, offset) = inst.sources[1], inst.sources[2]
+            label = inst.sources[0]
+            self._memory_slice(label, offset)[:] = self._vector(src)
+        elif op == "vfma":
+            acc, a, b = inst.sources
+            self.vregs[inst.dest] = self._vector(acc) + self._vector(
+                a
+            ) * self._vector(b)
+        elif op == "vmul":
+            a, b = inst.sources
+            self.vregs[inst.dest] = self._vector(a) * self._vector(b)
+        elif op == "vreduce":
+            (src,) = inst.sources
+            self.sregs[inst.dest] = float(np.sum(self._vector(src)))
+        elif op == "vbcast":
+            (src,) = inst.sources
+            self.vregs[inst.dest] = np.full(LANES, self._scalar(src))
+        else:  # pragma: no cover - guarded by execute()
+            raise SimulationError(f"unhandled vector opcode {op!r}")
+
+    def _execute_scalar(self, inst: Instruction) -> None:
+        op = inst.opcode
+        if op == "sdiv":
+            a, b = inst.sources
+            denom = self._scalar(b)
+            if denom == 0.0:
+                raise SimulationError("scalar divide by zero")
+            self.sregs[inst.dest] = self._scalar(a) / denom
+        elif op == "ssqrt":
+            (a,) = inst.sources
+            value = self._scalar(a)
+            if value < 0.0:
+                raise SimulationError("scalar sqrt of negative value")
+            self.sregs[inst.dest] = math.sqrt(value)
+        elif op == "sadd":
+            a, b = inst.sources
+            self.sregs[inst.dest] = self._scalar(a) + self._scalar(b)
+        elif op == "smul":
+            a, b = inst.sources
+            self.sregs[inst.dest] = self._scalar(a) * self._scalar(b)
+        elif op == "sabs":
+            (a,) = inst.sources
+            self.sregs[inst.dest] = abs(self._scalar(a))
+        elif op == "ssign":
+            (a,) = inst.sources
+            self.sregs[inst.dest] = math.copysign(1.0, self._scalar(a))
+        elif op == "smov":
+            (a,) = inst.sources
+            self.sregs[inst.dest] = self._scalar(a)
+        else:  # pragma: no cover - guarded by execute()
+            raise SimulationError(f"unhandled scalar opcode {op!r}")
+
+
+def build_orth_kernel(m: int) -> List[Instruction]:
+    """Assemble the orthogonalization kernel for column length ``m``.
+
+    Structure (matching the operation budget of
+    :func:`repro.versal.kernels.orth_kernel_cycles`):
+
+    1. fused dot-product pass: per 8-lane chunk, three ``vfma`` into
+       the ``alpha``/``beta``/``gamma`` accumulators (one shared
+       ``vload`` pair per chunk);
+    2. three horizontal reductions;
+    3. scalar rotation parameters (Eqs. 4-5);
+    4. update pass: per chunk, compute ``b_i = c a_i - s a_j`` and
+       ``b_j = s a_i + c a_j`` with two ``vmul`` + two ``vfma``.
+
+    ``m`` must be a multiple of 8 (the hardware pads columns to the
+    vector width).
+    """
+    if m < LANES or m % LANES != 0:
+        raise SimulationError(
+            f"column length must be a positive multiple of {LANES}, got {m}"
+        )
+    program: List[Instruction] = []
+    # Zero accumulators via broadcast of an immediate.
+    program.append(Instruction("smov", "zero", (0.0,)))
+    for acc in ("vacc_a", "vacc_b", "vacc_g"):
+        program.append(Instruction("vbcast", acc, ("zero",)))
+
+    # Pass 1: dots.
+    for offset in range(0, m, LANES):
+        program.append(Instruction("vload", "vai", ("ai", offset)))
+        program.append(Instruction("vload", "vaj", ("aj", offset)))
+        program.append(Instruction("vfma", "vacc_a", ("vacc_a", "vai", "vai")))
+        program.append(Instruction("vfma", "vacc_b", ("vacc_b", "vaj", "vaj")))
+        program.append(Instruction("vfma", "vacc_g", ("vacc_g", "vai", "vaj")))
+    program.append(Instruction("vreduce", "alpha", ("vacc_a",)))
+    program.append(Instruction("vreduce", "beta", ("vacc_b",)))
+    program.append(Instruction("vreduce", "gamma", ("vacc_g",)))
+
+    # Scalar rotation math (Eqs. 4-5):
+    #   tau = (beta - alpha) / (2 |gamma|)
+    #   t = sign(tau) / (|tau| + sqrt(1 + tau^2))
+    #   c = 1 / sqrt(1 + t^2);  s = sign(gamma) t c
+    program.extend(
+        [
+            Instruction("sabs", "abs_g", ("gamma",)),
+            Instruction("smul", "den", (2.0, "abs_g")),
+            Instruction("smul", "neg_a", (-1.0, "alpha")),
+            Instruction("sadd", "num", ("beta", "neg_a")),
+            Instruction("sdiv", "tau", ("num", "den")),
+            Instruction("smul", "tau2", ("tau", "tau")),
+            Instruction("sadd", "tau2p1", ("tau2", 1.0)),
+            Instruction("ssqrt", "rt", ("tau2p1",)),
+            Instruction("sabs", "abs_tau", ("tau",)),
+            Instruction("sadd", "tden", ("abs_tau", "rt")),
+            Instruction("ssign", "sgn_tau", ("tau",)),
+            Instruction("sdiv", "t", ("sgn_tau", "tden")),
+            Instruction("smul", "t2", ("t", "t")),
+            Instruction("sadd", "t2p1", ("t2", 1.0)),
+            Instruction("ssqrt", "rc", ("t2p1",)),
+            Instruction("sdiv", "c", (1.0, "rc")),
+            Instruction("ssign", "sgn_g", ("gamma",)),
+            Instruction("smul", "tc", ("t", "c")),
+            Instruction("smul", "s", ("sgn_g", "tc")),
+            Instruction("smul", "neg_s", (-1.0, "s")),
+        ]
+    )
+    program.append(Instruction("vbcast", "vc", ("c",)))
+    program.append(Instruction("vbcast", "vs", ("s",)))
+    program.append(Instruction("vbcast", "vns", ("neg_s",)))
+
+    # Pass 2: rotation update.
+    for offset in range(0, m, LANES):
+        program.append(Instruction("vload", "vai", ("ai", offset)))
+        program.append(Instruction("vload", "vaj", ("aj", offset)))
+        # b_i = c*a_i - s*a_j
+        program.append(Instruction("vmul", "vbi", ("vc", "vai")))
+        program.append(Instruction("vfma", "vbi", ("vbi", "vns", "vaj")))
+        # b_j = s*a_i + c*a_j
+        program.append(Instruction("vmul", "vbj", ("vs", "vai")))
+        program.append(Instruction("vfma", "vbj", ("vbj", "vc", "vaj")))
+        program.append(Instruction("vstore", "mem", ("bi", "vbi", offset)))
+        program.append(Instruction("vstore", "mem", ("bj", "vbj", offset)))
+    return program
+
+
+def parse_program(text: str) -> List[Instruction]:
+    """Assemble a program from its textual form.
+
+    One instruction per line: ``opcode dest, src1, src2, ...``.
+    Operands that parse as numbers become immediates; ``#`` starts a
+    comment; blank lines are skipped.  Example::
+
+        smov  zero, 0.0
+        vbcast vacc, zero
+        vload  vai, ai, 0
+        vfma   vacc, vacc, vai, vai
+        vreduce alpha, vacc
+
+    Raises:
+        SimulationError: for malformed lines or unknown opcodes.
+    """
+    program: List[Instruction] = []
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split(None, 1)
+        opcode = parts[0]
+        if opcode not in VECTOR_LATENCY and opcode not in SCALAR_LATENCY:
+            raise SimulationError(
+                f"line {line_number}: unknown opcode {opcode!r}"
+            )
+        if len(parts) < 2:
+            raise SimulationError(
+                f"line {line_number}: missing operands for {opcode!r}"
+            )
+        operands = [token.strip() for token in parts[1].split(",")]
+        if not operands or not operands[0]:
+            raise SimulationError(
+                f"line {line_number}: missing destination for {opcode!r}"
+            )
+        dest = operands[0]
+        sources = []
+        for token in operands[1:]:
+            try:
+                sources.append(int(token))
+                continue
+            except ValueError:
+                pass
+            try:
+                sources.append(float(token))
+                continue
+            except ValueError:
+                sources.append(token)
+        program.append(
+            Instruction(opcode=opcode, dest=dest, sources=tuple(sources))
+        )
+    return program
+
+
+def build_norm_kernel(m: int) -> List[Instruction]:
+    """Assemble the normalization kernel for one column (Eq. 7).
+
+    Structure (matching :func:`repro.versal.kernels.norm_kernel_cycles`):
+
+    1. squared-norm reduction over the column,
+    2. scalar ``sigma = sqrt(.)`` and reciprocal,
+    3. scaled copy ``u = b / sigma`` streamed back out.
+    """
+    if m < LANES or m % LANES != 0:
+        raise SimulationError(
+            f"column length must be a positive multiple of {LANES}, got {m}"
+        )
+    program: List[Instruction] = []
+    program.append(Instruction("smov", "zero", (0.0,)))
+    program.append(Instruction("vbcast", "vacc", ("zero",)))
+    for offset in range(0, m, LANES):
+        program.append(Instruction("vload", "vb", ("b", offset)))
+        program.append(Instruction("vfma", "vacc", ("vacc", "vb", "vb")))
+    program.append(Instruction("vreduce", "norm_sq", ("vacc",)))
+    program.append(Instruction("ssqrt", "sigma", ("norm_sq",)))
+    program.append(Instruction("sdiv", "inv_sigma", (1.0, "sigma")))
+    program.append(Instruction("vbcast", "vinv", ("inv_sigma",)))
+    for offset in range(0, m, LANES):
+        program.append(Instruction("vload", "vb", ("b", offset)))
+        program.append(Instruction("vmul", "vu", ("vinv", "vb")))
+        program.append(Instruction("vstore", "mem", ("u", "vu", offset)))
+    return program
+
+
+def run_norm_kernel(
+    b: np.ndarray, overhead_cycles: int = 0
+) -> "tuple[np.ndarray, float, ExecutionResult]":
+    """Execute the assembled norm kernel on one column.
+
+    Returns ``(u, sigma, record)``; the column must be nonzero (the
+    hardware routes zero columns around the divide).
+    """
+    b = np.asarray(b, dtype=float)
+    if b.ndim != 1:
+        raise SimulationError(f"expected a column vector, got shape {b.shape}")
+    core = AIECoreModel(
+        memory={"b": b, "u": np.zeros_like(b)},
+        overhead_cycles=overhead_cycles,
+    )
+    result = core.execute(build_norm_kernel(len(b)))
+    return (
+        result.memory["u"].copy(),
+        result.scalar_registers["sigma"],
+        result,
+    )
+
+
+def run_orth_kernel(
+    ai: np.ndarray, aj: np.ndarray, overhead_cycles: int = 0
+) -> "tuple[np.ndarray, np.ndarray, ExecutionResult]":
+    """Execute the assembled orth kernel on a column pair.
+
+    Returns the rotated columns and the execution record.  The pair is
+    assumed non-orthogonal (``gamma != 0``); callers replicate the
+    hardware's early-exit for converged pairs.
+    """
+    ai = np.asarray(ai, dtype=float)
+    aj = np.asarray(aj, dtype=float)
+    if ai.shape != aj.shape or ai.ndim != 1:
+        raise SimulationError(
+            f"mismatched column shapes: {ai.shape} vs {aj.shape}"
+        )
+    core = AIECoreModel(
+        memory={
+            "ai": ai,
+            "aj": aj,
+            "bi": np.zeros_like(ai),
+            "bj": np.zeros_like(aj),
+        },
+        overhead_cycles=overhead_cycles,
+    )
+    result = core.execute(build_orth_kernel(len(ai)))
+    return result.memory["bi"].copy(), result.memory["bj"].copy(), result

@@ -1,0 +1,121 @@
+"""The AIE array: a grid of tiles with topology queries.
+
+Wraps the tile grid and provides the neighbour-accessibility relation
+the movement classifier (:mod:`repro.core.dataflow`) and the placement
+engine (:mod:`repro.core.placement`) are built on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import HardwareModelError
+from repro.versal.device import DeviceSpec, VCK190
+from repro.versal.tile import AIETile, TileKind
+
+Coord = Tuple[int, int]
+
+
+class AIEArray:
+    """A ``rows x cols`` grid of :class:`AIETile`.
+
+    Args:
+        device: Device description supplying the geometry; defaults to
+            the VCK190's 8 x 50 array.
+        rows / cols: Optional overrides, used by unit tests to build
+            small arrays.
+    """
+
+    def __init__(
+        self,
+        device: DeviceSpec = VCK190,
+        rows: Optional[int] = None,
+        cols: Optional[int] = None,
+    ):
+        self.device = device
+        self.rows = rows if rows is not None else device.aie_rows
+        self.cols = cols if cols is not None else device.aie_cols
+        if self.rows < 1 or self.cols < 1:
+            raise HardwareModelError(
+                f"array must have positive dimensions, got {self.rows}x{self.cols}"
+            )
+        self._tiles: Dict[Coord, AIETile] = {
+            (r, c): AIETile(row=r, col=c)
+            for r in range(self.rows)
+            for c in range(self.cols)
+        }
+
+    # -- basic access ------------------------------------------------------
+    def tile(self, row: int, col: int) -> AIETile:
+        """The tile at ``(row, col)``.
+
+        Raises:
+            HardwareModelError: for out-of-range coordinates.
+        """
+        try:
+            return self._tiles[(row, col)]
+        except KeyError:
+            raise HardwareModelError(
+                f"tile ({row},{col}) outside array {self.rows}x{self.cols}"
+            ) from None
+
+    def __contains__(self, coord: Coord) -> bool:
+        return coord in self._tiles
+
+    def __iter__(self) -> Iterator[AIETile]:
+        return iter(self._tiles.values())
+
+    @property
+    def n_tiles(self) -> int:
+        """Total tile count."""
+        return self.rows * self.cols
+
+    # -- topology ----------------------------------------------------------
+    def is_neighbor_accessible(self, core: Coord, memory: Coord) -> bool:
+        """True when the core at ``core`` reaches ``memory``'s module directly.
+
+        This is the blue-arrow relation of Fig. 1(a); anything else needs
+        DMA or a stream.
+        """
+        if memory not in self._tiles:
+            return False
+        tile = self.tile(*core)
+        return memory in tile.accessible_memories(self.rows, self.cols)
+
+    def accessible_memories(self, core: Coord) -> List[Coord]:
+        """All memory modules directly reachable from ``core``."""
+        tile = self.tile(*core)
+        return sorted(tile.accessible_memories(self.rows, self.cols))
+
+    # -- placement bookkeeping ----------------------------------------------
+    def assign(self, coord: Coord, kind: TileKind) -> None:
+        """Assign a placement role to a tile.
+
+        Raises:
+            HardwareModelError: if the tile already has a non-idle role.
+        """
+        tile = self.tile(*coord)
+        if tile.kind is not TileKind.IDLE and kind is not TileKind.IDLE:
+            raise HardwareModelError(
+                f"tile {coord} already assigned as {tile.kind.value}"
+            )
+        tile.kind = kind
+
+    def tiles_of_kind(self, kind: TileKind) -> List[AIETile]:
+        """All tiles with a given role, row-major order."""
+        return [t for t in self if t.kind is kind]
+
+    def count_of_kind(self, kind: TileKind) -> int:
+        """Number of tiles with a given role."""
+        return sum(1 for t in self if t.kind is kind)
+
+    def utilization(self) -> float:
+        """Fraction of tiles with any non-idle role."""
+        busy = sum(1 for t in self if t.kind is not TileKind.IDLE)
+        return busy / self.n_tiles
+
+    def clear_assignments(self) -> None:
+        """Reset every tile to IDLE and drop memory contents."""
+        for t in self:
+            t.kind = TileKind.IDLE
+            t.memory.reset()

@@ -1,0 +1,124 @@
+"""Inter-AIE data movement mechanisms (paper Fig. 1).
+
+Three mechanisms move data between tiles:
+
+* **Neighbour access** — a core reads/writes a physically adjacent
+  memory module directly.  Fastest, no extra buffering.
+* **DMA** — tile DMA engines copy data over the stream network between
+  non-adjacent tiles.  Needs a second buffer at the destination (twice
+  the memory) and moves fewer bits per cycle than neighbour access.
+* **Streams** — 32-bit switched streams used for PLIO traffic and for
+  one-to-many communication: *broadcast* (static multicast) and
+  *dynamic forwarding* (packet headers select the destination).  Rate
+  comparable to DMA (Section II-B).
+
+The relative rates below are expressed in bits per AIE cycle and are
+the knobs of the timing simulation; they were chosen to match public
+AIE1 figures (256-bit memory interfaces, 32-bit streams).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import CommunicationError
+from repro.versal.array import AIEArray
+
+Coord = Tuple[int, int]
+
+
+class TransferKind(enum.Enum):
+    """How a piece of data moves between producer and consumer."""
+
+    NEIGHBOR = "neighbor"
+    DMA = "dma"
+    STREAM_BROADCAST = "stream_broadcast"
+    STREAM_FORWARD = "stream_forward"
+
+
+#: Effective bandwidth of each mechanism in bits per AIE cycle.
+TRANSFER_BITS_PER_CYCLE = {
+    TransferKind.NEIGHBOR: 256,
+    TransferKind.DMA: 32,
+    TransferKind.STREAM_BROADCAST: 32,
+    TransferKind.STREAM_FORWARD: 32,
+}
+
+#: Fixed start-up cost (cycles) per transfer: lock acquisition for
+#: neighbour access; descriptor setup for DMA; packet header for
+#: forwarded streams.
+TRANSFER_SETUP_CYCLES = {
+    TransferKind.NEIGHBOR: 4,
+    TransferKind.DMA: 50,
+    TransferKind.STREAM_BROADCAST: 10,
+    TransferKind.STREAM_FORWARD: 12,
+}
+
+#: DMA needs a ping buffer at the destination on top of the payload.
+MEMORY_OVERHEAD_FACTOR = {
+    TransferKind.NEIGHBOR: 1,
+    TransferKind.DMA: 2,
+    TransferKind.STREAM_BROADCAST: 1,
+    TransferKind.STREAM_FORWARD: 1,
+}
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One data movement between tiles (or between PL and a tile).
+
+    Attributes:
+        src: Producer tile coordinate (None when the producer is the PL).
+        dst: Consumer tile coordinate (None when the consumer is the PL).
+        bits: Payload size.
+        kind: Movement mechanism.
+    """
+
+    src: Optional[Coord]
+    dst: Optional[Coord]
+    bits: int
+    kind: TransferKind
+
+    @property
+    def cycles(self) -> float:
+        """AIE-clock cycles the transfer occupies."""
+        return transfer_cycles(self.kind, self.bits)
+
+    @property
+    def memory_bits(self) -> int:
+        """Destination memory footprint including DMA double-buffering."""
+        return self.bits * MEMORY_OVERHEAD_FACTOR[self.kind]
+
+
+def transfer_cycles(kind: TransferKind, bits: int) -> float:
+    """Cycles needed to move ``bits`` with the given mechanism."""
+    if bits < 0:
+        raise CommunicationError(f"negative payload: {bits}")
+    rate = TRANSFER_BITS_PER_CYCLE[kind]
+    return TRANSFER_SETUP_CYCLES[kind] + bits / rate
+
+
+def classify_move(
+    array: AIEArray,
+    producer_memory: Coord,
+    consumer_core: Coord,
+) -> TransferKind:
+    """Mechanism required for a consumer to read a produced buffer.
+
+    If the consumer core can address the memory module holding the data
+    (the blue-arrow relation of Fig. 1a) the move is a NEIGHBOR access;
+    otherwise the data must be copied by DMA.
+
+    Raises:
+        CommunicationError: when either coordinate is outside the array.
+    """
+    if producer_memory not in array or consumer_core not in array:
+        raise CommunicationError(
+            f"coordinates outside array: mem={producer_memory}, "
+            f"core={consumer_core}"
+        )
+    if array.is_neighbor_accessible(consumer_core, producer_memory):
+        return TransferKind.NEIGHBOR
+    return TransferKind.DMA

@@ -1,0 +1,105 @@
+"""Device description and resource budgets for the target platform.
+
+The experiments run on a VCK190 evaluation board (VC1902 device).  The
+numbers below are taken from the paper where stated and from public
+device tables otherwise; the utilization percentages the paper reports
+(Table II and Table VI) pin the totals it assumed:
+
+* AIE array: 8 rows x 50 columns = 400 tiles (Table VI: 293 AIEs =
+  73.25%, so the budget is 400).
+* URAM: Table VI reports 416 URAMs = 89.85% -> 463 total.
+* BRAM: VC1902 carries 967 BRAM36 blocks.
+* PLIO: HeteroSVD uses 6 PLIOs per task and explores P_task up to 26,
+  so the usable PLIO budget is 156.
+* AIE clock 1.25 GHz; PL clock is a design parameter (200-450 MHz in
+  the paper's experiments).
+* PLIO bandwidth: 24 GB/s AIE->PL and 32 GB/s PL->AIE (Section II-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.units import ghz, gbytes_per_s_to_bits_per_s, kib
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of a Versal device + board.
+
+    All resource budgets are the denominators used for utilization
+    reporting and the ``C_i`` limits of the DSE constraints (Eq. 16).
+    """
+
+    name: str
+    #: AIE array geometry.
+    aie_rows: int
+    aie_cols: int
+    #: AIE core clock in Hz.
+    aie_frequency_hz: float
+    #: Memory banks per AIE tile and bits per bank.
+    banks_per_tile: int
+    bank_bits: int
+    #: Stream bandwidth of one PLIO, bits per second, per direction.
+    plio_aie_to_pl_bits_per_s: float
+    plio_pl_to_aie_bits_per_s: float
+    #: Bit width of a PLIO stream as seen by the PL clock domain
+    #: (used by Eq. 8: bits transferred per PL cycle).
+    plio_width_bits: int
+    #: Resource budgets (the C_i of Eq. 16).
+    max_aie: int
+    max_plio: int
+    max_bram: int
+    max_uram: int
+    #: Capacity of one URAM block in bits (288 Kb) and one BRAM36 (36 Kb).
+    uram_bits: int
+    bram_bits: int
+    #: Peak fp32 multiply-accumulates one AIE core retires per cycle.
+    macs_per_cycle: int
+    #: Achievable PL clock range in Hz (min, max).
+    pl_frequency_range_hz: "tuple[float, float]"
+    #: DDR bandwidth available to the data arrangement module, bits/s.
+    ddr_bandwidth_bits_per_s: float
+
+    @property
+    def n_tiles(self) -> int:
+        """Total AIE tiles in the array."""
+        return self.aie_rows * self.aie_cols
+
+    @property
+    def tile_memory_bits(self) -> int:
+        """Local data memory per tile (4 x 8 KB on AIE1)."""
+        return self.banks_per_tile * self.bank_bits
+
+    def budgets(self) -> Dict[str, float]:
+        """The DSE resource budgets keyed by resource name."""
+        return {
+            "AIE": self.max_aie,
+            "PLIO": self.max_plio,
+            "BRAM": self.max_bram,
+            "URAM": self.max_uram,
+        }
+
+
+#: The evaluation board used throughout the paper's experiments.
+VCK190 = DeviceSpec(
+    name="VCK190 (VC1902)",
+    aie_rows=8,
+    aie_cols=50,
+    aie_frequency_hz=ghz(1.25),
+    banks_per_tile=4,
+    bank_bits=kib(8),
+    plio_aie_to_pl_bits_per_s=gbytes_per_s_to_bits_per_s(24.0),
+    plio_pl_to_aie_bits_per_s=gbytes_per_s_to_bits_per_s(32.0),
+    plio_width_bits=128,
+    max_aie=400,
+    max_plio=156,
+    max_bram=967,
+    max_uram=463,
+    uram_bits=288 * 1024,
+    bram_bits=36 * 1024,
+    macs_per_cycle=8,
+    pl_frequency_range_hz=(ghz(0.15), ghz(0.50)),
+    ddr_bandwidth_bits_per_s=gbytes_per_s_to_bits_per_s(25.6),
+)

@@ -1,0 +1,131 @@
+"""Stream-switch interconnect: routes between tiles and the PL shim.
+
+Every AIE tile contains a stream switch; switches connect to their four
+neighbours and, in the bottom row, to the PL through shim tiles.  DMA
+transfers and dynamically-forwarded packets travel hop by hop through
+these switches, so the latency of a non-neighbour transfer grows with
+the Manhattan distance between source and destination.
+
+This module computes deterministic dimension-ordered (X then Y) routes,
+their hop counts and latencies, and aggregates link occupancy so tests
+can check for pathological congestion in a placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import RoutingError
+from repro.versal.array import AIEArray
+
+Coord = Tuple[int, int]
+
+#: Cycles a stream word spends in one switch hop (register + arbitration).
+HOP_CYCLES = 2
+
+#: Cycles to enter the stream network from a tile DMA or a shim port.
+INJECTION_CYCLES = 3
+
+
+@dataclass(frozen=True)
+class StreamRoute:
+    """A unidirectional route through the stream-switch network.
+
+    Attributes:
+        source: Origin tile (or shim column, row -1, for PLIO traffic).
+        destination: Target tile.
+        hops: Switch coordinates traversed, source first, target last.
+    """
+
+    source: Coord
+    destination: Coord
+    hops: "tuple[Coord, ...]"
+
+    @property
+    def hop_count(self) -> int:
+        """Number of switch-to-switch links traversed."""
+        return len(self.hops) - 1
+
+    @property
+    def latency_cycles(self) -> int:
+        """Head latency of the route (pipelined: one word per cycle after)."""
+        return INJECTION_CYCLES + HOP_CYCLES * self.hop_count
+
+    def links(self) -> List["tuple[Coord, Coord]"]:
+        """The directed links the route occupies."""
+        return [
+            (self.hops[i], self.hops[i + 1]) for i in range(self.hop_count)
+        ]
+
+
+def _validate(array: AIEArray, coord: Coord, what: str) -> None:
+    row, col = coord
+    if not (0 <= col < array.cols):
+        raise RoutingError(f"{what} {coord} outside array columns")
+    if not (-1 <= row < array.rows):
+        raise RoutingError(f"{what} {coord} outside array rows")
+
+
+def route(array: AIEArray, source: Coord, destination: Coord) -> StreamRoute:
+    """Dimension-ordered route (X first, then Y) between two points.
+
+    Row ``-1`` denotes the shim row under the array: PLIO traffic enters
+    at ``(-1, col)`` and climbs into the array.
+
+    Raises:
+        RoutingError: for coordinates outside the array (or shim).
+    """
+    _validate(array, source, "source")
+    _validate(array, destination, "destination")
+    hops: List[Coord] = [source]
+    row, col = source
+    step = 1 if destination[1] > col else -1
+    while col != destination[1]:
+        col += step
+        hops.append((row, col))
+    step = 1 if destination[0] > row else -1
+    while row != destination[0]:
+        row += step
+        hops.append((row, col))
+    return StreamRoute(source=source, destination=destination, hops=tuple(hops))
+
+
+def shim_route(array: AIEArray, shim_col: int, destination: Coord) -> StreamRoute:
+    """Route for PLIO traffic entering at shim column ``shim_col``."""
+    return route(array, (-1, shim_col), destination)
+
+
+def dma_route_cycles(array: AIEArray, source: Coord, destination: Coord) -> int:
+    """Head latency (cycles) of a DMA transfer between two tiles."""
+    return route(array, source, destination).latency_cycles
+
+
+class LinkOccupancy:
+    """Aggregates how many routes use each directed link.
+
+    Used to sanity-check placements: the stream network has a handful
+    of channels per direction, so a link oversubscribed by many
+    concurrent routes indicates a congested design.
+    """
+
+    def __init__(self):
+        self._counts: Dict["tuple[Coord, Coord]", int] = {}
+
+    def add(self, stream_route: StreamRoute) -> None:
+        """Account one route's links."""
+        for link in stream_route.links():
+            self._counts[link] = self._counts.get(link, 0) + 1
+
+    def max_occupancy(self) -> int:
+        """Routes on the busiest link (0 when nothing is routed)."""
+        return max(self._counts.values(), default=0)
+
+    def occupancy(self, src: Coord, dst: Coord) -> int:
+        """Routes using one directed link."""
+        return self._counts.get((src, dst), 0)
+
+    def busiest_links(self, top: int = 5) -> List["tuple[tuple[Coord, Coord], int]"]:
+        """The ``top`` most occupied links, descending."""
+        ranked = sorted(self._counts.items(), key=lambda kv: -kv[1])
+        return ranked[:top]

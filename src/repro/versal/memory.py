@@ -1,0 +1,129 @@
+"""AIE tile local memory: four 8 KB banks with a first-fit allocator.
+
+The co-design cares about memory for two reasons: (1) DMA transfers
+require a *second* copy of the data in the destination tile ("twice the
+memory resources", Section II-B), which is why mem-AIEs exist, and
+(2) a tile's 32 KB ceiling bounds how long a column an orth-AIE can
+hold, which bounds ``P_eng`` for large matrices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import MemoryAllocationError
+from repro.units import kib
+
+#: AIE1 tile data memory: 4 banks x 8 KB.
+DEFAULT_BANK_BITS = kib(8)
+DEFAULT_N_BANKS = 4
+
+
+@dataclass
+class MemoryBank:
+    """A single memory bank with simple linear occupancy accounting."""
+
+    capacity_bits: int = DEFAULT_BANK_BITS
+    used_bits: int = 0
+
+    @property
+    def free_bits(self) -> int:
+        """Remaining capacity of this bank."""
+        return self.capacity_bits - self.used_bits
+
+    def allocate(self, bits: int) -> None:
+        """Reserve ``bits`` in this bank.
+
+        Raises:
+            MemoryAllocationError: when the bank cannot hold the request.
+        """
+        if bits < 0:
+            raise MemoryAllocationError(f"negative allocation: {bits}")
+        if bits > self.free_bits:
+            raise MemoryAllocationError(
+                f"bank overflow: requested {bits} bits, free {self.free_bits}"
+            )
+        self.used_bits += bits
+
+    def release(self, bits: int) -> None:
+        """Return ``bits`` to this bank."""
+        if bits < 0 or bits > self.used_bits:
+            raise MemoryAllocationError(
+                f"invalid release of {bits} bits (used {self.used_bits})"
+            )
+        self.used_bits -= bits
+
+
+@dataclass
+class MemoryModule:
+    """A tile's data memory: named buffers spread over the banks.
+
+    Buffers never span banks (matching the hardware's bank-local
+    addressing for kernel I/O buffers), so a request larger than one
+    bank is rejected even if total free space would suffice.
+    """
+
+    banks: List[MemoryBank] = field(
+        default_factory=lambda: [MemoryBank() for _ in range(DEFAULT_N_BANKS)]
+    )
+    _buffers: Dict[str, "tuple[int, int]"] = field(default_factory=dict)
+
+    @property
+    def capacity_bits(self) -> int:
+        """Total capacity over all banks."""
+        return sum(bank.capacity_bits for bank in self.banks)
+
+    @property
+    def used_bits(self) -> int:
+        """Total bits currently allocated."""
+        return sum(bank.used_bits for bank in self.banks)
+
+    @property
+    def free_bits(self) -> int:
+        """Total bits currently free (may be fragmented across banks)."""
+        return self.capacity_bits - self.used_bits
+
+    def buffer_names(self) -> List[str]:
+        """Names of live buffers, in allocation order."""
+        return list(self._buffers)
+
+    def allocate(self, name: str, bits: int) -> int:
+        """Place a named buffer in the first bank that fits.
+
+        Returns:
+            The index of the bank holding the buffer.
+
+        Raises:
+            MemoryAllocationError: duplicate name, or no bank can hold
+                the request.
+        """
+        if name in self._buffers:
+            raise MemoryAllocationError(f"buffer {name!r} already allocated")
+        for index, bank in enumerate(self.banks):
+            if bits <= bank.free_bits:
+                bank.allocate(bits)
+                self._buffers[name] = (index, bits)
+                return index
+        raise MemoryAllocationError(
+            f"no bank can hold buffer {name!r} of {bits} bits "
+            f"(per-bank free: {[bank.free_bits for bank in self.banks]})"
+        )
+
+    def release(self, name: str) -> None:
+        """Free a named buffer."""
+        if name not in self._buffers:
+            raise MemoryAllocationError(f"unknown buffer {name!r}")
+        index, bits = self._buffers.pop(name)
+        self.banks[index].release(bits)
+
+    def bank_of(self, name: str) -> Optional[int]:
+        """Bank index of a live buffer, or None if not present."""
+        entry = self._buffers.get(name)
+        return entry[0] if entry else None
+
+    def reset(self) -> None:
+        """Drop all buffers (used between simulated tasks)."""
+        for bank in self.banks:
+            bank.used_bits = 0
+        self._buffers.clear()

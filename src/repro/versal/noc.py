@@ -1,0 +1,48 @@
+"""NoC / DDR channel model.
+
+The data arrangement module loads the input matrix from DDR through the
+NoC and writes back the results.  The paper models DDR's contribution
+as the serialized first-iteration load, ``t_DDR = num * t_Tx``
+(Eq. 12): block pairs cannot be fetched concurrently, so the pipeline
+ramps up at PLIO speed during iteration one.  This module supplies the
+underlying channel arithmetic plus a bulk-transfer helper for the
+result write-back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CommunicationError
+from repro.versal.device import DeviceSpec, VCK190
+
+
+@dataclass(frozen=True)
+class DDRChannel:
+    """A DDR access channel behind the NoC.
+
+    Attributes:
+        device: Device supplying the channel bandwidth.
+        efficiency: Fraction of peak bandwidth sustained for the
+            streaming access pattern of the data arrangement module.
+    """
+
+    device: DeviceSpec = VCK190
+    efficiency: float = 0.8
+
+    def __post_init__(self):
+        if not 0 < self.efficiency <= 1:
+            raise CommunicationError(
+                f"efficiency must be in (0, 1], got {self.efficiency}"
+            )
+
+    @property
+    def bits_per_s(self) -> float:
+        """Sustained DDR bandwidth."""
+        return self.device.ddr_bandwidth_bits_per_s * self.efficiency
+
+    def transfer_seconds(self, bits: int) -> float:
+        """Time to stream ``bits`` to or from DDR."""
+        if bits < 0:
+            raise CommunicationError(f"negative payload: {bits}")
+        return bits / self.bits_per_s

@@ -1,0 +1,83 @@
+"""PLIO: the stream interfaces between the PL and the AIE array.
+
+A PLIO port moves ``plio_width_bits`` per PL clock cycle, which is the
+``bandwidth`` term of the paper's Eq. 8:
+
+.. math::
+
+    t_{Tx,Rx} = \\frac{databits}{bandwidth \\cdot frequency}.
+
+The absolute ceilings (24 GB/s AIE->PL, 32 GB/s PL->AIE) cap the rate
+when a high PL clock would otherwise exceed what the AIE-side stream
+can absorb.
+
+HeteroSVD uses 6 PLIOs per task pipeline: four feeding the orth-AIEs
+(left/right column of each block, Tx and Rx) and two for the norm-AIEs
+(Section III-C).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import CommunicationError
+from repro.versal.device import DeviceSpec, VCK190
+
+#: PLIOs consumed by one task pipeline (4 orth + 2 norm).
+PLIOS_PER_TASK = 6
+#: Of which, feeding the orthogonalization stage.
+ORTH_PLIOS_PER_TASK = 4
+#: And the normalization stage.
+NORM_PLIOS_PER_TASK = 2
+
+
+class PLIODirection(enum.Enum):
+    """Direction of a PLIO stream."""
+
+    PL_TO_AIE = "pl_to_aie"
+    AIE_TO_PL = "aie_to_pl"
+
+
+@dataclass(frozen=True)
+class PLIOPort:
+    """One PL<->AIE stream interface.
+
+    Attributes:
+        index: Port number within the design.
+        direction: Stream direction.
+        width_bits: Bits moved per PL cycle.
+        device: Device supplying the absolute bandwidth ceilings.
+    """
+
+    index: int
+    direction: PLIODirection
+    width_bits: int = VCK190.plio_width_bits
+    device: DeviceSpec = VCK190
+
+    def bandwidth_ceiling_bits_per_s(self) -> float:
+        """Absolute per-direction bandwidth limit of the AIE interface."""
+        if self.direction is PLIODirection.AIE_TO_PL:
+            return self.device.plio_aie_to_pl_bits_per_s
+        return self.device.plio_pl_to_aie_bits_per_s
+
+    def effective_bits_per_s(self, pl_frequency_hz: float) -> float:
+        """Achievable rate at a PL clock: min(width x f, interface cap)."""
+        if pl_frequency_hz <= 0:
+            raise CommunicationError(
+                f"PL frequency must be positive, got {pl_frequency_hz}"
+            )
+        return min(
+            self.width_bits * pl_frequency_hz,
+            self.bandwidth_ceiling_bits_per_s(),
+        )
+
+    def transfer_seconds(self, bits: int, pl_frequency_hz: float) -> float:
+        """Time to move ``bits`` through this port (Eq. 8)."""
+        if bits < 0:
+            raise CommunicationError(f"negative payload: {bits}")
+        return bits / self.effective_bits_per_s(pl_frequency_hz)
+
+    def transfer_pl_cycles(self, bits: int, pl_frequency_hz: float) -> float:
+        """Same as :meth:`transfer_seconds` expressed in PL cycles."""
+        return self.transfer_seconds(bits, pl_frequency_hz) * pl_frequency_hz

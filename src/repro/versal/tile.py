@@ -1,0 +1,96 @@
+"""AIE tile model: computation core + local memory + stream switch.
+
+The property HeteroSVD's co-design exploits is the *mirrored* floorplan
+of neighbouring AIE rows (paper Section III-B): in even rows each core
+sits to the **left** of its local memory; in odd rows the core sits to
+the **right**.  A core can directly address (without DMA) the memory
+modules physically adjacent to it: its own, the tiles immediately north
+and south, and the horizontally adjacent module — which belongs to the
+**west** neighbour in even rows and the **east** neighbour in odd rows.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, Tuple
+
+from repro.versal.memory import MemoryModule
+
+Coord = Tuple[int, int]
+
+
+class MemorySide(enum.Enum):
+    """Which side of its computation core a tile's memory sits on."""
+
+    EAST = "east"
+    WEST = "west"
+
+
+class TileKind(enum.Enum):
+    """Role assigned to a tile by the HeteroSVD placement (Fig. 5)."""
+
+    IDLE = "idle"
+    ORTH = "orth"
+    NORM = "norm"
+    MEM = "mem"
+
+
+def memory_side_of_row(row: int) -> MemorySide:
+    """Memory side for a given array row.
+
+    Even rows: core left of memory -> the memory is EAST of the core.
+    Odd rows: mirrored -> memory WEST of the core.
+    """
+    return MemorySide.EAST if row % 2 == 0 else MemorySide.WEST
+
+
+@dataclass
+class AIETile:
+    """One tile of the AIE array.
+
+    Attributes:
+        row: Array row (0 = bottom row adjacent to the PL shim).
+        col: Array column.
+        kind: Placement role; defaults to IDLE until placed.
+        memory: The tile's local data memory (4 x 8 KB banks).
+    """
+
+    row: int
+    col: int
+    kind: TileKind = TileKind.IDLE
+    memory: MemoryModule = field(default_factory=MemoryModule)
+
+    @property
+    def coord(self) -> Coord:
+        """The ``(row, col)`` coordinate of this tile."""
+        return (self.row, self.col)
+
+    @property
+    def memory_side(self) -> MemorySide:
+        """Side of the core the local memory occupies (row-parity based)."""
+        return memory_side_of_row(self.row)
+
+    def accessible_memories(self, n_rows: int, n_cols: int) -> FrozenSet[Coord]:
+        """Coordinates of tiles whose memory this core reaches directly.
+
+        A core touches four memory modules without DMA: its own, the
+        vertical neighbours', and the horizontally adjacent module
+        selected by the row's mirroring.  Coordinates outside the array
+        are excluded.
+        """
+        candidates = [self.coord, (self.row - 1, self.col), (self.row + 1, self.col)]
+        if self.memory_side is MemorySide.EAST:
+            # Core | Mem layout: the module adjacent on the core's west
+            # side belongs to the west neighbour.
+            candidates.append((self.row, self.col - 1))
+        else:
+            # Mem | Core layout: the module adjacent on the core's east
+            # side belongs to the east neighbour.
+            candidates.append((self.row, self.col + 1))
+        return frozenset(
+            (r, c) for r, c in candidates if 0 <= r < n_rows and 0 <= c < n_cols
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AIETile({self.row},{self.col},{self.kind.value})"

@@ -1,0 +1,37 @@
+"""Workload generators.
+
+SVD workloads for the examples, tests, and benchmark harness:
+
+* :mod:`repro.workloads.matrices` — random/conditioned dense matrices.
+* :mod:`repro.workloads.mimo` — MIMO channel matrices (the wireless
+  use case the paper's introduction motivates).
+* :mod:`repro.workloads.recsys` — low-rank-plus-noise rating matrices
+  (the recommendation use case).
+* :mod:`repro.workloads.signal` — array snapshot matrices and MUSIC
+  subspace utilities (the sensor-array use case).
+* :mod:`repro.workloads.batch` — batched task streams for throughput
+  experiments.
+"""
+
+from repro.workloads.matrices import (
+    random_matrix,
+    conditioned_matrix,
+    low_rank_matrix,
+)
+from repro.workloads.mimo import mimo_channel, rayleigh_channel_real
+from repro.workloads.recsys import rating_matrix
+from repro.workloads.signal import snapshot_matrix, estimate_doa
+from repro.workloads.batch import TaskBatch, make_batch
+
+__all__ = [
+    "random_matrix",
+    "conditioned_matrix",
+    "low_rank_matrix",
+    "mimo_channel",
+    "rayleigh_channel_real",
+    "rating_matrix",
+    "snapshot_matrix",
+    "estimate_doa",
+    "TaskBatch",
+    "make_batch",
+]

@@ -1,0 +1,134 @@
+"""MIMO channel matrices — the wireless use case (paper refs [1]-[3]).
+
+SVD-based MIMO transmission decomposes the channel ``H`` into parallel
+eigen-beams: precode with ``V``, combine with ``U^H``, and waterfill
+power over the singular values.  Real-time systems re-factor ``H``
+every coherence interval, which is the latency-critical workload the
+paper's introduction motivates.
+
+HeteroSVD streams real fp32 data, so complex channels are handled with
+the standard real embedding
+
+.. math::
+
+    \\begin{bmatrix} \\Re H & -\\Im H \\\\ \\Im H & \\Re H \\end{bmatrix},
+
+whose singular values are those of ``H`` duplicated.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def rayleigh_channel_real(
+    n_rx: int,
+    n_tx: int,
+    seed: Optional[int] = None,
+) -> np.ndarray:
+    """Real-valued i.i.d. Rayleigh-fading channel matrix.
+
+    Entries are ``N(0, 1)`` — the classic rich-scattering model with
+    the complex dimension dropped (for pipelines that process I/Q
+    streams separately).
+    """
+    if n_rx < 1 or n_tx < 1:
+        raise ConfigurationError(
+            f"invalid antenna counts: rx={n_rx}, tx={n_tx}"
+        )
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((n_rx, n_tx))
+
+
+def mimo_channel(
+    n_rx: int,
+    n_tx: int,
+    correlation: float = 0.0,
+    seed: Optional[int] = None,
+) -> np.ndarray:
+    """Complex Rayleigh channel embedded as a real ``2n_rx x 2n_tx`` matrix.
+
+    Args:
+        n_rx / n_tx: Antenna counts.
+        correlation: Spatial correlation coefficient in [0, 1) applied
+            at both ends (Kronecker model); higher values concentrate
+            energy in fewer eigen-beams.
+        seed: RNG seed.
+
+    Returns:
+        The real embedding of the complex channel; its singular values
+        are the channel's, each with multiplicity two.
+    """
+    if n_rx < 1 or n_tx < 1:
+        raise ConfigurationError(
+            f"invalid antenna counts: rx={n_rx}, tx={n_tx}"
+        )
+    if not 0 <= correlation < 1:
+        raise ConfigurationError(
+            f"correlation must be in [0, 1), got {correlation}"
+        )
+    rng = np.random.default_rng(seed)
+    h = (
+        rng.standard_normal((n_rx, n_tx))
+        + 1j * rng.standard_normal((n_rx, n_tx))
+    ) / np.sqrt(2)
+    if correlation > 0:
+        r_rx = _exp_correlation(n_rx, correlation)
+        r_tx = _exp_correlation(n_tx, correlation)
+        h = _matrix_sqrt(r_rx) @ h @ _matrix_sqrt(r_tx)
+    top = np.hstack([h.real, -h.imag])
+    bottom = np.hstack([h.imag, h.real])
+    return np.vstack([top, bottom])
+
+
+def _exp_correlation(size: int, rho: float) -> np.ndarray:
+    """Exponential correlation matrix ``R[i, j] = rho^|i-j|``."""
+    idx = np.arange(size)
+    return rho ** np.abs(idx[:, None] - idx[None, :])
+
+
+def _matrix_sqrt(r: np.ndarray) -> np.ndarray:
+    """Symmetric PSD square root via eigendecomposition."""
+    vals, vecs = np.linalg.eigh(r)
+    vals = np.clip(vals, 0.0, None)
+    return (vecs * np.sqrt(vals)) @ vecs.T
+
+
+def waterfill(singular_values: np.ndarray, total_power: float) -> np.ndarray:
+    """Waterfilling power allocation over eigen-beam gains.
+
+    Args:
+        singular_values: Channel singular values (descending or not).
+        total_power: Power budget to distribute.
+
+    Returns:
+        Per-beam powers summing to ``total_power`` (zero for beams too
+        weak to use).
+    """
+    if total_power <= 0:
+        raise ConfigurationError(
+            f"total power must be positive, got {total_power}"
+        )
+    gains = np.asarray(singular_values, dtype=float) ** 2
+    if np.all(gains <= 0):
+        raise ConfigurationError("all channel gains are zero")
+    order = np.argsort(gains)[::-1]
+    sorted_gains = gains[order]
+    active = len(sorted_gains)
+    while active > 0:
+        usable = sorted_gains[:active]
+        if np.any(usable <= 0):
+            active -= 1
+            continue
+        level = (total_power + np.sum(1.0 / usable)) / active
+        powers = level - 1.0 / usable
+        if powers[-1] >= 0:
+            result = np.zeros_like(gains)
+            result[order[:active]] = powers
+            return result
+        active -= 1
+    raise ConfigurationError("waterfilling failed to allocate power")

@@ -1,0 +1,70 @@
+"""Tests for the calibration sensitivity analysis."""
+
+import pytest
+
+from repro.analysis.sensitivity import KNOBS, sensitivity_analysis
+from repro.core.config import HeteroSVDConfig
+from repro.core.perf_model import PerformanceModel
+from repro.errors import ConfigurationError
+from repro.versal import kernels
+
+
+@pytest.fixture
+def config():
+    return HeteroSVDConfig(m=256, n=256, p_eng=8, p_task=1)
+
+
+class TestSensitivityAnalysis:
+    def test_covers_every_knob(self, config):
+        results = sensitivity_analysis(config)
+        assert {r.parameter for r in results} == set(KNOBS)
+
+    def test_sorted_by_effect(self, config):
+        results = sensitivity_analysis(config)
+        effects = [r.relative_effect for r in results]
+        assert effects == sorted(effects, reverse=True)
+
+    def test_stream_bound_design_dominated_by_plio_gap(self, config):
+        # The design is stream-bound: the PLIO per-column gap must move
+        # latency far more than any AIE-side constant.
+        results = {r.parameter: r for r in sensitivity_analysis(config)}
+        gap = results["plio_column_gap"].relative_effect
+        assert gap > 10 * results["kernel_overhead"].relative_effect
+        assert gap > 10 * results["rotation_scalar"].relative_effect
+
+    def test_constants_restored_after_analysis(self, config):
+        before = (
+            kernels.KERNEL_OVERHEAD_CYCLES,
+            kernels.ROTATION_SCALAR_CYCLES,
+        )
+        baseline_time = PerformanceModel(config).task_time()
+        sensitivity_analysis(config, scale=2.0)
+        after = (
+            kernels.KERNEL_OVERHEAD_CYCLES,
+            kernels.ROTATION_SCALAR_CYCLES,
+        )
+        assert before == after
+        assert PerformanceModel(config).task_time() == baseline_time
+
+    def test_bigger_scale_bigger_effect(self, config):
+        small = {
+            r.parameter: r.relative_effect
+            for r in sensitivity_analysis(config, scale=1.1)
+        }
+        large = {
+            r.parameter: r.relative_effect
+            for r in sensitivity_analysis(config, scale=1.5)
+        }
+        assert large["plio_column_gap"] > small["plio_column_gap"]
+
+    def test_invalid_scale(self, config):
+        with pytest.raises(ConfigurationError):
+            sensitivity_analysis(config, scale=1.0)
+        with pytest.raises(ConfigurationError):
+            sensitivity_analysis(config, scale=0.0)
+
+    def test_baseline_values_reported(self, config):
+        results = {r.parameter: r for r in sensitivity_analysis(config)}
+        assert results["kernel_overhead"].baseline_value == pytest.approx(
+            kernels.KERNEL_OVERHEAD_CYCLES
+        )

@@ -1,0 +1,61 @@
+"""Unit tests for the FPGA baseline model [6]."""
+
+import pytest
+
+from repro.baselines.fpga_bcv import FPGA_RESOURCES, FPGABaselineModel
+from repro.errors import ConfigurationError
+
+#: Table II FPGA latency column (6 iterations, 200 MHz).
+TABLE2_FPGA_LATENCY = {
+    128: 0.0014,
+    256: 0.0113,
+    512: 0.0829,
+    1024: 0.6119,
+}
+
+
+class TestCalibration:
+    @pytest.mark.parametrize("n,expected", TABLE2_FPGA_LATENCY.items())
+    def test_table2_latency_within_15_percent(self, n, expected):
+        latency = FPGABaselineModel().latency_seconds(n, iterations=6)
+        assert abs(latency - expected) / expected < 0.15, (n, latency)
+
+    def test_cubic_scaling(self):
+        model = FPGABaselineModel()
+        assert model.iteration_seconds(512) == pytest.approx(
+            8 * model.iteration_seconds(256)
+        )
+
+    def test_linear_in_iterations(self):
+        model = FPGABaselineModel()
+        assert model.latency_seconds(256, 12) == pytest.approx(
+            2 * model.latency_seconds(256, 6)
+        )
+
+    def test_throughput_is_inverse_latency(self):
+        model = FPGABaselineModel()
+        assert model.throughput_tasks_per_s(256) == pytest.approx(
+            1 / model.latency_seconds(256)
+        )
+
+
+class TestResources:
+    def test_table2_resource_row(self):
+        assert FPGA_RESOURCES.lut == 212_000
+        assert FPGA_RESOURCES.dsp == 1602
+        assert FPGA_RESOURCES.dsp_fraction == pytest.approx(0.445)
+        assert FPGABaselineModel().resources is FPGA_RESOURCES
+
+
+class TestValidation:
+    def test_invalid_size(self):
+        with pytest.raises(ConfigurationError):
+            FPGABaselineModel().iteration_seconds(1)
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ConfigurationError):
+            FPGABaselineModel().latency_seconds(128, 0)
+
+    def test_invalid_constructor(self):
+        with pytest.raises(ConfigurationError):
+            FPGABaselineModel(frequency_hz=0)

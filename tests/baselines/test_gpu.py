@@ -1,0 +1,74 @@
+"""Unit tests for the GPU baseline model [11]."""
+
+import pytest
+
+from repro.baselines.gpu_wcycle import RTX3090, GPUBaselineModel
+from repro.errors import ConfigurationError
+
+#: Table III GPU columns (converged runs; throughput at batch 100).
+TABLE3_GPU_LATENCY = {128: 0.0166, 256: 0.0429, 512: 0.1237, 1024: 0.6857}
+TABLE3_GPU_THROUGHPUT = {128: 1351.35, 256: 217.39, 512: 27.55, 1024: 3.52}
+TABLE3_GPU_EE = {128: 5.005, 256: 0.805, 512: 0.102, 1024: 0.013}
+
+
+@pytest.fixture
+def gpu():
+    return GPUBaselineModel()
+
+
+class TestCalibration:
+    @pytest.mark.parametrize("n,expected", TABLE3_GPU_LATENCY.items())
+    def test_latency_within_20_percent(self, gpu, n, expected):
+        latency = gpu.latency_seconds(n, n)
+        assert abs(latency - expected) / expected < 0.20, (n, latency)
+
+    @pytest.mark.parametrize("n,expected", TABLE3_GPU_THROUGHPUT.items())
+    def test_throughput_within_20_percent(self, gpu, n, expected):
+        thr = gpu.throughput_tasks_per_s(n, n, 100)
+        assert abs(thr - expected) / expected < 0.20, (n, thr)
+
+    @pytest.mark.parametrize("n,expected", TABLE3_GPU_EE.items())
+    def test_energy_efficiency_within_20_percent(self, gpu, n, expected):
+        ee = gpu.energy_efficiency(n, n, 100)
+        assert abs(ee - expected) / expected < 0.20, (n, ee)
+
+
+class TestRegimes:
+    def test_single_matrix_is_launch_bound(self, gpu):
+        # Batch amortization: 100 small matrices cost far less than
+        # 100x the single latency.
+        single = gpu.latency_seconds(128, 128)
+        batched = gpu.batch_seconds(128, 128, 100)
+        assert batched < 20 * single
+
+    def test_batch_efficiency_grows_with_size(self, gpu):
+        effs = [gpu.batch_efficiency(n) for n in (128, 256, 512, 1024)]
+        assert effs == sorted(effs)
+
+    def test_efficiency_capped(self, gpu):
+        assert gpu.batch_efficiency(10**6) <= 0.85
+
+    def test_core_utilization_grows_with_size(self, gpu):
+        utils = [gpu.core_utilization(n, n) for n in (128, 512, 1024)]
+        assert utils == sorted(utils)
+        assert all(0 < u < 1 for u in utils)
+
+    def test_memory_utilization_alias(self, gpu):
+        assert gpu.memory_utilization(256) == gpu.batch_efficiency(256)
+
+    def test_iterations_grow_with_size(self, gpu):
+        assert gpu.iterations(1024) > gpu.iterations(128)
+
+
+class TestValidation:
+    def test_spec_values(self):
+        assert RTX3090.board_power_w == 270.0
+        assert RTX3090.cuda_cores == 10496
+
+    def test_invalid_size(self, gpu):
+        with pytest.raises(ConfigurationError):
+            gpu.latency_seconds(1, 128)
+
+    def test_invalid_batch(self, gpu):
+        with pytest.raises(ConfigurationError):
+            gpu.batch_seconds(128, 128, 0)

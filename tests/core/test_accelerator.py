@@ -1,0 +1,139 @@
+"""Integration tests: the functional accelerator vs the golden model."""
+
+import numpy as np
+import pytest
+
+from repro.core.accelerator import HeteroSVDAccelerator
+from repro.core.config import HeteroSVDConfig
+from repro.core.ordering_codesign import (
+    codesign_dma_transfers,
+    traditional_dma_transfers,
+)
+from repro.errors import NumericalError, SimulationError
+from repro.linalg.reference import validate_svd
+
+
+def make_accel(m, n, p_eng, **kwargs):
+    return HeteroSVDAccelerator(
+        HeteroSVDConfig(m=m, n=n, p_eng=p_eng, p_task=1, **kwargs)
+    )
+
+
+class TestFunctionalCorrectness:
+    @pytest.mark.parametrize(
+        "m,n,p_eng", [(16, 8, 2), (32, 16, 4), (24, 24, 3), (64, 32, 8)]
+    )
+    def test_singular_values_match_lapack(self, rng, m, n, p_eng):
+        a = rng.standard_normal((m, n))
+        result = make_accel(m, n, p_eng).run(a)
+        s_ref = np.linalg.svd(a, compute_uv=False)
+        assert np.allclose(result.sigma[: len(s_ref)], s_ref, rtol=1e-6)
+
+    def test_full_factorization_with_v(self, rng):
+        a = rng.standard_normal((32, 16))
+        result = make_accel(32, 16, 4).run(a, accumulate_v=True)
+        report = validate_svd(
+            a, result.u[:, :16], result.sigma[:16], result.v[:, :16]
+        )
+        assert report.within(1e-5), report
+        assert np.allclose(result.reconstruct(), a, atol=1e-6)
+
+    def test_u_columns_unit_norm(self, rng):
+        a = rng.standard_normal((24, 12))
+        result = make_accel(24, 12, 2).run(a)
+        norms = np.linalg.norm(result.u, axis=0)
+        live = norms[result.sigma > 1e-12]
+        assert np.allclose(live, 1.0, atol=1e-10)
+
+    def test_sigma_descending(self, rng):
+        a = rng.standard_normal((16, 8))
+        result = make_accel(16, 8, 2).run(a)
+        assert np.all(result.sigma[:-1] >= result.sigma[1:])
+
+    def test_traditional_ordering_same_numerics(self, rng):
+        a = rng.standard_normal((24, 12))
+        codesign = make_accel(24, 12, 2, use_codesign=True).run(a)
+        traditional = make_accel(24, 12, 2, use_codesign=False).run(a)
+        assert np.allclose(codesign.sigma, traditional.sigma, rtol=1e-8)
+
+    def test_convergence_history_decreases(self, rng):
+        a = rng.standard_normal((32, 16))
+        result = make_accel(32, 16, 4).run(a)
+        assert result.converged
+        assert result.convergence_history[-1] < result.convergence_history[0]
+
+    def test_fixed_iterations_mode(self, rng):
+        a = rng.standard_normal((16, 8))
+        result = make_accel(16, 8, 2, fixed_iterations=2).run(a)
+        assert result.iterations == 2
+
+    def test_rank_deficient_input(self, rng):
+        a = np.outer(rng.standard_normal(16), rng.standard_normal(8))
+        result = make_accel(16, 8, 2).run(a)
+        assert result.sigma[0] > 0
+        assert np.allclose(result.sigma[1:], 0.0, atol=1e-8)
+
+    def test_batch_processing(self, rng):
+        accel = make_accel(16, 8, 2)
+        mats = [rng.standard_normal((16, 8)) for _ in range(3)]
+        results = accel.run_batch(mats)
+        assert len(results) == 3
+        for a, res in zip(mats, results):
+            s_ref = np.linalg.svd(a, compute_uv=False)
+            assert np.allclose(res.sigma, s_ref, rtol=1e-6)
+
+
+class TestTransferAccounting:
+    def test_codesign_dma_count(self, rng):
+        a = rng.standard_normal((16, 8))
+        accel = make_accel(16, 8, 2, fixed_iterations=2)
+        result = accel.run(a)
+        num = accel.config.num_block_pairs
+        assert result.transfers.dma_transfers == (
+            2 * num * codesign_dma_transfers(2)
+        )
+
+    def test_traditional_dma_count(self, rng):
+        a = rng.standard_normal((16, 8))
+        accel = make_accel(16, 8, 2, fixed_iterations=2, use_codesign=False)
+        result = accel.run(a)
+        num = accel.config.num_block_pairs
+        assert result.transfers.dma_transfers == (
+            2 * num * traditional_dma_transfers(2)
+        )
+
+    def test_codesign_reduces_dma_by_factor_k(self, rng):
+        a = rng.standard_normal((32, 16))
+        kwargs = dict(fixed_iterations=1)
+        co = make_accel(32, 16, 4, **kwargs).run(a)
+        trad = make_accel(32, 16, 4, use_codesign=False, **kwargs).run(a)
+        assert trad.transfers.dma_transfers == (
+            4 * co.transfers.dma_transfers
+        )
+
+    def test_packet_counts(self, rng):
+        a = rng.standard_normal((16, 8))
+        accel = make_accel(16, 8, 2, fixed_iterations=1)
+        result = accel.run(a)
+        expected = accel.config.num_block_pairs * accel.config.pair_cols
+        assert result.transfers.packets_sent == expected
+        assert result.transfers.packets_received == expected
+
+
+class TestAcceleratorErrors:
+    def test_wrong_shape_rejected(self, rng):
+        accel = make_accel(16, 8, 2)
+        with pytest.raises(NumericalError):
+            accel.run(rng.standard_normal((8, 16)))
+
+    def test_non_finite_rejected(self, rng):
+        accel = make_accel(16, 8, 2)
+        a = rng.standard_normal((16, 8))
+        a[0, 0] = np.inf
+        with pytest.raises(NumericalError):
+            accel.run(a)
+
+    def test_reconstruct_requires_v(self, rng):
+        result = make_accel(16, 8, 2).run(rng.standard_normal((16, 8)))
+        with pytest.raises(SimulationError):
+            result.reconstruct()

@@ -1,0 +1,70 @@
+"""Tests for the fp32 (AIE-accurate) arithmetic mode of the functional
+accelerator and the tile-memory column-length bound."""
+
+import numpy as np
+import pytest
+
+from repro.core.accelerator import HeteroSVDAccelerator
+from repro.core.config import HeteroSVDConfig
+from repro.errors import ConfigurationError
+
+
+class TestFloat32Mode:
+    def _run(self, rng, arithmetic, precision):
+        a = rng.standard_normal((64, 64))
+        config = HeteroSVDConfig(
+            m=64, n=64, p_eng=8, arithmetic=arithmetic, precision=precision
+        )
+        return a, HeteroSVDAccelerator(config).run(a, accumulate_v=True)
+
+    def test_fp32_results_are_fp32(self, rng):
+        _, result = self._run(rng, "float32", 1e-5)
+        assert result.u.dtype == np.float32
+        assert result.sigma.dtype == np.float32
+        assert result.v.dtype == np.float32
+
+    def test_fp32_accuracy_band(self, rng):
+        # fp32 carries ~7 decimal digits; singular values must match
+        # LAPACK's fp64 answer to single precision, not double.
+        a, result = self._run(rng, "float32", 1e-5)
+        s_ref = np.linalg.svd(a, compute_uv=False)
+        deviation = np.max(np.abs(result.sigma - s_ref)) / s_ref[0]
+        assert deviation < 1e-4
+        assert result.converged
+
+    def test_fp64_strictly_more_accurate(self, rng):
+        a64, result64 = self._run(rng, "float64", 1e-8)
+        rng2 = np.random.default_rng(12345)
+        a32, result32 = self._run(rng2, "float32", 1e-5)
+        s64 = np.linalg.svd(a64, compute_uv=False)
+        s32 = np.linalg.svd(a32, compute_uv=False)
+        dev64 = np.max(np.abs(result64.sigma - s64)) / s64[0]
+        dev32 = np.max(np.abs(result32.sigma - s32)) / s32[0]
+        assert dev64 < dev32
+
+    def test_fp32_convergence_floor(self, rng):
+        # Demanding 1e-12 from fp32 hardware must fail to converge
+        # within a realistic sweep budget rather than silently "pass".
+        a = rng.standard_normal((32, 32))
+        config = HeteroSVDConfig(
+            m=32, n=32, p_eng=4, arithmetic="float32",
+            precision=1e-12, fixed_iterations=20,
+        )
+        result = HeteroSVDAccelerator(config).run(a)
+        assert not result.converged
+
+    def test_invalid_arithmetic_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HeteroSVDConfig(m=32, n=32, p_eng=4, arithmetic="float16")
+
+
+class TestColumnLengthBound:
+    def test_paper_sizes_fit(self):
+        # All evaluation sizes (up to 1024) fit a bank.
+        for m in (128, 256, 512, 1024, 2048):
+            HeteroSVDConfig(m=m, n=256, p_eng=8)
+
+    def test_over_long_columns_rejected(self):
+        with pytest.raises(ConfigurationError) as exc:
+            HeteroSVDConfig(m=2049, n=256, p_eng=8)
+        assert "memory bank" in str(exc.value)

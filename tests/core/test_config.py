@@ -1,0 +1,92 @@
+"""Unit tests for the HeteroSVD configuration (Table I)."""
+
+import pytest
+
+from repro.core.config import HeteroSVDConfig
+from repro.errors import ConfigurationError
+from repro.units import mhz
+
+
+def make(m=256, n=256, p_eng=8, p_task=1, **kwargs):
+    return HeteroSVDConfig(m=m, n=n, p_eng=p_eng, p_task=p_task, **kwargs)
+
+
+class TestDerivedStructure:
+    def test_block_width_equals_p_eng(self):
+        assert make(p_eng=4).block_width == 4
+
+    def test_block_counts(self):
+        config = make(m=256, n=256, p_eng=8)
+        assert config.n_blocks == 32
+        assert config.num_block_pairs == 32 * 31 // 2
+        assert config.pair_cols == 16
+
+    def test_table1_orth_aie_formula(self):
+        # Table I: number of orth-AIE = n(2n-1)k with n = P_eng.
+        for p_eng in (1, 2, 4, 8, 11):
+            config = make(n=264, p_eng=p_eng)
+            assert config.orth_aies_per_task == p_eng * (2 * p_eng - 1)
+            assert config.orth_layers == 2 * p_eng - 1
+
+    def test_table1_norm_aie_formula(self):
+        assert make(p_eng=6, n=258).norm_aies_per_task == 6
+
+    def test_table1_plio_formula(self):
+        # Table I: number of PLIO = 6k with k = P_task.
+        config = make(p_task=9, p_eng=4)
+        assert config.total_plios == 54
+
+    def test_with_tasks_and_frequency(self):
+        config = make(p_task=1)
+        more = config.with_tasks(4)
+        assert more.p_task == 4
+        assert more.m == config.m
+        faster = config.with_frequency(mhz(400))
+        assert faster.pl_frequency_hz == mhz(400)
+
+    def test_describe_mentions_key_parameters(self):
+        text = make(p_eng=8, p_task=2).describe()
+        assert "P_eng=8" in text
+        assert "P_task=2" in text
+
+
+class TestValidation:
+    def test_p_eng_range(self):
+        with pytest.raises(ConfigurationError):
+            make(p_eng=0)
+        with pytest.raises(ConfigurationError):
+            make(p_eng=12, n=264)
+
+    def test_p_task_range(self):
+        with pytest.raises(ConfigurationError):
+            make(p_task=0)
+        with pytest.raises(ConfigurationError):
+            make(p_task=27)
+
+    def test_divisibility(self):
+        with pytest.raises(ConfigurationError):
+            make(n=130, p_eng=4)
+
+    def test_at_least_two_blocks(self):
+        with pytest.raises(ConfigurationError):
+            make(n=8, p_eng=8)
+
+    def test_frequency_range(self):
+        with pytest.raises(ConfigurationError):
+            make(pl_frequency_hz=mhz(100))
+        with pytest.raises(ConfigurationError):
+            make(pl_frequency_hz=mhz(600))
+
+    def test_fixed_iterations_validated(self):
+        with pytest.raises(ConfigurationError):
+            make(fixed_iterations=0)
+
+    def test_precision_validated(self):
+        with pytest.raises(ConfigurationError):
+            make(precision=0.0)
+        with pytest.raises(ConfigurationError):
+            make(precision=2.0)
+
+    def test_tiny_matrix_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make(m=0)

@@ -1,0 +1,65 @@
+"""Unit tests for the dataflow movement classification (Fig. 3-4)."""
+
+import pytest
+
+from repro.core.dataflow import (
+    DataflowMode,
+    Movement,
+    MovementKind,
+    classify_movement,
+    movement_is_dma,
+)
+from repro.versal.communication import TransferKind
+
+
+def move(kind, into_even, shifted=False):
+    return Movement(column=0, kind=kind, into_even_row=into_even, shifted=shifted)
+
+
+class TestNaiveDataflow:
+    def test_into_even_rows_always_dma(self):
+        # Fig. 4a: mirrored floorplan blocks every into-even movement.
+        for kind in MovementKind:
+            assert (
+                classify_movement(DataflowMode.NAIVE, move(kind, into_even=True))
+                is TransferKind.DMA
+            )
+
+    def test_into_odd_rows_neighbour(self):
+        for kind in MovementKind:
+            assert (
+                classify_movement(DataflowMode.NAIVE, move(kind, into_even=False))
+                is TransferKind.NEIGHBOR
+            )
+
+
+class TestRelocatedDataflow:
+    def test_wrap_is_always_dma(self):
+        # The long first-to-last-column transfer survives the co-design.
+        for into_even in (True, False):
+            assert (
+                classify_movement(
+                    DataflowMode.RELOCATED, move(MovementKind.WRAP, into_even)
+                )
+                is TransferKind.DMA
+            )
+
+    def test_straight_and_left_are_neighbour(self):
+        for kind in (MovementKind.STRAIGHT, MovementKind.LEFT):
+            for into_even in (True, False):
+                assert (
+                    classify_movement(
+                        DataflowMode.RELOCATED, move(kind, into_even)
+                    )
+                    is TransferKind.NEIGHBOR
+                )
+
+
+class TestPredicate:
+    def test_movement_is_dma(self):
+        assert movement_is_dma(
+            DataflowMode.NAIVE, move(MovementKind.STRAIGHT, into_even=True)
+        )
+        assert not movement_is_dma(
+            DataflowMode.RELOCATED, move(MovementKind.LEFT, into_even=True)
+        )

@@ -1,0 +1,123 @@
+"""Unit tests for the movement schedule and DMA-count analytics (Fig. 3)."""
+
+import pytest
+
+from repro.core.dataflow import DataflowMode, MovementKind
+from repro.core.ordering_codesign import (
+    MovementSchedule,
+    codesign_dma_transfers,
+    dma_reduction_factor,
+    traditional_dma_transfers,
+)
+from repro.errors import ConfigurationError
+
+
+class TestClosedForms:
+    @pytest.mark.parametrize("k", range(1, 17))
+    def test_traditional_formula(self, k):
+        assert traditional_dma_transfers(k) == 2 * k * (k - 1)
+
+    @pytest.mark.parametrize("k", range(1, 17))
+    def test_codesign_formula(self, k):
+        assert codesign_dma_transfers(k) == 2 * (k - 1)
+
+    def test_paper_fig3_example(self):
+        # m x 6 matrix (k = 3): 12 DMAs reduced to 4.
+        assert traditional_dma_transfers(3) == 12
+        assert codesign_dma_transfers(3) == 4
+
+    @pytest.mark.parametrize("k", range(2, 12))
+    def test_reduction_factor_is_k(self, k):
+        assert dma_reduction_factor(k) == pytest.approx(k)
+
+    def test_k1_has_no_dma(self):
+        assert traditional_dma_transfers(1) == 0
+        assert codesign_dma_transfers(1) == 0
+        assert dma_reduction_factor(1) == 1.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ConfigurationError):
+            traditional_dma_transfers(0)
+        with pytest.raises(ConfigurationError):
+            codesign_dma_transfers(-1)
+
+
+class TestMovementSchedule:
+    @pytest.mark.parametrize("k", range(1, 12))
+    def test_schedule_reproduces_traditional_count(self, k):
+        schedule = MovementSchedule(k=k, shifting=False)
+        assert schedule.dma_count(DataflowMode.NAIVE) == traditional_dma_transfers(k)
+
+    @pytest.mark.parametrize("k", range(1, 12))
+    def test_schedule_reproduces_codesign_count(self, k):
+        schedule = MovementSchedule(k=k, shifting=True)
+        assert schedule.dma_count(DataflowMode.RELOCATED) == codesign_dma_transfers(k)
+
+    def test_dimensions(self):
+        schedule = MovementSchedule(k=4)
+        assert schedule.n_layers == 7
+        assert schedule.n_transitions == 6
+        assert len(schedule.transitions) == 6
+
+    def test_each_transition_moves_all_columns(self):
+        schedule = MovementSchedule(k=5)
+        for transition in schedule.transitions:
+            assert len(transition.movements) == 10
+
+    def test_one_wrap_per_transition(self):
+        schedule = MovementSchedule(k=6)
+        for transition in schedule.transitions:
+            wraps = [
+                m for m in transition.movements if m.kind is MovementKind.WRAP
+            ]
+            assert len(wraps) == 1
+
+    def test_shifts_only_into_even_rows(self):
+        schedule = MovementSchedule(k=4, shifting=True, first_row=1)
+        for transition in schedule.transitions:
+            assert transition.shifted == transition.into_even_row
+
+    def test_no_shifting_when_disabled(self):
+        schedule = MovementSchedule(k=4, shifting=False)
+        assert all(not t.shifted for t in schedule.transitions)
+
+    def test_parity_alternates(self):
+        schedule = MovementSchedule(k=4, first_row=1)
+        parities = [t.into_even_row for t in schedule.transitions]
+        assert parities == [True, False, True, False, True, False]
+
+    def test_first_row_anchors_parity(self):
+        even_start = MovementSchedule(k=3, first_row=0)
+        odd_start = MovementSchedule(k=3, first_row=1)
+        assert (
+            even_start.transitions[0].into_even_row
+            != odd_start.transitions[0].into_even_row
+        )
+
+    def test_parity_flip_preserves_total_count(self):
+        # Starting on an even row changes *which* transitions pay DMA,
+        # not how many (k-1 of each parity either way for odd layer
+        # counts); totals match the closed form for the default anchor.
+        schedule = MovementSchedule(k=5, shifting=False, first_row=1)
+        assert schedule.dma_count(DataflowMode.NAIVE) == 40
+
+    def test_neighbor_count_complement(self):
+        schedule = MovementSchedule(k=4)
+        total = 2 * 4 * schedule.n_transitions
+        for mode in DataflowMode:
+            assert (
+                schedule.dma_count(mode) + schedule.neighbor_count(mode)
+                == total
+            )
+
+    def test_memory_overhead_tracks_dma(self):
+        schedule = MovementSchedule(k=4)
+        assert schedule.dma_memory_overhead_columns(
+            DataflowMode.RELOCATED
+        ) == schedule.dma_count(DataflowMode.RELOCATED)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            MovementSchedule(k=0)
+        with pytest.raises(ConfigurationError):
+            MovementSchedule(k=2, first_row=-1)

@@ -1,0 +1,123 @@
+"""Unit tests for the analytical performance model (Eqs. 8-14)."""
+
+import pytest
+
+from repro.core.config import HeteroSVDConfig
+from repro.core.perf_model import (
+    PerformanceModel,
+    estimated_iterations,
+)
+from repro.units import mhz
+
+
+def model(m=128, n=128, p_eng=4, p_task=1, **kwargs):
+    return PerformanceModel(
+        HeteroSVDConfig(m=m, n=n, p_eng=p_eng, p_task=p_task, **kwargs)
+    )
+
+
+class TestPrimitiveTerms:
+    def test_tx_scales_with_frequency(self):
+        slow = model(pl_frequency_hz=mhz(200)).t_tx()
+        fast = model(pl_frequency_hz=mhz(400)).t_tx()
+        assert slow == pytest.approx(2 * fast)
+
+    def test_tx_scales_with_block_size(self):
+        small = model(m=128, p_eng=2).t_tx()
+        large = model(m=128, p_eng=8).t_tx()
+        assert large > 3 * small  # ~4x payload per pair
+
+    def test_rx_symmetric(self):
+        pm = model()
+        assert pm.t_rx() == pm.t_tx()
+
+    def test_aiewait_non_negative(self):
+        assert model().t_aiewait() >= 0.0
+
+    def test_algo_composition(self):
+        pm = model()
+        assert pm.t_algo() == pytest.approx(pm.t_tx() + pm.t_aiewait())
+
+    def test_codesign_has_faster_stage(self):
+        # P_eng = 3 gives 5 layers in a single lane (no crossing DMA),
+        # isolating the co-design's effect on the stage time.
+        co = model(n=129, p_eng=3, use_codesign=True)
+        naive = model(n=129, p_eng=3, use_codesign=False)
+        assert co.t_move() < naive.t_move()
+        assert co.t_stage() < naive.t_stage()
+
+    def test_ddr_is_num_times_tx(self):
+        pm = model()
+        assert pm.t_ddr() == pytest.approx(
+            pm.config.num_block_pairs * pm.t_tx()
+        )
+
+    def test_datawait_zero_for_many_pairs(self):
+        # 2016 pairs at P_eng = 2 dwarf the pipeline depth.
+        assert model(p_eng=2).t_datawait() == 0.0
+
+    def test_datawait_positive_for_few_pairs(self):
+        # Two blocks -> a single pair: pure fill/drain.
+        pm = model(m=64, n=64, p_eng=8, p_task=1)
+        if pm.config.num_block_pairs <= 3:
+            assert pm.t_datawait() > 0.0
+
+    def test_breakdown_fields_positive(self):
+        b = model().breakdown()
+        assert b.t_tx > 0
+        assert b.t_orth > 0
+        assert b.t_iter > 0
+        assert b.t_norm > 0
+        assert b.aie_total > 0
+
+
+class TestCompositions:
+    def test_iteration_time_decreases_with_p_eng(self):
+        times = [model(m=256, n=256, p_eng=k).iteration_time() for k in (2, 4, 8)]
+        assert times[0] > times[1] > times[2]
+
+    def test_iteration_time_grows_with_size(self):
+        times = [model(m=m, n=m, p_eng=8).iteration_time() for m in (128, 256, 512)]
+        assert times[0] < times[1] < times[2]
+
+    def test_task_time_composition(self):
+        pm = model(fixed_iterations=6)
+        t6 = pm.task_time()
+        t1 = pm.task_time(iterations=1)
+        # Six iterations cost more than one but share DDR/norm overheads.
+        assert t6 > t1
+        assert t6 < 6 * t1
+
+    def test_system_time_waves(self):
+        pm = model(m=256, n=256, p_eng=4, p_task=4, fixed_iterations=1)
+        t_task = pm.task_time()
+        assert pm.system_time(4) == pytest.approx(t_task)
+        assert pm.system_time(5) == pytest.approx(2 * t_task)
+
+    def test_throughput_scales_with_p_task(self):
+        one = model(m=256, n=256, p_eng=4, p_task=1, fixed_iterations=6)
+        nine = model(m=256, n=256, p_eng=4, p_task=9, fixed_iterations=6)
+        assert nine.throughput(90) > 5 * one.throughput(90)
+
+    def test_iterations_selection(self):
+        fixed = model(fixed_iterations=6)
+        assert fixed.iterations() == 6
+        converged = model()
+        assert converged.iterations() == estimated_iterations(128, 1e-6)
+
+    def test_system_time_rejects_zero_tasks(self):
+        with pytest.raises(ValueError):
+            model().system_time(0)
+
+
+class TestEstimatedIterations:
+    def test_grows_with_size(self):
+        assert estimated_iterations(1024) > estimated_iterations(128)
+
+    def test_tighter_precision_needs_more(self):
+        assert estimated_iterations(256, 1e-10) > estimated_iterations(256, 1e-6)
+
+    def test_reasonable_range(self):
+        for n in (64, 128, 512, 1024):
+            iters = estimated_iterations(n)
+            assert 4 <= iters <= 16

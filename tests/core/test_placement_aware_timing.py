@@ -1,0 +1,52 @@
+"""Tests for the distance-aware (placement-informed) timing refinement."""
+
+import pytest
+
+from repro.core.config import HeteroSVDConfig
+from repro.core.perf_model import PerformanceModel
+from repro.core.placement import place
+from repro.core.timing import TimingSimulator
+
+
+def config(p_eng=8, m=128):
+    return HeteroSVDConfig(m=m, n=m, p_eng=p_eng, p_task=1,
+                           fixed_iterations=1)
+
+
+class TestPlacementAwareStages:
+    def test_crossing_layers_pay_route_latency(self):
+        cfg = config(p_eng=8)  # 15 layers -> 2 crossings
+        placement = place(cfg)
+        flat = TimingSimulator(cfg).stage_durations()
+        aware = TimingSimulator(cfg, placement=placement).stage_durations()
+        # Crossing layers (5 and 11) get slower; the rest are unchanged.
+        assert aware[5] > flat[5]
+        assert aware[11] > flat[11]
+        for i in (0, 1, 2, 3, 4, 6, 7, 8, 9, 10, 12, 13, 14):
+            assert aware[i] == flat[i]
+
+    def test_single_chunk_designs_unaffected(self):
+        cfg = config(p_eng=2)
+        placement = place(cfg)
+        flat = TimingSimulator(cfg).stage_durations()
+        aware = TimingSimulator(cfg, placement=placement).stage_durations()
+        assert aware == flat
+
+    def test_model_and_sim_stay_consistent(self):
+        cfg = config(p_eng=8)
+        placement = place(cfg)
+        model = PerformanceModel(cfg, placement=placement)
+        sim = TimingSimulator(cfg, placement=placement)
+        measured = sim.measure_iteration_time()
+        modelled = model.iteration_time()
+        assert abs(modelled - measured) / measured < 0.10
+
+    def test_refinement_is_small(self):
+        # The head latency is a refinement, not a regime change: the
+        # placement-aware iteration time stays within 5% of the flat one.
+        cfg = config(p_eng=8)
+        placement = place(cfg)
+        flat = TimingSimulator(cfg).measure_iteration_time()
+        aware = TimingSimulator(cfg, placement=placement).measure_iteration_time()
+        assert aware >= flat
+        assert (aware - flat) / flat < 0.05

@@ -1,0 +1,87 @@
+"""Unit tests for the power model (Table VI fit)."""
+
+import pytest
+
+from repro.core.config import HeteroSVDConfig
+from repro.core.power import PowerModel
+from repro.core.resources import estimate_resources
+from repro.errors import ConfigurationError
+from repro.units import mhz
+
+#: Table VI: (P_eng, P_task) -> measured watts at 208.3 MHz.
+TABLE6_POWER = {
+    (2, 26): 44.16,
+    (4, 9): 34.63,
+    (6, 4): 30.79,
+    (8, 2): 26.06,
+}
+
+
+def design(p_eng, p_task):
+    n = 256 if 256 % p_eng == 0 else (256 // p_eng + 1) * p_eng
+    return HeteroSVDConfig(
+        m=256, n=n, p_eng=p_eng, p_task=p_task,
+        pl_frequency_hz=mhz(208.3),
+    )
+
+
+class TestTable6Fit:
+    @pytest.mark.parametrize("point,expected", TABLE6_POWER.items())
+    def test_within_fifteen_percent(self, point, expected):
+        cfg = design(*point)
+        usage = estimate_resources(cfg)
+        power = PowerModel().estimate(cfg, usage).total
+        assert abs(power - expected) / expected < 0.15, (point, power)
+
+    def test_power_ordering_matches_paper(self):
+        # Higher P_task (more URAM) costs more power.
+        powers = []
+        for point in [(2, 26), (4, 9), (6, 4), (8, 2)]:
+            cfg = design(*point)
+            powers.append(
+                PowerModel().estimate(cfg, estimate_resources(cfg)).total
+            )
+        assert powers == sorted(powers, reverse=True)
+
+    def test_under_39w_envelope_for_low_parallelism(self):
+        # The paper's headline: HeteroSVD configurations < 39 W.
+        cfg = design(8, 1)
+        power = PowerModel().estimate(cfg, estimate_resources(cfg)).total
+        assert power < 39.0
+
+
+class TestPowerModel:
+    def test_decomposition_sums(self):
+        cfg = design(4, 2)
+        est = PowerModel().estimate(cfg, estimate_resources(cfg))
+        assert est.total == pytest.approx(
+            est.static + est.pl_dynamic + est.aie + est.uram + est.bram
+        )
+
+    def test_pl_dynamic_scales_with_frequency(self):
+        usage = estimate_resources(design(4, 1))
+        slow = PowerModel().estimate(design(4, 1), usage)
+        fast_cfg = HeteroSVDConfig(
+            m=256, n=256, p_eng=4, p_task=1, pl_frequency_hz=mhz(416.6)
+        )
+        fast = PowerModel().estimate(fast_cfg, usage)
+        assert fast.pl_dynamic == pytest.approx(2 * slow.pl_dynamic)
+        assert fast.aie == slow.aie
+
+    def test_energy_efficiency(self):
+        cfg = design(2, 26)
+        usage = estimate_resources(cfg)
+        model = PowerModel()
+        ee = model.energy_efficiency(cfg, usage, throughput_tasks_per_s=100.0)
+        assert ee == pytest.approx(100.0 / model.estimate(cfg, usage).total)
+
+    def test_negative_coefficients_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PowerModel(static_w=-1.0)
+
+    def test_custom_coefficients(self):
+        model = PowerModel(static_w=0, pl_dynamic_ref_w=0, aie_w=1.0,
+                           uram_w=0, bram_w=0)
+        cfg = design(8, 1)
+        usage = estimate_resources(cfg)
+        assert model.estimate(cfg, usage).total == pytest.approx(usage.aie)

@@ -1,0 +1,71 @@
+"""Tests for the time-resolved power trace."""
+
+import pytest
+
+from repro.core.config import HeteroSVDConfig
+from repro.core.power_trace import (
+    energy_efficiency_tasks_per_joule,
+    trace_task_power,
+)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return HeteroSVDConfig(m=128, n=128, p_eng=4, p_task=1,
+                           fixed_iterations=4)
+
+
+@pytest.fixture(scope="module")
+def trace(config):
+    return trace_task_power(config)
+
+
+class TestPowerTrace:
+    def test_phases_cover_task_contiguously(self, trace):
+        for earlier, later in zip(trace.phases, trace.phases[1:]):
+            assert later.start == pytest.approx(earlier.end)
+        assert trace.phases[0].start == 0.0
+
+    def test_phase_structure(self, trace, config):
+        names = [p.name for p in trace.phases]
+        assert names[: config.fixed_iterations] == [
+            f"orth_iter{i}" for i in range(config.fixed_iterations)
+        ]
+        assert names[-2:] == ["normalization", "writeback"]
+
+    def test_orth_is_the_peak(self, trace):
+        by_name = {p.name: p.power_w for p in trace.phases}
+        assert trace.peak_power_w == by_name["orth_iter1"]
+        assert by_name["normalization"] < by_name["orth_iter1"]
+        assert by_name["writeback"] < by_name["normalization"]
+
+    def test_first_iteration_slightly_lower(self, trace):
+        by_name = {p.name: p.power_w for p in trace.phases}
+        assert by_name["orth_iter0"] < by_name["orth_iter1"]
+
+    def test_average_below_steady(self, trace):
+        # Idle/norm phases pull the mean under the steady-state figure.
+        assert trace.average_power_w <= trace.steady_power_w
+        assert trace.average_power_w > 0
+
+    def test_energy_consistency(self, trace):
+        assert trace.total_energy_j == pytest.approx(
+            sum(p.energy_j for p in trace.phases)
+        )
+        assert trace.total_energy_j == pytest.approx(
+            trace.average_power_w * trace.makespan
+        )
+
+    def test_energy_grows_with_size(self):
+        small = trace_task_power(
+            HeteroSVDConfig(m=128, n=128, p_eng=8, fixed_iterations=6)
+        )
+        large = trace_task_power(
+            HeteroSVDConfig(m=512, n=512, p_eng=8, fixed_iterations=6)
+        )
+        assert large.total_energy_j > 10 * small.total_energy_j
+
+    def test_tasks_per_joule(self, config):
+        efficiency = energy_efficiency_tasks_per_joule(config)
+        trace = trace_task_power(config)
+        assert efficiency == pytest.approx(1.0 / trace.total_energy_j)

@@ -1,0 +1,82 @@
+"""Unit tests for resource accounting and Eq. 16 budget checks."""
+
+import pytest
+
+from repro.core.config import HeteroSVDConfig
+from repro.core.resources import (
+    ResourceUsage,
+    check_budgets,
+    estimate_resources,
+    is_feasible,
+)
+from repro.errors import ResourceBudgetError
+
+
+def config(p_eng=8, p_task=1, m=256):
+    return HeteroSVDConfig(m=m, n=m, p_eng=p_eng, p_task=p_task)
+
+
+class TestEstimateResources:
+    def test_aie_is_sum_of_roles(self):
+        usage = estimate_resources(config())
+        assert usage.aie == usage.orth + usage.norm + usage.mem
+
+    def test_plio_six_per_task(self):
+        usage = estimate_resources(config(p_eng=4, p_task=9))
+        assert usage.plio == 54
+
+    def test_table6_uram_anchors(self):
+        assert estimate_resources(config(p_eng=2, p_task=26)).uram == 416
+        assert estimate_resources(config(p_eng=8, p_task=2)).uram == 32
+
+    def test_utilization_keys(self):
+        usage = estimate_resources(config())
+        util = usage.utilization(config())
+        assert set(util) == {"AIE", "PLIO", "BRAM", "URAM", "LUT"}
+        assert all(0 <= v <= 1 for v in util.values())
+
+
+class TestBudgets:
+    def test_feasible_design_passes(self):
+        cfg = config(p_eng=8, p_task=2)
+        check_budgets(estimate_resources(cfg), cfg)  # no raise
+
+    def test_uram_budget_violation(self):
+        # 1024x1024 needs 240 URAM per task; two tasks bust the 463 cap.
+        cfg = HeteroSVDConfig(m=1024, n=1024, p_eng=8, p_task=2)
+        usage = ResourceUsage(
+            orth=0, norm=0, mem=0, plio=12, bram=16, uram=480, luts=15000
+        )
+        with pytest.raises(ResourceBudgetError) as exc:
+            check_budgets(usage, cfg)
+        assert exc.value.resource == "URAM"
+        assert exc.value.required == 480
+
+    def test_aie_budget_violation(self):
+        cfg = config()
+        usage = ResourceUsage(
+            orth=300, norm=80, mem=50, plio=6, bram=8, uram=16, luts=15000
+        )
+        with pytest.raises(ResourceBudgetError) as exc:
+            check_budgets(usage, cfg)
+        assert exc.value.resource == "AIE"
+
+
+class TestIsFeasible:
+    def test_known_good_points(self):
+        for p_eng, p_task in [(2, 26), (4, 9), (6, 4), (8, 2)]:
+            n = 256 if 256 % p_eng == 0 else (256 // p_eng + 1) * p_eng
+            cfg = HeteroSVDConfig(m=256, n=n, p_eng=p_eng, p_task=p_task)
+            assert is_feasible(cfg), (p_eng, p_task)
+
+    def test_known_bad_points(self):
+        # Geometrically impossible.
+        assert not is_feasible(config(p_eng=8, p_task=3))
+        # URAM-bound at 1024.
+        assert not is_feasible(
+            HeteroSVDConfig(m=1024, n=1024, p_eng=8, p_task=2)
+        )
+
+    def test_1024_single_task_feasible(self):
+        # Table V's chosen 1024 configuration.
+        assert is_feasible(HeteroSVDConfig(m=1024, n=1024, p_eng=8, p_task=1))

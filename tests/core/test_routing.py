@@ -1,0 +1,78 @@
+"""Unit tests for dynamic-forwarding routing and PLIO assignment."""
+
+import pytest
+
+from repro.core.config import HeteroSVDConfig
+from repro.core.placement import place
+from repro.core.routing import ForwardingRule, assign_plios
+from repro.errors import RoutingError
+
+
+@pytest.fixture
+def placement():
+    return place(HeteroSVDConfig(m=64, n=64, p_eng=4, p_task=2))
+
+
+class TestForwardingRule:
+    def test_routes_to_first_layer(self, placement):
+        rule = ForwardingRule(placement.tasks[0])
+        for slot in range(4):
+            dest = rule.route_orth(slot, 0)
+            assert dest == placement.tasks[0].orth[(0, slot)]
+
+    def test_sides_share_a_tile(self, placement):
+        # Left and right column of a slot land on the same orth-AIE
+        # (different input buffers).
+        rule = ForwardingRule(placement.tasks[0])
+        assert rule.route_orth(2, 0) == rule.route_orth(2, 1)
+
+    def test_destinations_unique_per_slot(self, placement):
+        rule = ForwardingRule(placement.tasks[0])
+        destinations = rule.destinations()
+        assert len(destinations) == 4
+        assert len(set(destinations)) == 4
+
+    def test_invalid_slot_or_side(self, placement):
+        rule = ForwardingRule(placement.tasks[0])
+        with pytest.raises(RoutingError):
+            rule.route_orth(4, 0)
+        with pytest.raises(RoutingError):
+            rule.route_orth(0, 2)
+
+    def test_norm_routing_round_robin(self, placement):
+        rule = ForwardingRule(placement.tasks[0])
+        norm = placement.tasks[0].norm
+        assert rule.route_norm(0) == norm[0]
+        assert rule.route_norm(len(norm)) == norm[0]
+
+
+class TestPLIOAssignment:
+    def test_six_per_task_no_overlap(self, placement):
+        assignments = assign_plios(placement)
+        all_indices = []
+        for assignment in assignments.values():
+            indices = assignment.all_plios()
+            assert len(indices) == 6
+            all_indices.extend(indices)
+        assert len(all_indices) == len(set(all_indices))
+
+    def test_structure(self, placement):
+        assignment = assign_plios(placement)[0]
+        assert len(assignment.orth_tx) == 2
+        assert len(assignment.orth_rx) == 2
+
+    def test_budget_enforced(self):
+        # 26 tasks need 156 PLIOs == the budget; fabricating more than
+        # the budget must fail at the config level already, so check
+        # the routing-level guard with a shrunken device budget.
+        from dataclasses import replace
+
+        from repro.versal.device import VCK190
+
+        small_device = replace(VCK190, max_plio=10)
+        config = HeteroSVDConfig(
+            m=64, n=64, p_eng=4, p_task=2, device=small_device
+        )
+        placement = place(config)
+        with pytest.raises(RoutingError):
+            assign_plios(placement)

@@ -1,0 +1,82 @@
+"""Tests for the heterogeneous batch scheduler."""
+
+import pytest
+
+from repro.core.config import HeteroSVDConfig
+from repro.core.scheduler import BatchScheduler, TaskSpec
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def scheduler():
+    config = HeteroSVDConfig(m=128, n=128, p_eng=4, p_task=4)
+    return BatchScheduler(config)
+
+
+def specs(sizes):
+    return [TaskSpec(m=m, n=n, task_id=i) for i, (m, n) in enumerate(sizes)]
+
+
+class TestTaskCost:
+    def test_larger_tasks_cost_more(self, scheduler):
+        small = scheduler.task_cost(TaskSpec(64, 64))
+        large = scheduler.task_cost(TaskSpec(128, 128))
+        assert large > small
+
+    def test_cost_cached(self, scheduler):
+        scheduler.task_cost(TaskSpec(64, 64))
+        assert (64, 64) in scheduler._cost_cache
+
+    def test_non_tiling_width_padded(self, scheduler):
+        # n = 66 pads to 68 with k = 4; must not raise.
+        assert scheduler.task_cost(TaskSpec(64, 66)) > 0
+
+
+class TestSchedule:
+    def test_all_tasks_scheduled_once(self, scheduler):
+        batch = specs([(64, 64)] * 7 + [(128, 128)] * 3)
+        plan = scheduler.schedule(batch)
+        assert len(plan.tasks) == 10
+        assert sorted(t.spec.task_id for t in plan.tasks) == list(range(10))
+
+    def test_no_overlap_within_pipeline(self, scheduler):
+        batch = specs([(64, 64)] * 9)
+        plan = scheduler.schedule(batch)
+        for pipe in range(4):
+            tasks = plan.pipeline_tasks(pipe)
+            for earlier, later in zip(tasks, tasks[1:]):
+                assert later.start >= earlier.end - 1e-12
+
+    def test_makespan_is_max_pipeline_time(self, scheduler):
+        batch = specs([(64, 64)] * 6)
+        plan = scheduler.schedule(batch)
+        assert plan.makespan == max(plan.pipeline_times)
+        assert plan.makespan == max(t.end for t in plan.tasks)
+
+    def test_lpt_beats_fifo_on_adversarial_order(self, scheduler):
+        # Small tasks first, then large: FIFO piles the large ones onto
+        # pipelines unevenly; LPT balances.
+        batch = specs([(32, 32)] * 8 + [(128, 128)] * 5)
+        comparison = scheduler.compare_policies(batch)
+        assert comparison["lpt"] <= comparison["fifo"]
+
+    def test_balance_metric(self, scheduler):
+        batch = specs([(64, 64)] * 8)  # perfectly divisible
+        plan = scheduler.schedule(batch)
+        assert plan.balance == pytest.approx(1.0)
+
+    def test_single_pipeline_serializes(self):
+        config = HeteroSVDConfig(m=64, n=64, p_eng=4, p_task=1)
+        scheduler = BatchScheduler(config)
+        batch = specs([(64, 64)] * 3)
+        plan = scheduler.schedule(batch)
+        cost = scheduler.task_cost(TaskSpec(64, 64))
+        assert plan.makespan == pytest.approx(3 * cost)
+
+    def test_empty_batch_rejected(self, scheduler):
+        with pytest.raises(ConfigurationError):
+            scheduler.schedule([])
+
+    def test_unknown_policy_rejected(self, scheduler):
+        with pytest.raises(ConfigurationError):
+            scheduler.schedule(specs([(64, 64)]), policy="random")

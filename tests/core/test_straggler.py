@@ -1,0 +1,68 @@
+"""Tests for the straggler (layer slowdown) what-if analysis."""
+
+import pytest
+
+from repro.core.config import HeteroSVDConfig
+from repro.core.timing import TimingSimulator
+from repro.errors import SimulationError
+from repro.units import mhz
+
+
+def config(p_eng=8, freq=450.0):
+    return HeteroSVDConfig(
+        m=128, n=128, p_eng=p_eng, p_task=1,
+        pl_frequency_hz=mhz(freq), fixed_iterations=2,
+    )
+
+
+class TestStragglerAnalysis:
+    def test_slowdown_applies_to_chosen_layer(self):
+        cfg = config()
+        base = TimingSimulator(cfg).stage_durations()
+        slowed = TimingSimulator(cfg, layer_slowdown={3: 2.0}).stage_durations()
+        assert slowed[3] == pytest.approx(2 * base[3])
+        assert slowed[0] == base[0]
+
+    def test_straggler_extends_makespan(self):
+        cfg = config()
+        base = TimingSimulator(cfg).simulate(1).latency
+        slowed = TimingSimulator(
+            cfg, layer_slowdown={0: 4.0}
+        ).simulate(1).latency
+        assert slowed > base
+
+    def test_hidden_when_streaming_bound(self):
+        # At a slow PL clock the pipeline is streaming-bound: a mild
+        # straggler hides behind the Tx interval — only the one-off
+        # traversal of each pair grows, a <0.1% effect.
+        cfg = config(freq=208.3)
+        base = TimingSimulator(cfg).simulate(1).latency
+        slowed = TimingSimulator(
+            cfg, layer_slowdown={2: 1.2}
+        ).simulate(1).latency
+        assert slowed >= base
+        assert (slowed - base) / base < 1e-3
+
+    def test_severe_straggler_becomes_bottleneck(self):
+        # A 20x straggler exceeds the Tx interval and paces the pipeline.
+        cfg = config(freq=208.3)
+        base = TimingSimulator(cfg).simulate(1).latency
+        slowed = TimingSimulator(
+            cfg, layer_slowdown={2: 20.0}
+        ).simulate(1).latency
+        assert slowed > 1.2 * base
+
+    def test_validation(self):
+        cfg = config()
+        with pytest.raises(SimulationError):
+            TimingSimulator(cfg, layer_slowdown={99: 2.0})
+        with pytest.raises(SimulationError):
+            TimingSimulator(cfg, layer_slowdown={0: 0.5})
+
+    def test_multiple_stragglers(self):
+        cfg = config()
+        sim = TimingSimulator(cfg, layer_slowdown={0: 2.0, 5: 3.0})
+        stages = sim.stage_durations()
+        base = TimingSimulator(cfg).stage_durations()
+        assert stages[0] == pytest.approx(2 * base[0])
+        assert stages[5] == pytest.approx(3 * base[5])

@@ -1,0 +1,113 @@
+"""Tests for the cycle-approximate timing simulation and its agreement
+with the analytical model (the Table IV / Table V experiment)."""
+
+import pytest
+
+from repro.core.config import HeteroSVDConfig
+from repro.core.perf_model import PerformanceModel
+from repro.core.timing import TimingSimulator
+from repro.errors import SimulationError
+from repro.units import mhz
+
+
+def config(m=128, n=128, p_eng=4, p_task=1, **kwargs):
+    kwargs.setdefault("pl_frequency_hz", mhz(208.3))
+    return HeteroSVDConfig(m=m, n=n, p_eng=p_eng, p_task=p_task, **kwargs)
+
+
+class TestModelAgreement:
+    @pytest.mark.parametrize("p_eng", [2, 4, 8])
+    @pytest.mark.parametrize("m", [128, 256])
+    def test_single_iteration_error_within_paper_band(self, m, p_eng):
+        # Table IV reports <= 3.03% error; we allow <= 10% for the
+        # reproduction (our 'board' is itself a model).
+        cfg = config(m=m, n=m, p_eng=p_eng, fixed_iterations=1)
+        measured = TimingSimulator(cfg).measure_iteration_time()
+        modelled = PerformanceModel(cfg).iteration_time()
+        error = abs(modelled - measured) / measured
+        assert error < 0.10, (m, p_eng, error)
+
+    def test_task_time_error_small(self):
+        cfg = config(m=128, n=128, p_eng=8, fixed_iterations=6)
+        sim = TimingSimulator(cfg).simulate(1)
+        modelled = PerformanceModel(cfg).task_time()
+        error = abs(modelled - sim.latency) / sim.latency
+        assert error < 0.15
+
+    def test_naive_dataflow_is_slower(self):
+        co = config(p_eng=8, fixed_iterations=1, pl_frequency_hz=mhz(450))
+        naive = config(
+            p_eng=8,
+            fixed_iterations=1,
+            pl_frequency_hz=mhz(450),
+            use_codesign=False,
+        )
+        t_co = TimingSimulator(co).measure_iteration_time()
+        t_naive = TimingSimulator(naive).measure_iteration_time()
+        assert t_naive >= t_co
+
+
+class TestSimulationBehaviour:
+    def test_first_iteration_pays_ddr(self):
+        cfg = config(fixed_iterations=3)
+        result = TimingSimulator(cfg).simulate(1)
+        assert result.iteration_times[0] > result.iteration_times[1]
+
+    def test_steady_iterations_stable(self):
+        cfg = config(fixed_iterations=4)
+        result = TimingSimulator(cfg).simulate(1)
+        later = result.iteration_times[1:]
+        assert max(later) / min(later) < 1.05
+
+    def test_makespan_covers_all_tasks(self):
+        cfg = config(p_eng=4, p_task=2, fixed_iterations=1)
+        result = TimingSimulator(cfg).simulate(5)
+        assert result.makespan >= max(result.task_times)
+        assert len(result.task_times) == 5
+
+    def test_parallel_tasks_improve_makespan(self):
+        single = config(m=128, n=128, p_eng=4, p_task=1, fixed_iterations=1)
+        multi = config(m=128, n=128, p_eng=4, p_task=4, fixed_iterations=1)
+        t1 = TimingSimulator(single).simulate(8).makespan
+        t4 = TimingSimulator(multi).simulate(8).makespan
+        assert t4 < t1 / 2
+
+    def test_throughput_definition(self):
+        cfg = config(fixed_iterations=1)
+        result = TimingSimulator(cfg).simulate(3)
+        assert result.throughput == pytest.approx(3 / result.makespan)
+
+    def test_latency_is_first_task(self):
+        cfg = config(fixed_iterations=1)
+        result = TimingSimulator(cfg).simulate(2)
+        assert result.latency == result.task_times[0]
+
+    def test_utilizations_bounded(self):
+        cfg = config(fixed_iterations=2)
+        result = TimingSimulator(cfg).simulate(1)
+        assert 0 <= result.orth_utilization <= 1
+        assert 0 <= result.plio_utilization <= 1
+
+    def test_stage_durations_layer_count(self):
+        sim = TimingSimulator(config(p_eng=4))
+        stages = sim.stage_durations()
+        assert len(stages) == 7
+        assert all(s > 0 for s in stages)
+
+    def test_crossing_layers_slower(self):
+        # P_eng = 8 -> 15 layers in chunks of 6: layers 5 and 11 pay the
+        # crossing DMA.
+        sim = TimingSimulator(config(p_eng=8))
+        stages = sim.stage_durations()
+        assert stages[5] > stages[0]
+        assert stages[11] > stages[0]
+
+    def test_rejects_zero_tasks(self):
+        with pytest.raises(SimulationError):
+            TimingSimulator(config()).simulate(0)
+
+    def test_measure_restores_config(self):
+        cfg = config(fixed_iterations=6)
+        sim = TimingSimulator(cfg)
+        sim.measure_iteration_time()
+        assert sim.config.fixed_iterations == 6

@@ -1,0 +1,104 @@
+"""End-to-end integration tests across the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DesignSpaceExplorer,
+    HeteroSVDAccelerator,
+    HeteroSVDConfig,
+    PerformanceModel,
+    TimingSimulator,
+    svd,
+)
+from repro.linalg.reference import validate_svd
+from repro.units import mhz
+from repro.workloads.batch import make_batch
+from repro.workloads.mimo import mimo_channel, waterfill
+from repro.workloads.recsys import rating_matrix, top_k_approximation
+
+
+class TestThreeSolversAgree:
+    def test_software_block_and_hardware_agree(self, rng):
+        a = rng.standard_normal((32, 16))
+        sw = svd(a, method="hestenes", precision=1e-9).singular_values
+        blk = svd(a, method="block", block_width=4, precision=1e-9).singular_values
+        hw = HeteroSVDAccelerator(
+            HeteroSVDConfig(m=32, n=16, p_eng=4, precision=1e-9)
+        ).run(a).sigma
+        assert np.allclose(sw, blk, rtol=1e-7)
+        assert np.allclose(sw, hw, rtol=1e-7)
+
+
+class TestDSEDrivenRun:
+    def test_best_config_runs_functionally(self, rng):
+        # Pick the DSE's latency-optimal point for a 32x32 workload and
+        # execute it end to end on the functional model.
+        dse = DesignSpaceExplorer(32, 32)
+        best = dse.best("latency")
+        config = best.config
+        a = rng.standard_normal((config.m, config.n))
+        result = HeteroSVDAccelerator(config).run(a)
+        s_ref = np.linalg.svd(a, compute_uv=False)
+        assert np.allclose(result.sigma[: len(s_ref)], s_ref, rtol=1e-6)
+
+    def test_model_and_simulation_agree_on_dse_points(self):
+        dse = DesignSpaceExplorer(128, 128, fixed_iterations=6)
+        for point in dse.explore("latency")[:3]:
+            model_time = PerformanceModel(point.config).task_time()
+            sim_time = TimingSimulator(point.config).simulate(1).latency
+            assert abs(model_time - sim_time) / sim_time < 0.15
+
+
+class TestApplicationPipelines:
+    def test_mimo_beamforming_pipeline(self):
+        h = mimo_channel(8, 8, seed=3)  # 16x16 real embedding
+        config = HeteroSVDConfig(m=16, n=16, p_eng=4, precision=1e-8)
+        result = HeteroSVDAccelerator(config).run(h, accumulate_v=True)
+        powers = waterfill(result.sigma, total_power=10.0)
+        assert powers.sum() == pytest.approx(10.0)
+        # Beamformed channel U^T H V is diagonal with the sigmas.
+        effective = result.u.T @ h @ result.v
+        off_diag = effective - np.diag(np.diag(effective))
+        assert np.max(np.abs(off_diag)) < 1e-5 * result.sigma[0]
+
+    def test_recommender_pipeline(self):
+        ratings = rating_matrix(32, 24, latent_rank=4, noise=0.05, seed=7)
+        config = HeteroSVDConfig(m=32, n=24, p_eng=4, precision=1e-8)
+        result = HeteroSVDAccelerator(config).run(ratings, accumulate_v=True)
+        approx = top_k_approximation(result.u, result.sigma, result.v, k=4)
+        rel_err = np.linalg.norm(ratings - approx) / np.linalg.norm(ratings)
+        # The accelerator's rank-4 model must match LAPACK's optimal
+        # rank-4 truncation (Eckart-Young) to numerical accuracy.
+        u, s, vt = np.linalg.svd(ratings)
+        optimal = np.linalg.norm(
+            ratings - (u[:, :4] * s[:4]) @ vt[:4]
+        ) / np.linalg.norm(ratings)
+        assert rel_err == pytest.approx(optimal, rel=1e-6)
+
+    def test_batch_throughput_workflow(self):
+        batch = make_batch(16, 16, batch=4, seed=0)
+        config = HeteroSVDConfig(m=16, n=16, p_eng=4, p_task=2)
+        accel = HeteroSVDAccelerator(config)
+        results = accel.run_batch(batch.matrices)
+        assert len(results) == 4
+        timing = TimingSimulator(config).simulate(len(batch))
+        assert timing.throughput > 0
+
+
+class TestCodesignAblation:
+    def test_codesign_wins_time_and_traffic(self, rng):
+        base = dict(m=64, n=64, p_eng=8, p_task=1, fixed_iterations=2,
+                    pl_frequency_hz=mhz(450))
+        co_cfg = HeteroSVDConfig(use_codesign=True, **base)
+        tr_cfg = HeteroSVDConfig(use_codesign=False, **base)
+        a = rng.standard_normal((64, 64))
+        co = HeteroSVDAccelerator(co_cfg).run(a)
+        tr = HeteroSVDAccelerator(tr_cfg).run(a)
+        # Same numerics, k-times less DMA traffic.
+        assert np.allclose(co.sigma, tr.sigma, rtol=1e-9)
+        assert tr.transfers.dma_transfers == 8 * co.transfers.dma_transfers
+        # And faster simulated iterations.
+        t_co = TimingSimulator(co_cfg).measure_iteration_time()
+        t_tr = TimingSimulator(tr_cfg).measure_iteration_time()
+        assert t_co <= t_tr

@@ -1,0 +1,67 @@
+"""Golden regression tests: frozen model outputs.
+
+These pin the calibrated model's key outputs — the Table IV
+single-iteration times and the DMA/resource figures — to the values
+recorded in EXPERIMENTS.md.  A failing test here means the calibration
+moved: either intentionally (update the goldens *and* EXPERIMENTS.md
+together) or by accident (a regression).
+"""
+
+import pytest
+
+from repro.core.config import HeteroSVDConfig
+from repro.core.perf_model import PerformanceModel
+from repro.core.resources import estimate_resources
+from repro.core.timing import TimingSimulator
+from repro.units import mhz
+
+#: (m, P_eng) -> (measured ms, modelled ms) recorded in EXPERIMENTS.md.
+GOLDEN_TABLE4 = {
+    (128, 2): (0.988, 0.931),
+    (256, 2): (6.479, 6.246),
+    (512, 2): (46.072, 45.133),
+    (128, 4): (0.474, 0.461),
+    (256, 4): (3.160, 3.103),
+    (512, 4): (22.718, 22.486),
+    (128, 8): (0.230, 0.229),
+    (256, 8): (1.547, 1.536),
+    (512, 8): (11.223, 11.171),
+}
+
+#: (P_eng, P_task) -> (AIE, URAM) for 256x256 (Table VI reproduction).
+GOLDEN_TABLE6_RESOURCES = {
+    (2, 26): (234, 416),
+    (4, 9): (387, 144),
+    (6, 4): (356, 96),
+    (8, 2): (334, 32),
+}
+
+
+class TestGoldenTable4:
+    @pytest.mark.parametrize("case,golden", GOLDEN_TABLE4.items())
+    def test_iteration_times_frozen(self, case, golden):
+        m, p_eng = case
+        golden_measured, golden_modelled = golden
+        config = HeteroSVDConfig(
+            m=m, n=m, p_eng=p_eng, p_task=1,
+            pl_frequency_hz=mhz(208.3), fixed_iterations=1,
+        )
+        measured = TimingSimulator(config).measure_iteration_time() * 1e3
+        modelled = PerformanceModel(config).iteration_time() * 1e3
+        # Goldens are recorded to three decimals; 0.5% absorbs rounding.
+        assert measured == pytest.approx(golden_measured, rel=5e-3)
+        assert modelled == pytest.approx(golden_modelled, rel=5e-3)
+
+
+class TestGoldenTable6:
+    @pytest.mark.parametrize(
+        "point,golden", GOLDEN_TABLE6_RESOURCES.items()
+    )
+    def test_resources_frozen(self, point, golden):
+        p_eng, p_task = point
+        golden_aie, golden_uram = golden
+        n = 256 if 256 % p_eng == 0 else (256 // p_eng + 1) * p_eng
+        config = HeteroSVDConfig(m=256, n=n, p_eng=p_eng, p_task=p_task)
+        usage = estimate_resources(config)
+        assert usage.aie == golden_aie
+        assert usage.uram == golden_uram

@@ -1,0 +1,90 @@
+"""Unit tests for column-block partitioning and block-pair enumeration."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.linalg.block import (
+    BlockPartition,
+    block_pair_rounds,
+    block_pairs,
+)
+
+
+class TestBlockPartition:
+    def test_basic_counts(self):
+        part = BlockPartition(n_cols=16, block_width=4)
+        assert part.n_blocks == 4
+        assert part.n_block_pairs == 6
+
+    def test_block_columns(self):
+        part = BlockPartition(n_cols=12, block_width=3)
+        assert part.block_columns(0) == [0, 1, 2]
+        assert part.block_columns(3) == [9, 10, 11]
+
+    def test_pair_columns_order(self):
+        part = BlockPartition(n_cols=8, block_width=2)
+        assert part.pair_columns((1, 3)) == [2, 3, 6, 7]
+
+    def test_extract_and_scatter_roundtrip(self, rng):
+        part = BlockPartition(n_cols=8, block_width=2)
+        a = rng.standard_normal((5, 8))
+        original = a.copy()
+        pair = (0, 2)
+        data = part.extract_pair(a, pair)
+        assert data.shape == (5, 4)
+        part.scatter_pair(a, pair, data * 2)
+        assert np.allclose(a[:, [0, 1, 4, 5]], original[:, [0, 1, 4, 5]] * 2)
+        assert np.allclose(a[:, [2, 3, 6, 7]], original[:, [2, 3, 6, 7]])
+
+    def test_scatter_shape_mismatch(self, rng):
+        part = BlockPartition(n_cols=8, block_width=2)
+        a = rng.standard_normal((5, 8))
+        with pytest.raises(ConfigurationError):
+            part.scatter_pair(a, (0, 1), np.zeros((5, 3)))
+
+    def test_invalid_block_index(self):
+        part = BlockPartition(n_cols=8, block_width=2)
+        with pytest.raises(ConfigurationError):
+            part.block_columns(4)
+
+    @pytest.mark.parametrize(
+        "n_cols,width",
+        [(8, 0), (8, 5), (4, 4), (7, 2), (2, 2)],
+    )
+    def test_invalid_partitions(self, n_cols, width):
+        with pytest.raises(ConfigurationError):
+            BlockPartition(n_cols=n_cols, block_width=width)
+
+
+class TestBlockPairs:
+    @pytest.mark.parametrize("p", [2, 3, 4, 5, 8, 13])
+    def test_enumerates_each_pair_once(self, p):
+        pairs = block_pairs(p)
+        assert len(pairs) == p * (p - 1) // 2
+        assert len(set(pairs)) == len(pairs)
+        for u, v in pairs:
+            assert 0 <= u < v < p
+
+    def test_rejects_single_block(self):
+        with pytest.raises(ConfigurationError):
+            block_pairs(1)
+
+    def test_round_robin_locality(self):
+        # Tournament schedule: consecutive rounds reuse blocks heavily,
+        # but within a round blocks are disjoint.
+        for one_round in block_pair_rounds(8):
+            blocks = [b for pair in one_round for b in pair]
+            assert len(blocks) == len(set(blocks))
+
+    @pytest.mark.parametrize("p", [3, 5, 7])
+    def test_odd_block_counts_use_a_bye(self, p):
+        rounds = block_pair_rounds(p)
+        flat = [pair for r in rounds for pair in r]
+        assert len(flat) == p * (p - 1) // 2
+        assert all(0 <= u < v < p for u, v in flat)
+
+    def test_rounds_flatten_to_pairs(self):
+        rounds = block_pair_rounds(6)
+        flat = [pair for r in rounds for pair in r]
+        assert sorted(flat) == sorted(block_pairs(6))

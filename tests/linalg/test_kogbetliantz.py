@@ -1,0 +1,81 @@
+"""Tests for the two-sided (Kogbetliantz) Jacobi SVD cross-check."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError, NumericalError
+from repro.linalg.hestenes import hestenes_svd
+from repro.linalg.kogbetliantz import kogbetliantz_svd
+
+
+class TestKogbetliantz:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 32])
+    def test_matches_lapack(self, rng, n):
+        a = rng.standard_normal((n, n))
+        result = kogbetliantz_svd(a, precision=1e-12)
+        s_ref = np.linalg.svd(a, compute_uv=False)
+        assert np.allclose(result.singular_values, s_ref, rtol=1e-10)
+        assert result.converged
+
+    def test_full_factorization(self, rng):
+        a = rng.standard_normal((12, 12))
+        result = kogbetliantz_svd(a, precision=1e-12)
+        assert np.allclose(result.reconstruct(), a, atol=1e-9)
+        eye = np.eye(12)
+        assert np.allclose(result.u.T @ result.u, eye, atol=1e-12)
+        assert np.allclose(result.v.T @ result.v, eye, atol=1e-12)
+
+    def test_cross_validates_one_sided_method(self, rng):
+        # Two algorithmically independent Jacobi variants must agree.
+        a = rng.standard_normal((16, 16))
+        two_sided = kogbetliantz_svd(a, precision=1e-12)
+        one_sided = hestenes_svd(a, precision=1e-12)
+        assert np.allclose(
+            two_sided.singular_values,
+            one_sided.singular_values,
+            rtol=1e-9,
+        )
+
+    def test_singular_values_non_negative_descending(self, rng):
+        a = rng.standard_normal((10, 10))
+        result = kogbetliantz_svd(a)
+        s = result.singular_values
+        assert np.all(s >= 0)
+        assert np.all(s[:-1] >= s[1:])
+
+    def test_off_diagonal_history_decreases(self, rng):
+        a = rng.standard_normal((16, 16))
+        result = kogbetliantz_svd(a, precision=1e-12)
+        assert result.off_history[-1] < result.off_history[0]
+
+    def test_diagonal_input_immediate(self):
+        a = np.diag([4.0, 3.0, 2.0, 1.0])
+        result = kogbetliantz_svd(a)
+        assert result.sweeps <= 1
+        assert np.allclose(result.singular_values, [4, 3, 2, 1])
+
+    def test_negative_diagonal_fixed_up(self):
+        a = np.diag([-5.0, 2.0])
+        result = kogbetliantz_svd(a)
+        assert np.allclose(result.singular_values, [5.0, 2.0])
+        assert np.allclose(result.reconstruct(), a, atol=1e-12)
+
+    def test_zero_matrix(self):
+        result = kogbetliantz_svd(np.zeros((4, 4)))
+        assert np.allclose(result.singular_values, 0.0)
+        assert result.converged
+
+    def test_rejects_non_square(self, rng):
+        with pytest.raises(NumericalError):
+            kogbetliantz_svd(rng.standard_normal((4, 6)))
+
+    def test_rejects_non_finite(self):
+        a = np.eye(4)
+        a[0, 0] = np.inf
+        with pytest.raises(NumericalError):
+            kogbetliantz_svd(a)
+
+    def test_budget_exhaustion(self, rng):
+        a = rng.standard_normal((16, 16))
+        with pytest.raises(ConvergenceError):
+            kogbetliantz_svd(a, precision=1e-14, max_sweeps=1)

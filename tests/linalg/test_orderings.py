@@ -1,0 +1,121 @@
+"""Unit tests for the parallel Jacobi orderings."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.linalg.orderings import (
+    RingOrdering,
+    RoundRobinOrdering,
+    ShiftingRingOrdering,
+    sweep_rounds,
+    validate_ordering,
+)
+
+ALL_ORDERINGS = [RingOrdering, RoundRobinOrdering, ShiftingRingOrdering]
+
+
+class TestSweepRounds:
+    @pytest.mark.parametrize("n", [2, 4, 6, 8, 10, 16, 32])
+    def test_covers_all_pairs_exactly_once(self, n):
+        validate_ordering(sweep_rounds(n), n)
+
+    def test_round_and_pair_counts(self):
+        rounds = sweep_rounds(8)
+        assert len(rounds) == 7
+        assert all(len(r) == 4 for r in rounds)
+
+    @pytest.mark.parametrize("n", [0, 1, 3, 5, -2])
+    def test_rejects_bad_column_counts(self, n):
+        with pytest.raises(ConfigurationError):
+            sweep_rounds(n)
+
+
+class TestOrderingClasses:
+    @pytest.mark.parametrize("cls", ALL_ORDERINGS)
+    @pytest.mark.parametrize("n", [2, 4, 6, 8, 12, 20])
+    def test_valid_parallel_schedule(self, cls, n):
+        validate_ordering(cls(n).rounds(), n)
+
+    @pytest.mark.parametrize("cls", ALL_ORDERINGS)
+    def test_dimensions(self, cls):
+        ordering = cls(12)
+        assert ordering.n_rounds == 11
+        assert ordering.pairs_per_round == 6
+
+    def test_ring_and_shifting_ring_share_pair_schedule(self):
+        ring = RingOrdering(10)
+        shifting = ShiftingRingOrdering(10)
+        assert ring.rounds() == shifting.rounds()
+
+    def test_round_robin_differs_from_ring(self):
+        # Different published schedules; both valid.
+        assert RoundRobinOrdering(8).rounds() != RingOrdering(8).rounds()
+
+    def test_iteration_protocol(self):
+        ordering = RingOrdering(6)
+        assert list(ordering) == ordering.rounds()
+
+    def test_all_pairs_flat_list(self):
+        ordering = RingOrdering(6)
+        assert len(ordering.all_pairs()) == 15
+
+    def test_rounds_returns_copies(self):
+        ordering = RingOrdering(4)
+        rounds = ordering.rounds()
+        rounds[0][0] = (99, 100)
+        assert ordering.rounds()[0][0] != (99, 100)
+
+
+class TestSlotMapping:
+    def test_ring_has_no_shift(self):
+        ordering = RingOrdering(8)
+        for r in range(ordering.n_rounds):
+            assert ordering.slot_shift(r) == 0
+            for p in range(ordering.pairs_per_round):
+                assert ordering.slot_of(r, p) == p
+
+    def test_shifting_ring_shift_is_floor_halved_row(self):
+        ordering = ShiftingRingOrdering(12)  # k = 6, 11 rounds
+        expected = [r // 2 for r in range(11)]
+        assert [ordering.slot_shift(r) for r in range(11)] == expected
+
+    def test_shifting_ring_slots_rotate_cyclically(self):
+        ordering = ShiftingRingOrdering(8)  # k = 4
+        # Round 2 has shift 1: pair 3 wraps to slot 0.
+        assert ordering.slot_of(2, 3) == 0
+        assert ordering.slot_of(2, 0) == 1
+
+    def test_slot_of_is_a_permutation_each_round(self):
+        ordering = ShiftingRingOrdering(10)
+        k = ordering.pairs_per_round
+        for r in range(ordering.n_rounds):
+            slots = {ordering.slot_of(r, p) for p in range(k)}
+            assert slots == set(range(k))
+
+    def test_out_of_range_rounds_and_pairs(self):
+        ordering = ShiftingRingOrdering(6)
+        with pytest.raises(ConfigurationError):
+            ordering.slot_shift(5)
+        with pytest.raises(ConfigurationError):
+            ordering.slot_of(0, 3)
+        with pytest.raises(ConfigurationError):
+            ordering.slot_of(-1, 0)
+
+
+class TestValidateOrdering:
+    def test_detects_missing_round(self):
+        rounds = sweep_rounds(6)[:-1]
+        with pytest.raises(ConfigurationError):
+            validate_ordering(rounds, 6)
+
+    def test_detects_duplicate_pair(self):
+        rounds = sweep_rounds(6)
+        rounds[1] = rounds[0]
+        with pytest.raises(ConfigurationError):
+            validate_ordering(rounds, 6)
+
+    def test_detects_column_used_twice_in_round(self):
+        rounds = sweep_rounds(4)
+        rounds[0] = [(0, 1), (0, 2)]
+        with pytest.raises(ConfigurationError):
+            validate_ordering(rounds, 4)

@@ -1,0 +1,79 @@
+"""Unit tests for the golden-model validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.reference import (
+    ValidationReport,
+    orthogonality_error,
+    reconstruction_error,
+    singular_value_error,
+    validate_svd,
+)
+
+
+class TestReconstructionError:
+    def test_exact_svd_is_zero(self, rng):
+        a = rng.standard_normal((8, 5))
+        u, s, vt = np.linalg.svd(a, full_matrices=False)
+        assert reconstruction_error(a, u, s, vt.T) < 1e-14
+
+    def test_corrupted_svd_is_nonzero(self, rng):
+        a = rng.standard_normal((8, 5))
+        u, s, vt = np.linalg.svd(a, full_matrices=False)
+        assert reconstruction_error(a, u, s * 1.1, vt.T) > 0.01
+
+    def test_zero_matrix_uses_absolute_error(self):
+        a = np.zeros((4, 3))
+        u = np.zeros((4, 3))
+        s = np.zeros(3)
+        v = np.zeros((3, 3))
+        assert reconstruction_error(a, u, s, v) == 0.0
+
+
+class TestOrthogonalityError:
+    def test_orthonormal_is_zero(self, rng):
+        q, _ = np.linalg.qr(rng.standard_normal((10, 4)))
+        assert orthogonality_error(q) < 1e-14
+
+    def test_scaled_columns_detected(self, rng):
+        q, _ = np.linalg.qr(rng.standard_normal((10, 4)))
+        q[:, 0] *= 2
+        assert orthogonality_error(q) > 1.0
+
+    def test_zero_columns_excluded(self, rng):
+        q, _ = np.linalg.qr(rng.standard_normal((10, 3)))
+        padded = np.hstack([q, np.zeros((10, 1))])
+        assert orthogonality_error(padded) < 1e-14
+
+    def test_all_zero_matrix(self):
+        assert orthogonality_error(np.zeros((5, 3))) == 0.0
+
+
+class TestSingularValueError:
+    def test_exact_spectrum(self, rng):
+        a = rng.standard_normal((9, 6))
+        s = np.linalg.svd(a, compute_uv=False)
+        assert singular_value_error(a, s) < 1e-14
+
+    def test_order_insensitive(self, rng):
+        a = rng.standard_normal((9, 6))
+        s = np.linalg.svd(a, compute_uv=False)
+        assert singular_value_error(a, s[::-1]) < 1e-14
+
+    def test_perturbed_spectrum(self, rng):
+        a = rng.standard_normal((9, 6))
+        s = np.linalg.svd(a, compute_uv=False)
+        assert singular_value_error(a, s * 1.05) == pytest.approx(
+            0.05, rel=1e-6
+        )
+
+
+class TestValidateSVD:
+    def test_report_within(self, rng):
+        a = rng.standard_normal((8, 4))
+        u, s, vt = np.linalg.svd(a, full_matrices=False)
+        report = validate_svd(a, u, s, vt.T)
+        assert isinstance(report, ValidationReport)
+        assert report.within(1e-10)
+        assert not report.within(0.0)

@@ -1,0 +1,112 @@
+"""Unit tests for the Jacobi rotation math (Eqs. 3-5)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import NumericalError
+from repro.linalg.rotations import (
+    JacobiRotation,
+    apply_rotation,
+    compute_rotation,
+    rotate_pair,
+)
+
+
+class TestComputeRotation:
+    def test_identity_for_orthogonal_pair(self):
+        rotation = compute_rotation(alpha=4.0, beta=9.0, gamma=0.0)
+        assert rotation.identity
+        assert rotation.c == 1.0
+        assert rotation.s == 0.0
+
+    def test_is_a_proper_rotation(self):
+        rotation = compute_rotation(alpha=2.0, beta=5.0, gamma=1.5)
+        assert rotation.c**2 + rotation.s**2 == pytest.approx(1.0)
+
+    def test_angle_stays_below_45_degrees(self):
+        # The smaller root of t^2 + 2*tau*t - 1 = 0 keeps |t| <= 1.
+        for alpha, beta, gamma in [(1, 1, 0.5), (1, 100, 3), (50, 1, -2)]:
+            rotation = compute_rotation(alpha, beta, gamma)
+            t = rotation.s / rotation.c
+            assert abs(t) <= 1.0 + 1e-12
+
+    def test_sign_follows_gamma(self):
+        plus = compute_rotation(1.0, 2.0, 0.7)
+        minus = compute_rotation(1.0, 2.0, -0.7)
+        assert plus.s == pytest.approx(-minus.s)
+        assert plus.c == pytest.approx(minus.c)
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(NumericalError):
+            compute_rotation(float("nan"), 1.0, 0.5)
+        with pytest.raises(NumericalError):
+            compute_rotation(1.0, float("inf"), 0.5)
+
+    def test_rejects_negative_norms(self):
+        with pytest.raises(NumericalError):
+            compute_rotation(-1.0, 1.0, 0.5)
+
+    def test_matrix_form(self):
+        rotation = compute_rotation(3.0, 1.0, 0.4)
+        j = rotation.as_matrix()
+        assert j.shape == (2, 2)
+        assert j[0, 0] == pytest.approx(rotation.c)
+        assert j[0, 1] == pytest.approx(rotation.s)
+        assert j[1, 0] == pytest.approx(-rotation.s)
+        assert np.allclose(j @ j.T, np.eye(2))
+
+
+class TestApplyRotation:
+    def test_annihilates_inner_product(self, rng):
+        ai = rng.standard_normal(32)
+        aj = rng.standard_normal(32)
+        bi, bj, _ = rotate_pair(ai, aj)
+        scale = np.linalg.norm(bi) * np.linalg.norm(bj)
+        assert abs(bi @ bj) / scale < 1e-12
+
+    def test_preserves_frobenius_norm(self, rng):
+        ai = rng.standard_normal(16)
+        aj = rng.standard_normal(16)
+        bi, bj, _ = rotate_pair(ai, aj)
+        before = ai @ ai + aj @ aj
+        after = bi @ bi + bj @ bj
+        assert after == pytest.approx(before)
+
+    def test_identity_rotation_copies(self, rng):
+        ai = rng.standard_normal(8)
+        aj = rng.standard_normal(8)
+        rotation = JacobiRotation(c=1.0, s=0.0, identity=True)
+        bi, bj = apply_rotation(ai, aj, rotation)
+        assert np.array_equal(bi, ai)
+        assert np.array_equal(bj, aj)
+        assert bi is not ai  # fresh arrays, inputs untouched
+
+    def test_inputs_not_modified(self, rng):
+        ai = rng.standard_normal(8)
+        aj = rng.standard_normal(8)
+        ai_copy, aj_copy = ai.copy(), aj.copy()
+        rotate_pair(ai, aj)
+        assert np.array_equal(ai, ai_copy)
+        assert np.array_equal(aj, aj_copy)
+
+    def test_equal_norm_columns(self):
+        # tau = 0 exercises the sign(0) corner of Eq. 5.
+        ai = np.array([1.0, 1.0])
+        aj = np.array([1.0, -0.5])
+        bi, bj, rotation = rotate_pair(ai, aj)
+        assert not rotation.identity
+        assert abs(bi @ bj) < 1e-12
+
+    def test_nearly_parallel_columns(self, rng):
+        ai = rng.standard_normal(16)
+        aj = ai + 1e-9 * rng.standard_normal(16)
+        bi, bj, _ = rotate_pair(ai, aj)
+        assert abs(bi @ bj) <= 1e-9 * max(1.0, bi @ bi)
+
+    def test_zero_column_is_identity(self, rng):
+        ai = rng.standard_normal(8)
+        aj = np.zeros(8)
+        _, _, rotation = rotate_pair(ai, aj)
+        assert rotation.identity

@@ -1,0 +1,113 @@
+"""Unit tests for the public svd() entry point."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NumericalError
+from repro.linalg.reference import validate_svd
+from repro.linalg.svd import svd
+
+
+class TestSVDShapes:
+    @pytest.mark.parametrize(
+        "shape",
+        [(8, 8), (16, 8), (8, 16), (9, 9), (7, 12), (12, 7), (3, 2), (2, 3)],
+    )
+    def test_thin_factor_shapes(self, rng, shape):
+        a = rng.standard_normal(shape)
+        result = svd(a, precision=1e-10)
+        r = min(shape)
+        assert result.u.shape == (shape[0], r)
+        assert result.singular_values.shape == (r,)
+        assert result.v.shape == (shape[1], r)
+
+    @pytest.mark.parametrize(
+        "shape",
+        [(8, 8), (16, 8), (8, 16), (9, 9), (7, 12), (13, 5), (1, 4), (4, 1)],
+    )
+    def test_accuracy_all_shapes(self, rng, shape):
+        a = rng.standard_normal(shape)
+        result = svd(a, precision=1e-10)
+        report = validate_svd(a, result.u, result.singular_values, result.v)
+        assert report.within(1e-7), report
+
+    def test_reconstruct_method(self, rng):
+        a = rng.standard_normal((10, 6))
+        result = svd(a, precision=1e-10)
+        assert np.allclose(result.reconstruct(), a, atol=1e-9)
+
+
+class TestSVDMethods:
+    def test_block_method_matches_hestenes(self, rng):
+        a = rng.standard_normal((24, 16))
+        s1 = svd(a, method="hestenes", precision=1e-10).singular_values
+        s2 = svd(
+            a, method="block", block_width=4, precision=1e-10
+        ).singular_values
+        assert np.allclose(s1, s2, rtol=1e-8)
+
+    def test_block_method_default_width(self, rng):
+        a = rng.standard_normal((32, 32))
+        result = svd(a, method="block", precision=1e-9)
+        s_ref = np.linalg.svd(a, compute_uv=False)
+        assert np.allclose(result.singular_values, s_ref, rtol=1e-6)
+
+    @pytest.mark.parametrize("width", [2, 4, 8])
+    def test_block_widths(self, rng, width):
+        a = rng.standard_normal((32, 16))
+        result = svd(a, method="block", block_width=width, precision=1e-9)
+        report = validate_svd(a, result.u, result.singular_values, result.v)
+        assert report.within(1e-6)
+
+    def test_unknown_method(self, rng):
+        with pytest.raises(NumericalError):
+            svd(rng.standard_normal((4, 4)), method="qr")
+
+    def test_fixed_sweeps_recorded(self, rng):
+        a = rng.standard_normal((8, 6))
+        result = svd(a, fixed_sweeps=3)
+        assert result.sweeps == 3
+        assert len(result.sweep_residuals) == 3
+
+
+class TestSVDEdgeCases:
+    def test_zero_matrix(self):
+        result = svd(np.zeros((6, 4)))
+        assert np.allclose(result.singular_values, 0.0)
+
+    def test_rank_one(self, rng):
+        a = np.outer(rng.standard_normal(9), rng.standard_normal(5))
+        result = svd(a, precision=1e-10)
+        assert result.singular_values[0] > 0
+        assert np.allclose(result.singular_values[1:], 0.0, atol=1e-8)
+        assert np.allclose(result.reconstruct(), a, atol=1e-8)
+
+    def test_identity(self):
+        result = svd(np.eye(6), precision=1e-10)
+        assert np.allclose(result.singular_values, 1.0)
+
+    def test_single_column(self, rng):
+        a = rng.standard_normal((8, 1))
+        result = svd(a)
+        assert result.singular_values[0] == pytest.approx(np.linalg.norm(a))
+
+    def test_rejects_empty(self):
+        with pytest.raises(NumericalError):
+            svd(np.zeros((0, 4)))
+
+    def test_rejects_1d(self):
+        with pytest.raises(NumericalError):
+            svd(np.ones(5))
+
+    def test_scaling_equivariance(self, rng):
+        a = rng.standard_normal((10, 6))
+        s1 = svd(a, precision=1e-10).singular_values
+        s2 = svd(3.0 * a, precision=1e-10).singular_values
+        assert np.allclose(s2, 3.0 * s1, rtol=1e-8)
+
+    def test_padded_v_stays_orthonormal(self, rng):
+        # Odd column count exercises the padding path.
+        a = rng.standard_normal((10, 7))
+        result = svd(a, precision=1e-10)
+        gram = result.v.T @ result.v
+        assert np.allclose(gram, np.eye(7), atol=1e-8)

@@ -1,0 +1,85 @@
+"""Tests for the randomized truncated SVD."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.linalg.truncated import truncated_svd
+from repro.workloads.matrices import low_rank_matrix
+
+
+class TestTruncatedSVD:
+    def test_exact_on_low_rank_input(self, rng):
+        a = low_rank_matrix(60, 40, rank=5, seed=1)
+        result = truncated_svd(a, rank=5, seed=0)
+        assert np.allclose(result.reconstruct(), a, atol=1e-8)
+
+    def test_top_singular_values_accurate(self, rng):
+        # Gaussian matrices have a flat spectrum — the hard case for
+        # randomized sketching; 1% agreement on the top-10 is the
+        # realistic bar (decaying spectra are far better, see the
+        # low-rank tests).
+        a = rng.standard_normal((80, 50))
+        result = truncated_svd(a, rank=10, seed=0, power_iterations=3)
+        s_ref = np.linalg.svd(a, compute_uv=False)[:10]
+        assert np.allclose(result.singular_values, s_ref, rtol=1e-2)
+        assert np.all(result.singular_values <= s_ref * (1 + 1e-12))
+
+    def test_factor_shapes(self, rng):
+        a = rng.standard_normal((30, 20))
+        result = truncated_svd(a, rank=4, seed=0)
+        assert result.u.shape == (30, 4)
+        assert result.singular_values.shape == (4,)
+        assert result.v.shape == (20, 4)
+
+    def test_orthonormal_factors(self, rng):
+        a = rng.standard_normal((40, 25))
+        result = truncated_svd(a, rank=6, seed=0)
+        eye = np.eye(6)
+        assert np.allclose(result.u.T @ result.u, eye, atol=1e-10)
+        assert np.allclose(result.v.T @ result.v, eye, atol=1e-8)
+
+    def test_near_optimal_approximation_error(self, rng):
+        # Randomized truncation must land close to the Eckart-Young
+        # optimum for the same rank.
+        a = rng.standard_normal((60, 40))
+        rank = 8
+        result = truncated_svd(a, rank=rank, seed=0, power_iterations=3)
+        u, s, vt = np.linalg.svd(a, full_matrices=False)
+        optimal = np.linalg.norm(a - (u[:, :rank] * s[:rank]) @ vt[:rank])
+        achieved = np.linalg.norm(a - result.reconstruct())
+        assert achieved <= 1.05 * optimal
+
+    def test_power_iterations_help_noisy_spectra(self, rng):
+        a = low_rank_matrix(80, 60, rank=6, noise=0.4, seed=2)
+        s_ref = np.linalg.svd(a, compute_uv=False)[:6]
+
+        def error(q):
+            result = truncated_svd(a, rank=6, seed=3, power_iterations=q)
+            return np.max(np.abs(result.singular_values - s_ref))
+
+        assert error(3) <= error(0) + 1e-12
+
+    def test_wide_matrix(self, rng):
+        a = rng.standard_normal((20, 50))
+        result = truncated_svd(a, rank=5, seed=0)
+        s_ref = np.linalg.svd(a, compute_uv=False)[:5]
+        assert np.allclose(result.singular_values, s_ref, rtol=0.05)
+
+    def test_full_rank_request(self, rng):
+        a = rng.standard_normal((12, 8))
+        result = truncated_svd(a, rank=8, seed=0)
+        s_ref = np.linalg.svd(a, compute_uv=False)
+        assert np.allclose(result.singular_values, s_ref, rtol=1e-6)
+
+    def test_invalid_rank(self, rng):
+        a = rng.standard_normal((10, 6))
+        with pytest.raises(ConfigurationError):
+            truncated_svd(a, rank=0)
+        with pytest.raises(ConfigurationError):
+            truncated_svd(a, rank=7)
+
+    def test_invalid_options(self, rng):
+        a = rng.standard_normal((10, 6))
+        with pytest.raises(ConfigurationError):
+            truncated_svd(a, rank=2, oversample=-1)

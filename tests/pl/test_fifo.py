@@ -1,0 +1,69 @@
+"""Unit tests for the PL FIFO model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.pl.fifo import FIFO
+
+
+class TestFIFO:
+    def test_fifo_order(self):
+        fifo = FIFO("f")
+        for item in (1, 2, 3):
+            fifo.push(item)
+        assert [fifo.pop() for _ in range(3)] == [1, 2, 3]
+
+    def test_capacity_enforced(self):
+        fifo = FIFO("f", capacity=2)
+        fifo.push("a")
+        fifo.push("b")
+        assert fifo.full
+        with pytest.raises(SimulationError):
+            fifo.push("c")
+
+    def test_underflow(self):
+        with pytest.raises(SimulationError):
+            FIFO("f").pop()
+
+    def test_peek_does_not_remove(self):
+        fifo = FIFO("f")
+        fifo.push(42)
+        assert fifo.peek() == 42
+        assert len(fifo) == 1
+
+    def test_peek_empty(self):
+        with pytest.raises(SimulationError):
+            FIFO("f").peek()
+
+    def test_high_water_tracking(self):
+        fifo = FIFO("f")
+        fifo.push(1)
+        fifo.push(2)
+        fifo.pop()
+        fifo.push(3)
+        assert fifo.high_water == 2
+
+    def test_statistics(self):
+        fifo = FIFO("f")
+        fifo.push(1)
+        fifo.push(2)
+        fifo.pop()
+        assert fifo.pushed == 2
+        assert fifo.popped == 1
+
+    def test_clear_keeps_stats(self):
+        fifo = FIFO("f")
+        fifo.push(1)
+        fifo.clear()
+        assert fifo.empty
+        assert fifo.pushed == 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(SimulationError):
+            FIFO("f", capacity=0)
+
+    def test_unbounded_never_full(self):
+        fifo = FIFO("f")
+        for i in range(1000):
+            fifo.push(i)
+        assert not fifo.full

@@ -1,0 +1,43 @@
+"""Unit tests for the HLS loop-overhead model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.pl.hls import (
+    HLS_FIXED_TRANSITIONS,
+    HLS_LOOP_SWITCH_CYCLES,
+    loop_overhead_cycles,
+    loop_overhead_seconds,
+)
+
+
+class TestLoopOverhead:
+    def test_cycle_count_formula(self):
+        cycles = loop_overhead_cycles(iterations=2, num_block_pairs=10)
+        expected = (2 * 10 + 2 + HLS_FIXED_TRANSITIONS) * HLS_LOOP_SWITCH_CYCLES
+        assert cycles == expected
+
+    def test_zero_loops_still_pay_fixed_transitions(self):
+        assert loop_overhead_cycles(0, 0) == (
+            HLS_FIXED_TRANSITIONS * HLS_LOOP_SWITCH_CYCLES
+        )
+
+    def test_seconds_scale_with_frequency(self):
+        slow = loop_overhead_seconds(6, 100, 100e6)
+        fast = loop_overhead_seconds(6, 100, 200e6)
+        assert slow == pytest.approx(2 * fast)
+
+    def test_overhead_is_small_versus_iteration(self):
+        # t_hls must be a secondary effect: for 2016 pairs at 208 MHz it
+        # stays well under 100 us per sweep.
+        assert loop_overhead_seconds(1, 2016, 208.3e6) < 1e-4
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            loop_overhead_cycles(-1, 5)
+        with pytest.raises(ConfigurationError):
+            loop_overhead_cycles(1, -5)
+
+    def test_invalid_frequency(self):
+        with pytest.raises(ConfigurationError):
+            loop_overhead_seconds(1, 1, 0.0)

@@ -1,0 +1,66 @@
+"""Unit tests for the PL memory (URAM/BRAM/LUT) estimation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.pl.memory import estimate_pl_memory, uram_per_task
+
+
+class TestURAMModel:
+    def test_small_matrix_packs_linearly(self):
+        # Table II anchor: 128x128 uses 4 URAM.
+        assert uram_per_task(128, 128, 8) == 4
+
+    @pytest.mark.parametrize("p_eng", [2, 4, 8])
+    def test_256_uses_16_per_task(self, p_eng):
+        # Table VI anchor: 16 URAM per task at 256x256.
+        assert uram_per_task(256, 256, p_eng) == 16
+
+    def test_512_uses_64_at_p8(self):
+        # Table II anchor.
+        assert uram_per_task(512, 512, 8) == 64
+
+    def test_1024_close_to_table2(self):
+        # Table II reports 244; the banked model gives 240.
+        assert uram_per_task(1024, 1024, 8) == 240
+
+    def test_banking_rounds_up_per_bank(self):
+        # Each of the 2k banks rounds to whole URAMs.
+        assert uram_per_task(512, 512, 8) % 16 == 0
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            uram_per_task(0, 128, 8)
+        with pytest.raises(ConfigurationError):
+            uram_per_task(128, 128, 0)
+
+
+class TestPLMemoryEstimate:
+    def test_scales_with_tasks(self):
+        one = estimate_pl_memory(256, 256, 4, 1)
+        nine = estimate_pl_memory(256, 256, 4, 9)
+        assert nine.uram == 9 * one.uram
+        assert nine.bram == 9 * one.bram
+
+    def test_table6_totals(self):
+        # P_task = 26 at P_eng = 2: paper reports 416 URAM.
+        assert estimate_pl_memory(256, 256, 2, 26).uram == 416
+        # P_task = 2 at P_eng = 8: paper reports 32 URAM.
+        assert estimate_pl_memory(256, 256, 8, 2).uram == 32
+
+    def test_luts_near_15k(self):
+        # Table II: ~15.1K-15.7K LUTs across sizes.
+        for m in (128, 256, 512, 1024):
+            luts = estimate_pl_memory(m, m, 8, 1).luts
+            assert 14_000 <= luts <= 17_000
+
+    def test_luts_grow_with_size_and_tasks(self):
+        small = estimate_pl_memory(128, 128, 8, 1).luts
+        large = estimate_pl_memory(1024, 1024, 8, 1).luts
+        many = estimate_pl_memory(128, 128, 8, 9).luts
+        assert large > small
+        assert many > small
+
+    def test_invalid_p_task(self):
+        with pytest.raises(ConfigurationError):
+            estimate_pl_memory(128, 128, 8, 0)

@@ -1,0 +1,73 @@
+"""Tests for the packet integrity (checksum trailer) path."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RoutingError
+from repro.pl.receiver import Receiver
+from repro.pl.sender import Packet, Sender, payload_checksum
+
+
+def route(slot, side):
+    return (1, slot)
+
+
+class TestChecksum:
+    def test_deterministic(self, rng):
+        payload = rng.standard_normal(16)
+        assert payload_checksum(payload) == payload_checksum(payload.copy())
+
+    def test_detects_single_bit_flip(self, rng):
+        payload = rng.standard_normal(16).astype(np.float32)
+        before = payload_checksum(payload)
+        corrupted = payload.copy()
+        raw = corrupted.view(np.uint32)
+        raw[3] ^= 1  # flip one mantissa bit
+        assert payload_checksum(corrupted) != before
+
+    def test_32bit_range(self, rng):
+        checksum = payload_checksum(rng.standard_normal(64))
+        assert 0 <= checksum < 2**32
+
+
+class TestIntegrityPath:
+    def test_integrity_off_by_default(self, rng):
+        packets = Sender(route).packetize(
+            [0, 1], rng.standard_normal((8, 2))
+        )
+        assert all(p.checksum is None for p in packets)
+        assert all(p.verify() for p in packets)
+
+    def test_integrity_on_attaches_trailer(self, rng):
+        sender = Sender(route, integrity=True)
+        packets = sender.packetize([0, 1], rng.standard_normal((8, 2)))
+        assert all(p.checksum is not None for p in packets)
+        assert all(p.verify() for p in packets)
+        # Trailer costs one extra stream word.
+        plain = Sender(route).packetize([0, 1], rng.standard_normal((8, 2)))
+        assert packets[0].bits == plain[0].bits + 32
+
+    def test_receiver_accepts_intact_packets(self, rng):
+        sender = Sender(route, integrity=True)
+        data = rng.standard_normal((8, 2))
+        packets = sender.packetize([0, 1], data)
+        receiver = Receiver([0, 1])
+        for p in packets:
+            receiver.accept(p)
+        assert np.allclose(receiver.reassemble(), data)
+
+    def test_receiver_rejects_corruption(self, rng):
+        sender = Sender(route, integrity=True)
+        packets = sender.packetize([0, 1], rng.standard_normal((8, 2)))
+        intact, victim = packets
+        corrupted = Packet(
+            header=victim.header,
+            column_index=victim.column_index,
+            payload=victim.payload + 1e-7,  # in-flight bit rot
+            plio=victim.plio,
+            checksum=victim.checksum,
+        )
+        receiver = Receiver([0, 1])
+        receiver.accept(intact)
+        with pytest.raises(RoutingError, match="integrity"):
+            receiver.accept(corrupted)

@@ -1,0 +1,118 @@
+"""Unit tests for the sender (packetization) and receiver (reassembly)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RoutingError
+from repro.pl.receiver import Receiver, reduce_convergence
+from repro.pl.sender import PACKET_HEADER_BITS, Packet, Sender
+
+
+def simple_route(slot, side):
+    """Slot s of layer 0 lives at row 1, column s."""
+    return (1, slot)
+
+
+@pytest.fixture
+def sender():
+    return Sender(simple_route)
+
+
+class TestSender:
+    def test_one_packet_per_column(self, sender, rng):
+        data = rng.standard_normal((8, 6))
+        packets = sender.packetize(list(range(6)), data)
+        assert len(packets) == 6
+        assert sorted(p.column_index for p in packets) == list(range(6))
+
+    def test_plio_split_by_block(self, sender, rng):
+        # Left columns (first block) on PLIO 0, right columns on PLIO 1.
+        data = rng.standard_normal((4, 8))
+        packets = sender.packetize(list(range(8)), data)
+        plio0 = {p.column_index for p in packets if p.plio == 0}
+        plio1 = {p.column_index for p in packets if p.plio == 1}
+        assert plio0 == {0, 1, 2, 3}
+        assert plio1 == {4, 5, 6, 7}
+
+    def test_headers_route_to_slots(self, sender, rng):
+        data = rng.standard_normal((4, 8))
+        packets = sender.packetize(list(range(8)), data)
+        for p in packets:
+            slot = p.column_index % 4
+            assert p.header == (1, slot)
+
+    def test_payload_integrity(self, sender, rng):
+        data = rng.standard_normal((5, 4))
+        cols = [10, 11, 20, 21]
+        packets = sender.packetize(cols, data)
+        by_col = {p.column_index: p.payload for p in packets}
+        for position, col in enumerate(cols):
+            assert np.array_equal(by_col[col], data[:, position])
+
+    def test_packet_wire_size(self, sender, rng):
+        data = rng.standard_normal((16, 2))
+        packets = sender.packetize([0, 1], data)
+        assert packets[0].bits == PACKET_HEADER_BITS + 16 * 32
+
+    def test_stream_bits_accounting(self, sender, rng):
+        data = rng.standard_normal((8, 4))
+        packets = sender.packetize([0, 1, 2, 3], data)
+        total = Sender.stream_bits(packets, 0) + Sender.stream_bits(packets, 1)
+        assert total == sum(p.bits for p in packets)
+
+    def test_rejects_odd_columns(self, sender, rng):
+        with pytest.raises(RoutingError):
+            sender.packetize([0, 1, 2], rng.standard_normal((4, 3)))
+
+    def test_rejects_mismatched_data(self, sender, rng):
+        with pytest.raises(RoutingError):
+            sender.packetize([0, 1], rng.standard_normal((4, 4)))
+
+
+class TestReceiver:
+    def _packet(self, col, payload, plio=0):
+        return Packet(header=(0, 0), column_index=col, payload=payload, plio=plio)
+
+    def test_reassembles_in_expected_order(self, rng):
+        cols = [3, 7, 1, 5]
+        data = {c: rng.standard_normal(4) for c in cols}
+        receiver = Receiver(cols)
+        # Deliver out of order.
+        for c in [5, 3, 1, 7]:
+            receiver.accept(self._packet(c, data[c]))
+        assert receiver.complete
+        result = receiver.reassemble()
+        for i, c in enumerate(cols):
+            assert np.array_equal(result[:, i], data[c])
+
+    def test_missing_columns_reported(self, rng):
+        receiver = Receiver([0, 1])
+        receiver.accept(self._packet(0, rng.standard_normal(3)))
+        assert receiver.missing == [1]
+        with pytest.raises(RoutingError):
+            receiver.reassemble()
+
+    def test_duplicate_rejected(self, rng):
+        receiver = Receiver([0, 1])
+        receiver.accept(self._packet(0, rng.standard_normal(3)))
+        with pytest.raises(RoutingError):
+            receiver.accept(self._packet(0, rng.standard_normal(3)))
+
+    def test_unexpected_column_rejected(self, rng):
+        receiver = Receiver([0, 1])
+        with pytest.raises(RoutingError):
+            receiver.accept(self._packet(9, rng.standard_normal(3)))
+
+    def test_convergence_is_max_reduced(self, rng):
+        receiver = Receiver([0, 1])
+        receiver.accept(self._packet(0, rng.standard_normal(3)), 0.25)
+        receiver.accept(self._packet(1, rng.standard_normal(3)), 0.75)
+        assert receiver.convergence_ratio == 0.75
+
+
+class TestReduceConvergence:
+    def test_max_semantics(self):
+        assert reduce_convergence([0.1, 0.9, 0.5]) == 0.9
+
+    def test_empty_is_zero(self):
+        assert reduce_convergence([]) == 0.0

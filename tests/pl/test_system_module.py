@@ -1,0 +1,74 @@
+"""Unit tests for the convergence-control FSM."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.pl.system_module import Phase, SystemModule
+
+
+class TestPrecisionMode:
+    def test_continues_while_unconverged(self):
+        system = SystemModule(precision=1e-6)
+        assert system.report_iteration(0.5) is Phase.ORTHOGONALIZATION
+        assert system.report_iteration(1e-3) is Phase.ORTHOGONALIZATION
+
+    def test_switches_to_norm_on_convergence(self):
+        system = SystemModule(precision=1e-6)
+        system.report_iteration(0.1)
+        assert system.report_iteration(1e-7) is Phase.NORMALIZATION
+        assert system.converged
+
+    def test_completion(self):
+        system = SystemModule(precision=1e-6)
+        system.report_iteration(1e-9)
+        assert system.report_normalization_done() is Phase.DONE
+
+    def test_history_recorded(self):
+        system = SystemModule(precision=1e-6)
+        system.report_iteration(0.3)
+        system.report_iteration(1e-8)
+        assert system.history == [0.3, 1e-8]
+        assert system.iterations_completed == 2
+
+    def test_iteration_bound_enforced(self):
+        system = SystemModule(precision=1e-12, max_iterations=2)
+        system.report_iteration(0.5)
+        with pytest.raises(SimulationError):
+            system.report_iteration(0.5)
+
+
+class TestFixedIterationMode:
+    def test_runs_exactly_n_sweeps(self):
+        system = SystemModule(fixed_iterations=3)
+        assert system.report_iteration(0.9) is Phase.ORTHOGONALIZATION
+        assert system.report_iteration(0.9) is Phase.ORTHOGONALIZATION
+        assert system.report_iteration(0.9) is Phase.NORMALIZATION
+
+    def test_ignores_early_convergence(self):
+        system = SystemModule(fixed_iterations=2, precision=1e-6)
+        # Converged already, but fixed mode keeps going.
+        assert system.report_iteration(1e-9) is Phase.ORTHOGONALIZATION
+
+    def test_invalid_fixed_iterations(self):
+        with pytest.raises(SimulationError):
+            SystemModule(fixed_iterations=0)
+
+
+class TestFSMErrors:
+    def test_iteration_after_norm_rejected(self):
+        system = SystemModule(fixed_iterations=1)
+        system.report_iteration(0.5)
+        with pytest.raises(SimulationError):
+            system.report_iteration(0.5)
+
+    def test_norm_done_without_norm_phase(self):
+        system = SystemModule()
+        with pytest.raises(SimulationError):
+            system.report_normalization_done()
+
+    def test_double_norm_done(self):
+        system = SystemModule(fixed_iterations=1)
+        system.report_iteration(0.5)
+        system.report_normalization_done()
+        with pytest.raises(SimulationError):
+            system.report_normalization_done()

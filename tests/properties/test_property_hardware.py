@@ -1,0 +1,116 @@
+"""Property-based tests (hypothesis) for the hardware models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dataflow import DataflowMode
+from repro.core.ordering_codesign import (
+    MovementSchedule,
+    codesign_dma_transfers,
+    traditional_dma_transfers,
+)
+from repro.errors import MemoryAllocationError, SimulationError
+from repro.pl.fifo import FIFO
+from repro.sim.engine import Resource
+from repro.versal.array import AIEArray
+from repro.versal.memory import MemoryModule
+
+
+class TestDMACountProperties:
+    @given(st.integers(min_value=1, max_value=32))
+    @settings(max_examples=32, deadline=None)
+    def test_codesign_never_worse(self, k):
+        trad = MovementSchedule(k=k, shifting=False).dma_count(DataflowMode.NAIVE)
+        code = MovementSchedule(k=k, shifting=True).dma_count(
+            DataflowMode.RELOCATED
+        )
+        assert code <= trad
+        assert trad == traditional_dma_transfers(k)
+        assert code == codesign_dma_transfers(k)
+
+    @given(st.integers(min_value=1, max_value=16), st.integers(0, 7))
+    @settings(max_examples=40, deadline=None)
+    def test_counts_independent_of_first_row(self, k, first_row):
+        # Shifting the placement's starting row permutes which
+        # transitions pay, never the totals.
+        schedule = MovementSchedule(k=k, shifting=True, first_row=first_row)
+        assert schedule.dma_count(DataflowMode.RELOCATED) == (
+            codesign_dma_transfers(k)
+        )
+
+
+class TestNeighborRelationProperties:
+    @given(st.integers(0, 7), st.integers(0, 49), st.integers(0, 7), st.integers(0, 49))
+    @settings(max_examples=200, deadline=None)
+    def test_neighbor_access_requires_adjacency(self, r1, c1, r2, c2):
+        array = AIEArray()
+        if array.is_neighbor_accessible((r1, c1), (r2, c2)):
+            assert abs(r1 - r2) + abs(c1 - c2) <= 1
+
+    @given(st.integers(0, 7), st.integers(0, 49))
+    @settings(max_examples=100, deadline=None)
+    def test_own_memory_always_accessible(self, r, c):
+        array = AIEArray()
+        assert array.is_neighbor_accessible((r, c), (r, c))
+
+
+class TestFIFOProperties:
+    @given(st.lists(st.integers(), min_size=0, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_fifo_preserves_order(self, items):
+        fifo = FIFO("p")
+        for item in items:
+            fifo.push(item)
+        out = [fifo.pop() for _ in range(len(items))]
+        assert out == items
+
+    @given(st.lists(st.integers(min_value=1, max_value=100), max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_high_water_bounds_occupancy(self, sizes):
+        fifo = FIFO("p")
+        occupancy = 0
+        peak = 0
+        for size in sizes:
+            fifo.push(size)
+            occupancy += 1
+            peak = max(peak, occupancy)
+        assert fifo.high_water == peak
+
+
+class TestMemoryProperties:
+    @given(st.lists(st.integers(min_value=1, max_value=8 * 1024 * 8), max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_allocator_conserves_capacity(self, sizes):
+        module = MemoryModule()
+        allocated = []
+        for i, size in enumerate(sizes):
+            try:
+                module.allocate(f"buf{i}", size)
+                allocated.append(size)
+            except MemoryAllocationError:
+                pass
+        assert module.used_bits == sum(allocated)
+        assert 0 <= module.used_bits <= module.capacity_bits
+
+
+class TestResourceProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=100),
+                st.floats(min_value=0, max_value=10),
+            ),
+            max_size=50,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_resource_completions_monotone(self, requests):
+        r = Resource("p")
+        previous_end = 0.0
+        for ready, duration in requests:
+            end = r.serve(ready, duration)
+            # FIFO service: completions never go backwards.
+            assert end >= previous_end
+            assert end >= ready + duration
+            previous_end = end

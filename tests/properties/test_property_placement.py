@@ -1,0 +1,67 @@
+"""Property-based tests for the placement engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import HeteroSVDConfig
+from repro.core.placement import place
+from repro.errors import PlacementError
+from repro.versal.tile import TileKind
+
+
+def make_config(p_eng, p_task):
+    n = 64 if 64 % p_eng == 0 else (64 // p_eng + 1) * p_eng
+    return HeteroSVDConfig(m=64, n=n, p_eng=p_eng, p_task=p_task)
+
+
+class TestPlacementProperties:
+    @given(
+        st.integers(min_value=1, max_value=11),
+        st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_placed_designs_are_consistent(self, p_eng, p_task):
+        config = make_config(p_eng, p_task)
+        try:
+            placement = place(config)
+        except PlacementError:
+            return  # infeasible combinations are allowed to refuse
+
+        # Exact Table I counts.
+        assert placement.num_orth == p_task * p_eng * (2 * p_eng - 1)
+        assert placement.num_norm == p_task * p_eng
+        # No tile double-booked, every assignment has a role.
+        seen = set()
+        for task in placement.tasks:
+            for coord in list(task.orth.values()) + task.mem + task.norm:
+                assert coord not in seen
+                seen.add(coord)
+                assert 0 <= coord[0] < placement.array.rows
+                assert 0 <= coord[1] < placement.array.cols
+        assert len(seen) == placement.num_aie
+        # Array bookkeeping agrees with the per-task records.
+        assert (
+            placement.array.count_of_kind(TileKind.ORTH)
+            == placement.num_orth
+        )
+        # Orth tiles never sit on the boundary rows.
+        for task in placement.tasks:
+            for coord in task.orth.values():
+                assert 1 <= coord[0] <= placement.array.rows - 2
+
+    @given(st.integers(min_value=1, max_value=11))
+    @settings(max_examples=22, deadline=None)
+    def test_monotone_infeasibility(self, p_eng):
+        # If p_task tasks do not fit, p_task + 1 must not fit either.
+        feasible = []
+        for p_task in range(1, 8):
+            try:
+                place(make_config(p_eng, p_task))
+                feasible.append(True)
+            except PlacementError:
+                feasible.append(False)
+        # No True after the first False.
+        if False in feasible:
+            first_false = feasible.index(False)
+            assert not any(feasible[first_false:])

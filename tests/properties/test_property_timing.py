@@ -1,0 +1,72 @@
+"""Property-based test: model/simulator agreement across the config space.
+
+The Table IV/V experiments validate the analytical model at the paper's
+operating points; this property test sweeps random feasible design
+points (size, engine parallelism, clock, iteration count) and requires
+the model to track the event simulation within a fixed band everywhere
+— the guarantee the DSE's rankings rest on.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import HeteroSVDConfig
+from repro.core.perf_model import PerformanceModel
+from repro.core.timing import TimingSimulator
+from repro.units import mhz
+
+
+@st.composite
+def design_points(draw):
+    """Feasible configs inside the model's validated regime.
+
+    Eight or more blocks keeps ``num >= 28`` — the paper's own smallest
+    experiment has 120 block pairs, and below ~15 pairs the analytic
+    drain/dependency terms are acknowledged approximations (the
+    dependency-bound tiny-``num`` regime is covered by the exact
+    co-simulation instead).
+    """
+    p_eng = draw(st.sampled_from([1, 2, 3, 4, 6, 8]))
+    m = draw(st.sampled_from([64, 128, 256]))
+    n_blocks = draw(st.integers(min_value=8, max_value=24))
+    freq = draw(st.sampled_from([208.3, 300.0, 450.0]))
+    iterations = draw(st.integers(min_value=1, max_value=4))
+    return HeteroSVDConfig(
+        m=m,
+        n=n_blocks * p_eng,
+        p_eng=p_eng,
+        p_task=1,
+        pl_frequency_hz=mhz(freq),
+        fixed_iterations=iterations,
+    )
+
+
+class TestModelSimAgreement:
+    @given(design_points())
+    @settings(max_examples=30, deadline=None)
+    def test_task_time_within_band(self, config):
+        modelled = PerformanceModel(config).task_time()
+        simulated = TimingSimulator(config).simulate(1).latency
+        assert modelled > 0
+        assert simulated > 0
+        error = abs(modelled - simulated) / simulated
+        assert error < 0.20, (config.describe(), error)
+
+    @given(design_points())
+    @settings(max_examples=20, deadline=None)
+    def test_iteration_time_within_band(self, config):
+        measured = TimingSimulator(config).measure_iteration_time()
+        modelled = PerformanceModel(config).iteration_time()
+        error = abs(modelled - measured) / measured
+        assert error < 0.20, (config.describe(), error)
+
+    def test_single_pair_degenerate_case_exact(self):
+        # num == 1: the composition is exact (no dependency terms).
+        config = HeteroSVDConfig(
+            m=64, n=2, p_eng=1, p_task=1,
+            pl_frequency_hz=mhz(450), fixed_iterations=2,
+        )
+        measured = TimingSimulator(config).measure_iteration_time()
+        modelled = PerformanceModel(config).iteration_time()
+        assert abs(modelled - measured) / measured < 0.05

@@ -1,0 +1,56 @@
+"""Tests for the HTML report generator."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reporting.experiments import ExperimentLog
+from repro.reporting.html import render_experiment, render_report, write_report
+
+
+@pytest.fixture
+def log():
+    log = ExperimentLog("Table II")
+    log.record("128x128", "latency (s)", 0.0007, paper_value=0.0011)
+    log.record("256x256", "latency (s)", 0.0056, paper_value=0.0057)
+    return log
+
+
+class TestRenderExperiment:
+    def test_contains_rows_and_values(self, log):
+        fragment = render_experiment(log)
+        assert "Table II" in fragment
+        assert "128x128" in fragment
+        assert "0.0056" in fragment
+
+    def test_flags_large_deviations(self):
+        log = ExperimentLog("X")
+        log.record("case", "metric", 100.0, paper_value=1.0)
+        fragment = render_experiment(log, bad_ratio=3.0)
+        assert 'class="bad"' in fragment
+
+    def test_no_flag_for_close_values(self, log):
+        assert 'class="bad"' not in render_experiment(log)
+
+    def test_escapes_html(self):
+        log = ExperimentLog("<script>")
+        log.record("<b>case</b>", "metric", 1.0)
+        fragment = render_experiment(log)
+        assert "<script>" not in fragment
+        assert "&lt;script&gt;" in fragment
+
+
+class TestRenderReport:
+    def test_complete_page(self, log):
+        page = render_report([log], title="My report")
+        assert page.startswith("<!DOCTYPE html>")
+        assert "My report" in page
+        assert "1 experiments, 2 data points" in page
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_report([])
+
+    def test_write_report(self, log, tmp_path):
+        path = write_report([log], tmp_path / "report.html")
+        content = path.read_text()
+        assert "</html>" in content

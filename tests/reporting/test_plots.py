@@ -1,0 +1,73 @@
+"""Tests for the terminal plots."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reporting.plots import bar_chart, line_chart
+
+
+class TestLineChart:
+    def test_renders_all_rows_and_legend(self):
+        chart = line_chart(
+            "Crossover",
+            ["128", "256", "512"],
+            {"gpu": [10.0, 100.0, 1000.0], "hetero": [20.0, 90.0, 500.0]},
+        )
+        assert "Crossover" in chart
+        assert "o = gpu" in chart
+        assert "x = hetero" in chart
+        assert chart.count("|") == 2 * 3  # two walls per data row
+
+    def test_extremes_land_on_edges(self):
+        chart = line_chart(
+            "T", ["a", "b"], {"s": [1.0, 1000.0]}, width=20, log=True
+        )
+        rows = chart.splitlines()[3:5]
+        assert rows[0].index("o") < rows[1].index("o")
+        assert rows[1].rstrip().endswith("o|")
+
+    def test_overlap_marker(self):
+        chart = line_chart(
+            "T", ["a"], {"s1": [5.0], "s2": [5.0]}, width=10
+        )
+        assert "&" in chart
+
+    def test_constant_series_ok(self):
+        chart = line_chart("T", ["a", "b"], {"s": [3.0, 3.0]})
+        assert "3" in chart
+
+    def test_ragged_series_rejected(self):
+        with pytest.raises(ConfigurationError):
+            line_chart("T", ["a", "b"], {"s": [1.0]})
+
+    def test_log_rejects_non_positive(self):
+        with pytest.raises(ConfigurationError):
+            line_chart("T", ["a"], {"s": [0.0]}, log=True)
+
+    def test_linear_mode_allows_zero(self):
+        chart = line_chart("T", ["a", "b"], {"s": [0.0, 5.0]}, log=False)
+        assert "linear scale" in chart
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        chart = bar_chart("B", ["small", "large"], [1.0, 10.0], width=30)
+        lines = chart.splitlines()[2:]
+        assert lines[0].count("#") < lines[1].count("#")
+
+    def test_values_annotated(self):
+        chart = bar_chart("B", ["x"], [42.0])
+        assert "42" in chart
+
+    def test_mismatched_inputs(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart("B", ["a"], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart("B", [], [])
+
+    def test_log_mode(self):
+        chart = bar_chart("B", ["a", "b"], [0.001, 1000.0], log=True)
+        lines = chart.splitlines()[2:]
+        assert lines[0].count("#") < lines[1].count("#")

@@ -1,0 +1,71 @@
+"""Unit tests for the reporting helpers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reporting.experiments import ExperimentLog, ExperimentRecord
+from repro.reporting.tables import Table, format_ratio, format_seconds
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table("T", ["a", "bb"])
+        table.add_row(1, "x")
+        table.add_row(100, "yyyy")
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        # All data lines share one width.
+        assert len(lines[3]) == len(lines[4]) == len(lines[5])
+
+    def test_row_cell_count_enforced(self):
+        table = Table("T", ["a", "b"])
+        with pytest.raises(ConfigurationError):
+            table.add_row(1)
+
+    def test_needs_columns(self):
+        with pytest.raises(ConfigurationError):
+            Table("T", [])
+
+    def test_print(self, capsys):
+        table = Table("T", ["x"])
+        table.add_row(1)
+        table.print()
+        out = capsys.readouterr().out
+        assert "T" in out
+        assert "1" in out
+
+
+class TestFormatters:
+    def test_format_seconds_units(self):
+        assert format_seconds(2.5).endswith(" s")
+        assert format_seconds(0.0025).endswith(" ms")
+        assert format_seconds(2.5e-6).endswith(" us")
+
+    def test_format_ratio(self):
+        assert format_ratio(2.0, 4.0) == "2.00x"
+        assert format_ratio(0.0, 1.0) == "inf"
+
+
+class TestExperimentLog:
+    def test_records_and_ratio(self):
+        log = ExperimentLog("Table II")
+        rec = log.record("128x128", "latency (s)", 0.0012, paper_value=0.0011)
+        assert isinstance(rec, ExperimentRecord)
+        assert rec.ratio == pytest.approx(0.0012 / 0.0011)
+
+    def test_ratio_without_paper_value(self):
+        log = ExperimentLog("Fig. 9")
+        rec = log.record("case", "metric", 5.0)
+        assert rec.ratio is None
+
+    def test_render_contains_rows(self):
+        log = ExperimentLog("Table IV")
+        log.record("128", "error (%)", 2.9, paper_value=2.92)
+        text = log.render()
+        assert "Table IV" in text
+        assert "128" in text
+
+    def test_empty_experiment_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentLog("")

@@ -1,0 +1,110 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Resource, SimulationEngine
+
+
+class TestSimulationEngine:
+    def test_events_run_in_time_order(self):
+        engine = SimulationEngine()
+        order = []
+        engine.schedule(3.0, lambda: order.append("c"))
+        engine.schedule(1.0, lambda: order.append("a"))
+        engine.schedule(2.0, lambda: order.append("b"))
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_simultaneous_events_fifo(self):
+        engine = SimulationEngine()
+        order = []
+        engine.schedule(1.0, lambda: order.append(1))
+        engine.schedule(1.0, lambda: order.append(2))
+        engine.schedule(1.0, lambda: order.append(3))
+        engine.run()
+        assert order == [1, 2, 3]
+
+    def test_now_advances(self):
+        engine = SimulationEngine()
+        times = []
+        engine.schedule(5.0, lambda: times.append(engine.now))
+        engine.run()
+        assert times == [5.0]
+        assert engine.now == 5.0
+
+    def test_events_can_schedule_events(self):
+        engine = SimulationEngine()
+        seen = []
+
+        def first():
+            seen.append(engine.now)
+            engine.schedule(2.0, lambda: seen.append(engine.now))
+
+        engine.schedule(1.0, first)
+        engine.run()
+        assert seen == [1.0, 3.0]
+
+    def test_run_until(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.schedule(1.0, lambda: seen.append(1))
+        engine.schedule(10.0, lambda: seen.append(10))
+        engine.run(until=5.0)
+        assert seen == [1]
+        assert engine.pending == 1
+
+    def test_negative_delay_rejected(self):
+        engine = SimulationEngine()
+        with pytest.raises(SimulationError):
+            engine.schedule(-1.0, lambda: None)
+
+    def test_event_counter(self):
+        engine = SimulationEngine()
+        for _ in range(4):
+            engine.schedule(1.0, lambda: None)
+        engine.run()
+        assert engine.events_run == 4
+
+
+class TestResource:
+    def test_idle_resource_serves_immediately(self):
+        r = Resource("r")
+        assert r.serve(ready=5.0, duration=2.0) == 7.0
+
+    def test_busy_resource_queues(self):
+        r = Resource("r")
+        r.serve(ready=0.0, duration=10.0)
+        # Second request ready at t=1 must wait until t=10.
+        assert r.serve(ready=1.0, duration=2.0) == 12.0
+
+    def test_gap_leaves_idle_time(self):
+        r = Resource("r")
+        r.serve(ready=0.0, duration=1.0)
+        assert r.serve(ready=5.0, duration=1.0) == 6.0
+
+    def test_busy_time_and_utilization(self):
+        r = Resource("r")
+        r.serve(0.0, 2.0)
+        r.serve(10.0, 3.0)
+        assert r.busy_time == 5.0
+        assert r.utilization(horizon=20.0) == pytest.approx(0.25)
+        assert r.requests == 2
+
+    def test_utilization_clamped(self):
+        r = Resource("r")
+        r.serve(0.0, 100.0)
+        assert r.utilization(horizon=10.0) == 1.0
+        assert r.utilization(horizon=0.0) == 0.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(SimulationError):
+            Resource("r").serve(0.0, -1.0)
+
+    def test_reset(self):
+        r = Resource("r")
+        r.serve(0.0, 5.0)
+        r.reset()
+        assert r.free_at == 0.0
+        assert r.busy_time == 0.0
+        assert r.requests == 0

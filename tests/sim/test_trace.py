@@ -1,0 +1,44 @@
+"""Unit tests for trace recording."""
+
+import pytest
+
+from repro.sim.trace import Trace, TraceRecord
+
+
+class TestTraceRecord:
+    def test_duration(self):
+        rec = TraceRecord(stage="tx", start=1.0, end=3.5)
+        assert rec.duration == 2.5
+
+
+class TestTrace:
+    def test_aggregation(self):
+        trace = Trace()
+        trace.log("tx", 0.0, 1.0)
+        trace.log("tx", 2.0, 2.5)
+        trace.log("orth", 0.5, 0.7)
+        assert trace.stage_time("tx") == 1.5
+        assert trace.stage_count("tx") == 2
+        assert trace.stage_time("orth") == pytest.approx(0.2)
+
+    def test_unknown_stage_is_zero(self):
+        trace = Trace()
+        assert trace.stage_time("ghost") == 0.0
+        assert trace.stage_count("ghost") == 0
+
+    def test_stages_sorted(self):
+        trace = Trace()
+        trace.log("rx", 0, 1)
+        trace.log("orth", 0, 1)
+        assert trace.stages() == ["orth", "rx"]
+
+    def test_summary(self):
+        trace = Trace()
+        trace.log("tx", 0, 2)
+        assert trace.summary() == {"tx": (1, 2)}
+
+    def test_disabled_trace_still_aggregates(self):
+        trace = Trace(enabled=False)
+        trace.log("tx", 0, 1)
+        assert trace.records == []
+        assert trace.stage_time("tx") == 1.0

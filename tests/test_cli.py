@@ -1,0 +1,94 @@
+"""Tests for the ``heterosvd`` command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_svd_defaults(self):
+        args = build_parser().parse_args(["svd"])
+        assert args.size == 128
+        assert args.p_eng == 8
+
+    def test_dse_objective_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dse", "--objective", "area"])
+
+
+class TestCommands:
+    def test_svd_command(self, capsys):
+        assert main(["svd", "--size", "16", "--p-eng", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "singular values" in out
+        assert "LAPACK" in out
+
+    def test_svd_with_file_io(self, tmp_path, capsys, rng):
+        matrix = rng.standard_normal((12, 12))
+        in_path = tmp_path / "a.npy"
+        out_path = tmp_path / "factors.npz"
+        np.save(in_path, matrix)
+        code = main([
+            "svd", "--input", str(in_path), "--output", str(out_path),
+            "--p-eng", "4",
+        ])
+        assert code == 0
+        factors = np.load(out_path)
+        assert factors["sigma"].shape == (12,)
+        s_ref = np.linalg.svd(matrix, compute_uv=False)
+        assert np.allclose(np.sort(factors["sigma"])[::-1], s_ref, rtol=1e-5)
+
+    def test_svd_pads_odd_widths(self, tmp_path, capsys, rng):
+        matrix = rng.standard_normal((12, 10))
+        in_path = tmp_path / "a.npy"
+        np.save(in_path, matrix)
+        assert main(["svd", "--input", str(in_path), "--p-eng", "4"]) == 0
+
+    def test_dse_command(self, capsys):
+        assert main(["dse", "--size", "128", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "P_eng" in out
+        assert "rank" in out
+
+    def test_dse_with_power_cap(self, capsys):
+        assert main([
+            "dse", "--size", "128", "--objective", "throughput",
+            "--batch", "10", "--power-cap", "39", "--top", "2",
+        ]) == 0
+
+    def test_model_command(self, capsys):
+        assert main(["model", "--size", "128", "--p-eng", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "t_iter" in out
+        assert "simulated" in out
+
+    def test_placement_command(self, capsys):
+        assert main(["placement", "--p-eng", "8", "--p-task", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "row 7" in out
+        assert "O" in out
+
+
+class TestAnalysisCommands:
+    def test_sensitivity_command(self, capsys):
+        assert main(["sensitivity", "--size", "128", "--p-eng", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "plio_column_gap" in out
+
+    def test_validate_command(self, capsys):
+        assert main(["validate"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+
+    def test_report_command(self, tmp_path, capsys):
+        out_path = tmp_path / "report.html"
+        assert main(["report", "--output", str(out_path)]) == 0
+        content = out_path.read_text()
+        assert "Table IV" in content
+        assert "Fig. 3" in content
+        assert content.startswith("<!DOCTYPE html>")

@@ -1,0 +1,104 @@
+"""Tests for configuration / DSE result serialization."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.config import HeteroSVDConfig
+from repro.core.dse import DesignSpaceExplorer
+from repro.errors import ConfigurationError
+from repro.io import (
+    config_from_dict,
+    config_to_dict,
+    load_config,
+    load_configs,
+    save_config,
+    save_design_points,
+)
+from repro.versal.device import VCK190
+
+
+def sample_config():
+    return HeteroSVDConfig(
+        m=128, n=128, p_eng=4, p_task=2,
+        precision=1e-7, fixed_iterations=6, arithmetic="float32",
+    )
+
+
+class TestConfigRoundTrip:
+    def test_roundtrip_preserves_everything(self):
+        original = sample_config()
+        restored = config_from_dict(config_to_dict(original))
+        assert restored == original
+
+    def test_file_roundtrip(self, tmp_path):
+        original = sample_config()
+        path = tmp_path / "config.json"
+        save_config(original, path)
+        assert load_config(path) == original
+
+    def test_device_reattached(self, tmp_path):
+        path = tmp_path / "config.json"
+        save_config(sample_config(), path)
+        assert load_config(path).device is VCK190
+
+    def test_unknown_device_refused_on_save(self):
+        odd_device = replace(VCK190, name="lab prototype")
+        config = HeteroSVDConfig(m=64, n=64, p_eng=4, device=odd_device)
+        with pytest.raises(ConfigurationError):
+            config_to_dict(config)
+
+    def test_unknown_device_refused_on_load(self):
+        data = config_to_dict(sample_config())
+        data["device"] = "martian part"
+        with pytest.raises(ConfigurationError):
+            config_from_dict(data)
+
+    def test_missing_fields_detected(self):
+        data = config_to_dict(sample_config())
+        del data["p_eng"]
+        with pytest.raises(ConfigurationError, match="p_eng"):
+            config_from_dict(data)
+
+
+class TestDesignPointSerialization:
+    @pytest.fixture(scope="class")
+    def points(self):
+        dse = DesignSpaceExplorer(128, 128, fixed_iterations=6)
+        return dse.explore("latency")[:5]
+
+    def test_save_and_reload_configs(self, points, tmp_path):
+        path = tmp_path / "dse.json"
+        save_design_points(points, path)
+        configs = load_configs(path)
+        assert len(configs) == 5
+        assert configs[0] == points[0].config
+
+    def test_metrics_rederivable(self, points, tmp_path):
+        from repro.core.perf_model import PerformanceModel
+
+        path = tmp_path / "dse.json"
+        save_design_points(points, path)
+        config = load_configs(path)[0]
+        assert PerformanceModel(config).task_time() == pytest.approx(
+            points[0].latency
+        )
+
+    def test_file_is_json_with_format_marker(self, points, tmp_path):
+        import json
+
+        path = tmp_path / "dse.json"
+        save_design_points(points, path)
+        payload = json.loads(path.read_text())
+        assert payload["format"] == "heterosvd-dse-results"
+        assert payload["points"][0]["power"]["total"] > 0
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(ConfigurationError):
+            load_configs(path)
+
+    def test_unreadable_file_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_config(tmp_path / "missing.json")

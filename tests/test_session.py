@@ -1,0 +1,140 @@
+"""Tests for the high-level session API."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, NumericalError
+from repro.session import HeteroSVDSession
+
+
+@pytest.fixture(scope="module")
+def session():
+    return HeteroSVDSession(64, 64, objective="latency", precision=1e-8)
+
+
+@pytest.fixture(scope="module")
+def v_session():
+    return HeteroSVDSession(
+        32, 32, objective="latency", precision=1e-8, accumulate_v=True
+    )
+
+
+class TestSessionSVD:
+    def test_native_size(self, session, rng):
+        a = rng.standard_normal((64, 64))
+        result = session.svd(a)
+        s_ref = np.linalg.svd(a, compute_uv=False)
+        assert np.allclose(result.singular_values, s_ref, rtol=1e-6)
+        assert result.converged
+        assert result.modelled_seconds > 0
+
+    def test_odd_width_padded(self, session, rng):
+        a = rng.standard_normal((40, 30))
+        result = session.svd(a)
+        s_ref = np.linalg.svd(a, compute_uv=False)
+        assert len(result.singular_values) == 30
+        assert np.allclose(result.singular_values, s_ref, rtol=1e-6)
+
+    def test_wide_matrix_transposed(self, session, rng):
+        a = rng.standard_normal((24, 48))
+        result = session.svd(a)
+        s_ref = np.linalg.svd(a, compute_uv=False)
+        assert len(result.singular_values) == 24
+        assert np.allclose(result.singular_values, s_ref, rtol=1e-6)
+        assert result.u.shape == (24, 24)
+        # Wide inputs always carry V back (u/v swap).
+        assert result.v is not None
+        assert result.v.shape == (48, 24)
+
+    def test_v_accumulation_and_reconstruct(self, v_session, rng):
+        a = rng.standard_normal((32, 32))
+        result = v_session.svd(a)
+        assert np.allclose(result.reconstruct(), a, atol=1e-6)
+
+    def test_reconstruct_requires_v(self, session, rng):
+        result = session.svd(rng.standard_normal((64, 64)))
+        with pytest.raises(NumericalError):
+            result.reconstruct()
+
+    def test_rejects_bad_input(self, session):
+        with pytest.raises(NumericalError):
+            session.svd(np.zeros((0, 4)))
+        with pytest.raises(NumericalError):
+            session.svd(np.ones(5))
+
+    def test_batch(self, session, rng):
+        mats = [rng.standard_normal((64, 64)) for _ in range(3)]
+        results = session.svd_batch(mats)
+        assert len(results) == 3
+
+
+class TestSessionPlanning:
+    def test_plan_covers_batch(self, session, rng):
+        mats = [rng.standard_normal((64, 64)) for _ in range(5)]
+        plan = session.plan(mats)
+        assert len(plan.tasks) == 5
+        assert plan.makespan > 0
+
+    def test_admission_control(self, session, rng):
+        mats = [rng.standard_normal((64, 64)) for _ in range(4)]
+        makespan = session.plan(mats).makespan
+        assert session.meets_deadline(mats, makespan * 1.1)
+        assert not session.meets_deadline(mats, makespan * 0.5)
+
+    def test_invalid_deadline(self, session, rng):
+        with pytest.raises(ConfigurationError):
+            session.meets_deadline([rng.standard_normal((8, 8))], 0.0)
+
+
+class TestSessionConfiguration:
+    def test_design_point_recorded(self, session):
+        assert session.design.latency > 0
+        assert session.config.p_eng >= 1
+
+    def test_describe(self, session):
+        text = session.describe()
+        assert "P_eng" in text
+        assert "ms" in text
+
+    def test_power_cap_respected(self):
+        capped = HeteroSVDSession(
+            128, 128, objective="throughput", batch_hint=50,
+            power_cap_w=30.0,
+        )
+        assert capped.design.power.total <= 30.0
+
+    def test_accelerators_cached(self, session, rng):
+        session.svd(rng.standard_normal((64, 64)))
+        session.svd(rng.standard_normal((64, 64)))
+        assert len(session._accelerators) >= 1
+
+
+class TestSessionComplex:
+    def test_complex_input_offloaded(self, rng):
+        session = HeteroSVDSession(32, 32, precision=1e-8)
+        z = rng.standard_normal((16, 16)) + 1j * rng.standard_normal((16, 16))
+        result = session.svd(z)
+        s_ref = np.linalg.svd(z, compute_uv=False)
+        assert np.allclose(result.singular_values, s_ref, rtol=1e-6)
+        assert np.iscomplexobj(result.u)
+
+    def test_complex_reconstruction(self, rng):
+        session = HeteroSVDSession(32, 32, precision=1e-9)
+        z = rng.standard_normal((12, 12)) + 1j * rng.standard_normal((12, 12))
+        result = session.svd(z)
+        err = np.linalg.norm(z - result.reconstruct()) / np.linalg.norm(z)
+        assert err < 1e-6
+
+    def test_wide_complex(self, rng):
+        session = HeteroSVDSession(32, 32, precision=1e-8)
+        z = rng.standard_normal((8, 14)) + 1j * rng.standard_normal((8, 14))
+        result = session.svd(z)
+        s_ref = np.linalg.svd(z, compute_uv=False)
+        assert len(result.singular_values) == 8
+        assert np.allclose(result.singular_values, s_ref, rtol=1e-6)
+
+    def test_accumulate_v_flag_restored(self, rng):
+        session = HeteroSVDSession(32, 32, precision=1e-8, accumulate_v=False)
+        z = rng.standard_normal((8, 8)) + 1j * rng.standard_normal((8, 8))
+        session.svd(z)
+        assert session.accumulate_v is False

@@ -1,0 +1,69 @@
+"""Tests for the cross-implementation validation suite."""
+
+import numpy as np
+import pytest
+
+from repro.validation import (
+    SPECTRUM_TOLERANCE,
+    default_cases,
+    run_validation,
+)
+
+
+class TestDefaultCases:
+    def test_battery_composition(self):
+        cases = default_cases(size=16)
+        names = {c.name for c in cases}
+        assert names == {
+            "gaussian", "ill-conditioned", "rank-deficient", "tall",
+            "tiny-scale",
+        }
+
+    def test_case_shapes(self):
+        for case in default_cases(size=16):
+            m, n = case.matrix.shape
+            assert n == 16
+            assert m in (16, 32)
+
+    def test_tiny_scale_is_tiny(self):
+        cases = {c.name: c for c in default_cases(size=16)}
+        assert np.max(np.abs(cases["tiny-scale"].matrix)) < 1e-140
+
+
+class TestRunValidation:
+    @pytest.fixture(scope="class")
+    def reports(self):
+        return run_validation(size=16, precision=1e-9)
+
+    def test_all_implementations_pass(self, reports):
+        for report in reports:
+            assert report.passed, (
+                report.implementation, report.worst_error,
+            )
+
+    def test_five_implementations_covered(self, reports):
+        names = {r.implementation for r in reports}
+        assert names == {
+            "hestenes", "block-jacobi", "cpu-vectorized",
+            "accelerator", "cosimulation",
+        }
+
+    def test_every_case_recorded(self, reports):
+        for report in reports:
+            assert len(report.case_errors) == 5
+
+    def test_worst_error_is_max(self, reports):
+        for report in reports:
+            assert report.worst_error == max(report.case_errors.values())
+
+    def test_tolerance_is_strict(self):
+        assert SPECTRUM_TOLERANCE <= 1e-6
+
+
+class TestCLIEntry:
+    def test_main_returns_zero_on_pass(self, capsys):
+        from repro.validation import main
+
+        assert main() == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out

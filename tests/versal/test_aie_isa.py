@@ -1,0 +1,194 @@
+"""Tests for the AIE vector-ISA model and the assembled orth kernel."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.linalg.rotations import rotate_pair
+from repro.versal.aie_isa import (
+    LANES,
+    AIECoreModel,
+    Instruction,
+    build_orth_kernel,
+    run_orth_kernel,
+)
+from repro.versal.kernels import orth_kernel_cycles
+
+
+class TestCoreModel:
+    def test_vector_load_store_roundtrip(self):
+        data = np.arange(8, dtype=float)
+        core = AIECoreModel(memory={"src": data, "dst": np.zeros(8)})
+        program = [
+            Instruction("vload", "v0", ("src", 0)),
+            Instruction("vstore", "mem", ("dst", "v0", 0)),
+        ]
+        result = core.execute(program)
+        assert np.array_equal(result.memory["dst"], data)
+        # VLIW bundling: the load dual-issues with the store.
+        assert result.cycles == 1
+
+    def test_vfma_semantics(self):
+        core = AIECoreModel(
+            memory={"a": np.full(8, 2.0), "b": np.full(8, 3.0)}
+        )
+        program = [
+            Instruction("smov", "zero", (0.0,)),
+            Instruction("vbcast", "acc", ("zero",)),
+            Instruction("vload", "va", ("a", 0)),
+            Instruction("vload", "vb", ("b", 0)),
+            Instruction("vfma", "acc", ("acc", "va", "vb")),
+            Instruction("vreduce", "out", ("acc",)),
+        ]
+        result = core.execute(program)
+        assert result.scalar_registers["out"] == pytest.approx(48.0)
+
+    def test_scalar_ops(self):
+        core = AIECoreModel()
+        program = [
+            Instruction("smov", "x", (9.0,)),
+            Instruction("ssqrt", "r", ("x",)),
+            Instruction("sdiv", "d", (1.0, "r")),
+            Instruction("ssign", "sg", (-5.0,)),
+        ]
+        result = core.execute(program)
+        assert result.scalar_registers["r"] == pytest.approx(3.0)
+        assert result.scalar_registers["d"] == pytest.approx(1 / 3)
+        assert result.scalar_registers["sg"] == -1.0
+
+    def test_unknown_opcode(self):
+        with pytest.raises(SimulationError):
+            AIECoreModel().execute([Instruction("vxor", "v0", ())])
+
+    def test_unset_register(self):
+        with pytest.raises(SimulationError):
+            AIECoreModel().execute([Instruction("vreduce", "x", ("v9",))])
+
+    def test_out_of_bounds_access(self):
+        core = AIECoreModel(memory={"buf": np.zeros(8)})
+        with pytest.raises(SimulationError):
+            core.execute([Instruction("vload", "v0", ("buf", 4))])
+
+    def test_divide_by_zero(self):
+        with pytest.raises(SimulationError):
+            AIECoreModel().execute([Instruction("sdiv", "x", (1.0, 0.0))])
+
+    def test_overhead_cycles(self):
+        core = AIECoreModel(overhead_cycles=50)
+        assert core.execute([]).cycles == 50
+
+
+class TestOrthKernel:
+    @pytest.mark.parametrize("m", [8, 32, 128])
+    def test_matches_reference_rotation(self, rng, m):
+        ai = rng.standard_normal(m)
+        aj = rng.standard_normal(m)
+        bi, bj, _ = run_orth_kernel(ai, aj)
+        ref_bi, ref_bj, _ = rotate_pair(ai, aj)
+        assert np.allclose(bi, ref_bi, atol=1e-12)
+        assert np.allclose(bj, ref_bj, atol=1e-12)
+
+    def test_output_pair_is_orthogonal(self, rng):
+        ai = rng.standard_normal(64)
+        aj = rng.standard_normal(64)
+        bi, bj, _ = run_orth_kernel(ai, aj)
+        scale = np.linalg.norm(bi) * np.linalg.norm(bj)
+        assert abs(bi @ bj) / scale < 1e-12
+
+    @pytest.mark.parametrize("m", [64, 128, 256, 512])
+    def test_cycle_count_matches_closed_form(self, m, rng):
+        # The closed-form cycle model's constants are *derived from*
+        # this instruction-level schedule: for vector-width multiples
+        # the two must agree exactly.
+        ai = rng.standard_normal(m)
+        aj = rng.standard_normal(m)
+        _, _, result = run_orth_kernel(ai, aj, overhead_cycles=55)
+        formula = orth_kernel_cycles(m)
+        assert result.cycles == formula, (m, result.cycles, formula)
+
+    def test_cycles_linear_in_m(self, rng):
+        def cycles(m):
+            ai = rng.standard_normal(m)
+            aj = rng.standard_normal(m)
+            return run_orth_kernel(ai, aj)[2].cycles
+
+        c128, c256 = cycles(128), cycles(256)
+        c512 = cycles(512)
+        # Per-chunk slope is constant.
+        assert (c512 - c256) == pytest.approx(2 * (c256 - c128), rel=0.01)
+
+    def test_rejects_bad_lengths(self):
+        with pytest.raises(SimulationError):
+            build_orth_kernel(12)
+        with pytest.raises(SimulationError):
+            build_orth_kernel(0)
+
+    def test_rejects_mismatched_columns(self, rng):
+        with pytest.raises(SimulationError):
+            run_orth_kernel(rng.standard_normal(8), rng.standard_normal(16))
+
+    def test_instruction_count_structure(self):
+        # 3 + 1 setup, 5 per chunk (pass 1), 3 reductions, 20 scalar,
+        # 3 broadcasts, 8 per chunk (pass 2).
+        m = 64
+        chunks = m // LANES
+        program = build_orth_kernel(m)
+        expected = 4 + 5 * chunks + 3 + 20 + 3 + 8 * chunks
+        assert len(program) == expected
+
+
+class TestParseProgram:
+    def test_assemble_and_execute_dot_product(self):
+        from repro.versal.aie_isa import parse_program
+
+        text = """
+        # dot product of two 8-element buffers
+        smov   zero, 0.0
+        vbcast vacc, zero
+        vload  va, a, 0
+        vload  vb, b, 0
+        vfma   vacc, vacc, va, vb
+        vreduce out, vacc
+        """
+        program = parse_program(text)
+        core = AIECoreModel(
+            memory={"a": np.full(8, 2.0), "b": np.full(8, 3.0)}
+        )
+        result = core.execute(program)
+        assert result.scalar_registers["out"] == pytest.approx(48.0)
+
+    def test_matches_builder_output(self):
+        from repro.versal.aie_isa import parse_program
+
+        text = "vload v0, buf, 8"
+        program = parse_program(text)
+        assert program == [Instruction("vload", "v0", ("buf", 8))]
+
+    def test_immediates_parsed_by_type(self):
+        from repro.versal.aie_isa import parse_program
+
+        program = parse_program("sdiv x, 1.0, y")
+        assert program[0].sources == (1.0, "y")
+
+    def test_store_form(self):
+        from repro.versal.aie_isa import parse_program
+
+        program = parse_program("vstore mem, dst, v1, 0")
+        assert program[0].sources == ("dst", "v1", 0)
+
+    def test_unknown_opcode_rejected(self):
+        from repro.versal.aie_isa import parse_program
+
+        with pytest.raises(SimulationError, match="unknown opcode"):
+            parse_program("vxor v0, v1, v2")
+
+    def test_missing_operands_rejected(self):
+        from repro.versal.aie_isa import parse_program
+
+        with pytest.raises(SimulationError, match="missing operands"):
+            parse_program("vload")
+
+    def test_comments_and_blanks_skipped(self):
+        from repro.versal.aie_isa import parse_program
+
+        assert parse_program("# nothing\n\n  # more\n") == []

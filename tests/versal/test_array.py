@@ -1,0 +1,103 @@
+"""Unit tests for the AIE array topology."""
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.versal.array import AIEArray
+from repro.versal.tile import TileKind
+
+
+@pytest.fixture
+def array():
+    return AIEArray()
+
+
+class TestArrayBasics:
+    def test_default_geometry_is_vck190(self, array):
+        assert array.rows == 8
+        assert array.cols == 50
+        assert array.n_tiles == 400
+
+    def test_custom_geometry(self):
+        small = AIEArray(rows=3, cols=4)
+        assert small.n_tiles == 12
+
+    def test_invalid_geometry(self):
+        with pytest.raises(HardwareModelError):
+            AIEArray(rows=0, cols=5)
+
+    def test_tile_lookup(self, array):
+        tile = array.tile(3, 7)
+        assert tile.coord == (3, 7)
+
+    def test_tile_out_of_range(self, array):
+        with pytest.raises(HardwareModelError):
+            array.tile(8, 0)
+        with pytest.raises(HardwareModelError):
+            array.tile(0, 50)
+
+    def test_contains(self, array):
+        assert (0, 0) in array
+        assert (7, 49) in array
+        assert (8, 0) not in array
+
+    def test_iteration_covers_all_tiles(self, array):
+        assert sum(1 for _ in array) == 400
+
+
+class TestNeighborAccess:
+    def test_vertical_always_accessible(self, array):
+        assert array.is_neighbor_accessible((3, 10), (2, 10))
+        assert array.is_neighbor_accessible((3, 10), (4, 10))
+
+    def test_horizontal_follows_parity(self, array):
+        # Even-row core reaches its west neighbour's memory.
+        assert array.is_neighbor_accessible((2, 10), (2, 9))
+        assert not array.is_neighbor_accessible((2, 10), (2, 11))
+        # Odd-row core reaches its east neighbour's memory.
+        assert array.is_neighbor_accessible((3, 10), (3, 11))
+        assert not array.is_neighbor_accessible((3, 10), (3, 9))
+
+    def test_diagonals_not_accessible(self, array):
+        assert not array.is_neighbor_accessible((3, 10), (2, 9))
+        assert not array.is_neighbor_accessible((3, 10), (4, 11))
+
+    def test_distance_two_not_accessible(self, array):
+        assert not array.is_neighbor_accessible((3, 10), (3, 8))
+        assert not array.is_neighbor_accessible((3, 10), (5, 10))
+
+    def test_outside_coordinates(self, array):
+        assert not array.is_neighbor_accessible((0, 0), (-1, 0))
+
+    def test_accessible_memories_sorted(self, array):
+        mems = array.accessible_memories((3, 10))
+        assert mems == sorted(mems)
+        assert (3, 10) in mems
+
+
+class TestAssignments:
+    def test_assign_and_count(self, array):
+        array.assign((1, 1), TileKind.ORTH)
+        array.assign((1, 2), TileKind.ORTH)
+        array.assign((0, 0), TileKind.MEM)
+        assert array.count_of_kind(TileKind.ORTH) == 2
+        assert array.count_of_kind(TileKind.MEM) == 1
+        assert array.utilization() == pytest.approx(3 / 400)
+
+    def test_double_assignment_rejected(self, array):
+        array.assign((1, 1), TileKind.ORTH)
+        with pytest.raises(HardwareModelError):
+            array.assign((1, 1), TileKind.NORM)
+
+    def test_tiles_of_kind_row_major(self, array):
+        array.assign((2, 5), TileKind.NORM)
+        array.assign((1, 9), TileKind.NORM)
+        coords = [t.coord for t in array.tiles_of_kind(TileKind.NORM)]
+        assert coords == [(1, 9), (2, 5)]
+
+    def test_clear_assignments(self, array):
+        array.assign((1, 1), TileKind.ORTH)
+        array.tile(1, 1).memory.allocate("buf", 1024)
+        array.clear_assignments()
+        assert array.count_of_kind(TileKind.ORTH) == 0
+        assert array.tile(1, 1).memory.used_bits == 0

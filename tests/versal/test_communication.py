@@ -1,0 +1,95 @@
+"""Unit tests for the inter-AIE communication mechanisms (Fig. 1)."""
+
+import pytest
+
+from repro.errors import CommunicationError
+from repro.versal.array import AIEArray
+from repro.versal.communication import (
+    MEMORY_OVERHEAD_FACTOR,
+    TRANSFER_BITS_PER_CYCLE,
+    Transfer,
+    TransferKind,
+    classify_move,
+    transfer_cycles,
+)
+
+
+class TestTransferCycles:
+    def test_neighbor_is_fastest(self):
+        bits = 4096
+        times = {
+            kind: transfer_cycles(kind, bits) for kind in TransferKind
+        }
+        assert times[TransferKind.NEIGHBOR] < times[TransferKind.DMA]
+        assert times[TransferKind.NEIGHBOR] < times[TransferKind.STREAM_FORWARD]
+
+    def test_stream_comparable_to_dma(self):
+        # Paper: stream speed "comparable to that of DMA".
+        bits = 128 * 32
+        dma = transfer_cycles(TransferKind.DMA, bits)
+        stream = transfer_cycles(TransferKind.STREAM_FORWARD, bits)
+        assert 0.5 < stream / dma < 2.0
+
+    def test_linear_in_payload(self):
+        small = transfer_cycles(TransferKind.DMA, 3200)
+        large = transfer_cycles(TransferKind.DMA, 6400)
+        setup = transfer_cycles(TransferKind.DMA, 0)
+        assert large - setup == pytest.approx(2 * (small - setup))
+
+    def test_negative_payload(self):
+        with pytest.raises(CommunicationError):
+            transfer_cycles(TransferKind.DMA, -1)
+
+    def test_rates_table_complete(self):
+        for kind in TransferKind:
+            assert kind in TRANSFER_BITS_PER_CYCLE
+            assert kind in MEMORY_OVERHEAD_FACTOR
+
+
+class TestTransferObject:
+    def test_dma_doubles_memory(self):
+        t = Transfer(src=(1, 1), dst=(1, 3), bits=1024, kind=TransferKind.DMA)
+        assert t.memory_bits == 2048
+
+    def test_neighbor_memory_is_payload(self):
+        t = Transfer(src=(1, 1), dst=(2, 1), bits=1024, kind=TransferKind.NEIGHBOR)
+        assert t.memory_bits == 1024
+
+    def test_cycles_property(self):
+        t = Transfer(src=None, dst=(0, 0), bits=256, kind=TransferKind.STREAM_FORWARD)
+        assert t.cycles == transfer_cycles(TransferKind.STREAM_FORWARD, 256)
+
+
+class TestClassifyMove:
+    @pytest.fixture
+    def array(self):
+        return AIEArray()
+
+    def test_vertical_neighbor(self, array):
+        assert (
+            classify_move(array, producer_memory=(2, 10), consumer_core=(3, 10))
+            is TransferKind.NEIGHBOR
+        )
+
+    def test_parity_aligned_horizontal(self, array):
+        # Odd-row consumer reaches its east neighbour's memory.
+        assert (
+            classify_move(array, producer_memory=(3, 11), consumer_core=(3, 10))
+            is TransferKind.NEIGHBOR
+        )
+
+    def test_parity_misaligned_needs_dma(self, array):
+        assert (
+            classify_move(array, producer_memory=(3, 9), consumer_core=(3, 10))
+            is TransferKind.DMA
+        )
+
+    def test_long_distance_needs_dma(self, array):
+        assert (
+            classify_move(array, producer_memory=(0, 0), consumer_core=(7, 49))
+            is TransferKind.DMA
+        )
+
+    def test_rejects_outside_coordinates(self, array):
+        with pytest.raises(CommunicationError):
+            classify_move(array, producer_memory=(9, 0), consumer_core=(0, 0))

@@ -1,0 +1,61 @@
+"""Unit tests for the device description."""
+
+import pytest
+
+from repro.versal.device import VCK190, DeviceSpec
+
+
+class TestVCK190:
+    def test_array_geometry(self):
+        assert VCK190.aie_rows == 8
+        assert VCK190.aie_cols == 50
+        assert VCK190.n_tiles == 400
+
+    def test_tile_memory_is_32kb(self):
+        assert VCK190.tile_memory_bits == 4 * 8 * 1024 * 8
+
+    def test_aie_clock(self):
+        assert VCK190.aie_frequency_hz == pytest.approx(1.25e9)
+
+    def test_plio_bandwidths_match_paper(self):
+        assert VCK190.plio_aie_to_pl_bits_per_s == pytest.approx(24e9 * 8)
+        assert VCK190.plio_pl_to_aie_bits_per_s == pytest.approx(32e9 * 8)
+
+    def test_budgets_dict(self):
+        budgets = VCK190.budgets()
+        assert budgets["AIE"] == 400
+        assert budgets["PLIO"] == 156
+        assert budgets["URAM"] == 463
+        assert budgets["BRAM"] == 967
+
+    def test_uram_capacity(self):
+        # URAM blocks are 288 Kb.
+        assert VCK190.uram_bits == 288 * 1024
+
+    def test_spec_is_frozen(self):
+        with pytest.raises(Exception):
+            VCK190.max_aie = 500
+
+    def test_custom_device(self):
+        small = DeviceSpec(
+            name="test",
+            aie_rows=4,
+            aie_cols=10,
+            aie_frequency_hz=1e9,
+            banks_per_tile=2,
+            bank_bits=1024,
+            plio_aie_to_pl_bits_per_s=1e9,
+            plio_pl_to_aie_bits_per_s=1e9,
+            plio_width_bits=64,
+            max_aie=40,
+            max_plio=12,
+            max_bram=100,
+            max_uram=50,
+            uram_bits=288 * 1024,
+            bram_bits=36 * 1024,
+            macs_per_cycle=4,
+            pl_frequency_range_hz=(1e8, 5e8),
+            ddr_bandwidth_bits_per_s=1e10,
+        )
+        assert small.n_tiles == 40
+        assert small.tile_memory_bits == 2048

@@ -1,0 +1,89 @@
+"""Unit tests for the stream-switch interconnect."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.versal.array import AIEArray
+from repro.versal.interconnect import (
+    HOP_CYCLES,
+    INJECTION_CYCLES,
+    LinkOccupancy,
+    dma_route_cycles,
+    route,
+    shim_route,
+)
+
+
+@pytest.fixture
+def array():
+    return AIEArray()
+
+
+class TestRoute:
+    def test_self_route_is_zero_hops(self, array):
+        r = route(array, (3, 10), (3, 10))
+        assert r.hop_count == 0
+        assert r.latency_cycles == INJECTION_CYCLES
+
+    def test_dimension_order_x_then_y(self, array):
+        r = route(array, (1, 2), (4, 5))
+        assert r.hops[0] == (1, 2)
+        assert r.hops[3] == (1, 5)  # finished X leg first
+        assert r.hops[-1] == (4, 5)
+
+    def test_hop_count_is_manhattan_distance(self, array):
+        r = route(array, (0, 0), (7, 49))
+        assert r.hop_count == 7 + 49
+
+    def test_latency_linear_in_hops(self, array):
+        r = route(array, (2, 3), (2, 8))
+        assert r.latency_cycles == INJECTION_CYCLES + 5 * HOP_CYCLES
+
+    def test_leftward_and_downward(self, array):
+        r = route(array, (6, 20), (1, 5))
+        assert r.hops[-1] == (1, 5)
+        assert r.hop_count == 5 + 15
+
+    def test_links_are_consecutive(self, array):
+        r = route(array, (0, 0), (2, 2))
+        for (a, b) in r.links():
+            assert abs(a[0] - b[0]) + abs(a[1] - b[1]) == 1
+
+    def test_rejects_outside_coordinates(self, array):
+        with pytest.raises(RoutingError):
+            route(array, (0, 0), (8, 0))
+        with pytest.raises(RoutingError):
+            route(array, (0, 50), (0, 0))
+
+
+class TestShimRoute:
+    def test_enters_from_below(self, array):
+        r = shim_route(array, shim_col=10, destination=(3, 10))
+        assert r.hops[0] == (-1, 10)
+        assert r.hop_count == 4
+
+    def test_dma_cycles_wrapper(self, array):
+        cycles = dma_route_cycles(array, (1, 1), (1, 4))
+        assert cycles == INJECTION_CYCLES + 3 * HOP_CYCLES
+
+
+class TestLinkOccupancy:
+    def test_counts_overlapping_routes(self, array):
+        occupancy = LinkOccupancy()
+        occupancy.add(route(array, (0, 0), (0, 5)))
+        occupancy.add(route(array, (0, 2), (0, 6)))
+        # Links between columns 2..5 in row 0 carry both routes.
+        assert occupancy.occupancy((0, 3), (0, 4)) == 2
+        assert occupancy.max_occupancy() == 2
+
+    def test_empty(self):
+        assert LinkOccupancy().max_occupancy() == 0
+
+    def test_busiest_links_sorted(self, array):
+        occupancy = LinkOccupancy()
+        for _ in range(3):
+            occupancy.add(route(array, (0, 0), (0, 2)))
+        occupancy.add(route(array, (5, 5), (5, 6)))
+        ranked = occupancy.busiest_links(top=2)
+        assert ranked[0][1] == 3
+        assert ranked[1][1] <= 3

@@ -1,0 +1,100 @@
+"""Unit tests for the tile memory model and allocator."""
+
+import pytest
+
+from repro.errors import MemoryAllocationError
+from repro.units import kib
+from repro.versal.memory import MemoryBank, MemoryModule
+
+
+class TestMemoryBank:
+    def test_capacity_default(self):
+        bank = MemoryBank()
+        assert bank.capacity_bits == kib(8)
+        assert bank.free_bits == bank.capacity_bits
+
+    def test_allocate_and_release(self):
+        bank = MemoryBank()
+        bank.allocate(1000)
+        assert bank.used_bits == 1000
+        bank.release(400)
+        assert bank.used_bits == 600
+
+    def test_overflow(self):
+        bank = MemoryBank()
+        with pytest.raises(MemoryAllocationError):
+            bank.allocate(bank.capacity_bits + 1)
+
+    def test_negative_allocation(self):
+        with pytest.raises(MemoryAllocationError):
+            MemoryBank().allocate(-1)
+
+    def test_over_release(self):
+        bank = MemoryBank()
+        bank.allocate(100)
+        with pytest.raises(MemoryAllocationError):
+            bank.release(200)
+
+
+class TestMemoryModule:
+    def test_total_capacity_is_32kb(self):
+        module = MemoryModule()
+        assert module.capacity_bits == 4 * kib(8)
+
+    def test_first_fit_placement(self):
+        module = MemoryModule()
+        bank0 = module.allocate("a", kib(8))  # fills bank 0
+        bank1 = module.allocate("b", 100)  # must go to bank 1
+        assert bank0 == 0
+        assert bank1 == 1
+
+    def test_buffers_never_span_banks(self):
+        module = MemoryModule()
+        # More than one bank of total free space, but no single bank fits.
+        with pytest.raises(MemoryAllocationError):
+            module.allocate("big", kib(8) + 1)
+
+    def test_duplicate_names_rejected(self):
+        module = MemoryModule()
+        module.allocate("x", 10)
+        with pytest.raises(MemoryAllocationError):
+            module.allocate("x", 10)
+
+    def test_release_frees_space(self):
+        module = MemoryModule()
+        module.allocate("x", kib(8))
+        module.release("x")
+        assert module.used_bits == 0
+        module.allocate("y", kib(8))  # fits again
+
+    def test_release_unknown(self):
+        with pytest.raises(MemoryAllocationError):
+            MemoryModule().release("ghost")
+
+    def test_bank_of(self):
+        module = MemoryModule()
+        module.allocate("x", 10)
+        assert module.bank_of("x") == 0
+        assert module.bank_of("missing") is None
+
+    def test_buffer_names_order(self):
+        module = MemoryModule()
+        module.allocate("first", 10)
+        module.allocate("second", 10)
+        assert module.buffer_names() == ["first", "second"]
+
+    def test_reset(self):
+        module = MemoryModule()
+        module.allocate("x", 500)
+        module.reset()
+        assert module.used_bits == 0
+        assert module.buffer_names() == []
+
+    def test_column_pair_fits_one_tile(self):
+        # A 512-element fp32 column pair fits the paper's 32 KB tile:
+        # two input columns + two outputs.
+        module = MemoryModule()
+        column_bits = 512 * 32
+        for name in ("in_left", "in_right", "out_left", "out_right"):
+            module.allocate(name, column_bits)
+        assert module.free_bits >= 0

@@ -1,0 +1,30 @@
+"""Unit tests for the NoC/DDR channel model."""
+
+import pytest
+
+from repro.errors import CommunicationError
+from repro.versal.noc import DDRChannel
+
+
+class TestDDRChannel:
+    def test_sustained_bandwidth(self):
+        ddr = DDRChannel(efficiency=0.8)
+        assert ddr.bits_per_s == pytest.approx(25.6e9 * 8 * 0.8)
+
+    def test_transfer_time_linear(self):
+        ddr = DDRChannel()
+        assert ddr.transfer_seconds(2000) == pytest.approx(
+            2 * ddr.transfer_seconds(1000)
+        )
+
+    def test_zero_payload(self):
+        assert DDRChannel().transfer_seconds(0) == 0.0
+
+    def test_negative_payload(self):
+        with pytest.raises(CommunicationError):
+            DDRChannel().transfer_seconds(-1)
+
+    @pytest.mark.parametrize("eff", [0.0, -0.1, 1.5])
+    def test_invalid_efficiency(self, eff):
+        with pytest.raises(CommunicationError):
+            DDRChannel(efficiency=eff)

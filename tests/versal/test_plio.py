@@ -1,0 +1,68 @@
+"""Unit tests for the PLIO interface model (Eq. 8)."""
+
+import pytest
+
+from repro.errors import CommunicationError
+from repro.units import mhz
+from repro.versal.plio import (
+    NORM_PLIOS_PER_TASK,
+    ORTH_PLIOS_PER_TASK,
+    PLIOS_PER_TASK,
+    PLIODirection,
+    PLIOPort,
+)
+
+
+class TestPLIOConstants:
+    def test_six_plios_per_task(self):
+        # Section III-C: 4 orth + 2 norm.
+        assert PLIOS_PER_TASK == 6
+        assert ORTH_PLIOS_PER_TASK + NORM_PLIOS_PER_TASK == PLIOS_PER_TASK
+
+
+class TestPLIOPort:
+    def test_eq8_transfer_time(self):
+        port = PLIOPort(index=0, direction=PLIODirection.PL_TO_AIE)
+        f = mhz(200)
+        bits = 128 * 100
+        # Below the interface cap: t = bits / (width * f).
+        assert port.transfer_seconds(bits, f) == pytest.approx(
+            bits / (128 * f)
+        )
+
+    def test_transfer_scales_inversely_with_frequency(self):
+        port = PLIOPort(index=0, direction=PLIODirection.PL_TO_AIE)
+        slow = port.transfer_seconds(12800, mhz(100))
+        fast = port.transfer_seconds(12800, mhz(200))
+        assert slow == pytest.approx(2 * fast)
+
+    def test_bandwidth_ceiling_directions(self):
+        to_pl = PLIOPort(index=0, direction=PLIODirection.AIE_TO_PL)
+        to_aie = PLIOPort(index=1, direction=PLIODirection.PL_TO_AIE)
+        # Paper: 24 GB/s AIE->PL, 32 GB/s PL->AIE.
+        assert to_pl.bandwidth_ceiling_bits_per_s() == pytest.approx(24e9 * 8)
+        assert to_aie.bandwidth_ceiling_bits_per_s() == pytest.approx(32e9 * 8)
+
+    def test_ceiling_caps_high_clocks(self):
+        # A hypothetical extremely wide port would hit the interface cap.
+        port = PLIOPort(
+            index=0, direction=PLIODirection.AIE_TO_PL, width_bits=4096
+        )
+        rate = port.effective_bits_per_s(mhz(450))
+        assert rate == pytest.approx(24e9 * 8)
+
+    def test_pl_cycles_view(self):
+        port = PLIOPort(index=0, direction=PLIODirection.PL_TO_AIE)
+        f = mhz(300)
+        cycles = port.transfer_pl_cycles(128 * 64, f)
+        assert cycles == pytest.approx(64)
+
+    def test_invalid_frequency(self):
+        port = PLIOPort(index=0, direction=PLIODirection.PL_TO_AIE)
+        with pytest.raises(CommunicationError):
+            port.transfer_seconds(100, 0.0)
+
+    def test_negative_payload(self):
+        port = PLIOPort(index=0, direction=PLIODirection.PL_TO_AIE)
+        with pytest.raises(CommunicationError):
+            port.transfer_seconds(-5, mhz(100))

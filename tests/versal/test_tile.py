@@ -1,0 +1,69 @@
+"""Unit tests for the AIE tile model (mirrored-row topology)."""
+
+import pytest
+
+from repro.versal.tile import (
+    AIETile,
+    MemorySide,
+    TileKind,
+    memory_side_of_row,
+)
+
+
+class TestMemorySide:
+    def test_even_rows_have_memory_east(self):
+        # Paper: "in even rows, each computation core is located on the
+        # left side of its internal memory".
+        assert memory_side_of_row(0) is MemorySide.EAST
+        assert memory_side_of_row(2) is MemorySide.EAST
+
+    def test_odd_rows_are_mirrored(self):
+        assert memory_side_of_row(1) is MemorySide.WEST
+        assert memory_side_of_row(3) is MemorySide.WEST
+
+
+class TestAccessibleMemories:
+    def test_even_row_reaches_west_neighbour(self):
+        tile = AIETile(row=2, col=5)
+        mems = tile.accessible_memories(n_rows=8, n_cols=50)
+        assert mems == {(2, 5), (1, 5), (3, 5), (2, 4)}
+
+    def test_odd_row_reaches_east_neighbour(self):
+        tile = AIETile(row=3, col=5)
+        mems = tile.accessible_memories(n_rows=8, n_cols=50)
+        assert mems == {(3, 5), (2, 5), (4, 5), (3, 6)}
+
+    def test_corner_tiles_clip_to_array(self):
+        tile = AIETile(row=0, col=0)
+        mems = tile.accessible_memories(n_rows=8, n_cols=50)
+        # Own + north; west neighbour and south are outside.
+        assert mems == {(0, 0), (1, 0)}
+
+    def test_top_right_corner(self):
+        tile = AIETile(row=7, col=49)
+        mems = tile.accessible_memories(n_rows=8, n_cols=50)
+        # Odd row wants the east neighbour (49+1 = 50, outside).
+        assert mems == {(7, 49), (6, 49)}
+
+    def test_always_includes_own_memory(self):
+        for row in range(4):
+            for col in range(4):
+                tile = AIETile(row=row, col=col)
+                assert (row, col) in tile.accessible_memories(4, 4)
+
+    def test_at_most_four_memories(self):
+        for row in range(8):
+            tile = AIETile(row=row, col=25)
+            assert len(tile.accessible_memories(8, 50)) <= 4
+
+
+class TestTileBasics:
+    def test_defaults(self):
+        tile = AIETile(row=1, col=2)
+        assert tile.kind is TileKind.IDLE
+        assert tile.coord == (1, 2)
+        assert tile.memory.capacity_bits == 4 * 8 * 1024 * 8
+
+    def test_memory_side_property(self):
+        assert AIETile(row=4, col=0).memory_side is MemorySide.EAST
+        assert AIETile(row=5, col=0).memory_side is MemorySide.WEST

@@ -1,0 +1,81 @@
+"""Tests for the image-compression workload."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.imaging import (
+    compress_image,
+    compression_ratio,
+    psnr,
+    synthetic_image,
+)
+
+
+class TestSyntheticImage:
+    def test_range_and_shape(self):
+        image = synthetic_image(32, 48, seed=0)
+        assert image.shape == (32, 48)
+        assert image.min() >= 0.0
+        assert image.max() <= 1.0
+
+    def test_deterministic(self):
+        assert np.array_equal(
+            synthetic_image(16, 16, seed=1), synthetic_image(16, 16, seed=1)
+        )
+
+    def test_smoothness_controls_spectral_decay(self):
+        rough = synthetic_image(64, 64, smoothness=0.5, seed=2)
+        smooth = synthetic_image(64, 64, smoothness=3.0, seed=2)
+        s_rough = np.linalg.svd(rough - rough.mean(), compute_uv=False)
+        s_smooth = np.linalg.svd(smooth - smooth.mean(), compute_uv=False)
+        # Fraction of energy in the top-8 components.
+        top8 = lambda s: (s[:8] ** 2).sum() / (s**2).sum()
+        assert top8(s_smooth) > top8(s_rough)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            synthetic_image(2, 10)
+        with pytest.raises(ConfigurationError):
+            synthetic_image(16, 16, smoothness=-1)
+
+
+class TestCompression:
+    @pytest.fixture
+    def factored(self):
+        image = synthetic_image(48, 48, smoothness=2.0, seed=3)
+        u, s, vt = np.linalg.svd(image, full_matrices=False)
+        return image, u, s, vt.T
+
+    def test_quality_improves_with_rank(self, factored):
+        image, u, s, v = factored
+        quality = [
+            psnr(image, compress_image(image, u, s, v, rank))
+            for rank in (2, 8, 32)
+        ]
+        assert quality[0] < quality[1] < quality[2]
+
+    def test_full_rank_is_lossless(self, factored):
+        image, u, s, v = factored
+        approx = compress_image(image, u, s, v, rank=48)
+        assert psnr(image, approx) > 100.0
+
+    def test_output_clipped(self, factored):
+        image, u, s, v = factored
+        approx = compress_image(image, u, s, v, rank=2)
+        assert approx.min() >= 0.0
+        assert approx.max() <= 1.0
+
+    def test_compression_ratio_formula(self):
+        assert compression_ratio(128, 128, 16) == pytest.approx(
+            128 * 128 / (16 * 257)
+        )
+
+    def test_psnr_identical_is_infinite(self, factored):
+        image, *_ = factored
+        assert psnr(image, image) == float("inf")
+
+    def test_psnr_shape_mismatch(self, factored):
+        image, *_ = factored
+        with pytest.raises(ConfigurationError):
+            psnr(image, image[:-1])

@@ -1,0 +1,86 @@
+"""Unit tests for the matrix workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.matrices import (
+    conditioned_matrix,
+    low_rank_matrix,
+    random_matrix,
+    spectrum_matrix,
+)
+
+
+class TestRandomMatrix:
+    def test_shape_and_determinism(self):
+        a = random_matrix(8, 5, seed=7)
+        b = random_matrix(8, 5, seed=7)
+        assert a.shape == (8, 5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(
+            random_matrix(8, 5, seed=1), random_matrix(8, 5, seed=2)
+        )
+
+    def test_scale(self):
+        a = random_matrix(100, 100, seed=0, scale=10.0)
+        assert 5 < np.std(a) < 15
+
+    def test_invalid_shape(self):
+        with pytest.raises(ConfigurationError):
+            random_matrix(0, 5)
+
+
+class TestConditionedMatrix:
+    def test_condition_number(self):
+        a = conditioned_matrix(16, 16, condition=100.0, seed=3)
+        s = np.linalg.svd(a, compute_uv=False)
+        assert s[0] / s[-1] == pytest.approx(100.0, rel=1e-6)
+
+    def test_rectangular(self):
+        a = conditioned_matrix(20, 8, condition=10.0, seed=3)
+        s = np.linalg.svd(a, compute_uv=False)
+        assert len(s) == 8
+        assert s[0] / s[-1] == pytest.approx(10.0, rel=1e-6)
+
+    def test_invalid_condition(self):
+        with pytest.raises(ConfigurationError):
+            conditioned_matrix(8, 8, condition=0.5)
+
+
+class TestLowRankMatrix:
+    def test_exact_rank(self):
+        a = low_rank_matrix(12, 8, rank=3, seed=5)
+        s = np.linalg.svd(a, compute_uv=False)
+        assert np.all(s[:3] > 1e-10)
+        assert np.allclose(s[3:], 0.0, atol=1e-12)
+
+    def test_noise_fills_spectrum(self):
+        a = low_rank_matrix(12, 8, rank=3, noise=0.1, seed=5)
+        s = np.linalg.svd(a, compute_uv=False)
+        assert np.all(s > 0)
+
+    def test_rank_zero_is_zero_matrix(self):
+        assert np.allclose(low_rank_matrix(6, 4, rank=0), 0.0)
+
+    def test_invalid_rank(self):
+        with pytest.raises(ConfigurationError):
+            low_rank_matrix(6, 4, rank=5)
+
+
+class TestSpectrumMatrix:
+    def test_prescribed_spectrum(self):
+        spectrum = [5.0, 2.0, 1.0, 0.1]
+        a = spectrum_matrix(10, 4, spectrum, np.random.default_rng(0))
+        s = np.linalg.svd(a, compute_uv=False)
+        assert np.allclose(s, spectrum, rtol=1e-10)
+
+    def test_wrong_length(self):
+        with pytest.raises(ConfigurationError):
+            spectrum_matrix(10, 4, [1.0, 2.0])
+
+    def test_negative_values(self):
+        with pytest.raises(ConfigurationError):
+            spectrum_matrix(4, 4, [1.0, -1.0, 0.5, 0.2])

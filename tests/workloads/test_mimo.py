@@ -1,0 +1,79 @@
+"""Unit tests for the MIMO channel workload."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.mimo import (
+    mimo_channel,
+    rayleigh_channel_real,
+    waterfill,
+)
+
+
+class TestChannels:
+    def test_real_channel_shape(self):
+        h = rayleigh_channel_real(4, 8, seed=0)
+        assert h.shape == (4, 8)
+
+    def test_complex_embedding_shape(self):
+        h = mimo_channel(4, 6, seed=0)
+        assert h.shape == (8, 12)
+
+    def test_embedding_duplicates_singular_values(self):
+        h = mimo_channel(4, 4, seed=1)
+        s = np.linalg.svd(h, compute_uv=False)
+        # Real embedding of a complex matrix: each sigma appears twice.
+        assert np.allclose(s[0::2], s[1::2], rtol=1e-10)
+
+    def test_correlation_concentrates_energy(self):
+        flat = mimo_channel(8, 8, correlation=0.0, seed=2)
+        corr = mimo_channel(8, 8, correlation=0.9, seed=2)
+        s_flat = np.linalg.svd(flat, compute_uv=False)
+        s_corr = np.linalg.svd(corr, compute_uv=False)
+        # Condition number grows strongly under spatial correlation.
+        assert s_corr[0] / s_corr[-1] > 3 * (s_flat[0] / s_flat[-1])
+
+    def test_invalid_correlation(self):
+        with pytest.raises(ConfigurationError):
+            mimo_channel(4, 4, correlation=1.0)
+
+    def test_invalid_antennas(self):
+        with pytest.raises(ConfigurationError):
+            rayleigh_channel_real(0, 4)
+
+
+class TestWaterfill:
+    def test_power_budget_respected(self):
+        s = np.array([3.0, 2.0, 1.0, 0.1])
+        powers = waterfill(s, total_power=10.0)
+        assert powers.sum() == pytest.approx(10.0)
+        assert np.all(powers >= 0)
+
+    def test_strong_beams_get_more_power(self):
+        s = np.array([3.0, 1.0])
+        powers = waterfill(s, total_power=2.0)
+        assert powers[0] > powers[1]
+
+    def test_weak_beam_dropped_at_low_power(self):
+        s = np.array([10.0, 0.01])
+        powers = waterfill(s, total_power=0.1)
+        assert powers[1] == 0.0
+
+    def test_equal_gains_split_evenly(self):
+        powers = waterfill(np.array([2.0, 2.0]), total_power=4.0)
+        assert powers[0] == pytest.approx(powers[1])
+
+    def test_unsorted_input_handled(self):
+        s = np.array([1.0, 3.0, 2.0])
+        powers = waterfill(s, total_power=6.0)
+        assert powers.sum() == pytest.approx(6.0)
+        assert powers[1] >= powers[2] >= powers[0]
+
+    def test_invalid_power(self):
+        with pytest.raises(ConfigurationError):
+            waterfill(np.array([1.0]), total_power=0.0)
+
+    def test_all_zero_gains(self):
+        with pytest.raises(ConfigurationError):
+            waterfill(np.zeros(3), total_power=1.0)

@@ -1,0 +1,91 @@
+"""Unit tests for the recommender and batch workloads."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.batch import make_batch
+from repro.workloads.recsys import rating_matrix, top_k_approximation
+
+
+class TestRatingMatrix:
+    def test_shape_and_range(self):
+        r = rating_matrix(20, 15, seed=0)
+        assert r.shape == (20, 15)
+        assert r.min() >= 1.0
+        assert r.max() <= 5.0
+
+    def test_low_rank_structure_dominates(self):
+        r = rating_matrix(64, 48, latent_rank=4, noise=0.05, seed=1)
+        centered = r - r.mean()
+        s = np.linalg.svd(centered, compute_uv=False)
+        # Top-4 singular values carry most of the energy.
+        assert (s[:4] ** 2).sum() / (s**2).sum() > 0.7
+
+    def test_density_imputation(self):
+        r = rating_matrix(30, 30, density=0.3, seed=2)
+        values, counts = np.unique(np.round(r, 6), return_counts=True)
+        # The imputed global mean appears many times.
+        assert counts.max() > 0.5 * r.size
+
+    def test_determinism(self):
+        assert np.array_equal(
+            rating_matrix(10, 10, seed=3), rating_matrix(10, 10, seed=3)
+        )
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            rating_matrix(0, 5)
+        with pytest.raises(ConfigurationError):
+            rating_matrix(10, 10, latent_rank=11)
+        with pytest.raises(ConfigurationError):
+            rating_matrix(10, 10, density=0.0)
+
+
+class TestTopKApproximation:
+    def test_rank_k_reconstruction(self, rng):
+        a = rng.standard_normal((12, 8))
+        u, s, vt = np.linalg.svd(a, full_matrices=False)
+        approx = top_k_approximation(u, s, vt.T, k=8)
+        assert np.allclose(approx, a, atol=1e-10)
+
+    def test_truncation_error_decreases_with_k(self, rng):
+        a = rng.standard_normal((12, 8))
+        u, s, vt = np.linalg.svd(a, full_matrices=False)
+        errors = [
+            np.linalg.norm(a - top_k_approximation(u, s, vt.T, k))
+            for k in (1, 4, 8)
+        ]
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_invalid_k(self, rng):
+        a = rng.standard_normal((6, 4))
+        u, s, vt = np.linalg.svd(a, full_matrices=False)
+        with pytest.raises(ConfigurationError):
+            top_k_approximation(u, s, vt.T, k=0)
+
+
+class TestBatch:
+    def test_batch_size_and_shapes(self):
+        batch = make_batch(16, 8, batch=5)
+        assert batch.size == 5
+        assert len(batch) == 5
+        assert all(m.shape == (16, 8) for m in batch)
+
+    def test_deterministic(self):
+        b1 = make_batch(8, 8, 3, seed=9)
+        b2 = make_batch(8, 8, 3, seed=9)
+        for a, b in zip(b1, b2):
+            assert np.array_equal(a, b)
+
+    def test_tasks_distinct(self):
+        batch = make_batch(8, 8, 2, seed=0)
+        assert not np.array_equal(batch.matrices[0], batch.matrices[1])
+
+    def test_total_bits(self):
+        batch = make_batch(8, 8, 4)
+        assert batch.total_bits() == 4 * 8 * 8 * 32
+
+    def test_invalid_batch(self):
+        with pytest.raises(ConfigurationError):
+            make_batch(8, 8, 0)

@@ -1,0 +1,90 @@
+"""Tests for the array signal-processing workload."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.linalg.svd import svd
+from repro.workloads.signal import (
+    estimate_doa,
+    music_spectrum,
+    signal_subspace,
+    snapshot_matrix,
+    steering_vector,
+)
+
+
+class TestSteeringVector:
+    def test_shape_and_norm(self):
+        v = steering_vector(8, 0.3)
+        assert v.shape == (16,)
+        # cos^2 + sin^2 per sensor.
+        assert np.linalg.norm(v) == pytest.approx(np.sqrt(8))
+
+    def test_broadside(self):
+        # theta = 0: all phases zero.
+        v = steering_vector(4, 0.0)
+        assert np.allclose(v[:4], 1.0)
+        assert np.allclose(v[4:], 0.0)
+
+    def test_invalid_sensors(self):
+        with pytest.raises(ConfigurationError):
+            steering_vector(0, 0.1)
+
+
+class TestSnapshotMatrix:
+    def test_shape(self):
+        x = snapshot_matrix(8, 32, [0.1, -0.4], seed=0)
+        assert x.shape == (16, 32)
+
+    def test_snr_controls_noise(self):
+        clean = snapshot_matrix(8, 256, [0.2], snr_db=40.0, seed=1)
+        noisy = snapshot_matrix(8, 256, [0.2], snr_db=-10.0, seed=1)
+        # High SNR -> snapshot matrix nearly rank-2 (one source in the
+        # real embedding); low SNR -> full spread.
+        s_clean = np.linalg.svd(clean, compute_uv=False)
+        s_noisy = np.linalg.svd(noisy, compute_uv=False)
+        assert s_clean[2] / s_clean[0] < 0.05
+        assert s_noisy[2] / s_noisy[0] > 0.1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            snapshot_matrix(4, 16, [])
+        with pytest.raises(ConfigurationError):
+            snapshot_matrix(2, 16, [0.1, 0.2])
+        with pytest.raises(ConfigurationError):
+            snapshot_matrix(8, 0, [0.1])
+
+
+class TestSubspaceAndMUSIC:
+    def test_signal_subspace_shape(self, rng):
+        u = rng.standard_normal((16, 10))
+        s = np.linspace(10, 1, 10)
+        subspace = signal_subspace(u, s, n_sources=2)
+        assert subspace.shape == (16, 4)
+
+    def test_invalid_source_count(self, rng):
+        u = rng.standard_normal((16, 10))
+        s = np.linspace(10, 1, 10)
+        with pytest.raises(ConfigurationError):
+            signal_subspace(u, s, n_sources=6)
+
+    def test_spectrum_peaks_at_source(self):
+        angle = np.deg2rad(20.0)
+        x = snapshot_matrix(12, 128, [angle], snr_db=25.0, seed=4)
+        result = svd(x, precision=1e-9)
+        subspace = signal_subspace(result.u, result.singular_values, 1)
+        grid = np.linspace(-np.pi / 2, np.pi / 2, 361)
+        spectrum = music_spectrum(subspace, 12, grid)
+        peak_angle = grid[int(np.argmax(spectrum))]
+        assert abs(peak_angle - angle) < np.deg2rad(1.0)
+
+    def test_estimate_doa_two_sources(self):
+        angles = [np.deg2rad(-30.0), np.deg2rad(25.0)]
+        x = snapshot_matrix(16, 128, angles, snr_db=20.0, seed=5)
+        result = svd(x, precision=1e-9)
+        estimated = estimate_doa(result.u, result.singular_values, 16, 2)
+        assert len(estimated) == 2
+        assert np.allclose(
+            np.sort(estimated), np.sort(angles), atol=np.deg2rad(1.5)
+        )
