@@ -1,20 +1,42 @@
 # Developer entry points for the HeteroSVD reproduction.
 
 PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test bench validate examples all clean
+.PHONY: install test bench validate examples lint smoke ci all clean
 
 install:
 	$(PYTHON) setup.py develop
 
 test:
-	$(PYTHON) -m pytest tests/ -q
+	$(PYTHON) -m pytest tests/ -x -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
 
 validate:
 	$(PYTHON) -m repro.validation
+
+# Fast fail-first gate: byte-compile everything, then ruff when available
+# (the offline dev container does not ship it; CI installs it).
+lint:
+	$(PYTHON) -m compileall -q src benchmarks examples tests
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src benchmarks examples tests; \
+	else \
+		echo "ruff not installed; skipping (CI runs it)"; \
+	fi
+
+# Exercise the parallel execution path end-to-end on a tiny grid.
+smoke:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) -m repro.cli dse --size 64 --jobs 2 --cache .repro_cache --top 3
+	$(PYTHON) -m repro.cli dse --size 64 --jobs 2 --cache .repro_cache --top 3
+	$(PYTHON) -m repro.cli svd --size 32 --p-eng 4 --batch 4 --jobs 2 --precision 1e-4
+	$(PYTHON) -m repro.cli sensitivity --size 128 --jobs 2
+
+# Reproduce the GitHub Actions pipeline locally.
+ci: lint test smoke
 
 examples:
 	$(PYTHON) examples/quickstart.py
@@ -33,4 +55,4 @@ all: test bench validate
 
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} +
-	rm -rf .pytest_cache .hypothesis src/repro.egg-info
+	rm -rf .pytest_cache .hypothesis .ruff_cache .repro_cache src/repro.egg-info

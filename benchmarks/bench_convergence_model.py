@@ -8,7 +8,6 @@ close enough that latency/throughput estimates stay inside the model's
 error band.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.perf_model import estimated_iterations

@@ -1,0 +1,117 @@
+"""Parallel + cached DSE sweep (execution-layer benchmark).
+
+Not a paper table — regenerates the evidence for the
+:mod:`repro.exec` execution layer: fanning the two-stage DSE out over
+worker processes cuts the wall-clock of a multi-size, 200+-point sweep,
+and a warm on-disk cache makes re-running the same sweep nearly free.
+
+Run locally with ``make bench``; set ``HETEROSVD_BENCH_ASSERT=1`` (the
+CI smoke job does) to turn the speedup targets into hard assertions —
+they are only meaningful on a multi-core host, so the assertions also
+require >= 4 CPUs.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.core.dse import DesignSpaceExplorer
+from repro.exec.cache import EvalCache
+from repro.reporting.tables import Table
+
+#: Problem sizes of the sweep; together they exceed 200 design points.
+SWEEP_SIZES = (128, 192, 256)
+
+PARALLEL_JOBS = 4
+PARALLEL_TARGET = 2.0  # x, jobs=4 vs jobs=1
+WARM_CACHE_TARGET = 5.0  # x, warm disk cache vs cold
+
+
+def _cpus() -> int:
+    return os.cpu_count() or 1
+
+
+def _assertions_on() -> bool:
+    return bool(os.environ.get("HETEROSVD_BENCH_ASSERT")) \
+        and _cpus() >= PARALLEL_JOBS
+
+
+def _sweep(jobs=None, caches=None):
+    """Explore every sweep size; returns (points per size, seconds)."""
+    started = time.perf_counter()
+    results = []
+    for index, size in enumerate(SWEEP_SIZES):
+        explorer = DesignSpaceExplorer(size, size)
+        cache = caches[index] if caches is not None else None
+        results.append(explorer.explore(jobs=jobs, cache=cache))
+    return results, time.perf_counter() - started
+
+
+@pytest.mark.benchmark(group="parallel-dse")
+def test_parallel_sweep_speedup(benchmark, show):
+    serial, serial_s = _sweep(jobs=1)
+    parallel, parallel_s = _sweep(jobs=PARALLEL_JOBS)
+    n_points = sum(len(r) for r in serial)
+    assert n_points >= 200, f"sweep too small: {n_points} points"
+    assert parallel == serial, "parallel sweep diverged from serial"
+    speedup = serial_s / parallel_s
+
+    table = Table(
+        f"Parallel DSE sweep: {n_points} points over sizes "
+        f"{list(SWEEP_SIZES)} ({_cpus()} CPUs)",
+        ["configuration", "wall-clock s", "speedup"],
+    )
+    table.add_row("jobs=1", f"{serial_s:.2f}", "1.00x")
+    table.add_row(
+        f"jobs={PARALLEL_JOBS}", f"{parallel_s:.2f}", f"{speedup:.2f}x"
+    )
+    show(table)
+
+    benchmark.extra_info["points"] = n_points
+    benchmark.extra_info["speedup"] = speedup
+    benchmark.pedantic(
+        lambda: _sweep(jobs=PARALLEL_JOBS), rounds=1, iterations=1
+    )
+    if _assertions_on():
+        assert speedup >= PARALLEL_TARGET, (
+            f"jobs={PARALLEL_JOBS} speedup {speedup:.2f}x "
+            f"below the {PARALLEL_TARGET}x target"
+        )
+
+
+@pytest.mark.benchmark(group="parallel-dse")
+def test_warm_cache_speedup(benchmark, show, tmp_path):
+    cache_dir = tmp_path / "repro_cache"
+
+    def fresh_caches():
+        return [EvalCache(disk_dir=cache_dir) for _ in SWEEP_SIZES]
+
+    cold_results, cold_s = _sweep(caches=fresh_caches())
+    # Fresh cache instances: the warm run exercises the disk layer,
+    # not the in-memory LRU the cold run populated.
+    warm_caches = fresh_caches()
+    warm_results, warm_s = _sweep(caches=warm_caches)
+    assert warm_results == cold_results, "cached sweep diverged"
+    hits = sum(c.stats.disk_hits for c in warm_caches)
+    misses = sum(c.stats.misses for c in warm_caches)
+    assert misses == 0, f"warm sweep missed the cache {misses} times"
+    speedup = cold_s / warm_s
+
+    table = Table(
+        f"Warm-cache DSE sweep ({hits} disk hits)",
+        ["configuration", "wall-clock s", "speedup"],
+    )
+    table.add_row("cold cache", f"{cold_s:.2f}", "1.00x")
+    table.add_row("warm cache", f"{warm_s:.3f}", f"{speedup:.1f}x")
+    show(table)
+
+    benchmark.extra_info["speedup"] = speedup
+    benchmark.pedantic(
+        lambda: _sweep(caches=fresh_caches()), rounds=1, iterations=1
+    )
+    if os.environ.get("HETEROSVD_BENCH_ASSERT"):
+        assert speedup >= WARM_CACHE_TARGET, (
+            f"warm-cache speedup {speedup:.1f}x below the "
+            f"{WARM_CACHE_TARGET}x target"
+        )

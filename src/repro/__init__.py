@@ -42,6 +42,7 @@ from repro.core.placement import Placement, place
 from repro.core.resources import ResourceUsage, estimate_resources
 from repro.core.power import PowerModel
 from repro.baselines import FPGABaselineModel, GPUBaselineModel
+from repro.exec import BatchExecutor, EvalCache, ParallelRunner
 from repro.versal import VCK190, AIEArray
 
 __version__ = "1.0.0"
@@ -70,6 +71,9 @@ __all__ = [
     "PowerModel",
     "FPGABaselineModel",
     "GPUBaselineModel",
+    "BatchExecutor",
+    "EvalCache",
+    "ParallelRunner",
     "VCK190",
     "AIEArray",
     "__version__",

@@ -25,7 +25,6 @@ from dataclasses import dataclass
 from repro.core.config import HeteroSVDConfig
 from repro.core.perf_model import PerformanceModel
 from repro.units import FLOAT32_BITS
-from repro.versal.kernels import orth_kernel_cycles
 
 
 @dataclass(frozen=True)

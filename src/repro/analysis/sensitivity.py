@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import List, Optional, Tuple
 
 from repro.core.config import HeteroSVDConfig
 from repro.core.perf_model import PerformanceModel
@@ -71,14 +71,52 @@ def _task_time(config: HeteroSVDConfig) -> float:
     return PerformanceModel(config).task_time()
 
 
+def _knob_result(
+    config: HeteroSVDConfig, name: str, scale: float, baseline: float
+) -> SensitivityResult:
+    """Perturb one knob and measure the task-time effect."""
+    module, attribute = KNOBS[name]
+    original = getattr(module, attribute)
+    baseline_value = (
+        float(sum(original.values()))
+        if isinstance(original, dict)
+        else float(original)
+    )
+    with _scaled(module, attribute, scale):
+        perturbed = _task_time(config)
+    return SensitivityResult(
+        parameter=name,
+        baseline_value=baseline_value,
+        relative_effect=abs(perturbed - baseline) / baseline,
+    )
+
+
+def _knob_worker(payload: Tuple) -> SensitivityResult:
+    """Process-pool worker: one knob, rebuilt from primitives.
+
+    Runs in its own interpreter, so the knob's module-global mutation
+    cannot race another knob's — which is exactly why the parallel
+    sweep uses processes, never threads.
+    """
+    from repro.io import config_from_dict
+
+    config_data, name, scale, baseline = payload
+    return _knob_result(config_from_dict(config_data), name, scale, baseline)
+
+
 def sensitivity_analysis(
-    config: HeteroSVDConfig, scale: float = 1.2
+    config: HeteroSVDConfig,
+    scale: float = 1.2,
+    jobs: Optional[int] = None,
 ) -> List[SensitivityResult]:
     """Perturb each calibration knob by ``scale`` and rank the effects.
 
     Args:
         config: Design point to analyze.
         scale: Multiplicative perturbation (e.g. 1.2 = +20%).
+        jobs: Evaluate knobs in this many worker *processes* (each
+            perturbation mutates module globals, so isolation matters);
+            None resolves via ``HETEROSVD_JOBS``, then runs serially.
 
     Returns:
         Results sorted by descending effect.
@@ -91,22 +129,27 @@ def sensitivity_analysis(
             f"scale must be positive and != 1, got {scale}"
         )
     baseline = _task_time(config)
-    results = []
-    for name, (module, attribute) in KNOBS.items():
-        original = getattr(module, attribute)
-        baseline_value = (
-            float(sum(original.values()))
-            if isinstance(original, dict)
-            else float(original)
+    names = list(KNOBS)
+
+    from repro.exec.parallel import ParallelRunner, resolve_jobs
+
+    effective_jobs = resolve_jobs(jobs)
+    if effective_jobs > 1:
+        from repro.io import config_to_dict
+
+        try:
+            config_data = config_to_dict(config)
+        except ConfigurationError:
+            effective_jobs = 1  # ad-hoc device: fall back to serial
+    if effective_jobs > 1:
+        runner = ParallelRunner(jobs=effective_jobs, chunk_size=1)
+        results = runner.map(
+            _knob_worker,
+            [(config_data, name, scale, baseline) for name in names],
         )
-        with _scaled(module, attribute, scale):
-            perturbed = _task_time(config)
-        results.append(
-            SensitivityResult(
-                parameter=name,
-                baseline_value=baseline_value,
-                relative_effect=abs(perturbed - baseline) / baseline,
-            )
-        )
+    else:
+        results = [
+            _knob_result(config, name, scale, baseline) for name in names
+        ]
     results.sort(key=lambda r: -r.relative_effect)
     return results

@@ -36,6 +36,17 @@ def _padded(n: int, p_eng: int) -> int:
     return n if n % p_eng == 0 else (n // p_eng + 1) * p_eng
 
 
+def _make_cache(args):
+    """Build the EvalCache requested by ``--cache``, or None."""
+    if getattr(args, "cache", None) is None:
+        return None
+    from repro.exec.cache import EvalCache
+
+    cache = EvalCache(disk_dir=args.cache)
+    cache.purge_stale()
+    return cache
+
+
 def _load_matrix(args) -> np.ndarray:
     if args.input:
         return np.load(args.input)
@@ -43,7 +54,14 @@ def _load_matrix(args) -> np.ndarray:
 
 
 def cmd_svd(args) -> int:
-    """Factor a matrix on the functional accelerator model."""
+    """Factor a matrix on the functional accelerator model.
+
+    With ``--batch N`` (N > 1), N matrices run as a task stream
+    through the :class:`~repro.exec.batch.BatchExecutor`'s pipeline
+    workers instead.
+    """
+    if args.batch > 1:
+        return _cmd_svd_batch(args)
     a = _load_matrix(args)
     m, n = a.shape
     config = HeteroSVDConfig(
@@ -71,13 +89,54 @@ def cmd_svd(args) -> int:
     return 0
 
 
+def _cmd_svd_batch(args) -> int:
+    """Run a batch of SVD tasks through the pipeline executor."""
+    from repro.exec.batch import BatchExecutor
+    from repro.workloads.batch import make_batch
+
+    if args.input:
+        print("--batch and --input are mutually exclusive", file=sys.stderr)
+        return 2
+    batch = make_batch(args.size, args.size, args.batch, seed=args.seed)
+    config = HeteroSVDConfig(
+        m=args.size,
+        n=_padded(args.size, args.p_eng),
+        p_eng=args.p_eng,
+        p_task=args.p_task,
+        precision=args.precision,
+    )
+    executor = BatchExecutor(
+        config, engine=args.engine, jobs=args.jobs, cache=_make_cache(args)
+    )
+    report = executor.run(batch)
+    print(f"batch of {len(batch)} {args.size}x{args.size} SVDs on "
+          f"{config.p_task} pipelines ({args.engine} engine)")
+    for run in report.runs:
+        print(f"  pipeline {run.pipeline}: {len(run.task_ids)} tasks, "
+              f"{run.wall_time:.3f} s wall "
+              f"({run.modelled_time * 1e3:.3f} ms modelled)")
+    print(f"wall makespan: {report.wall_makespan:.3f} s, "
+          f"serial equivalent: {report.serial_time:.3f} s, "
+          f"speedup: {report.speedup:.2f}x")
+    print(f"modelled makespan: {report.modelled_makespan * 1e3:.3f} ms, "
+          f"schedule balance: {report.schedule.balance:.2f}")
+    first = report.results[0]
+    s_ref = np.linalg.svd(batch.matrices[first.task_id], compute_uv=False)
+    deviation = float(np.max(np.abs(first.sigma[: len(s_ref)] - s_ref)))
+    print(f"max deviation vs LAPACK (task 0): {deviation:.3e}")
+    return 0
+
+
 def cmd_dse(args) -> int:
     """Run the two-stage DSE and print the ranked design points."""
     dse = DesignSpaceExplorer(args.size, args.size, precision=args.precision)
+    cache = _make_cache(args)
     points = dse.explore(
         args.objective,
         batch=args.batch,
         power_cap_w=args.power_cap,
+        jobs=args.jobs,
+        cache=cache,
     )
     table = Table(
         f"DSE: {args.size}x{args.size}, objective={args.objective}, "
@@ -95,6 +154,8 @@ def cmd_dse(args) -> int:
             point.usage.aie, point.usage.uram,
         )
     table.print()
+    if cache is not None:
+        print(f"cache: {cache.stats.describe()}")
     if args.save:
         from repro.io import save_design_points
 
@@ -150,7 +211,7 @@ def cmd_sensitivity(args) -> int:
         p_task=args.p_task,
         fixed_iterations=6,
     )
-    results = sensitivity_analysis(config, scale=args.scale)
+    results = sensitivity_analysis(config, scale=args.scale, jobs=args.jobs)
     table = Table(
         f"Calibration sensitivity ({config.describe()}, x{args.scale})",
         ["constant", "baseline (cycles)", "task-time change"],
@@ -272,6 +333,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_jobs_flag(sub_parser):
+        sub_parser.add_argument(
+            "--jobs", type=int, default=None, metavar="N",
+            help="worker processes (default: $HETEROSVD_JOBS, then 1)",
+        )
+
+    def add_cache_flag(sub_parser):
+        sub_parser.add_argument(
+            "--cache", nargs="?", const=".repro_cache", default=None,
+            metavar="DIR",
+            help="memoize model evaluations on disk "
+            "(default directory: .repro_cache)",
+        )
+
     p_svd = sub.add_parser("svd", help="factor a matrix")
     p_svd.add_argument("--size", type=int, default=128)
     p_svd.add_argument("--seed", type=int, default=0)
@@ -279,6 +354,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_svd.add_argument("--output", help="save factors to a .npz")
     p_svd.add_argument("--p-eng", type=int, default=8)
     p_svd.add_argument("--precision", type=float, default=1e-6)
+    p_svd.add_argument(
+        "--batch", type=int, default=1,
+        help="run N matrices as a task stream through the batch executor",
+    )
+    p_svd.add_argument(
+        "--p-task", type=int, default=2,
+        help="pipeline workers for --batch mode",
+    )
+    p_svd.add_argument(
+        "--engine", default="accelerator",
+        choices=["accelerator", "software"],
+        help="solver the batch workers use",
+    )
+    add_jobs_flag(p_svd)
+    add_cache_flag(p_svd)
     p_svd.set_defaults(func=cmd_svd)
 
     p_dse = sub.add_parser("dse", help="explore the design space")
@@ -292,6 +382,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_dse.add_argument("--precision", type=float, default=1e-6)
     p_dse.add_argument("--top", type=int, default=10)
     p_dse.add_argument("--save", help="write ranked points to a JSON file")
+    add_jobs_flag(p_dse)
+    add_cache_flag(p_dse)
     p_dse.set_defaults(func=cmd_dse)
 
     p_model = sub.add_parser("model", help="performance-model breakdown")
@@ -321,6 +413,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sens.add_argument("--p-eng", type=int, default=8)
     p_sens.add_argument("--p-task", type=int, default=1)
     p_sens.add_argument("--scale", type=float, default=1.2)
+    add_jobs_flag(p_sens)
     p_sens.set_defaults(func=cmd_sensitivity)
 
     p_report = sub.add_parser(

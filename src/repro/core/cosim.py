@@ -26,7 +26,7 @@ per layer — so the co-simulation targets small and medium sizes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 

@@ -22,8 +22,9 @@ seven hours per point of the Vitis flow the paper motivates against.
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import P_ENG_RANGE, P_TASK_RANGE, HeteroSVDConfig
 from repro.core.perf_model import PerformanceModel
@@ -192,6 +193,22 @@ class DesignSpaceExplorer:
                 result[p_eng] = max_tasks
         return result
 
+    def candidates(
+        self, frequency_hz: Optional[float] = None
+    ) -> List[Tuple[int, int]]:
+        """Every surviving ``(P_eng, P_task)`` pair, in evaluation order.
+
+        This is the exact enumeration order of the serial
+        :meth:`explore` loop; the parallel driver in
+        :mod:`repro.exec.parallel` fans these out and restores this
+        order, which is what makes parallel exploration deterministic.
+        """
+        return [
+            (p_eng, p_task)
+            for p_eng, max_tasks in self.stage1(frequency_hz).items()
+            for p_task in range(1, max_tasks + 1)
+        ]
+
     # -- stage 2: evaluation --------------------------------------------------------
     def evaluate(
         self,
@@ -228,6 +245,8 @@ class DesignSpaceExplorer:
         batch: int = 1,
         frequency_hz: Optional[float] = None,
         power_cap_w: Optional[float] = None,
+        jobs: Optional[int] = None,
+        cache=None,
     ) -> List[DesignPoint]:
         """Evaluate the whole feasible space, best point first.
 
@@ -235,6 +254,13 @@ class DesignSpaceExplorer:
             power_cap_w: When given, drop points whose estimated power
                 exceeds the cap (the paper's HeteroSVD configurations
                 stay under 39 W).
+            jobs: Fan stage 2 out over this many worker processes
+                (None: the ``HETEROSVD_JOBS`` environment variable,
+                then 1).  Any job count returns the identical ranked
+                list — see :mod:`repro.exec.parallel`.
+            cache: Optional :class:`~repro.exec.cache.EvalCache`;
+                previously evaluated points are served from it and new
+                evaluations stored back.
 
         Raises:
             DesignSpaceError: when nothing is feasible.
@@ -244,13 +270,26 @@ class DesignSpaceExplorer:
                 f"unknown objective {objective!r}; expected one of "
                 f"{VALID_OBJECTIVES}"
             )
+        env_jobs = os.environ.get("HETEROSVD_JOBS")
+        if jobs is not None or cache is not None or env_jobs:
+            # Lazy import: repro.exec depends on this module.
+            from repro.exec.parallel import parallel_explore
+
+            return parallel_explore(
+                self,
+                objective=objective,
+                batch=batch,
+                frequency_hz=frequency_hz,
+                power_cap_w=power_cap_w,
+                jobs=jobs,
+                cache=cache,
+            )
         points: List[DesignPoint] = []
-        for p_eng, max_tasks in self.stage1(frequency_hz).items():
-            for p_task in range(1, max_tasks + 1):
-                point = self.evaluate(p_eng, p_task, batch, frequency_hz)
-                if power_cap_w is not None and point.power.total > power_cap_w:
-                    continue
-                points.append(point)
+        for p_eng, p_task in self.candidates(frequency_hz):
+            point = self.evaluate(p_eng, p_task, batch, frequency_hz)
+            if power_cap_w is not None and point.power.total > power_cap_w:
+                continue
+            points.append(point)
         if not points:
             raise DesignSpaceError(
                 f"no feasible design point for {self.m}x{self.n}"
@@ -265,6 +304,11 @@ class DesignSpaceExplorer:
         batch: int = 1,
         frequency_hz: Optional[float] = None,
         power_cap_w: Optional[float] = None,
+        jobs: Optional[int] = None,
+        cache=None,
     ) -> DesignPoint:
         """The optimal design point for an objective."""
-        return self.explore(objective, batch, frequency_hz, power_cap_w)[0]
+        return self.explore(
+            objective, batch, frequency_hz, power_cap_w, jobs=jobs,
+            cache=cache,
+        )[0]

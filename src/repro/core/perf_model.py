@@ -49,6 +49,13 @@ from repro.versal.communication import TransferKind, transfer_cycles
 from repro.versal.kernels import norm_kernel_cycles, orth_kernel_cycles
 from repro.versal.noc import DDRChannel
 
+#: Version of the performance-model semantics.  Bump whenever a change
+#: to the model (equations, calibration constants, resource or power
+#: coefficients) alters the numbers an evaluation produces: cached
+#: evaluations in :mod:`repro.exec.cache` are keyed on this string, so
+#: a bump invalidates every persisted result at once.
+MODEL_VERSION = "1"
+
 #: Per-column packet overhead on a PLIO stream, in PL cycles: one
 #: header word plus the dynamic-forwarding routing gap (calibrated).
 COLUMN_GAP_PL_CYCLES = 16

@@ -32,7 +32,6 @@ stage-1 feasibility filter.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 

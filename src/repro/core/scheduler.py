@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.core.config import HeteroSVDConfig
 from repro.core.perf_model import PerformanceModel
@@ -95,11 +95,16 @@ class BatchScheduler:
         config: The deployed design point; ``p_task`` gives the number
             of pipelines and ``p_eng`` the block width every task must
             pad to.
+        cost_cache: Optional :class:`~repro.exec.cache.EvalCache`
+            shared across schedulers and sweeps; the per-instance dict
+            memoization stays on top of it, so repeated sizes within
+            one batch never even hash a content key.
     """
 
-    def __init__(self, config: HeteroSVDConfig):
+    def __init__(self, config: HeteroSVDConfig, cost_cache=None):
         self.config = config
         self._cost_cache: dict = {}
+        self.shared_cache = cost_cache
 
     def task_cost(self, spec: TaskSpec) -> float:
         """Modelled end-to-end seconds of one task on this design.
@@ -124,9 +129,32 @@ class BatchScheduler:
             use_codesign=self.config.use_codesign,
             device=self.config.device,
         )
-        cost = PerformanceModel(task_config).task_time()
+        if self.shared_cache is not None:
+            content_key = self.shared_cache.key_for_config(
+                "task-cost", task_config
+            )
+            cost = self.shared_cache.get_or_compute(
+                content_key,
+                lambda: PerformanceModel(task_config).task_time(),
+            )
+        else:
+            cost = PerformanceModel(task_config).task_time()
         self._cost_cache[key] = cost
         return cost
+
+    def assignment(self, schedule: Schedule) -> List[List[TaskSpec]]:
+        """Per-pipeline task streams of a schedule, in execution order.
+
+        Index ``i`` holds pipeline ``i``'s tasks; empty pipelines get
+        empty lists.  This is the contract
+        :class:`~repro.exec.batch.BatchExecutor` mirrors at run time.
+        """
+        streams: List[List[TaskSpec]] = [
+            [] for _ in range(self.config.p_task)
+        ]
+        for task in schedule.tasks:
+            streams[task.pipeline].append(task.spec)
+        return streams
 
     def schedule(
         self, specs: Sequence[TaskSpec], policy: str = "lpt"

@@ -23,7 +23,6 @@ do not depend on the pair, and keeps the simulation O(num) per sweep.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -41,8 +40,7 @@ from repro.pl.hls import HLS_LOOP_SWITCH_CYCLES
 from repro.sim.engine import Resource
 from repro.sim.trace import Trace
 from repro.units import FLOAT32_BITS
-from repro.versal.communication import TransferKind, transfer_cycles
-from repro.versal.kernels import norm_kernel_cycles, orth_kernel_cycles
+from repro.versal.kernels import norm_kernel_cycles
 from repro.versal.noc import DDRChannel
 
 

@@ -1,0 +1,285 @@
+"""Content-keyed memoization of performance-model evaluations.
+
+A DSE sweep, the sensitivity analysis, and the mixed-batch scheduler
+all call the same pure functions (``evaluate(config, workload) ->
+DesignPoint``, ``task_cost(spec) -> seconds``) over heavily overlapping
+inputs.  :class:`EvalCache` memoizes them behind a content-derived key:
+the SHA-256 of the canonical JSON of the configuration, the workload
+parameters, and the performance-model version.
+
+Two layers:
+
+* an in-memory LRU (always on, bounded by ``max_entries``),
+* an optional on-disk JSON store under ``.repro_cache/`` so warm
+  re-runs of a sweep survive process restarts.  Files are plain JSON
+  (one per entry, sharded by key prefix) — diffable and auditable,
+  never pickled.
+
+Invalidation is by model version: keys embed
+:data:`repro.core.perf_model.MODEL_VERSION` and the disk store
+namespaces entries under a ``v<version>/`` directory, so bumping the
+version orphans every stale entry at once.  :meth:`EvalCache.purge_stale`
+deletes orphaned version directories.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import shutil
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Union
+
+from repro.core.dse import DesignPoint
+from repro.errors import ConfigurationError
+
+#: Default location of the on-disk store (relative to the CWD).
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: Sentinel distinguishing "no entry" from a cached ``None``.
+_MISS = object()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one cache instance.
+
+    Attributes:
+        hits: Lookups served from the in-memory LRU.
+        disk_hits: Lookups that missed memory but hit the disk store.
+        misses: Lookups not served by either layer.
+        stores: Values written to the cache.
+        evictions: LRU entries dropped for capacity.
+    """
+
+    hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups."""
+        return self.hits + self.disk_hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served by any layer (0 when unused)."""
+        if self.lookups == 0:
+            return 0.0
+        return (self.hits + self.disk_hits) / self.lookups
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.hits} memory hits, {self.disk_hits} disk hits, "
+            f"{self.misses} misses ({self.hit_rate * 100:.1f}% hit rate)"
+        )
+
+
+def _model_version() -> str:
+    from repro.core.perf_model import MODEL_VERSION
+
+    return MODEL_VERSION
+
+
+def cache_key(kind: str, payload: Dict[str, Any]) -> str:
+    """Content hash of one evaluation request.
+
+    Args:
+        kind: Evaluation family (``"dse-evaluate"``, ``"task-cost"``,
+            ...); distinct kinds never collide even on equal payloads.
+        payload: JSON-compatible description of *all* inputs.
+
+    Returns:
+        A hex digest stable across processes and sessions.
+    """
+    canonical = json.dumps(
+        {"kind": kind, "model": _model_version(), "payload": payload},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def _encode(value: Any) -> Dict[str, Any]:
+    """JSON-compatible tagged encoding of a cacheable value."""
+    from repro.io import design_point_to_dict
+
+    if isinstance(value, DesignPoint):
+        return {"type": "design_point", "data": design_point_to_dict(value)}
+    if isinstance(value, (int, float)):
+        return {"type": "number", "data": value}
+    if isinstance(value, (list, dict)):
+        return {"type": "json", "data": value}
+    raise ConfigurationError(
+        f"cannot cache values of type {type(value).__name__}; "
+        f"expected DesignPoint, a number, or JSON-compatible data"
+    )
+
+
+def _decode(entry: Dict[str, Any]) -> Any:
+    """Inverse of :func:`_encode`."""
+    from repro.io import design_point_from_dict
+
+    kind = entry.get("type")
+    if kind == "design_point":
+        return design_point_from_dict(entry["data"])
+    if kind == "number":
+        return entry["data"]
+    if kind == "json":
+        return entry["data"]
+    raise ConfigurationError(f"unknown cache entry type {kind!r}")
+
+
+class EvalCache:
+    """Two-layer (LRU + optional disk) memoization cache.
+
+    Args:
+        disk_dir: Directory of the persistent store, or None for a
+            memory-only cache.  Created lazily on first write.
+        max_entries: In-memory LRU capacity.
+
+    The cache is safe to share across :class:`DesignSpaceExplorer`,
+    :class:`BatchScheduler`, and :class:`BatchExecutor` instances —
+    keys embed every evaluation input, so unrelated sweeps never
+    collide.
+    """
+
+    def __init__(
+        self,
+        disk_dir: Optional[Union[str, Path]] = None,
+        max_entries: int = 4096,
+    ):
+        if max_entries < 1:
+            raise ConfigurationError(
+                f"max_entries must be >= 1, got {max_entries}"
+            )
+        self.max_entries = max_entries
+        self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        self.stats = CacheStats()
+        self._memory: "OrderedDict[str, Any]" = OrderedDict()
+
+    # -- key helpers ---------------------------------------------------------
+    def key_for_config(self, kind: str, config, **params: Any) -> str:
+        """Key for an evaluation of one configuration.
+
+        Falls back to the config's ``describe()`` string for devices
+        :mod:`repro.io` cannot serialize (ad-hoc experimental devices),
+        so memory-layer memoization still works for them.
+        """
+        from repro.io import config_to_dict
+
+        try:
+            config_payload: Any = config_to_dict(config)
+        except ConfigurationError:
+            config_payload = {"describe": config.describe()}
+        return cache_key(kind, {"config": config_payload, **params})
+
+    # -- storage layers ------------------------------------------------------
+    def _version_dir(self) -> Path:
+        assert self.disk_dir is not None
+        return self.disk_dir / f"v{_model_version()}"
+
+    def _entry_path(self, key: str) -> Path:
+        return self._version_dir() / key[:2] / f"{key}.json"
+
+    def _disk_get(self, key: str) -> Any:
+        if self.disk_dir is None:
+            return _MISS
+        path = self._entry_path(key)
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return _MISS
+        try:
+            return _decode(entry)
+        except (ConfigurationError, KeyError, TypeError):
+            return _MISS
+
+    def _disk_put(self, key: str, value: Any) -> None:
+        if self.disk_dir is None:
+            return
+        try:
+            entry = _encode(value)
+        except ConfigurationError:
+            return  # unserializable (e.g. ad-hoc device): memory-only
+        path = self._entry_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(entry, sort_keys=True))
+        tmp.replace(path)
+
+    # -- public API ----------------------------------------------------------
+    def get(self, key: str) -> Any:
+        """Look a key up; returns None on a miss (use
+        :meth:`contains` or :meth:`get_or_compute` when cached None
+        matters — this cache never stores None)."""
+        if key in self._memory:
+            self._memory.move_to_end(key)
+            self.stats.hits += 1
+            return self._memory[key]
+        value = self._disk_get(key)
+        if value is not _MISS:
+            self.stats.disk_hits += 1
+            self._remember(key, value)
+            return value
+        self.stats.misses += 1
+        return None
+
+    def contains(self, key: str) -> bool:
+        """Whether a key is present (does not touch the counters)."""
+        return key in self._memory or self._disk_get(key) is not _MISS
+
+    def put(self, key: str, value: Any) -> None:
+        """Store a value in both layers."""
+        if value is None:
+            raise ConfigurationError("cannot cache None")
+        self._remember(key, value)
+        self._disk_put(key, value)
+        self.stats.stores += 1
+
+    def get_or_compute(self, key: str, compute: Callable[[], Any]) -> Any:
+        """Return the cached value, computing and storing on a miss."""
+        value = self.get(key)
+        if value is not None:
+            return value
+        value = compute()
+        self.put(key, value)
+        return value
+
+    def _remember(self, key: str, value: Any) -> None:
+        self._memory[key] = value
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_entries:
+            self._memory.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop both layers (current model version only on disk)."""
+        self._memory.clear()
+        if self.disk_dir is not None and self._version_dir().exists():
+            shutil.rmtree(self._version_dir())
+
+    def purge_stale(self) -> int:
+        """Delete disk entries of other model versions.
+
+        Returns:
+            Number of stale version directories removed.
+        """
+        if self.disk_dir is None or not self.disk_dir.exists():
+            return 0
+        current = self._version_dir().name
+        removed = 0
+        for child in self.disk_dir.iterdir():
+            if child.is_dir() and child.name.startswith("v") \
+                    and child.name != current:
+                shutil.rmtree(child)
+                removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        return len(self._memory)

@@ -1,0 +1,372 @@
+"""Chunked, deterministic parallel fan-out for sweeps.
+
+:class:`ParallelRunner` wraps ``concurrent.futures`` with the three
+properties every sweep in this library needs:
+
+* **deterministic ordering** — results come back in input order no
+  matter which worker finished first, so a parallel sweep is
+  byte-identical to the serial one;
+* **chunked distribution** — items are grouped into contiguous chunks
+  (default: four chunks per worker) so per-task IPC overhead amortizes
+  over many cheap model evaluations;
+* **graceful degradation** — ``jobs=1`` (the default) runs inline with
+  zero pool or pickling overhead, so library code can call the runner
+  unconditionally.
+
+Worker callables used in ``"process"`` mode must be module-level
+functions (picklable); ``"thread"`` mode accepts anything but only
+helps for workloads that release the GIL.
+
+The job count resolves from an explicit argument, then the
+``HETEROSVD_JOBS`` environment variable, then 1 — mirroring the CLI's
+``--jobs`` flag.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from concurrent.futures import (
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Environment variable consulted when no explicit job count is given.
+JOBS_ENV_VAR = "HETEROSVD_JOBS"
+
+#: Chunks submitted per worker; >1 smooths over uneven chunk cost.
+CHUNKS_PER_WORKER = 4
+
+VALID_MODES = ("process", "thread")
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Effective worker count: argument, else ``HETEROSVD_JOBS``, else 1.
+
+    Raises:
+        ConfigurationError: for a non-positive count (from either
+            source) or an unparseable environment value.
+    """
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV_VAR)
+        if raw is None or raw.strip() == "":
+            return 1
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise ConfigurationError(
+                f"{JOBS_ENV_VAR}={raw!r} is not an integer"
+            ) from None
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def _run_chunk(fn: Callable[[Any], Any], chunk: Sequence[Any]) -> List[Any]:
+    """Worker-side loop over one contiguous chunk of items."""
+    return [fn(item) for item in chunk]
+
+
+class ParallelRunner:
+    """Deterministic chunked map over a worker pool.
+
+    The pool is created lazily on the first parallel :meth:`map` and
+    reused across calls (a multi-size sweep issues several maps;
+    re-spawning workers each time would dominate small sweeps).  Use
+    the runner as a context manager, or call :meth:`close`, to release
+    the workers eagerly; otherwise they are reaped with the runner.
+
+    Args:
+        jobs: Worker count; None resolves via :func:`resolve_jobs`.
+        mode: ``"process"`` (default; true parallelism for the
+            pure-Python model code) or ``"thread"``.
+        chunk_size: Items per submitted chunk; None picks
+            ``ceil(len(items) / (jobs * CHUNKS_PER_WORKER))``.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        mode: str = "process",
+        chunk_size: Optional[int] = None,
+    ):
+        if mode not in VALID_MODES:
+            raise ConfigurationError(
+                f"unknown mode {mode!r}; expected one of {VALID_MODES}"
+            )
+        if chunk_size is not None and chunk_size < 1:
+            raise ConfigurationError(
+                f"chunk_size must be >= 1, got {chunk_size}"
+            )
+        self.jobs = resolve_jobs(jobs)
+        self.mode = mode
+        self.chunk_size = chunk_size
+        self._pool = None
+
+    def _chunks(self, items: Sequence[Any]) -> List[Sequence[Any]]:
+        size = self.chunk_size
+        if size is None:
+            size = max(1, math.ceil(len(items) / (self.jobs * CHUNKS_PER_WORKER)))
+        return [items[i:i + size] for i in range(0, len(items), size)]
+
+    def _get_pool(self):
+        if self._pool is None:
+            executor_cls = (
+                ProcessPoolExecutor if self.mode == "process"
+                else ThreadPoolExecutor
+            )
+            self._pool = executor_cls(max_workers=self.jobs)
+        return self._pool
+
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
+        """Apply ``fn`` to every item; results in input order.
+
+        With one worker (or at most one item) this runs inline in the
+        calling process — no pool, no pickling, no ordering caveats.
+        """
+        items = list(items)
+        if self.jobs == 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        chunks = self._chunks(items)
+        pool = self._get_pool()
+        futures: List[Future] = [
+            pool.submit(_run_chunk, fn, chunk) for chunk in chunks
+        ]
+        results: List[Any] = []
+        for future in futures:  # submit order == input order
+            results.extend(future.result())
+        return results
+
+    def starmap(
+        self, fn: Callable[..., Any], items: Sequence[Tuple]
+    ) -> List[Any]:
+        """:meth:`map` for argument tuples."""
+        return self.map(_StarCall(fn), items)
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class _StarCall:
+    """Picklable ``fn(*args)`` adapter (lambdas cannot cross a pool)."""
+
+    def __init__(self, fn: Callable[..., Any]):
+        self.fn = fn
+
+    def __call__(self, args: Tuple) -> Any:
+        return self.fn(*args)
+
+
+# -- DSE fan-out --------------------------------------------------------------
+
+def _evaluate_candidate(payload: Tuple) -> "Any":
+    """Process-pool worker: evaluate one ``(P_eng, P_task)`` candidate.
+
+    Rebuilds the explorer from primitive arguments so only small
+    tuples cross the pool boundary.
+    """
+    from repro.core.dse import DesignSpaceExplorer
+    from repro.core.power import PowerModel
+
+    (m, n, precision, fixed_iterations, power_coeffs,
+     p_eng, p_task, batch, frequency_hz) = payload
+    power_model = PowerModel(*power_coeffs) if power_coeffs else None
+    explorer = DesignSpaceExplorer(
+        m, n, precision=precision, fixed_iterations=fixed_iterations,
+        power_model=power_model,
+    )
+    return explorer.evaluate(p_eng, p_task, batch, frequency_hz)
+
+
+def _power_coeffs(power_model) -> Tuple[float, ...]:
+    return (
+        power_model.static_w,
+        power_model.pl_dynamic_ref_w,
+        power_model.aie_w,
+        power_model.uram_w,
+        power_model.bram_w,
+    )
+
+
+def _stage1_worker(payload: Tuple) -> Tuple[int, int]:
+    """Process-pool worker: largest feasible ``P_task`` for one
+    ``P_eng`` (stage 1 of Fig. 8 is independent per engine width)."""
+    from repro.core.dse import DesignSpaceExplorer
+
+    m, n, precision, fixed_iterations, p_eng, frequency_hz = payload
+    explorer = DesignSpaceExplorer(
+        m, n, precision=precision, fixed_iterations=fixed_iterations
+    )
+    return p_eng, explorer.max_p_task(p_eng, frequency_hz)
+
+
+def _parallel_candidates(
+    explorer, frequency_hz: Optional[float], runner: "ParallelRunner"
+) -> List[Tuple[int, int]]:
+    """Stage-1 enumeration fanned out per ``P_eng``; identical result
+    (and order) to ``explorer.candidates``."""
+    from repro.core.config import P_ENG_RANGE
+
+    payloads = [
+        (explorer.m, explorer.n, explorer.precision,
+         explorer.fixed_iterations, p_eng, frequency_hz)
+        for p_eng in P_ENG_RANGE
+    ]
+    pairs = runner.map(_stage1_worker, payloads)
+    return [
+        (p_eng, p_task)
+        for p_eng, max_tasks in pairs
+        for p_task in range(1, max_tasks + 1)
+    ]
+
+
+def _cached_candidates(
+    explorer, frequency_hz: Optional[float], cache,
+    runner: "ParallelRunner",
+) -> List[Tuple[int, int]]:
+    """Stage-1 feasibility, memoized and parallel: the
+    placement/budget checks cost as much as the whole stage-2
+    evaluation, so a warm re-run must not repeat them and a cold
+    parallel run must not serialize on them."""
+    if cache is None:
+        if runner.jobs > 1:
+            return _parallel_candidates(explorer, frequency_hz, runner)
+        return explorer.candidates(frequency_hz)
+    from repro.exec.cache import cache_key
+
+    key = cache_key(
+        "dse-stage1",
+        {
+            "m": explorer.m,
+            "n": explorer.n,
+            "precision": explorer.precision,
+            "fixed_iterations": explorer.fixed_iterations,
+            "frequency_hz": frequency_hz,
+        },
+    )
+    cached = cache.get(key)
+    if cached is not None:
+        return [tuple(pair) for pair in cached]
+    if runner.jobs > 1:
+        candidates = _parallel_candidates(explorer, frequency_hz, runner)
+    else:
+        candidates = explorer.candidates(frequency_hz)
+    cache.put(key, [list(pair) for pair in candidates])
+    return candidates
+
+
+def parallel_explore(
+    explorer,
+    objective: str = "latency",
+    batch: int = 1,
+    frequency_hz: Optional[float] = None,
+    power_cap_w: Optional[float] = None,
+    jobs: Optional[int] = None,
+    cache=None,
+    runner: Optional[ParallelRunner] = None,
+) -> List[Any]:
+    """Parallel, cache-aware equivalent of ``DesignSpaceExplorer.explore``.
+
+    Candidates come from stage 1 exactly as in the serial path; cached
+    points are served without touching the pool, the misses fan out in
+    chunks, and the merged list is stable-sorted by the objective — so
+    the result is identical to the serial exploration for any job
+    count.
+
+    Args:
+        explorer: A :class:`~repro.core.dse.DesignSpaceExplorer`.
+        cache: Optional :class:`~repro.exec.cache.EvalCache` shared
+            across sweeps.
+        runner: Inject a pre-configured runner (tests); overrides
+            ``jobs``.
+
+    Raises:
+        DesignSpaceError: when nothing is feasible.
+    """
+    from repro.core.dse import VALID_OBJECTIVES
+
+    if objective not in VALID_OBJECTIVES:
+        raise ConfigurationError(
+            f"unknown objective {objective!r}; expected one of "
+            f"{VALID_OBJECTIVES}"
+        )
+    owns_runner = runner is None
+    if owns_runner:
+        runner = ParallelRunner(jobs=jobs)
+    try:
+        return _explore_with_runner(
+            explorer, objective, batch, frequency_hz, power_cap_w,
+            cache, runner,
+        )
+    finally:
+        if owns_runner:
+            runner.close()
+
+
+def _explore_with_runner(
+    explorer,
+    objective: str,
+    batch: int,
+    frequency_hz: Optional[float],
+    power_cap_w: Optional[float],
+    cache,
+    runner: ParallelRunner,
+) -> List[Any]:
+    from repro.errors import DesignSpaceError
+
+    candidates = _cached_candidates(explorer, frequency_hz, cache, runner)
+    points: List[Any] = [None] * len(candidates)
+    keys: List[Optional[str]] = [None] * len(candidates)
+    missing: List[int] = []
+    for index, (p_eng, p_task) in enumerate(candidates):
+        if cache is not None:
+            key = cache.key_for_config(
+                "dse-evaluate",
+                explorer.make_config(p_eng, p_task, frequency_hz),
+                batch=batch,
+            )
+            keys[index] = key
+            cached = cache.get(key)
+            if cached is not None:
+                points[index] = cached
+                continue
+        missing.append(index)
+
+    if missing:
+        coeffs = _power_coeffs(explorer.power_model)
+        payloads = [
+            (explorer.m, explorer.n, explorer.precision,
+             explorer.fixed_iterations, coeffs,
+             candidates[i][0], candidates[i][1], batch, frequency_hz)
+            for i in missing
+        ]
+        evaluated = runner.map(_evaluate_candidate, payloads)
+        for index, point in zip(missing, evaluated):
+            points[index] = point
+            if cache is not None and keys[index] is not None:
+                cache.put(keys[index], point)
+
+    kept = [
+        p for p in points
+        if power_cap_w is None or p.power.total <= power_cap_w
+    ]
+    if not kept:
+        raise DesignSpaceError(
+            f"no feasible design point for {explorer.m}x{explorer.n}"
+            + (f" under {power_cap_w} W" if power_cap_w else "")
+        )
+    kept.sort(key=lambda p: p.objective_value(objective), reverse=True)
+    return kept

@@ -94,6 +94,56 @@ def design_point_to_dict(point: DesignPoint) -> Dict:
     }
 
 
+def design_point_from_dict(data: Dict) -> DesignPoint:
+    """Rebuild an evaluated design point from
+    :func:`design_point_to_dict` output.
+
+    The round trip is exact: floats survive JSON unchanged (shortest
+    round-trip encoding), so the rebuilt point compares equal to the
+    original — which is what lets :mod:`repro.exec.cache` serve disk
+    hits interchangeably with fresh evaluations.
+
+    Raises:
+        ConfigurationError: for missing fields or unknown devices.
+    """
+    from repro.core.power import PowerEstimate
+    from repro.core.resources import ResourceUsage
+
+    try:
+        config = config_from_dict(data["config"])
+        power_data = data["power"]
+        resources = data["resources"]
+        power = PowerEstimate(
+            static=power_data["static"],
+            pl_dynamic=power_data["pl_dynamic"],
+            aie=power_data["aie"],
+            uram=power_data["uram"],
+            bram=power_data["bram"],
+        )
+        usage = ResourceUsage(
+            orth=resources["orth"],
+            norm=resources["norm"],
+            mem=resources["mem"],
+            plio=resources["plio"],
+            bram=resources["bram"],
+            uram=resources["uram"],
+            luts=resources["luts"],
+        )
+        return DesignPoint(
+            config=config,
+            latency=data["latency"],
+            throughput=data["throughput"],
+            power=power,
+            energy_efficiency=data["energy_efficiency"],
+            usage=usage,
+            batch=data["batch"],
+        )
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"design point dict missing field {exc}"
+        ) from exc
+
+
 def save_design_points(
     points: List[DesignPoint], path: Union[str, Path]
 ) -> None:

@@ -8,7 +8,7 @@ into the iteration's convergence rate for the system module (Fig. 2).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 

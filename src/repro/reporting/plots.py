@@ -10,7 +10,7 @@ magnitude.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Sequence
 
 from repro.errors import ConfigurationError
 

@@ -7,7 +7,7 @@ target produces directly comparable, diff-friendly output.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Sequence
+from typing import Any, List, Sequence
 
 from repro.errors import ConfigurationError
 

@@ -22,7 +22,6 @@ from repro.core.dse import DesignPoint, DesignSpaceExplorer
 from repro.core.perf_model import PerformanceModel
 from repro.core.scheduler import BatchScheduler, Schedule, TaskSpec
 from repro.errors import ConfigurationError, NumericalError
-from repro.linalg.svd import SVDResult
 
 
 @dataclass

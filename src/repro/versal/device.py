@@ -18,7 +18,7 @@ device tables otherwise; the utilization percentages the paper reports
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 from repro.units import ghz, gbytes_per_s_to_bits_per_s, kib

@@ -44,6 +44,41 @@ class TaskBatch:
         """Aggregate input size in bits (DDR traffic estimate)."""
         return sum(int(a.size) * 32 for a in self.matrices)
 
+    def to_specs(self) -> list:
+        """Scheduler :class:`~repro.core.scheduler.TaskSpec` view.
+
+        Task ids are the batch indices, so executor results map back
+        to input order.
+        """
+        from repro.core.scheduler import TaskSpec
+
+        return [
+            TaskSpec(m=a.shape[0], n=a.shape[1], task_id=i)
+            for i, a in enumerate(self.matrices)
+        ]
+
+    def split(self, parts: int) -> List["TaskBatch"]:
+        """Shard the batch into ``parts`` contiguous sub-batches.
+
+        Shards are as even as possible (sizes differ by at most one);
+        empty shards are dropped, so fewer than ``parts`` batches come
+        back when the batch is small.
+        """
+        if parts < 1:
+            raise ConfigurationError(f"parts must be >= 1, got {parts}")
+        size, extra = divmod(len(self.matrices), parts)
+        shards: List[TaskBatch] = []
+        start = 0
+        for index in range(parts):
+            stop = start + size + (1 if index < extra else 0)
+            if stop > start:
+                shards.append(
+                    TaskBatch(m=self.m, n=self.n,
+                              matrices=self.matrices[start:stop])
+                )
+            start = stop
+        return shards
+
 
 def make_batch(m: int, n: int, batch: int, seed: int = 0) -> TaskBatch:
     """Generate a deterministic batch of Gaussian SVD tasks."""

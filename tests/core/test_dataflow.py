@@ -1,6 +1,5 @@
 """Unit tests for the dataflow movement classification (Fig. 3-4)."""
 
-import pytest
 
 from repro.core.dataflow import (
     DataflowMode,

@@ -1,6 +1,5 @@
 """Tests for the distance-aware (placement-informed) timing refinement."""
 
-import pytest
 
 from repro.core.config import HeteroSVDConfig
 from repro.core.perf_model import PerformanceModel

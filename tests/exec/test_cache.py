@@ -1,0 +1,160 @@
+"""Tests for the evaluation memoization cache."""
+
+import json
+
+import pytest
+
+from repro.core.dse import DesignSpaceExplorer
+from repro.errors import ConfigurationError
+from repro.exec.cache import EvalCache, cache_key
+
+
+@pytest.fixture
+def explorer():
+    return DesignSpaceExplorer(64, 64)
+
+
+@pytest.fixture
+def point(explorer):
+    return explorer.evaluate(4, 1)
+
+
+class TestCacheKey:
+    def test_stable_across_calls(self):
+        a = cache_key("k", {"x": 1, "y": [1, 2]})
+        b = cache_key("k", {"y": [1, 2], "x": 1})
+        assert a == b  # canonical JSON: field order irrelevant
+
+    def test_kind_and_payload_distinguish(self):
+        base = cache_key("k", {"x": 1})
+        assert cache_key("other", {"x": 1}) != base
+        assert cache_key("k", {"x": 2}) != base
+
+    def test_config_key_embeds_workload(self, explorer):
+        cache = EvalCache()
+        config = explorer.make_config(4, 1)
+        assert cache.key_for_config("e", config, batch=1) != \
+            cache.key_for_config("e", config, batch=100)
+
+    def test_key_changes_with_model_version(self, monkeypatch):
+        before = cache_key("k", {"x": 1})
+        import repro.core.perf_model as perf_model
+
+        monkeypatch.setattr(perf_model, "MODEL_VERSION", "999-test")
+        assert cache_key("k", {"x": 1}) != before
+
+
+class TestMemoryLayer:
+    def test_hit_returns_equal_object_and_counts(self, explorer, point):
+        cache = EvalCache()
+        key = cache.key_for_config("e", point.config, batch=1)
+        assert cache.get(key) is None
+        assert cache.stats.misses == 1
+        cache.put(key, point)
+        hit = cache.get(key)
+        assert hit == point
+        assert cache.stats.hits == 1
+        assert cache.stats.stores == 1
+
+    def test_get_or_compute_computes_once(self, point):
+        cache = EvalCache()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return point
+
+        assert cache.get_or_compute("k", compute) == point
+        assert cache.get_or_compute("k", compute) == point
+        assert len(calls) == 1
+
+    def test_lru_eviction(self):
+        cache = EvalCache(max_entries=2)
+        cache.put("a", 1.0)
+        cache.put("b", 2.0)
+        assert cache.get("a") == 1.0  # refresh "a"
+        cache.put("c", 3.0)  # evicts "b"
+        assert cache.stats.evictions == 1
+        assert cache.get("b") is None
+        assert cache.get("a") == 1.0
+        assert cache.get("c") == 3.0
+
+    def test_rejects_none_and_odd_types(self):
+        cache = EvalCache()
+        with pytest.raises(ConfigurationError):
+            cache.put("k", None)
+        with pytest.raises(ConfigurationError):
+            EvalCache(max_entries=0)
+
+
+class TestDiskLayer:
+    def test_round_trip_is_exact(self, tmp_path, explorer, point):
+        first = EvalCache(disk_dir=tmp_path / "c")
+        key = first.key_for_config("e", point.config, batch=1)
+        first.put(key, point)
+
+        second = EvalCache(disk_dir=tmp_path / "c")
+        restored = second.get(key)
+        assert restored == point
+        assert second.stats.disk_hits == 1
+        # promoted to memory: the next lookup is a memory hit
+        assert second.get(key) == point
+        assert second.stats.hits == 1
+
+    def test_numbers_and_json_round_trip(self, tmp_path):
+        first = EvalCache(disk_dir=tmp_path / "c")
+        first.put("cost", 1.25e-3)
+        first.put("stage1", [[1, 2], [3, 4]])
+        second = EvalCache(disk_dir=tmp_path / "c")
+        assert second.get("cost") == 1.25e-3
+        assert second.get("stage1") == [[1, 2], [3, 4]]
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = EvalCache(disk_dir=tmp_path / "c")
+        cache.put("k", 1.0)
+        path = cache._entry_path("k")
+        path.write_text("{not json")
+        fresh = EvalCache(disk_dir=tmp_path / "c")
+        assert fresh.get("k") is None
+        assert fresh.stats.misses == 1
+
+    def test_entries_are_plain_json(self, tmp_path, point):
+        cache = EvalCache(disk_dir=tmp_path / "c")
+        key = cache.key_for_config("e", point.config, batch=1)
+        cache.put(key, point)
+        entry = json.loads(cache._entry_path(key).read_text())
+        assert entry["type"] == "design_point"
+        assert entry["data"]["config"]["m"] == 64
+
+    def test_model_version_bump_invalidates(self, tmp_path, monkeypatch):
+        cache = EvalCache(disk_dir=tmp_path / "c")
+        cache.put("k", 1.0)
+        old_dir = cache._version_dir()
+
+        import repro.core.perf_model as perf_model
+
+        monkeypatch.setattr(perf_model, "MODEL_VERSION", "999-test")
+        bumped = EvalCache(disk_dir=tmp_path / "c")
+        # same logical key string hashes differently under the new
+        # version, and the old version's entries are purgeable
+        assert bumped.get("k") is None
+        assert old_dir.exists()
+        assert bumped.purge_stale() == 1
+        assert not old_dir.exists()
+
+    def test_clear_drops_current_version_only(self, tmp_path):
+        cache = EvalCache(disk_dir=tmp_path / "c")
+        cache.put("k", 1.0)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get("k") is None
+
+    def test_stats_describe(self):
+        cache = EvalCache()
+        cache.put("k", 1.0)
+        cache.get("k")
+        cache.get("missing")
+        text = cache.stats.describe()
+        assert "1 memory hits" in text
+        assert "1 misses" in text
+        assert cache.stats.hit_rate == 0.5

@@ -9,7 +9,6 @@ the library hard-codes the VCK190.
 from dataclasses import replace
 
 import numpy as np
-import pytest
 
 from repro.core.accelerator import HeteroSVDAccelerator
 from repro.core.config import HeteroSVDConfig

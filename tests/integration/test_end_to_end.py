@@ -11,7 +11,6 @@ from repro import (
     TimingSimulator,
     svd,
 )
-from repro.linalg.reference import validate_svd
 from repro.units import mhz
 from repro.workloads.batch import make_batch
 from repro.workloads.mimo import mimo_channel, waterfill

@@ -1,6 +1,5 @@
 """Unit tests for the Jacobi rotation math (Eqs. 3-5)."""
 
-import math
 
 import numpy as np
 import pytest

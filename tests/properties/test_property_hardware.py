@@ -1,6 +1,5 @@
 """Property-based tests (hypothesis) for the hardware models."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -10,7 +9,7 @@ from repro.core.ordering_codesign import (
     codesign_dma_transfers,
     traditional_dma_transfers,
 )
-from repro.errors import MemoryAllocationError, SimulationError
+from repro.errors import MemoryAllocationError
 from repro.pl.fifo import FIFO
 from repro.sim.engine import Resource
 from repro.versal.array import AIEArray

@@ -7,7 +7,6 @@ the model to track the event simulation within a fixed band everywhere
 — the guarantee the DSE's rankings rest on.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

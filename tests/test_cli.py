@@ -20,6 +20,29 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["dse", "--objective", "area"])
 
+    def test_parallel_flag_defaults(self):
+        args = build_parser().parse_args(["dse"])
+        assert args.jobs is None
+        assert args.cache is None
+
+    def test_cache_flag_default_directory(self):
+        args = build_parser().parse_args(["dse", "--cache"])
+        assert args.cache == ".repro_cache"
+        args = build_parser().parse_args(["dse", "--cache", "/tmp/c"])
+        assert args.cache == "/tmp/c"
+
+    def test_svd_batch_flags(self):
+        args = build_parser().parse_args(["svd", "--batch", "4"])
+        assert args.batch == 4
+        assert args.p_task == 2
+        assert args.engine == "accelerator"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["svd", "--engine", "quantum"])
+
+    def test_sensitivity_jobs_flag(self):
+        args = build_parser().parse_args(["sensitivity", "--jobs", "2"])
+        assert args.jobs == 2
+
 
 class TestCommands:
     def test_svd_command(self, capsys):
@@ -55,6 +78,39 @@ class TestCommands:
         assert "P_eng" in out
         assert "rank" in out
 
+    def test_svd_batch_command(self, capsys):
+        assert main([
+            "svd", "--size", "24", "--p-eng", "4", "--batch", "3",
+            "--p-task", "2", "--jobs", "1", "--precision", "1e-4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "3 24x24 SVDs on 2 pipelines" in out
+        assert "pipeline 0" in out
+        assert "LAPACK" in out
+
+    def test_svd_batch_rejects_input_file(self, tmp_path, capsys, rng):
+        in_path = tmp_path / "a.npy"
+        np.save(in_path, rng.standard_normal((8, 8)))
+        code = main([
+            "svd", "--input", str(in_path), "--batch", "2", "--p-eng", "4",
+        ])
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_dse_with_jobs_and_cache(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "repro_cache")
+        argv = [
+            "dse", "--size", "64", "--jobs", "2", "--cache", cache_dir,
+            "--top", "2",
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "cache: " in cold
+        assert main(argv) == 0  # warm re-run: served from disk
+        warm = capsys.readouterr().out
+        assert "0 misses" in warm
+        assert cold.splitlines()[:7] == warm.splitlines()[:7]
+
     def test_dse_with_power_cap(self, capsys):
         assert main([
             "dse", "--size", "128", "--objective", "throughput",
@@ -79,6 +135,14 @@ class TestAnalysisCommands:
         assert main(["sensitivity", "--size", "128", "--p-eng", "4"]) == 0
         out = capsys.readouterr().out
         assert "plio_column_gap" in out
+
+    def test_sensitivity_parallel_matches_serial(self, capsys):
+        assert main(["sensitivity", "--size", "64", "--p-eng", "4"]) == 0
+        serial = capsys.readouterr().out
+        assert main([
+            "sensitivity", "--size", "64", "--p-eng", "4", "--jobs", "2",
+        ]) == 0
+        assert capsys.readouterr().out == serial
 
     def test_validate_command(self, capsys):
         assert main(["validate"]) == 0

@@ -1,6 +1,5 @@
 """Unit tests for the AIE tile model (mirrored-row topology)."""
 
-import pytest
 
 from repro.versal.tile import (
     AIETile,
