@@ -34,6 +34,7 @@ smoke:
 	$(PYTHON) -m repro.cli dse --size 64 --jobs 2 --cache .repro_cache --top 3
 	$(PYTHON) -m repro.cli svd --size 32 --p-eng 4 --batch 4 --jobs 2 --precision 1e-4
 	$(PYTHON) -m repro.cli sensitivity --size 128 --jobs 2
+	$(PYTHON) -m repro.cli profile --size 64 --jobs 2 --cache .repro_cache
 
 # Reproduce the GitHub Actions pipeline locally.
 ci: lint test smoke

@@ -43,6 +43,7 @@ from repro.core.resources import ResourceUsage, estimate_resources
 from repro.core.power import PowerModel
 from repro.baselines import FPGABaselineModel, GPUBaselineModel
 from repro.exec import BatchExecutor, EvalCache, ParallelRunner
+from repro.obs import MetricsRegistry, Tracer
 from repro.versal import VCK190, AIEArray
 
 __version__ = "1.0.0"
@@ -74,6 +75,8 @@ __all__ = [
     "BatchExecutor",
     "EvalCache",
     "ParallelRunner",
+    "Tracer",
+    "MetricsRegistry",
     "VCK190",
     "AIEArray",
     "__version__",

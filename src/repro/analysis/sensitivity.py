@@ -20,6 +20,7 @@ from typing import List, Optional, Tuple
 from repro.core.config import HeteroSVDConfig
 from repro.core.perf_model import PerformanceModel
 from repro.errors import ConfigurationError
+from repro.obs import tracer as _tracer
 from repro.versal import kernels
 from repro.core import perf_model as perf_model_module
 from repro.versal import communication
@@ -128,7 +129,8 @@ def sensitivity_analysis(
         raise ConfigurationError(
             f"scale must be positive and != 1, got {scale}"
         )
-    baseline = _task_time(config)
+    with _tracer.span("sensitivity.baseline", category="sensitivity"):
+        baseline = _task_time(config)
     names = list(KNOBS)
 
     from repro.exec.parallel import ParallelRunner, resolve_jobs
@@ -141,15 +143,18 @@ def sensitivity_analysis(
             config_data = config_to_dict(config)
         except ConfigurationError:
             effective_jobs = 1  # ad-hoc device: fall back to serial
-    if effective_jobs > 1:
-        runner = ParallelRunner(jobs=effective_jobs, chunk_size=1)
-        results = runner.map(
-            _knob_worker,
-            [(config_data, name, scale, baseline) for name in names],
-        )
-    else:
-        results = [
-            _knob_result(config, name, scale, baseline) for name in names
-        ]
+    with _tracer.span("sensitivity.knobs", category="sensitivity",
+                      knobs=len(names), jobs=effective_jobs):
+        if effective_jobs > 1:
+            runner = ParallelRunner(jobs=effective_jobs, chunk_size=1)
+            results = runner.map(
+                _knob_worker,
+                [(config_data, name, scale, baseline) for name in names],
+            )
+        else:
+            results = [
+                _knob_result(config, name, scale, baseline)
+                for name in names
+            ]
     results.sort(key=lambda r: -r.relative_effect)
     return results

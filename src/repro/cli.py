@@ -226,6 +226,43 @@ def cmd_sensitivity(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    """Run a DSE sweep under tracing and print the hot-span profile.
+
+    The sweep itself is the standard two-stage exploration (same code
+    path as ``heterosvd dse``); this subcommand only turns the
+    observability layer on around it and aggregates where the time
+    went.  Combine with ``--trace`` / ``--metrics`` to also export the
+    raw Chrome trace and the metrics snapshot.
+    """
+    from repro import obs
+    from repro.reporting.tables import hot_spans_table, metrics_table
+
+    owned = not obs.is_enabled()
+    if owned:  # no --trace/--metrics: enable for the profile's own sake
+        obs.reset()
+        obs.enable()
+    try:
+        cache = _make_cache(args)
+        dse = DesignSpaceExplorer(args.size, args.size)
+        with obs.span("profile.sweep", size=args.size, batch=args.batch):
+            points = dse.explore(
+                args.objective, batch=args.batch, jobs=args.jobs,
+                cache=cache,
+            )
+        stats = obs.aggregate(obs.get_tracer().spans)
+        hot_spans_table(stats, top=args.top).print()
+        metrics_table(obs.get_metrics().snapshot()).print()
+        print(f"explored {len(points)} design points; "
+              f"best: {points[0].config.describe()}")
+        if cache is not None:
+            print(f"cache: {cache.stats.describe()}")
+        return 0
+    finally:
+        if owned:
+            obs.disable()
+
+
 def cmd_report(args) -> int:
     """Generate a self-contained HTML reproduction report.
 
@@ -347,6 +384,16 @@ def build_parser() -> argparse.ArgumentParser:
             "(default directory: .repro_cache)",
         )
 
+    def add_obs_flags(sub_parser):
+        sub_parser.add_argument(
+            "--trace", default=None, metavar="FILE",
+            help="record spans and write a Chrome/Perfetto trace here",
+        )
+        sub_parser.add_argument(
+            "--metrics", default=None, metavar="FILE",
+            help="collect metrics and write the JSON snapshot here",
+        )
+
     p_svd = sub.add_parser("svd", help="factor a matrix")
     p_svd.add_argument("--size", type=int, default=128)
     p_svd.add_argument("--seed", type=int, default=0)
@@ -369,6 +416,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_jobs_flag(p_svd)
     add_cache_flag(p_svd)
+    add_obs_flags(p_svd)
     p_svd.set_defaults(func=cmd_svd)
 
     p_dse = sub.add_parser("dse", help="explore the design space")
@@ -384,6 +432,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_dse.add_argument("--save", help="write ranked points to a JSON file")
     add_jobs_flag(p_dse)
     add_cache_flag(p_dse)
+    add_obs_flags(p_dse)
     p_dse.set_defaults(func=cmd_dse)
 
     p_model = sub.add_parser("model", help="performance-model breakdown")
@@ -414,7 +463,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_sens.add_argument("--p-task", type=int, default=1)
     p_sens.add_argument("--scale", type=float, default=1.2)
     add_jobs_flag(p_sens)
+    add_obs_flags(p_sens)
     p_sens.set_defaults(func=cmd_sensitivity)
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="run a DSE sweep under tracing and print the hot spans",
+    )
+    p_profile.add_argument("--size", type=int, default=128)
+    p_profile.add_argument("--batch", type=int, default=1)
+    p_profile.add_argument(
+        "--objective", default="latency",
+        choices=["latency", "throughput", "energy_efficiency"],
+    )
+    p_profile.add_argument(
+        "--top", type=int, default=15,
+        help="hot-span rows to print (0 = all)",
+    )
+    add_jobs_flag(p_profile)
+    add_cache_flag(p_profile)
+    add_obs_flags(p_profile)
+    p_profile.set_defaults(func=cmd_profile)
 
     p_report = sub.add_parser(
         "report", help="write an HTML reproduction report"
@@ -426,10 +495,44 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point for the ``heterosvd`` console script."""
+    """Entry point for the ``heterosvd`` console script.
+
+    ``--trace FILE`` / ``--metrics FILE`` (on ``svd``, ``dse``,
+    ``sensitivity`` and ``profile``) enable the observability layer
+    around the subcommand and export on the way out — to stderr-logged
+    files, so stdout stays byte-identical to an uninstrumented run.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics", None)
+    wants_obs = trace_path is not None or metrics_path is not None
+    if wants_obs:
+        from repro import obs
+
+        obs.reset()
+        obs.enable()
+    try:
+        return args.func(args)
+    finally:
+        if wants_obs:
+            from repro import obs
+            from repro.obs.exporters import (
+                export_chrome_trace,
+                export_metrics_json,
+            )
+
+            obs.disable()
+            if trace_path:
+                export_chrome_trace(obs.get_tracer(), trace_path)
+                print(
+                    f"wrote {len(obs.get_tracer().spans)} spans to "
+                    f"{trace_path}",
+                    file=sys.stderr,
+                )
+            if metrics_path:
+                export_metrics_json(obs.get_metrics(), metrics_path)
+                print(f"wrote metrics to {metrics_path}", file=sys.stderr)
 
 
 if __name__ == "__main__":

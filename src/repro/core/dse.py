@@ -41,6 +41,8 @@ from repro.errors import (
     PlacementError,
     ResourceBudgetError,
 )
+from repro.obs import metrics as _metrics
+from repro.obs import tracer as _tracer
 from repro.units import mhz
 
 #: Frequency model bounds observed in the paper's experiments (MHz).
@@ -271,32 +273,46 @@ class DesignSpaceExplorer:
                 f"{VALID_OBJECTIVES}"
             )
         env_jobs = os.environ.get("HETEROSVD_JOBS")
-        if jobs is not None or cache is not None or env_jobs:
-            # Lazy import: repro.exec depends on this module.
-            from repro.exec.parallel import parallel_explore
+        with _tracer.span("dse.explore", category="dse",
+                          m=self.m, n=self.n, objective=objective):
+            if jobs is not None or cache is not None or env_jobs:
+                # Lazy import: repro.exec depends on this module.
+                from repro.exec.parallel import parallel_explore
 
-            return parallel_explore(
-                self,
-                objective=objective,
-                batch=batch,
-                frequency_hz=frequency_hz,
-                power_cap_w=power_cap_w,
-                jobs=jobs,
-                cache=cache,
-            )
-        points: List[DesignPoint] = []
-        for p_eng, p_task in self.candidates(frequency_hz):
-            point = self.evaluate(p_eng, p_task, batch, frequency_hz)
-            if power_cap_w is not None and point.power.total > power_cap_w:
-                continue
-            points.append(point)
-        if not points:
-            raise DesignSpaceError(
-                f"no feasible design point for {self.m}x{self.n}"
-                + (f" under {power_cap_w} W" if power_cap_w else "")
-            )
-        points.sort(key=lambda p: p.objective_value(objective), reverse=True)
-        return points
+                return parallel_explore(
+                    self,
+                    objective=objective,
+                    batch=batch,
+                    frequency_hz=frequency_hz,
+                    power_cap_w=power_cap_w,
+                    jobs=jobs,
+                    cache=cache,
+                )
+            with _tracer.span("dse.stage1", category="dse", jobs=1,
+                              cached=False), \
+                    _metrics.timer("dse.stage1_seconds"):
+                candidates = self.candidates(frequency_hz)
+            points: List[DesignPoint] = []
+            with _tracer.span("dse.stage2", category="dse",
+                              candidates=len(candidates), jobs=1), \
+                    _metrics.timer("dse.stage2_seconds"):
+                _metrics.counter("dse.candidates").inc(len(candidates))
+                _metrics.counter("dse.evaluations").inc(len(candidates))
+                for p_eng, p_task in candidates:
+                    point = self.evaluate(p_eng, p_task, batch, frequency_hz)
+                    if power_cap_w is not None \
+                            and point.power.total > power_cap_w:
+                        continue
+                    points.append(point)
+                if not points:
+                    raise DesignSpaceError(
+                        f"no feasible design point for {self.m}x{self.n}"
+                        + (f" under {power_cap_w} W" if power_cap_w else "")
+                    )
+                points.sort(
+                    key=lambda p: p.objective_value(objective), reverse=True
+                )
+                return points
 
     def best(
         self,

@@ -27,6 +27,8 @@ from typing import List, Sequence, Tuple
 from repro.core.config import HeteroSVDConfig
 from repro.core.perf_model import PerformanceModel
 from repro.errors import ConfigurationError
+from repro.obs import metrics as _metrics
+from repro.obs import tracer as _tracer
 
 
 @dataclass(frozen=True)
@@ -115,6 +117,7 @@ class BatchScheduler:
         key = (spec.m, spec.n)
         if key in self._cost_cache:
             return self._cost_cache[key]
+        _metrics.counter("schedule.cost_evaluations").inc()
         k = self.config.p_eng
         blocks = max(2, math.ceil(spec.n / k))
         padded_n = blocks * k
@@ -175,6 +178,13 @@ class BatchScheduler:
             raise ConfigurationError(
                 f"unknown policy {policy!r}; expected 'lpt' or 'fifo'"
             )
+        with _tracer.span("schedule.plan", category="schedule",
+                          tasks=len(specs), policy=policy):
+            return self._schedule(specs, policy)
+
+    def _schedule(
+        self, specs: Sequence[TaskSpec], policy: str
+    ) -> Schedule:
         costed: List[Tuple[TaskSpec, float]] = [
             (spec, self.task_cost(spec)) for spec in specs
         ]

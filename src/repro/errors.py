@@ -72,3 +72,17 @@ class DesignSpaceError(ReproError):
 
 class SimulationError(ReproError):
     """The discrete-event simulation engine reached an invalid state."""
+
+
+class ParallelExecutionError(ReproError):
+    """A parallel worker failed; carries which item it failed on.
+
+    Attributes:
+        item_index: Position of the failing item in the mapped input.
+        item_repr: ``repr()`` of the failing item (truncated).
+    """
+
+    def __init__(self, message: str, item_index: int, item_repr: str):
+        super().__init__(message)
+        self.item_index = item_index
+        self.item_repr = item_repr

@@ -29,6 +29,8 @@ from repro.core.config import HeteroSVDConfig
 from repro.core.scheduler import BatchScheduler, Schedule
 from repro.errors import ConfigurationError
 from repro.exec.parallel import ParallelRunner, resolve_jobs
+from repro.obs import metrics as _metrics
+from repro.obs import tracer as _tracer
 from repro.workloads.batch import TaskBatch
 
 VALID_ENGINES = ("accelerator", "software")
@@ -188,8 +190,10 @@ class BatchExecutor:
         if len(batch) == 0:
             raise ConfigurationError("cannot execute an empty batch")
         specs = batch.to_specs()
-        schedule = self.scheduler.schedule(specs, policy)
-        assignment = self.scheduler.assignment(schedule)
+        with _tracer.span("batch.schedule", category="batch",
+                          tasks=len(specs), policy=policy):
+            schedule = self.scheduler.schedule(specs, policy)
+            assignment = self.scheduler.assignment(schedule)
 
         matrices = list(batch)
         payloads = [
@@ -210,7 +214,9 @@ class BatchExecutor:
         runner = ParallelRunner(jobs=min(workers, max(1, len(payloads))))
 
         started = time.perf_counter()
-        raw = runner.map(_run_pipeline, payloads)
+        with _tracer.span("batch.execute", category="batch",
+                          pipelines=len(payloads), engine=self.engine):
+            raw = runner.map(_run_pipeline, payloads)
         wall_makespan = time.perf_counter() - started
 
         runs: List[PipelineRun] = []
@@ -229,6 +235,12 @@ class BatchExecutor:
                     task_id=task_id, pipeline=pipeline, sigma=sigma
                 )
         runs.sort(key=lambda r: r.pipeline)
+        _metrics.counter("batch.tasks").inc(len(specs))
+        _metrics.gauge("batch.wall_makespan_s").set(wall_makespan)
+        for run in runs:
+            _metrics.histogram("batch.pipeline_seconds").observe(
+                run.wall_time
+            )
         return BatchReport(
             schedule=schedule,
             runs=runs,

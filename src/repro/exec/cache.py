@@ -25,7 +25,9 @@ deletes orphaned version directories.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
+import os
 import shutil
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -34,6 +36,11 @@ from typing import Any, Callable, Dict, Optional, Union
 
 from repro.core.dse import DesignPoint
 from repro.errors import ConfigurationError
+from repro.obs import metrics as _metrics
+from repro.obs import tracer as _tracer
+
+#: Distinguishes temp files of concurrent writers sharing a cache dir.
+_TMP_COUNTER = itertools.count()
 
 #: Default location of the on-disk store (relative to the CWD).
 DEFAULT_CACHE_DIR = ".repro_cache"
@@ -167,16 +174,27 @@ class EvalCache:
     def key_for_config(self, kind: str, config, **params: Any) -> str:
         """Key for an evaluation of one configuration.
 
-        Falls back to the config's ``describe()`` string for devices
+        Falls back to a ``describe()``-based payload for devices
         :mod:`repro.io` cannot serialize (ad-hoc experimental devices),
-        so memory-layer memoization still works for them.
+        so memory-layer memoization still works for them.  The fallback
+        embeds the config's class qualname and the device name: two
+        distinct ad-hoc devices can share a describe string, and their
+        evaluations must not share cache entries.
         """
         from repro.io import config_to_dict
 
         try:
             config_payload: Any = config_to_dict(config)
-        except ConfigurationError:
-            config_payload = {"describe": config.describe()}
+        except (ConfigurationError, AttributeError):
+            config_payload = {
+                "describe": config.describe(),
+                "class": f"{type(config).__module__}."
+                         f"{type(config).__qualname__}",
+            }
+            device = getattr(config, "device", None)
+            device_name = getattr(device, "name", None)
+            if device_name is not None:
+                config_payload["device"] = device_name
         return cache_key(kind, {"config": config_payload, **params})
 
     # -- storage layers ------------------------------------------------------
@@ -191,14 +209,15 @@ class EvalCache:
         if self.disk_dir is None:
             return _MISS
         path = self._entry_path(key)
-        try:
-            entry = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
-            return _MISS
-        try:
-            return _decode(entry)
-        except (ConfigurationError, KeyError, TypeError):
-            return _MISS
+        with _tracer.span("cache.disk_get"):
+            try:
+                entry = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                return _MISS
+            try:
+                return _decode(entry)
+            except (ConfigurationError, KeyError, TypeError):
+                return _MISS
 
     def _disk_put(self, key: str, value: Any) -> None:
         if self.disk_dir is None:
@@ -208,10 +227,23 @@ class EvalCache:
         except ConfigurationError:
             return  # unserializable (e.g. ad-hoc device): memory-only
         path = self._entry_path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(entry, sort_keys=True))
-        tmp.replace(path)
+        # Writers in other processes may share this directory, so the
+        # temp name must be unique per process *and* per write, and a
+        # failed write (full disk, a concurrent purge removing the
+        # directory, permissions) must degrade to memory-only — a cache
+        # write failure never kills a sweep.
+        tmp = path.parent / f"{path.stem}.{os.getpid()}.{next(_TMP_COUNTER)}.tmp"
+        with _tracer.span("cache.disk_put"):
+            try:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                tmp.write_text(json.dumps(entry, sort_keys=True))
+                tmp.replace(path)
+            except OSError:
+                _metrics.counter("cache.disk_errors").inc()
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
 
     # -- public API ----------------------------------------------------------
     def get(self, key: str) -> Any:
@@ -221,13 +253,16 @@ class EvalCache:
         if key in self._memory:
             self._memory.move_to_end(key)
             self.stats.hits += 1
+            _metrics.counter("cache.hits").inc()
             return self._memory[key]
         value = self._disk_get(key)
         if value is not _MISS:
             self.stats.disk_hits += 1
+            _metrics.counter("cache.disk_hits").inc()
             self._remember(key, value)
             return value
         self.stats.misses += 1
+        _metrics.counter("cache.misses").inc()
         return None
 
     def contains(self, key: str) -> bool:
@@ -241,6 +276,7 @@ class EvalCache:
         self._remember(key, value)
         self._disk_put(key, value)
         self.stats.stores += 1
+        _metrics.counter("cache.stores").inc()
 
     def get_or_compute(self, key: str, compute: Callable[[], Any]) -> Any:
         """Return the cached value, computing and storing on a miss."""

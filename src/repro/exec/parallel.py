@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import math
 import os
+import time
 from concurrent.futures import (
     Future,
     ProcessPoolExecutor,
@@ -33,7 +34,9 @@ from concurrent.futures import (
 )
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ParallelExecutionError
+from repro.obs import metrics as _metrics
+from repro.obs import tracer as _tracer
 
 #: Environment variable consulted when no explicit job count is given.
 JOBS_ENV_VAR = "HETEROSVD_JOBS"
@@ -66,9 +69,47 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     return jobs
 
 
-def _run_chunk(fn: Callable[[Any], Any], chunk: Sequence[Any]) -> List[Any]:
-    """Worker-side loop over one contiguous chunk of items."""
-    return [fn(item) for item in chunk]
+class _ChunkItemFailure(Exception):
+    """Worker-side wrapper locating a failure within a chunk.
+
+    Carries the in-chunk offset and a truncated ``repr`` of the item,
+    plus the repr of the original exception — all plain strings and
+    ints, so the wrapper survives pickling back across a process pool
+    (chained ``__cause__`` exceptions do not).
+    """
+
+    def __init__(self, offset: int, item_repr: str, error_repr: str):
+        super().__init__(offset, item_repr, error_repr)
+        self.offset = offset
+        self.item_repr = item_repr
+        self.error_repr = error_repr
+
+
+def _clip(text: str, limit: int = 120) -> str:
+    return text if len(text) <= limit else text[: limit - 3] + "..."
+
+
+def _run_chunk(
+    fn: Callable[[Any], Any], chunk: Sequence[Any]
+) -> Tuple[float, List[Any]]:
+    """Worker-side loop over one contiguous chunk of items.
+
+    Returns ``(wall_seconds, results)`` — the duration is measured
+    where the work happens, so the parent can publish accurate
+    per-chunk timings even across a process boundary.  A failing item
+    is re-raised as :class:`_ChunkItemFailure` so the parent can name
+    the exact input that broke the sweep.
+    """
+    started = time.perf_counter()
+    results: List[Any] = []
+    for offset, item in enumerate(chunk):
+        try:
+            results.append(fn(item))
+        except Exception as exc:
+            raise _ChunkItemFailure(
+                offset, _clip(repr(item)), _clip(repr(exc))
+            ) from exc
+    return time.perf_counter() - started, results
 
 
 class ParallelRunner:
@@ -127,19 +168,58 @@ class ParallelRunner:
 
         With one worker (or at most one item) this runs inline in the
         calling process — no pool, no pickling, no ordering caveats.
+
+        Raises:
+            ParallelExecutionError: when a pooled worker raises; the
+                error names the failing item's index and repr and
+                chains the worker's wrapped exception.  Pending chunks
+                are cancelled first (already-running chunks finish, but
+                their results are discarded).  The inline path re-raises
+                the original exception untouched — nothing is swallowed
+                when there is no pool in the way.
         """
         items = list(items)
-        if self.jobs == 1 or len(items) <= 1:
-            return [fn(item) for item in items]
-        chunks = self._chunks(items)
-        pool = self._get_pool()
-        futures: List[Future] = [
-            pool.submit(_run_chunk, fn, chunk) for chunk in chunks
-        ]
-        results: List[Any] = []
-        for future in futures:  # submit order == input order
-            results.extend(future.result())
-        return results
+        with _tracer.span(
+            "parallel.map", items=len(items), jobs=self.jobs, mode=self.mode,
+        ):
+            if self.jobs == 1 or len(items) <= 1:
+                return [fn(item) for item in items]
+            chunks = self._chunks(items)
+            pool = self._get_pool()
+            futures: List[Future] = [
+                pool.submit(_run_chunk, fn, chunk) for chunk in chunks
+            ]
+            _metrics.counter("parallel.chunks").inc(len(chunks))
+            results: List[Any] = []
+            offset = 0
+            for chunk_index, future in enumerate(futures):
+                # submit order == input order
+                try:
+                    duration, chunk_results = future.result()
+                except _ChunkItemFailure as failure:
+                    for pending in futures[chunk_index + 1:]:
+                        pending.cancel()
+                    item_index = offset + failure.offset
+                    raise ParallelExecutionError(
+                        f"worker failed on item {item_index} "
+                        f"({failure.item_repr}): {failure.error_repr}",
+                        item_index=item_index,
+                        item_repr=failure.item_repr,
+                    ) from failure
+                except Exception:
+                    # Pool-level failure (broken pool, unpicklable fn):
+                    # still stop the sweep promptly.
+                    for pending in futures[chunk_index + 1:]:
+                        pending.cancel()
+                    raise
+                _metrics.histogram("parallel.chunk_seconds").observe(duration)
+                _tracer.get_tracer().record_span(
+                    "parallel.chunk", duration, category="parallel",
+                    chunk=chunk_index, items=len(chunks[chunk_index]),
+                )
+                results.extend(chunk_results)
+                offset += len(chunks[chunk_index])
+            return results
 
     def starmap(
         self, fn: Callable[..., Any], items: Sequence[Tuple]
@@ -241,31 +321,34 @@ def _cached_candidates(
     placement/budget checks cost as much as the whole stage-2
     evaluation, so a warm re-run must not repeat them and a cold
     parallel run must not serialize on them."""
-    if cache is None:
-        if runner.jobs > 1:
-            return _parallel_candidates(explorer, frequency_hz, runner)
-        return explorer.candidates(frequency_hz)
-    from repro.exec.cache import cache_key
+    with _tracer.span("dse.stage1", category="dse", jobs=runner.jobs,
+                      cached=cache is not None), \
+            _metrics.timer("dse.stage1_seconds"):
+        if cache is None:
+            if runner.jobs > 1:
+                return _parallel_candidates(explorer, frequency_hz, runner)
+            return explorer.candidates(frequency_hz)
+        from repro.exec.cache import cache_key
 
-    key = cache_key(
-        "dse-stage1",
-        {
-            "m": explorer.m,
-            "n": explorer.n,
-            "precision": explorer.precision,
-            "fixed_iterations": explorer.fixed_iterations,
-            "frequency_hz": frequency_hz,
-        },
-    )
-    cached = cache.get(key)
-    if cached is not None:
-        return [tuple(pair) for pair in cached]
-    if runner.jobs > 1:
-        candidates = _parallel_candidates(explorer, frequency_hz, runner)
-    else:
-        candidates = explorer.candidates(frequency_hz)
-    cache.put(key, [list(pair) for pair in candidates])
-    return candidates
+        key = cache_key(
+            "dse-stage1",
+            {
+                "m": explorer.m,
+                "n": explorer.n,
+                "precision": explorer.precision,
+                "fixed_iterations": explorer.fixed_iterations,
+                "frequency_hz": frequency_hz,
+            },
+        )
+        cached = cache.get(key)
+        if cached is not None:
+            return [tuple(pair) for pair in cached]
+        if runner.jobs > 1:
+            candidates = _parallel_candidates(explorer, frequency_hz, runner)
+        else:
+            candidates = explorer.candidates(frequency_hz)
+        cache.put(key, [list(pair) for pair in candidates])
+        return candidates
 
 
 def parallel_explore(
@@ -328,45 +411,50 @@ def _explore_with_runner(
     from repro.errors import DesignSpaceError
 
     candidates = _cached_candidates(explorer, frequency_hz, cache, runner)
-    points: List[Any] = [None] * len(candidates)
-    keys: List[Optional[str]] = [None] * len(candidates)
-    missing: List[int] = []
-    for index, (p_eng, p_task) in enumerate(candidates):
-        if cache is not None:
-            key = cache.key_for_config(
-                "dse-evaluate",
-                explorer.make_config(p_eng, p_task, frequency_hz),
-                batch=batch,
-            )
-            keys[index] = key
-            cached = cache.get(key)
-            if cached is not None:
-                points[index] = cached
-                continue
-        missing.append(index)
+    with _tracer.span("dse.stage2", category="dse",
+                      candidates=len(candidates), jobs=runner.jobs), \
+            _metrics.timer("dse.stage2_seconds"):
+        points: List[Any] = [None] * len(candidates)
+        keys: List[Optional[str]] = [None] * len(candidates)
+        missing: List[int] = []
+        for index, (p_eng, p_task) in enumerate(candidates):
+            if cache is not None:
+                key = cache.key_for_config(
+                    "dse-evaluate",
+                    explorer.make_config(p_eng, p_task, frequency_hz),
+                    batch=batch,
+                )
+                keys[index] = key
+                cached = cache.get(key)
+                if cached is not None:
+                    points[index] = cached
+                    continue
+            missing.append(index)
 
-    if missing:
-        coeffs = _power_coeffs(explorer.power_model)
-        payloads = [
-            (explorer.m, explorer.n, explorer.precision,
-             explorer.fixed_iterations, coeffs,
-             candidates[i][0], candidates[i][1], batch, frequency_hz)
-            for i in missing
+        _metrics.counter("dse.candidates").inc(len(candidates))
+        _metrics.counter("dse.evaluations").inc(len(missing))
+        if missing:
+            coeffs = _power_coeffs(explorer.power_model)
+            payloads = [
+                (explorer.m, explorer.n, explorer.precision,
+                 explorer.fixed_iterations, coeffs,
+                 candidates[i][0], candidates[i][1], batch, frequency_hz)
+                for i in missing
+            ]
+            evaluated = runner.map(_evaluate_candidate, payloads)
+            for index, point in zip(missing, evaluated):
+                points[index] = point
+                if cache is not None and keys[index] is not None:
+                    cache.put(keys[index], point)
+
+        kept = [
+            p for p in points
+            if power_cap_w is None or p.power.total <= power_cap_w
         ]
-        evaluated = runner.map(_evaluate_candidate, payloads)
-        for index, point in zip(missing, evaluated):
-            points[index] = point
-            if cache is not None and keys[index] is not None:
-                cache.put(keys[index], point)
-
-    kept = [
-        p for p in points
-        if power_cap_w is None or p.power.total <= power_cap_w
-    ]
-    if not kept:
-        raise DesignSpaceError(
-            f"no feasible design point for {explorer.m}x{explorer.n}"
-            + (f" under {power_cap_w} W" if power_cap_w else "")
-        )
-    kept.sort(key=lambda p: p.objective_value(objective), reverse=True)
-    return kept
+        if not kept:
+            raise DesignSpaceError(
+                f"no feasible design point for {explorer.m}x{explorer.n}"
+                + (f" under {power_cap_w} W" if power_cap_w else "")
+            )
+        kept.sort(key=lambda p: p.objective_value(objective), reverse=True)
+        return kept

@@ -1,0 +1,119 @@
+"""Observability: tracing, metrics and profiling for the sweeps.
+
+The ``repro.obs`` package makes the execution layer visible at
+runtime — where a DSE sweep, a :class:`~repro.exec.batch.BatchExecutor`
+run or the event-queue simulator spends its time — without changing a
+single numeric result:
+
+* :mod:`repro.obs.tracer` — named, nestable spans (wall-clock +
+  ``perf_counter``), context-manager or decorator;
+* :mod:`repro.obs.metrics` — counters, gauges and timing histograms
+  the instrumented subsystems publish into;
+* :mod:`repro.obs.exporters` — plain JSON, Chrome-trace (Perfetto)
+  and metrics-JSON serialization;
+* :mod:`repro.obs.profile` — hot-span aggregation behind
+  ``heterosvd profile``.
+
+Everything is **off by default** and near-zero cost while off.  Turn
+the whole layer on around a workload::
+
+    from repro import obs
+
+    obs.enable()
+    points = DesignSpaceExplorer(256, 256).explore(jobs=4)
+    obs.export_chrome_trace(obs.get_tracer(), "trace.json")
+    obs.export_metrics_json(obs.get_metrics(), "metrics.json")
+    obs.disable()
+
+or use the CLI flags: ``heterosvd dse --trace t.json --metrics m.json``.
+"""
+
+from repro.obs.tracer import (
+    Span,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    span,
+    trace,
+    tracing_enabled,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    disable_metrics,
+    enable_metrics,
+    gauge,
+    get_metrics,
+    histogram,
+    metrics_enabled,
+    timer,
+)
+from repro.obs.exporters import (
+    export_chrome_trace,
+    export_metrics_json,
+    export_trace_json,
+    load_chrome_trace,
+    load_metrics_json,
+    load_trace_json,
+    trace_to_chrome,
+    trace_to_json,
+)
+from repro.obs.profile import SpanStat, aggregate
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "span",
+    "trace",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_metrics",
+    "counter",
+    "gauge",
+    "histogram",
+    "timer",
+    "SpanStat",
+    "aggregate",
+    "trace_to_json",
+    "export_trace_json",
+    "load_trace_json",
+    "trace_to_chrome",
+    "export_chrome_trace",
+    "load_chrome_trace",
+    "export_metrics_json",
+    "load_metrics_json",
+    "enable",
+    "disable",
+    "is_enabled",
+    "reset",
+]
+
+
+def enable() -> None:
+    """Switch tracing and metrics on together."""
+    enable_tracing()
+    enable_metrics()
+
+
+def disable() -> None:
+    """Switch tracing and metrics off together."""
+    disable_tracing()
+    disable_metrics()
+
+
+def is_enabled() -> bool:
+    """Whether any part of the observability layer is recording."""
+    return tracing_enabled() or metrics_enabled()
+
+
+def reset() -> None:
+    """Drop all recorded spans and instruments."""
+    get_tracer().reset()
+    get_metrics().reset()

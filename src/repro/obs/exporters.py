@@ -1,0 +1,149 @@
+"""Serialize traces and metrics for machines and trace viewers.
+
+Three output shapes:
+
+* **plain JSON** (:func:`trace_to_json` / :func:`export_trace_json`):
+  one dict per span with every recorded field — the diffable,
+  greppable archive format, loadable with :func:`load_trace_json`;
+* **Chrome trace event format** (:func:`trace_to_chrome` /
+  :func:`export_chrome_trace`): the ``traceEvents`` JSON understood by
+  ``chrome://tracing`` and https://ui.perfetto.dev — drag the file in
+  and the nested spans render as a flame chart;
+* **metrics JSON** (:func:`export_metrics_json`): the registry
+  snapshot, written next to the trace by ``--metrics FILE``.
+
+Timestamps in the Chrome export are microseconds relative to the
+tracer's epoch (``perf_counter`` based, so intervals are exact); the
+absolute wall-clock epoch rides along in the ``otherData`` block.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Union
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Span, Tracer
+
+__all__ = [
+    "trace_to_json",
+    "export_trace_json",
+    "load_trace_json",
+    "trace_to_chrome",
+    "export_chrome_trace",
+    "load_chrome_trace",
+    "export_metrics_json",
+    "load_metrics_json",
+]
+
+_SPAN_FIELDS = (
+    "name", "category", "start_wall", "start_perf", "duration",
+    "depth", "parent", "index", "pid", "tid", "args",
+)
+
+
+def trace_to_json(spans: Sequence[Span]) -> List[Dict[str, Any]]:
+    """Plain-JSON representation: one dict per span, every field."""
+    return [
+        {field: getattr(span, field) for field in _SPAN_FIELDS}
+        for span in spans
+    ]
+
+
+def export_trace_json(
+    spans: Sequence[Span], path: Union[str, Path]
+) -> Path:
+    """Write :func:`trace_to_json` output to ``path``; returns it."""
+    target = Path(path)
+    target.write_text(json.dumps(trace_to_json(spans), indent=1))
+    return target
+
+
+def load_trace_json(path: Union[str, Path]) -> List[Span]:
+    """Rebuild :class:`Span` objects from an
+    :func:`export_trace_json` file."""
+    return [Span(**entry) for entry in json.loads(Path(path).read_text())]
+
+
+def trace_to_chrome(
+    tracer: Tracer, process_name: str = "heterosvd"
+) -> Dict[str, Any]:
+    """Chrome trace event JSON of every span the tracer recorded.
+
+    Spans become complete (``"ph": "X"``) events; a metadata event
+    names the process so Perfetto's track label is readable.
+    """
+    events: List[Dict[str, Any]] = []
+    pids = sorted({span.pid for span in tracer.spans})
+    for pid in pids:
+        events.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": process_name},
+        })
+    for span in tracer.spans:
+        events.append({
+            "name": span.name,
+            "cat": span.category or "repro",
+            "ph": "X",
+            "ts": (span.start_perf - tracer.epoch_perf) * 1e6,
+            "dur": span.duration * 1e6,
+            "pid": span.pid,
+            "tid": span.tid,
+            "args": dict(span.args, depth=span.depth),
+        })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "epoch_wall": tracer.epoch_wall,
+            "spans": len(tracer.spans),
+        },
+    }
+
+
+def export_chrome_trace(
+    tracer: Tracer, path: Union[str, Path],
+    process_name: str = "heterosvd",
+) -> Path:
+    """Write :func:`trace_to_chrome` output to ``path``; returns it."""
+    target = Path(path)
+    target.write_text(json.dumps(trace_to_chrome(tracer, process_name)))
+    return target
+
+
+def load_chrome_trace(path: Union[str, Path]) -> Dict[str, Any]:
+    """Parse a Chrome-trace file, validating the minimal shape every
+    viewer needs (a ``traceEvents`` list of dicts with ``name`` and
+    ``ph``).
+
+    Raises:
+        ValueError: when the file is not a loadable trace.
+    """
+    data = json.loads(Path(path).read_text())
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError(f"{path}: no traceEvents list")
+    for event in events:
+        if not isinstance(event, dict) or "name" not in event \
+                or "ph" not in event:
+            raise ValueError(f"{path}: malformed trace event {event!r}")
+    return data
+
+
+def export_metrics_json(
+    registry: MetricsRegistry, path: Union[str, Path]
+) -> Path:
+    """Write the registry snapshot to ``path``; returns it."""
+    target = Path(path)
+    target.write_text(json.dumps(registry.snapshot(), indent=1,
+                                 sort_keys=True))
+    return target
+
+
+def load_metrics_json(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load an :func:`export_metrics_json` snapshot."""
+    return json.loads(Path(path).read_text())

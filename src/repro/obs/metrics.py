@@ -1,0 +1,326 @@
+"""Counters, gauges and timing histograms for the sweep machinery.
+
+A :class:`MetricsRegistry` holds three instrument kinds:
+
+* :class:`Counter` — monotonically increasing event counts
+  (cache hits, simulation events, scheduled tasks);
+* :class:`Gauge` — last-written values (a batch's wall makespan);
+* :class:`Histogram` — value distributions over fixed log-scale
+  buckets, tuned for seconds (chunk times, pipeline wall times).
+
+Like tracing, metrics are **off by default**: while the registry is
+disabled, :meth:`MetricsRegistry.counter` and friends hand back shared
+no-op instruments, so an instrumented hot path costs one method call
+and one branch.  Enabled, instruments are created on first use and
+accumulate until :meth:`MetricsRegistry.reset`.
+
+:meth:`MetricsRegistry.snapshot` returns a plain JSON-compatible dict
+(what ``--metrics FILE`` writes); :meth:`MetricsRegistry.describe`
+renders the human table via :mod:`repro.reporting.tables`.
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_left
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_metrics",
+    "counter",
+    "gauge",
+    "histogram",
+    "timer",
+    "enable_metrics",
+    "disable_metrics",
+    "metrics_enabled",
+]
+
+#: Histogram bucket upper bounds (seconds): 1 us .. 10 s, decades.
+DEFAULT_BUCKET_BOUNDS = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (default 1)."""
+        self.value += amount
+
+
+class Gauge:
+    """A last-value-wins measurement."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = value
+
+
+class Histogram:
+    """A fixed-bucket distribution of observed values.
+
+    Args:
+        name: Instrument name.
+        bounds: Ascending bucket upper bounds; observations above the
+            last bound land in an overflow bucket.
+    """
+
+    __slots__ = ("name", "bounds", "buckets", "count", "total",
+                 "min", "max")
+
+    def __init__(self, name: str,
+                 bounds: Tuple[float, ...] = DEFAULT_BUCKET_BOUNDS):
+        self.name = name
+        self.bounds = tuple(bounds)
+        self.buckets = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.buckets[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observations (0 when empty)."""
+        if self.count == 0:
+            return 0.0
+        return self.total / self.count
+
+
+class _NullInstrument:
+    """Shared no-op counter/gauge/histogram for the disabled registry."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NULL = _NullInstrument()
+
+
+class _TimerContext:
+    """Context manager feeding elapsed seconds into a histogram."""
+
+    __slots__ = ("_histogram", "_started")
+
+    def __init__(self, histogram: Histogram):
+        self._histogram = histogram
+        self._started = 0.0
+
+    def __enter__(self) -> "_TimerContext":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self._histogram.observe(time.perf_counter() - self._started)
+        return False
+
+
+class MetricsRegistry:
+    """Named instrument store with an on/off switch.
+
+    Args:
+        enabled: Start collecting immediately (default off).
+    """
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- lifecycle -----------------------------------------------------------
+    def enable(self) -> None:
+        """Start collecting."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Stop collecting (existing instruments are kept)."""
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop every instrument."""
+        self._counters = {}
+        self._gauges = {}
+        self._histograms = {}
+
+    # -- instruments ---------------------------------------------------------
+    def counter(self, name: str):
+        """The counter called ``name`` (created on first use); a shared
+        no-op while disabled."""
+        if not self.enabled:
+            return _NULL
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str):
+        """The gauge called ``name``; a shared no-op while disabled."""
+        if not self.enabled:
+            return _NULL
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str):
+        """The histogram called ``name``; a shared no-op while
+        disabled."""
+        if not self.enabled:
+            return _NULL
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name)
+        return instrument
+
+    def timer(self, name: str):
+        """Context manager timing its block into ``histogram(name)``;
+        a shared no-op while disabled::
+
+            with registry.timer("dse.stage2_seconds"):
+                ...
+        """
+        if not self.enabled:
+            return _NULL
+        return _TimerContext(self.histogram(name))
+
+    # -- export --------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-compatible dump of every instrument."""
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: g.value for name, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: {
+                    "count": h.count,
+                    "total": h.total,
+                    "mean": h.mean,
+                    "min": h.min,
+                    "max": h.max,
+                    "bounds": list(h.bounds),
+                    "buckets": list(h.buckets),
+                }
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def describe(self) -> str:
+        """Human-readable table of the snapshot (one row per
+        instrument), rendered by :mod:`repro.reporting.tables`."""
+        from repro.reporting.tables import metrics_table
+
+        return metrics_table(self.snapshot()).render()
+
+    def __len__(self) -> int:
+        return (
+            len(self._counters) + len(self._gauges) + len(self._histograms)
+        )
+
+
+def _rows(snapshot: Dict[str, Any]) -> List[Tuple[str, str, str]]:
+    """(kind, name, value-summary) rows of a snapshot, for tables."""
+    rows: List[Tuple[str, str, str]] = []
+    for name, value in snapshot.get("counters", {}).items():
+        rows.append(("counter", name, str(value)))
+    for name, value in snapshot.get("gauges", {}).items():
+        shown = "-" if value is None else f"{value:.6g}"
+        rows.append(("gauge", name, shown))
+    for name, data in snapshot.get("histograms", {}).items():
+        if data["count"]:
+            shown = (
+                f"n={data['count']} mean={data['mean']:.6g} "
+                f"min={data['min']:.6g} max={data['max']:.6g}"
+            )
+        else:
+            shown = "n=0"
+        rows.append(("histogram", name, shown))
+    return rows
+
+
+#: The library-wide default registry every instrumented module uses.
+_REGISTRY = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The shared default registry."""
+    return _REGISTRY
+
+
+def counter(name: str):
+    """``get_metrics().counter(name)`` shorthand."""
+    return _REGISTRY.counter(name)
+
+
+def gauge(name: str):
+    """``get_metrics().gauge(name)`` shorthand."""
+    return _REGISTRY.gauge(name)
+
+
+def histogram(name: str):
+    """``get_metrics().histogram(name)`` shorthand."""
+    return _REGISTRY.histogram(name)
+
+
+def timer(name: str):
+    """``get_metrics().timer(name)`` shorthand."""
+    return _REGISTRY.timer(name)
+
+
+def enable_metrics() -> None:
+    """Switch the default registry on."""
+    _REGISTRY.enable()
+
+
+def disable_metrics() -> None:
+    """Switch the default registry off."""
+    _REGISTRY.disable()
+
+
+def metrics_enabled() -> bool:
+    """Whether the default registry is collecting."""
+    return _REGISTRY.enabled

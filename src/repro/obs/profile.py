@@ -1,0 +1,81 @@
+"""Hot-span aggregation: turn a raw trace into a profile.
+
+:func:`aggregate` folds a tracer's span list into per-name statistics
+with **self time** (total minus the time spent in child spans), which
+is what actually identifies the hot code: a ``dse.explore`` span covers
+the whole sweep, but its self time is near zero once ``dse.stage1`` and
+``dse.stage2`` are subtracted.
+
+The ``heterosvd profile`` subcommand runs a sweep under tracing and
+prints this aggregation via
+:func:`repro.reporting.tables.hot_spans_table`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.obs.tracer import Span
+
+__all__ = ["SpanStat", "aggregate"]
+
+
+@dataclass
+class SpanStat:
+    """Aggregated statistics of every span sharing one name.
+
+    Attributes:
+        name: Span name.
+        count: Occurrences.
+        total: Summed durations (seconds); nested occurrences of the
+            same name each count, so recursive spans can exceed the
+            wall clock.
+        self_time: Summed durations minus time spent in child spans.
+        min / max: Extreme single-span durations.
+    """
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    self_time: float = 0.0
+    min: float = float("inf")
+    max: float = 0.0
+
+    @property
+    def mean(self) -> float:
+        """Mean duration per occurrence."""
+        if self.count == 0:
+            return 0.0
+        return self.total / self.count
+
+
+def aggregate(spans: Sequence[Span]) -> List[SpanStat]:
+    """Per-name statistics of a span list, hottest self-time first.
+
+    Child time is attributed through the recorded ``parent`` indices,
+    so the returned ``self_time`` column sums (over all names) to the
+    traced wall clock — double counting only appears in ``total``.
+    """
+    self_times: Dict[int, float] = {
+        span.index: span.duration for span in spans
+    }
+    for span in spans:
+        if span.parent is not None and span.parent in self_times:
+            self_times[span.parent] -= span.duration
+
+    stats: Dict[str, SpanStat] = {}
+    for span in spans:
+        stat = stats.get(span.name)
+        if stat is None:
+            stat = stats[span.name] = SpanStat(name=span.name)
+        stat.count += 1
+        stat.total += span.duration
+        stat.self_time += max(0.0, self_times[span.index])
+        stat.min = min(stat.min, span.duration)
+        stat.max = max(stat.max, span.duration)
+    ordered = sorted(stats.values(), key=lambda s: -s.self_time)
+    for stat in ordered:
+        if stat.count == 0:  # defensive; cannot happen above
+            stat.min = 0.0
+    return ordered

@@ -1,0 +1,269 @@
+"""Structured-event tracing with near-zero disabled overhead.
+
+A :class:`Tracer` records named, nestable **spans** — wall-clock plus
+``perf_counter`` timestamped intervals — from anywhere in the library.
+Spans nest naturally through a stack, so a ``dse.stage2`` span opened
+inside ``dse.explore`` records its parent and depth, and the exporters
+in :mod:`repro.obs.exporters` can rebuild the flame graph.
+
+Tracing is **off by default**.  Disabled, :meth:`Tracer.span` returns a
+shared no-op context manager (one attribute check, no allocation) and
+:meth:`Tracer.trace`-decorated functions call straight through — the
+instrumented hot paths of :mod:`repro.exec` and :mod:`repro.core.dse`
+pay essentially nothing.  Enabled, each span costs two clock reads and
+one small object.
+
+Instrumentation never changes numeric results: a span only reads
+clocks, so any sweep produces byte-identical output with tracing on or
+off (pinned by ``tests/obs``).
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "span",
+    "trace",
+    "enable_tracing",
+    "disable_tracing",
+    "tracing_enabled",
+]
+
+
+@dataclass
+class Span:
+    """One completed (or still-open) named interval.
+
+    Attributes:
+        name: Span label, dot-namespaced (``"dse.stage1"``).
+        category: Coarse grouping for trace viewers (``"dse"``).
+        start_wall: ``time.time()`` at entry (epoch seconds).
+        start_perf: ``time.perf_counter()`` at entry.
+        duration: Seconds between entry and exit (0 while open).
+        depth: Nesting depth (0 = top level).
+        parent: Index of the enclosing span in ``Tracer.spans``,
+            or None at top level.
+        index: This span's index in ``Tracer.spans``.
+        pid / tid: Recording process and thread.
+        args: Small JSON-compatible annotations (counts, sizes).
+    """
+
+    name: str
+    category: str = ""
+    start_wall: float = 0.0
+    start_perf: float = 0.0
+    duration: float = 0.0
+    depth: int = 0
+    parent: Optional[int] = None
+    index: int = 0
+    pid: int = 0
+    tid: int = 0
+    args: Dict[str, Any] = field(default_factory=dict)
+
+
+class _NullSpanContext:
+    """Shared no-op context manager returned while tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NULL_CONTEXT = _NullSpanContext()
+
+
+class _SpanContext:
+    """Live span recorder; created only when the tracer is enabled."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", name: str, category: str,
+                 args: Dict[str, Any]):
+        self._tracer = tracer
+        self._span = tracer._open(name, category, args)
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, *exc_info) -> bool:
+        self._tracer._close(self._span)
+        return False
+
+
+class Tracer:
+    """Span recorder with an explicit on/off switch.
+
+    Args:
+        enabled: Start recording immediately (default off).
+
+    The library shares one default tracer (:func:`get_tracer`); tests
+    and embedders can run private instances.  The tracer is
+    thread-compatible in the way the sweeps use it — spans carry the
+    recording thread id — but the span stack is per-tracer, so
+    concurrent *tracing* threads should use separate tracers.
+    """
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self.spans: List[Span] = []
+        self._stack: List[Span] = []
+        self.epoch_wall = time.time()
+        self.epoch_perf = time.perf_counter()
+
+    # -- lifecycle -----------------------------------------------------------
+    def enable(self) -> None:
+        """Start recording spans."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Stop recording spans (recorded spans are kept)."""
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop every recorded span and re-anchor the time epoch."""
+        self.spans = []
+        self._stack = []
+        self.epoch_wall = time.time()
+        self.epoch_perf = time.perf_counter()
+
+    # -- recording -----------------------------------------------------------
+    def span(self, name: str, category: str = "", **args: Any):
+        """Context manager recording one span::
+
+            with tracer.span("dse.stage2", candidates=96):
+                ...
+
+        Disabled, this returns a shared no-op object and records
+        nothing.
+        """
+        if not self.enabled:
+            return _NULL_CONTEXT
+        return _SpanContext(self, name, category, args)
+
+    def trace(self, name: Optional[str] = None, category: str = ""):
+        """Decorator form of :meth:`span`; the label defaults to the
+        function's qualified name.  The enabled check happens per call,
+        so decorating a function keeps it zero-overhead while tracing
+        is off."""
+
+        def decorate(fn: Callable) -> Callable:
+            label = name if name is not None else fn.__qualname__
+
+            @functools.wraps(fn)
+            def wrapper(*fn_args, **fn_kwargs):
+                if not self.enabled:
+                    return fn(*fn_args, **fn_kwargs)
+                with _SpanContext(self, label, category, {}):
+                    return fn(*fn_args, **fn_kwargs)
+
+            return wrapper
+
+        return decorate
+
+    def _open(self, name: str, category: str, args: Dict[str, Any]) -> Span:
+        parent = self._stack[-1] if self._stack else None
+        record = Span(
+            name=name,
+            category=category,
+            start_wall=time.time(),
+            start_perf=time.perf_counter(),
+            depth=len(self._stack),
+            parent=None if parent is None else parent.index,
+            index=len(self.spans),
+            pid=os.getpid(),
+            tid=threading.get_ident(),
+            args=args,
+        )
+        self.spans.append(record)
+        self._stack.append(record)
+        return record
+
+    def _close(self, record: Span) -> None:
+        record.duration = time.perf_counter() - record.start_perf
+        if self._stack and self._stack[-1] is record:
+            self._stack.pop()
+        elif record in self._stack:  # closed out of order: unwind to it
+            while self._stack and self._stack.pop() is not record:
+                pass
+
+    def record_span(
+        self,
+        name: str,
+        duration: float,
+        category: str = "",
+        start_perf: Optional[float] = None,
+        **args: Any,
+    ) -> Optional[Span]:
+        """Append an externally-measured interval as a span.
+
+        Used for durations measured somewhere the tracer cannot run —
+        e.g. a worker process reports its chunk wall time back to the
+        parent, which records it here.  No-op while disabled.
+        """
+        if not self.enabled:
+            return None
+        now_perf = time.perf_counter()
+        start = now_perf - duration if start_perf is None else start_perf
+        parent = self._stack[-1] if self._stack else None
+        record = Span(
+            name=name,
+            category=category,
+            start_wall=time.time() - duration,
+            start_perf=start,
+            duration=duration,
+            depth=len(self._stack),
+            parent=None if parent is None else parent.index,
+            index=len(self.spans),
+            pid=os.getpid(),
+            tid=threading.get_ident(),
+            args=args,
+        )
+        self.spans.append(record)
+        return record
+
+
+#: The library-wide default tracer every instrumented module records to.
+_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The shared default tracer."""
+    return _TRACER
+
+
+def span(name: str, category: str = "", **args: Any):
+    """``get_tracer().span(...)`` shorthand for instrumentation sites."""
+    return _TRACER.span(name, category, **args)
+
+
+def trace(name: Optional[str] = None, category: str = ""):
+    """``get_tracer().trace(...)`` shorthand (decorator)."""
+    return _TRACER.trace(name, category)
+
+
+def enable_tracing() -> None:
+    """Switch the default tracer on."""
+    _TRACER.enable()
+
+
+def disable_tracing() -> None:
+    """Switch the default tracer off."""
+    _TRACER.disable()
+
+
+def tracing_enabled() -> bool:
+    """Whether the default tracer is recording."""
+    return _TRACER.enabled

@@ -6,13 +6,21 @@
   feeding EXPERIMENTS.md.
 """
 
-from repro.reporting.tables import Table, format_seconds, format_ratio
+from repro.reporting.tables import (
+    Table,
+    format_seconds,
+    format_ratio,
+    hot_spans_table,
+    metrics_table,
+)
 from repro.reporting.experiments import ExperimentRecord, ExperimentLog
 
 __all__ = [
     "Table",
     "format_seconds",
     "format_ratio",
+    "hot_spans_table",
+    "metrics_table",
     "ExperimentRecord",
     "ExperimentLog",
 ]

@@ -60,6 +60,41 @@ class Table:
         print()
 
 
+def metrics_table(snapshot: dict) -> Table:
+    """One row per instrument of a
+    :meth:`repro.obs.metrics.MetricsRegistry.snapshot` dict."""
+    from repro.obs.metrics import _rows
+
+    table = Table("Metrics", ["kind", "name", "value"])
+    for kind, name, value in _rows(snapshot):
+        table.add_row(kind, name, value)
+    return table
+
+
+def hot_spans_table(stats: Sequence[Any], top: int = 0) -> Table:
+    """Hot-span profile of :func:`repro.obs.profile.aggregate` output.
+
+    Args:
+        stats: Aggregated span statistics, hottest first.
+        top: Keep only the first ``top`` rows (0 = all).
+    """
+    table = Table(
+        "Hot spans (self time)",
+        ["span", "count", "self", "total", "mean", "max"],
+    )
+    shown = stats[:top] if top else stats
+    for stat in shown:
+        table.add_row(
+            stat.name,
+            stat.count,
+            format_seconds(stat.self_time, 3),
+            format_seconds(stat.total, 3),
+            format_seconds(stat.mean, 3),
+            format_seconds(stat.max, 3),
+        )
+    return table
+
+
 def format_seconds(seconds: float, digits: int = 4) -> str:
     """Seconds with an auto-chosen unit (s / ms / us)."""
     if seconds >= 1.0:

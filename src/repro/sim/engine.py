@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from repro.errors import SimulationError
+from repro.obs import metrics as _metrics
 
 
 @dataclass(order=True)
@@ -61,13 +62,17 @@ class SimulationEngine:
         Args:
             until: Stop once the next event would exceed this time.
         """
+        executed = 0
         while self._queue:
             if until is not None and self._queue[0].time > until:
                 break
             event = heapq.heappop(self._queue)
             self.now = event.time
             self.events_run += 1
+            executed += 1
             event.action()
+        _metrics.counter("sim.events_run").inc(executed)
+        _metrics.gauge("sim.final_time").set(self.now)
         return self.now
 
     @property
@@ -106,6 +111,7 @@ class Resource:
         self.free_at = end
         self.busy_time += duration
         self.requests += 1
+        _metrics.counter("sim.resource_requests").inc()
         return end
 
     def utilization(self, horizon: float) -> float:

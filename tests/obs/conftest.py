@@ -1,0 +1,19 @@
+"""Shared fixtures: keep the global observability state clean.
+
+Every test in this package runs with the default tracer and registry
+disabled and empty before and after, so obs tests cannot leak spans or
+instruments into the rest of the suite (or each other).
+"""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()

@@ -1,0 +1,91 @@
+"""Exporter round-trips: plain JSON, Chrome trace, metrics JSON."""
+
+import json
+
+import pytest
+
+from repro.obs.exporters import (
+    export_chrome_trace,
+    export_metrics_json,
+    export_trace_json,
+    load_chrome_trace,
+    load_metrics_json,
+    load_trace_json,
+    trace_to_chrome,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+
+@pytest.fixture
+def traced():
+    tracer = Tracer(enabled=True)
+    with tracer.span("outer", category="dse", m=64):
+        with tracer.span("inner"):
+            pass
+    return tracer
+
+
+class TestTraceJson:
+    def test_round_trip_preserves_every_field(self, traced, tmp_path):
+        path = export_trace_json(traced.spans, tmp_path / "trace.json")
+        restored = load_trace_json(path)
+        assert restored == traced.spans
+
+    def test_plain_json_is_greppable(self, traced, tmp_path):
+        path = export_trace_json(traced.spans, tmp_path / "trace.json")
+        entries = json.loads(path.read_text())
+        assert [e["name"] for e in entries] == ["outer", "inner"]
+        assert entries[0]["args"] == {"m": 64}
+
+
+class TestChromeTrace:
+    def test_events_have_viewer_required_fields(self, traced):
+        data = trace_to_chrome(traced)
+        complete = [e for e in data["traceEvents"] if e["ph"] == "X"]
+        assert len(complete) == 2
+        for event in complete:
+            assert set(event) >= {"name", "cat", "ph", "ts", "dur",
+                                  "pid", "tid"}
+            assert event["ts"] >= 0
+            assert event["dur"] >= 0
+
+    def test_includes_process_name_metadata(self, traced):
+        data = trace_to_chrome(traced, process_name="svd-sweep")
+        meta = [e for e in data["traceEvents"] if e["ph"] == "M"]
+        assert meta and meta[0]["args"]["name"] == "svd-sweep"
+
+    def test_nesting_is_visible_in_timestamps(self, traced):
+        data = trace_to_chrome(traced)
+        by_name = {e["name"]: e for e in data["traceEvents"]
+                   if e["ph"] == "X"}
+        outer, inner = by_name["outer"], by_name["inner"]
+        assert outer["ts"] <= inner["ts"]
+        assert outer["ts"] + outer["dur"] >= inner["ts"] + inner["dur"]
+
+    def test_export_parses_back(self, traced, tmp_path):
+        path = export_chrome_trace(traced, tmp_path / "chrome.json")
+        data = load_chrome_trace(path)
+        names = {e["name"] for e in data["traceEvents"]}
+        assert {"outer", "inner"} <= names
+
+    def test_load_rejects_non_trace_json(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"spans": []}))
+        with pytest.raises(ValueError):
+            load_chrome_trace(bad)
+        bad.write_text(json.dumps({"traceEvents": [{"ph": "X"}]}))
+        with pytest.raises(ValueError):
+            load_chrome_trace(bad)
+
+
+class TestMetricsJson:
+    def test_round_trip(self, tmp_path):
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("cache.hits").inc(7)
+        registry.gauge("makespan").set(0.25)
+        registry.histogram("chunk").observe(0.1)
+        path = export_metrics_json(registry, tmp_path / "metrics.json")
+        restored = load_metrics_json(path)
+        assert restored == registry.snapshot()
+        assert restored["counters"]["cache.hits"] == 7

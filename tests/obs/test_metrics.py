@@ -1,0 +1,100 @@
+"""Tests for the metrics registry and its instruments."""
+
+import time
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKET_BOUNDS,
+    Histogram,
+    MetricsRegistry,
+    _NULL,
+)
+
+
+class TestDisabledRegistry:
+    def test_disabled_instruments_are_shared_noops(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is _NULL
+        assert registry.gauge("b") is _NULL
+        assert registry.histogram("c") is _NULL
+        assert registry.timer("d") is _NULL
+        registry.counter("a").inc()
+        registry.gauge("b").set(1.0)
+        registry.histogram("c").observe(2.0)
+        with registry.timer("d"):
+            pass
+        assert len(registry) == 0
+        assert registry.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("hits").inc()
+        registry.counter("hits").inc(4)
+        assert registry.snapshot()["counters"] == {"hits": 5}
+
+    def test_gauge_last_value_wins(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.gauge("makespan").set(3.0)
+        registry.gauge("makespan").set(1.5)
+        assert registry.snapshot()["gauges"] == {"makespan": 1.5}
+
+    def test_histogram_statistics_and_buckets(self):
+        hist = Histogram("t", bounds=(1.0, 10.0))
+        for value in (0.5, 2.0, 5.0, 50.0):
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.total == 57.5
+        assert hist.mean == 14.375
+        assert hist.min == 0.5
+        assert hist.max == 50.0
+        assert hist.buckets == [1, 2, 1]  # <=1, <=10, overflow
+
+    def test_default_bounds_cover_microseconds_to_seconds(self):
+        hist = Histogram("t")
+        hist.observe(5e-7)
+        hist.observe(5.0)
+        hist.observe(100.0)
+        assert len(hist.buckets) == len(DEFAULT_BUCKET_BOUNDS) + 1
+        assert hist.buckets[0] == 1        # sub-microsecond
+        assert hist.buckets[-2] == 1       # <= 10 s
+        assert hist.buckets[-1] == 1       # overflow
+
+    def test_timer_observes_elapsed_seconds(self):
+        registry = MetricsRegistry(enabled=True)
+        with registry.timer("stage"):
+            time.sleep(0.01)
+        hist = registry.histogram("stage")
+        assert hist.count == 1
+        assert hist.total >= 0.01
+
+    def test_reset_drops_everything(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("a").inc()
+        registry.histogram("b").observe(1.0)
+        registry.reset()
+        assert len(registry) == 0
+
+    def test_snapshot_is_json_compatible(self):
+        import json
+
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("a").inc()
+        registry.gauge("g").set(2.5)
+        registry.histogram("h").observe(0.01)
+        round_tripped = json.loads(json.dumps(registry.snapshot()))
+        assert round_tripped["counters"]["a"] == 1
+        assert round_tripped["histograms"]["h"]["count"] == 1
+
+    def test_describe_renders_table_with_every_instrument(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("cache.hits").inc(3)
+        registry.gauge("makespan").set(0.5)
+        registry.histogram("chunk").observe(0.25)
+        text = registry.describe()
+        assert "cache.hits" in text
+        assert "makespan" in text
+        assert "chunk" in text
+        assert "n=1" in text

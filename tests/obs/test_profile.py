@@ -1,0 +1,93 @@
+"""Hot-span aggregation and the end-to-end observability contract."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.core.dse import DesignSpaceExplorer
+from repro.exec.cache import EvalCache
+from repro.io import design_point_to_dict
+from repro.obs.profile import aggregate
+from repro.obs.tracer import Span, Tracer
+from repro.reporting.tables import hot_spans_table
+
+
+def _span(index, name, duration, parent=None):
+    return Span(name=name, duration=duration, index=index, parent=parent)
+
+
+class TestAggregate:
+    def test_groups_by_name_and_sorts_by_self_time(self):
+        spans = [
+            _span(0, "outer", 1.0),
+            _span(1, "inner", 0.7, parent=0),
+            _span(2, "inner", 0.1, parent=0),
+        ]
+        stats = aggregate(spans)
+        assert [s.name for s in stats] == ["inner", "outer"]
+        inner, outer = stats
+        assert inner.count == 2
+        assert inner.total == pytest.approx(0.8)
+        assert inner.self_time == pytest.approx(0.8)  # leaves: self == total
+        assert outer.self_time == pytest.approx(0.2)  # minus both children
+        assert inner.min == 0.1 and inner.max == 0.7
+        assert inner.mean == pytest.approx(0.4)
+
+    def test_self_times_sum_to_wall_clock(self):
+        spans = [
+            _span(0, "a", 2.0),
+            _span(1, "b", 1.5, parent=0),
+            _span(2, "c", 0.5, parent=1),
+        ]
+        stats = aggregate(spans)
+        assert abs(sum(s.self_time for s in stats) - 2.0) < 1e-12
+
+    def test_empty_trace(self):
+        assert aggregate([]) == []
+
+    def test_table_renders_rows(self):
+        stats = aggregate([_span(0, "x", 0.5), _span(1, "y", 0.1)])
+        text = hot_spans_table(stats).render()
+        assert "x" in text and "y" in text
+        text_top = hot_spans_table(stats, top=1).render()
+        assert "y" not in text_top
+
+
+class TestRealTraceAggregation:
+    def test_traced_sweep_yields_stage_spans(self):
+        obs.enable()
+        obs.reset()
+        try:
+            DesignSpaceExplorer(64, 64).explore(jobs=1, cache=EvalCache())
+        finally:
+            obs.disable()
+        names = {s.name for s in obs.get_tracer().spans}
+        assert {"dse.explore", "dse.stage1", "dse.stage2"} <= names
+        counters = obs.get_metrics().snapshot()["counters"]
+        assert counters["cache.misses"] > 0
+        assert counters["dse.candidates"] > 0
+        stats = aggregate(obs.get_tracer().spans)
+        assert stats  # something was hot
+        assert all(s.self_time >= 0 for s in stats)
+
+
+class TestNumericParity:
+    """The tentpole invariant: instrumentation changes zero outputs."""
+
+    def test_instrumented_explore_is_byte_identical(self):
+        explorer = DesignSpaceExplorer(64, 64)
+        plain = explorer.explore()
+        obs.enable()
+        obs.reset()
+        try:
+            traced = explorer.explore()
+            traced_parallel = explorer.explore(jobs=2, cache=EvalCache())
+        finally:
+            obs.disable()
+        for candidate in (traced, traced_parallel):
+            assert json.dumps(
+                [design_point_to_dict(p) for p in candidate], sort_keys=True
+            ) == json.dumps(
+                [design_point_to_dict(p) for p in plain], sort_keys=True
+            )

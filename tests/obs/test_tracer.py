@@ -1,0 +1,132 @@
+"""Tests for the span tracer: recording, nesting, disabled overhead."""
+
+import os
+import time
+
+from repro.obs.tracer import Tracer, _NULL_CONTEXT
+
+
+class TestDisabledTracer:
+    """The off-by-default contract: disabled tracing allocates nothing."""
+
+    def test_span_returns_shared_null_context(self):
+        tracer = Tracer()
+        first = tracer.span("a")
+        second = tracer.span("b", category="c", items=3)
+        # Identity, not just equality: the disabled path hands back one
+        # preallocated no-op object — no per-call allocation at all.
+        assert first is second
+        assert first is _NULL_CONTEXT
+
+    def test_disabled_span_records_nothing(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        assert tracer.spans == []
+
+    def test_disabled_decorator_calls_straight_through(self):
+        tracer = Tracer()
+        calls = []
+
+        @tracer.trace()
+        def work(x):
+            calls.append(x)
+            return x * 2
+
+        assert work(21) == 42
+        assert calls == [21]
+        assert tracer.spans == []
+
+    def test_disabled_record_span_is_noop(self):
+        tracer = Tracer()
+        assert tracer.record_span("chunk", 0.5) is None
+        assert tracer.spans == []
+
+
+class TestRecording:
+    def test_span_records_timing_fields(self):
+        tracer = Tracer(enabled=True)
+        before = time.time()
+        with tracer.span("work", category="test", items=7) as span:
+            time.sleep(0.01)
+        assert len(tracer.spans) == 1
+        assert span.name == "work"
+        assert span.category == "test"
+        assert span.args == {"items": 7}
+        assert span.duration >= 0.01
+        assert before <= span.start_wall <= time.time()
+        assert span.pid == os.getpid()
+
+    def test_nesting_records_depth_and_parent(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+            with tracer.span("sibling") as sibling:
+                pass
+        assert outer.depth == 0 and outer.parent is None
+        assert inner.depth == 1 and inner.parent == outer.index
+        assert sibling.depth == 1 and sibling.parent == outer.index
+        # children close before the parent: durations nest
+        assert outer.duration >= inner.duration + sibling.duration
+
+    def test_decorator_uses_qualname_and_records(self):
+        tracer = Tracer(enabled=True)
+
+        @tracer.trace()
+        def do_work():
+            return 1
+
+        @tracer.trace("custom", category="cat")
+        def other():
+            return 2
+
+        assert do_work() == 1
+        assert other() == 2
+        assert [s.name for s in tracer.spans] == \
+            [do_work.__wrapped__.__qualname__, "custom"]
+        assert tracer.spans[1].category == "cat"
+
+    def test_decorated_function_exception_still_closes_span(self):
+        tracer = Tracer(enabled=True)
+
+        @tracer.trace("boom")
+        def explode():
+            raise ValueError("no")
+
+        try:
+            explode()
+        except ValueError:
+            pass
+        assert len(tracer.spans) == 1
+        assert tracer.spans[0].duration > 0
+        assert tracer._stack == []
+
+    def test_record_span_attaches_to_open_parent(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("map") as parent:
+            recorded = tracer.record_span("chunk", 0.25, chunk=3)
+        assert recorded.parent == parent.index
+        assert recorded.duration == 0.25
+        assert recorded.args == {"chunk": 3}
+
+    def test_reset_drops_spans_and_reanchors_epoch(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("a"):
+            pass
+        old_epoch = tracer.epoch_perf
+        tracer.reset()
+        assert tracer.spans == []
+        assert tracer.epoch_perf >= old_epoch
+        assert tracer.enabled  # reset does not flip the switch
+
+    def test_enable_disable_toggle(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("a"):
+            pass
+        tracer.disable()
+        with tracer.span("b"):
+            pass
+        assert [s.name for s in tracer.spans] == ["a"]
