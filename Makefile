@@ -35,6 +35,10 @@ smoke:
 	$(PYTHON) -m repro.cli svd --size 32 --p-eng 4 --batch 4 --jobs 2 --precision 1e-4
 	$(PYTHON) -m repro.cli sensitivity --size 128 --jobs 2
 	$(PYTHON) -m repro.cli profile --size 64 --jobs 2 --cache .repro_cache
+	$(PYTHON) -m repro.cli svd --size 32 --p-eng 4 --batch 4 --p-task 2 --precision 1e-4 \
+		--fault-plan examples/fault_plans/chaos_smoke.json --retries 2
+	$(PYTHON) -m repro.cli dse --size 64 --top 3 \
+		--fault-plan examples/fault_plans/chaos_smoke.json --retries 2
 
 # Reproduce the GitHub Actions pipeline locally.
 ci: lint test smoke

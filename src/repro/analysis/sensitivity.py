@@ -105,10 +105,27 @@ def _knob_worker(payload: Tuple) -> SensitivityResult:
     return _knob_result(config_from_dict(config_data), name, scale, baseline)
 
 
+def _result_to_json(result: SensitivityResult) -> dict:
+    return {
+        "parameter": result.parameter,
+        "baseline_value": result.baseline_value,
+        "relative_effect": result.relative_effect,
+    }
+
+
+def _result_from_json(data: dict) -> SensitivityResult:
+    return SensitivityResult(
+        parameter=data["parameter"],
+        baseline_value=data["baseline_value"],
+        relative_effect=data["relative_effect"],
+    )
+
+
 def sensitivity_analysis(
     config: HeteroSVDConfig,
     scale: float = 1.2,
     jobs: Optional[int] = None,
+    checkpoint=None,
 ) -> List[SensitivityResult]:
     """Perturb each calibration knob by ``scale`` and rank the effects.
 
@@ -118,6 +135,10 @@ def sensitivity_analysis(
         jobs: Evaluate knobs in this many worker *processes* (each
             perturbation mutates module globals, so isolation matters);
             None resolves via ``HETEROSVD_JOBS``, then runs serially.
+        checkpoint: Optional
+            :class:`~repro.resilience.SweepCheckpoint` (or path);
+            completed knob measurements persist and are skipped when
+            the analysis is resumed.
 
     Returns:
         Results sorted by descending effect.
@@ -133,6 +154,22 @@ def sensitivity_analysis(
         baseline = _task_time(config)
     names = list(KNOBS)
 
+    keys = {}
+    restored = {}
+    if checkpoint is not None:
+        from repro.exec.cache import key_for_config
+        from repro.resilience import as_checkpoint
+
+        checkpoint = as_checkpoint(checkpoint, kind="sensitivity")
+        for name in names:
+            keys[name] = key_for_config(
+                "sensitivity-knob", config, knob=name, scale=scale
+            )
+            data = checkpoint.get(keys[name])
+            if data is not None:
+                restored[name] = _result_from_json(data)
+    pending = [name for name in names if name not in restored]
+
     from repro.exec.parallel import ParallelRunner, resolve_jobs
 
     effective_jobs = resolve_jobs(jobs)
@@ -144,17 +181,25 @@ def sensitivity_analysis(
         except ConfigurationError:
             effective_jobs = 1  # ad-hoc device: fall back to serial
     with _tracer.span("sensitivity.knobs", category="sensitivity",
-                      knobs=len(names), jobs=effective_jobs):
-        if effective_jobs > 1:
+                      knobs=len(pending), jobs=effective_jobs):
+        if effective_jobs > 1 and len(pending) > 1:
             runner = ParallelRunner(jobs=effective_jobs, chunk_size=1)
-            results = runner.map(
+            computed = runner.map(
                 _knob_worker,
-                [(config_data, name, scale, baseline) for name in names],
+                [(config_data, name, scale, baseline) for name in pending],
             )
         else:
-            results = [
+            computed = [
                 _knob_result(config, name, scale, baseline)
-                for name in names
+                for name in pending
             ]
+    if checkpoint is not None:
+        for name, result in zip(pending, computed):
+            checkpoint.record(keys[name], _result_to_json(result))
+        checkpoint.flush()
+    results = [
+        restored[name] if name in restored else computed[pending.index(name)]
+        for name in names
+    ]
     results.sort(key=lambda r: -r.relative_effect)
     return results

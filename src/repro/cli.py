@@ -47,6 +47,45 @@ def _make_cache(args):
     return cache
 
 
+def _make_retry(args):
+    """Build the RetryPolicy requested by ``--retries``, or None.
+
+    The policy's jitter seed follows the active fault plan's seed, so a
+    chaos run replays with identical backoff delays.
+    """
+    retries = getattr(args, "retries", 0) or 0
+    if retries < 1:
+        return None
+    from repro.resilience import RetryPolicy, active_plan
+
+    plan = active_plan()
+    return RetryPolicy(
+        max_attempts=retries + 1,
+        seed=plan.seed if plan is not None else 0,
+    )
+
+
+def _make_checkpoint(args, kind: str):
+    """Build the SweepCheckpoint requested by ``--checkpoint``, or None.
+
+    Without ``--resume`` an existing checkpoint file is discarded so a
+    fresh run never silently reuses stale results.
+    """
+    path = getattr(args, "checkpoint", None)
+    if path is None:
+        return None
+    import os
+
+    from repro.resilience import SweepCheckpoint
+
+    if not getattr(args, "resume", False):
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+    return SweepCheckpoint(path, kind=kind)
+
+
 def _load_matrix(args) -> np.ndarray:
     if args.input:
         return np.load(args.input)
@@ -106,7 +145,8 @@ def _cmd_svd_batch(args) -> int:
         precision=args.precision,
     )
     executor = BatchExecutor(
-        config, engine=args.engine, jobs=args.jobs, cache=_make_cache(args)
+        config, engine=args.engine, jobs=args.jobs, cache=_make_cache(args),
+        retry=_make_retry(args),
     )
     report = executor.run(batch)
     print(f"batch of {len(batch)} {args.size}x{args.size} SVDs on "
@@ -124,6 +164,9 @@ def _cmd_svd_batch(args) -> int:
     s_ref = np.linalg.svd(batch.matrices[first.task_id], compute_uv=False)
     deviation = float(np.max(np.abs(first.sigma[: len(s_ref)] - s_ref)))
     print(f"max deviation vs LAPACK (task 0): {deviation:.3e}")
+    if report.degraded_tasks:
+        print(f"degraded tasks: {report.degraded_tasks} of {len(batch)} "
+              f"(non-convergent, reference LAPACK fallback)")
     return 0
 
 
@@ -131,12 +174,15 @@ def cmd_dse(args) -> int:
     """Run the two-stage DSE and print the ranked design points."""
     dse = DesignSpaceExplorer(args.size, args.size, precision=args.precision)
     cache = _make_cache(args)
+    checkpoint = _make_checkpoint(args, "dse-sweep")
     points = dse.explore(
         args.objective,
         batch=args.batch,
         power_cap_w=args.power_cap,
         jobs=args.jobs,
         cache=cache,
+        checkpoint=checkpoint,
+        retry=_make_retry(args),
     )
     table = Table(
         f"DSE: {args.size}x{args.size}, objective={args.objective}, "
@@ -156,6 +202,8 @@ def cmd_dse(args) -> int:
     table.print()
     if cache is not None:
         print(f"cache: {cache.stats.describe()}")
+    if checkpoint is not None:
+        print(f"checkpoint: {checkpoint.describe()}", file=sys.stderr)
     if args.save:
         from repro.io import save_design_points
 
@@ -211,7 +259,12 @@ def cmd_sensitivity(args) -> int:
         p_task=args.p_task,
         fixed_iterations=6,
     )
-    results = sensitivity_analysis(config, scale=args.scale, jobs=args.jobs)
+    checkpoint = _make_checkpoint(args, "sensitivity")
+    results = sensitivity_analysis(
+        config, scale=args.scale, jobs=args.jobs, checkpoint=checkpoint
+    )
+    if checkpoint is not None:
+        print(f"checkpoint: {checkpoint.describe()}", file=sys.stderr)
     table = Table(
         f"Calibration sensitivity ({config.describe()}, x{args.scale})",
         ["constant", "baseline (cycles)", "task-time change"],
@@ -394,6 +447,32 @@ def build_parser() -> argparse.ArgumentParser:
             help="collect metrics and write the JSON snapshot here",
         )
 
+    def add_fault_plan_flag(sub_parser):
+        sub_parser.add_argument(
+            "--fault-plan", default=None, metavar="FILE",
+            help="activate a deterministic fault-injection plan "
+            "(JSON, see docs/resilience.md) around this command",
+        )
+
+    def add_retries_flag(sub_parser):
+        sub_parser.add_argument(
+            "--retries", type=int, default=0, metavar="N",
+            help="retry transient parallel failures up to N times "
+            "with exponential backoff (default: 0, no retry)",
+        )
+
+    def add_checkpoint_flags(sub_parser):
+        sub_parser.add_argument(
+            "--checkpoint", default=None, metavar="FILE",
+            help="persist completed sweep evaluations to this JSON "
+            "file as the sweep runs",
+        )
+        sub_parser.add_argument(
+            "--resume", action="store_true",
+            help="reuse results from an existing --checkpoint file "
+            "instead of discarding it",
+        )
+
     p_svd = sub.add_parser("svd", help="factor a matrix")
     p_svd.add_argument("--size", type=int, default=128)
     p_svd.add_argument("--seed", type=int, default=0)
@@ -417,6 +496,8 @@ def build_parser() -> argparse.ArgumentParser:
     add_jobs_flag(p_svd)
     add_cache_flag(p_svd)
     add_obs_flags(p_svd)
+    add_fault_plan_flag(p_svd)
+    add_retries_flag(p_svd)
     p_svd.set_defaults(func=cmd_svd)
 
     p_dse = sub.add_parser("dse", help="explore the design space")
@@ -433,6 +514,9 @@ def build_parser() -> argparse.ArgumentParser:
     add_jobs_flag(p_dse)
     add_cache_flag(p_dse)
     add_obs_flags(p_dse)
+    add_fault_plan_flag(p_dse)
+    add_retries_flag(p_dse)
+    add_checkpoint_flags(p_dse)
     p_dse.set_defaults(func=cmd_dse)
 
     p_model = sub.add_parser("model", help="performance-model breakdown")
@@ -464,6 +548,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_sens.add_argument("--scale", type=float, default=1.2)
     add_jobs_flag(p_sens)
     add_obs_flags(p_sens)
+    add_fault_plan_flag(p_sens)
+    add_checkpoint_flags(p_sens)
     p_sens.set_defaults(func=cmd_sensitivity)
 
     p_profile = sub.add_parser(
@@ -501,6 +587,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     ``sensitivity`` and ``profile``) enable the observability layer
     around the subcommand and export on the way out — to stderr-logged
     files, so stdout stays byte-identical to an uninstrumented run.
+    ``--fault-plan FILE`` activates a deterministic fault-injection
+    plan around the subcommand the same way (summary on stderr).
     """
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -512,8 +600,24 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         obs.reset()
         obs.enable()
+
+    def invoke() -> int:
+        fault_path = getattr(args, "fault_plan", None)
+        if fault_path is None:
+            return args.func(args)
+        from repro.resilience import load_fault_plan
+
+        plan = load_fault_plan(fault_path)
+        with plan.activate():
+            status = args.func(args)
+        print(
+            f"fault plan {fault_path}: {plan.injected} faults injected",
+            file=sys.stderr,
+        )
+        return status
+
     try:
-        return args.func(args)
+        return invoke()
     finally:
         if wants_obs:
             from repro import obs

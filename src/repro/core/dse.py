@@ -249,6 +249,8 @@ class DesignSpaceExplorer:
         power_cap_w: Optional[float] = None,
         jobs: Optional[int] = None,
         cache=None,
+        checkpoint=None,
+        retry=None,
     ) -> List[DesignPoint]:
         """Evaluate the whole feasible space, best point first.
 
@@ -263,6 +265,13 @@ class DesignSpaceExplorer:
             cache: Optional :class:`~repro.exec.cache.EvalCache`;
                 previously evaluated points are served from it and new
                 evaluations stored back.
+            checkpoint: Optional
+                :class:`~repro.resilience.SweepCheckpoint` (or path);
+                completed evaluations persist across a killed sweep and
+                are skipped on resume.
+            retry: Optional :class:`~repro.resilience.RetryPolicy`
+                re-attempting the parallel fan-out on transient
+                failures.
 
         Raises:
             DesignSpaceError: when nothing is feasible.
@@ -275,7 +284,8 @@ class DesignSpaceExplorer:
         env_jobs = os.environ.get("HETEROSVD_JOBS")
         with _tracer.span("dse.explore", category="dse",
                           m=self.m, n=self.n, objective=objective):
-            if jobs is not None or cache is not None or env_jobs:
+            if jobs is not None or cache is not None or env_jobs \
+                    or checkpoint is not None or retry is not None:
                 # Lazy import: repro.exec depends on this module.
                 from repro.exec.parallel import parallel_explore
 
@@ -287,6 +297,8 @@ class DesignSpaceExplorer:
                     power_cap_w=power_cap_w,
                     jobs=jobs,
                     cache=cache,
+                    checkpoint=checkpoint,
+                    retry=retry,
                 )
             with _tracer.span("dse.stage1", category="dse", jobs=1,
                               cached=False), \
@@ -322,9 +334,11 @@ class DesignSpaceExplorer:
         power_cap_w: Optional[float] = None,
         jobs: Optional[int] = None,
         cache=None,
+        checkpoint=None,
+        retry=None,
     ) -> DesignPoint:
         """The optimal design point for an objective."""
         return self.explore(
             objective, batch, frequency_hz, power_cap_w, jobs=jobs,
-            cache=cache,
+            cache=cache, checkpoint=checkpoint, retry=retry,
         )[0]

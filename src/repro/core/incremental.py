@@ -122,6 +122,9 @@ class IncrementalSVD:
         zero_sq = zero_column_threshold_sq(float(np.linalg.norm(a)), a.dtype)
         sweeps = 0
         converged = False
+        # Initialized before the loop: with max_sweeps=0 no sweep runs
+        # and the ConvergenceError below still needs a residual.
+        worst = float("inf")
         for _ in range(self.max_sweeps):
             worst = 0.0
             for one_round in ordering:
@@ -148,7 +151,8 @@ class IncrementalSVD:
         if not converged:
             raise ConvergenceError(
                 f"incremental update did not converge in "
-                f"{self.max_sweeps} sweeps",
+                f"{self.max_sweeps} sweeps "
+                f"({sweeps} iterations, residual {worst:.3e})",
                 iterations=sweeps,
                 residual=worst,
             )

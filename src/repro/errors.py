@@ -23,7 +23,12 @@ class NumericalError(ReproError):
 
 
 class ConvergenceError(NumericalError):
-    """An iterative solver exhausted its iteration budget before converging."""
+    """An iterative solver exhausted its iteration budget before converging.
+
+    Every raiser must populate ``iterations`` and ``residual`` — callers
+    (and the graceful-degradation fallback in :mod:`repro.resilience`)
+    rely on both being real numbers, never None or NaN.
+    """
 
     def __init__(self, message: str, iterations: int, residual: float):
         super().__init__(message)
@@ -31,6 +36,10 @@ class ConvergenceError(NumericalError):
         self.iterations = iterations
         #: Convergence metric value at the point of failure.
         self.residual = residual
+
+
+class DegradedResultWarning(UserWarning):
+    """A numerical routine fell back to the reference (LAPACK) path."""
 
 
 class HardwareModelError(ReproError):
@@ -80,9 +89,28 @@ class ParallelExecutionError(ReproError):
     Attributes:
         item_index: Position of the failing item in the mapped input.
         item_repr: ``repr()`` of the failing item (truncated).
+        completed_items: Number of items whose results were already
+            collected, in input order, before the failure surfaced —
+            what checkpoint/resume machinery and progress reporting can
+            credit as done.
     """
 
-    def __init__(self, message: str, item_index: int, item_repr: str):
+    def __init__(
+        self,
+        message: str,
+        item_index: int,
+        item_repr: str,
+        completed_items: int = 0,
+    ):
         super().__init__(message)
         self.item_index = item_index
         self.item_repr = item_repr
+        self.completed_items = completed_items
+
+
+class FaultInjectionError(ReproError):
+    """An injected fault fired at a site with no domain-specific error."""
+
+
+class CheckpointError(ReproError):
+    """A sweep checkpoint file is unusable (wrong format or version)."""

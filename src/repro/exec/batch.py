@@ -18,8 +18,10 @@ performance model's predicted makespan.
 
 from __future__ import annotations
 
+import contextlib
 import math
 import time
+import warnings
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -27,10 +29,16 @@ import numpy as np
 
 from repro.core.config import HeteroSVDConfig
 from repro.core.scheduler import BatchScheduler, Schedule
-from repro.errors import ConfigurationError
+from repro.errors import (
+    ConfigurationError,
+    ConvergenceError,
+    DegradedResultWarning,
+)
 from repro.exec.parallel import ParallelRunner, resolve_jobs
 from repro.obs import metrics as _metrics
 from repro.obs import tracer as _tracer
+from repro.resilience import faults as _faults
+from repro.resilience.retry import call_with_retry
 from repro.workloads.batch import TaskBatch
 
 VALID_ENGINES = ("accelerator", "software")
@@ -38,11 +46,16 @@ VALID_ENGINES = ("accelerator", "software")
 
 @dataclass(frozen=True)
 class TaskResult:
-    """Singular values of one completed task."""
+    """Singular values of one completed task.
+
+    ``degraded`` marks tasks whose solver did not converge and whose
+    singular values come from the reference (LAPACK) fallback instead.
+    """
 
     task_id: int
     pipeline: int
     sigma: np.ndarray
+    degraded: bool = False
 
 
 @dataclass(frozen=True)
@@ -77,6 +90,8 @@ class BatchReport:
             workers time-share cores and this overstates true serial
             time, so ``speedup`` is an upper bound there).
         modelled_makespan: The performance model's predicted makespan.
+        degraded_tasks: Tasks answered by the reference fallback after
+            their solver failed to converge (0 = fully converged batch).
     """
 
     schedule: Schedule
@@ -85,6 +100,7 @@ class BatchReport:
     wall_makespan: float
     serial_time: float
     modelled_makespan: float
+    degraded_tasks: int = 0
 
     @property
     def speedup(self) -> float:
@@ -111,38 +127,70 @@ def _pad_columns(a: np.ndarray, p_eng: int) -> np.ndarray:
     return np.hstack([a, np.zeros((m, padded_n - n))])
 
 
-def _run_pipeline(payload: Tuple) -> Tuple[int, float, List[Tuple[int, np.ndarray]]]:
-    """Worker: factor one pipeline's task stream, in schedule order."""
-    pipeline, config, engine, tasks = payload
+def _factor_task(matrix: np.ndarray, config, engine: str) -> np.ndarray:
+    """Singular values of one task matrix via the selected engine."""
+    if engine == "accelerator":
+        from repro.core.accelerator import HeteroSVDAccelerator
+
+        padded = _pad_columns(matrix, config.p_eng)
+        task_config = HeteroSVDConfig(
+            m=padded.shape[0],
+            n=padded.shape[1],
+            p_eng=config.p_eng,
+            p_task=config.p_task,
+            pl_frequency_hz=config.pl_frequency_hz,
+            precision=config.precision,
+            fixed_iterations=config.fixed_iterations,
+            use_codesign=config.use_codesign,
+            device=config.device,
+        )
+        return HeteroSVDAccelerator(task_config).run(padded).sigma
+    from repro.linalg import svd
+
+    return svd(
+        matrix,
+        method="block",
+        block_width=config.p_eng,
+        precision=config.precision,
+    ).singular_values
+
+
+def _run_pipeline(
+    payload: Tuple,
+) -> Tuple[int, float, List[Tuple[int, np.ndarray, bool]]]:
+    """Worker: factor one pipeline's task stream, in schedule order.
+
+    When a worker-side fault plan ships with the payload it is
+    activated for the stream, so ``linalg.*`` sites fire inside the
+    pool worker.  A task whose solver raises :class:`ConvergenceError`
+    degrades to the reference LAPACK singular values (``degrade=True``,
+    the default) instead of killing the pipeline.
+    """
+    pipeline, config, engine, tasks, degrade, worker_plan = payload
     started = time.perf_counter()
-    outputs: List[Tuple[int, np.ndarray]] = []
-    for task_id, matrix in tasks:
-        if engine == "accelerator":
-            from repro.core.accelerator import HeteroSVDAccelerator
-
-            padded = _pad_columns(matrix, config.p_eng)
-            task_config = HeteroSVDConfig(
-                m=padded.shape[0],
-                n=padded.shape[1],
-                p_eng=config.p_eng,
-                p_task=config.p_task,
-                pl_frequency_hz=config.pl_frequency_hz,
-                precision=config.precision,
-                fixed_iterations=config.fixed_iterations,
-                use_codesign=config.use_codesign,
-                device=config.device,
-            )
-            sigma = HeteroSVDAccelerator(task_config).run(padded).sigma
-        else:
-            from repro.linalg import svd
-
-            sigma = svd(
-                matrix,
-                method="block",
-                block_width=config.p_eng,
-                precision=config.precision,
-            ).singular_values
-        outputs.append((task_id, np.asarray(sigma)))
+    outputs: List[Tuple[int, np.ndarray, bool]] = []
+    context = (
+        worker_plan.activate() if worker_plan is not None
+        else contextlib.nullcontext()
+    )
+    with context:
+        for task_id, matrix in tasks:
+            degraded = False
+            try:
+                if _faults.fired("linalg.nonconvergence") is not None:
+                    raise ConvergenceError(
+                        f"injected fault: forced non-convergence on task "
+                        f"{task_id} (iterations=0, residual=inf)",
+                        iterations=0,
+                        residual=float("inf"),
+                    )
+                sigma = _factor_task(matrix, config, engine)
+            except ConvergenceError:
+                if not degrade:
+                    raise
+                sigma = np.linalg.svd(np.asarray(matrix), compute_uv=False)
+                degraded = True
+            outputs.append((task_id, np.asarray(sigma), degraded))
     return pipeline, time.perf_counter() - started, outputs
 
 
@@ -160,6 +208,14 @@ class BatchExecutor:
             the accelerator.
         cache: Optional :class:`~repro.exec.cache.EvalCache` shared
             with the scheduler's cost oracle.
+        retry: Optional :class:`~repro.resilience.RetryPolicy`; the
+            pipeline fan-out is re-attempted under it, so a transient
+            worker crash does not kill the batch.
+        degrade: When True (default), a task whose solver raises
+            :class:`~repro.errors.ConvergenceError` falls back to the
+            reference LAPACK singular values and is reported via
+            ``BatchReport.degraded_tasks``; when False the error
+            propagates.
     """
 
     def __init__(
@@ -168,6 +224,8 @@ class BatchExecutor:
         engine: str = "accelerator",
         jobs: Optional[int] = None,
         cache=None,
+        retry=None,
+        degrade: bool = True,
     ):
         if engine not in VALID_ENGINES:
             raise ConfigurationError(
@@ -176,6 +234,8 @@ class BatchExecutor:
         self.config = config
         self.engine = engine
         self.jobs = jobs
+        self.retry = retry
+        self.degrade = degrade
         self.scheduler = BatchScheduler(config, cost_cache=cache)
 
     def run(
@@ -196,12 +256,20 @@ class BatchExecutor:
             assignment = self.scheduler.assignment(schedule)
 
         matrices = list(batch)
+        # Ship the linalg.* fault sites (if any) to the pool workers;
+        # subset() hands each pipeline stream fresh counters.
+        plan = _faults.active_plan()
+        worker_plan = plan.subset("linalg.") if plan is not None else None
+        if worker_plan is not None and not worker_plan.specs:
+            worker_plan = None
         payloads = [
             (
                 pipeline,
                 self.config,
                 self.engine,
                 [(spec.task_id, matrices[spec.task_id]) for spec in specs_],
+                self.degrade,
+                worker_plan,
             )
             for pipeline, specs_ in enumerate(assignment)
             if specs_
@@ -216,30 +284,49 @@ class BatchExecutor:
         started = time.perf_counter()
         with _tracer.span("batch.execute", category="batch",
                           pipelines=len(payloads), engine=self.engine):
-            raw = runner.map(_run_pipeline, payloads)
+            # Close the pool before returning: a leaked executor races
+            # the interpreter's atexit teardown (EBADF noise on exit).
+            with runner:
+                raw = call_with_retry(
+                    self.retry, runner.map, _run_pipeline, payloads
+                )
         wall_makespan = time.perf_counter() - started
 
         runs: List[PipelineRun] = []
         results: List[Optional[TaskResult]] = [None] * len(specs)
+        degraded_tasks = 0
         for pipeline, wall, outputs in raw:
             runs.append(
                 PipelineRun(
                     pipeline=pipeline,
-                    task_ids=tuple(task_id for task_id, _ in outputs),
+                    task_ids=tuple(task_id for task_id, _, _ in outputs),
                     wall_time=wall,
                     modelled_time=schedule.pipeline_times[pipeline],
                 )
             )
-            for task_id, sigma in outputs:
+            for task_id, sigma, degraded in outputs:
                 results[task_id] = TaskResult(
-                    task_id=task_id, pipeline=pipeline, sigma=sigma
+                    task_id=task_id, pipeline=pipeline, sigma=sigma,
+                    degraded=degraded,
                 )
+                if degraded:
+                    degraded_tasks += 1
         runs.sort(key=lambda r: r.pipeline)
         _metrics.counter("batch.tasks").inc(len(specs))
         _metrics.gauge("batch.wall_makespan_s").set(wall_makespan)
         for run in runs:
             _metrics.histogram("batch.pipeline_seconds").observe(
                 run.wall_time
+            )
+        if degraded_tasks:
+            # Worker-side metric increments die with the pool process,
+            # so the count is credited parent-side from the results.
+            _metrics.counter("resilience.degraded_tasks").inc(degraded_tasks)
+            warnings.warn(
+                f"{degraded_tasks} of {len(specs)} tasks did not converge "
+                f"and fell back to reference LAPACK singular values",
+                DegradedResultWarning,
+                stacklevel=2,
             )
         return BatchReport(
             schedule=schedule,
@@ -248,4 +335,5 @@ class BatchExecutor:
             wall_makespan=wall_makespan,
             serial_time=sum(r.wall_time for r in runs),
             modelled_makespan=schedule.makespan,
+            degraded_tasks=degraded_tasks,
         )

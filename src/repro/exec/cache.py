@@ -38,6 +38,7 @@ from repro.core.dse import DesignPoint
 from repro.errors import ConfigurationError
 from repro.obs import metrics as _metrics
 from repro.obs import tracer as _tracer
+from repro.resilience import faults as _faults
 
 #: Distinguishes temp files of concurrent writers sharing a cache dir.
 _TMP_COUNTER = itertools.count()
@@ -66,6 +67,9 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     evictions: int = 0
+    #: Disk entries evicted because they failed the checksum, did not
+    #: parse, or did not decode — each is deleted and recomputed.
+    corrupt_entries: int = 0
 
     @property
     def lookups(self) -> int:
@@ -81,10 +85,13 @@ class CacheStats:
 
     def describe(self) -> str:
         """One-line human-readable summary."""
-        return (
+        base = (
             f"{self.hits} memory hits, {self.disk_hits} disk hits, "
             f"{self.misses} misses ({self.hit_rate * 100:.1f}% hit rate)"
         )
+        if self.corrupt_entries:
+            base += f", {self.corrupt_entries} corrupt entries evicted"
+        return base
 
 
 def _model_version() -> str:
@@ -112,8 +119,13 @@ def cache_key(kind: str, payload: Dict[str, Any]) -> str:
     return hashlib.sha256(canonical.encode()).hexdigest()
 
 
-def _encode(value: Any) -> Dict[str, Any]:
-    """JSON-compatible tagged encoding of a cacheable value."""
+def encode_value(value: Any) -> Dict[str, Any]:
+    """JSON-compatible tagged encoding of a cacheable value.
+
+    Shared with :mod:`repro.resilience.checkpoint`, which persists the
+    same value kinds (design points, numbers, JSON data) and must stay
+    format-compatible with the cache.
+    """
     from repro.io import design_point_to_dict
 
     if isinstance(value, DesignPoint):
@@ -128,8 +140,8 @@ def _encode(value: Any) -> Dict[str, Any]:
     )
 
 
-def _decode(entry: Dict[str, Any]) -> Any:
-    """Inverse of :func:`_encode`."""
+def decode_value(entry: Dict[str, Any]) -> Any:
+    """Inverse of :func:`encode_value`."""
     from repro.io import design_point_from_dict
 
     kind = entry.get("type")
@@ -140,6 +152,56 @@ def _decode(entry: Dict[str, Any]) -> Any:
     if kind == "json":
         return entry["data"]
     raise ConfigurationError(f"unknown cache entry type {kind!r}")
+
+
+# Former private names, kept for in-tree callers and tests.
+_encode = encode_value
+_decode = decode_value
+
+
+def entry_checksum(entry: Dict[str, Any]) -> str:
+    """Integrity checksum of a disk entry's payload.
+
+    Covers the tagged value (``type`` + ``data``) in canonical JSON so
+    any on-disk bit rot or truncation is detected at read time.
+    """
+    canonical = json.dumps(
+        {"type": entry.get("type"), "data": entry.get("data")},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def key_for_config(kind: str, config, **params: Any) -> str:
+    """Key for an evaluation of one configuration.
+
+    Falls back to a ``describe()``-based payload for devices
+    :mod:`repro.io` cannot serialize (ad-hoc experimental devices), so
+    memory-layer memoization still works for them.  The fallback embeds
+    the config's class qualname and the device name: two distinct
+    ad-hoc devices can share a describe string, and their evaluations
+    must not share cache entries.
+
+    Module-level so checkpoints (:mod:`repro.resilience.checkpoint`)
+    key completed evaluations identically to the cache without needing
+    a cache instance.
+    """
+    from repro.io import config_to_dict
+
+    try:
+        config_payload: Any = config_to_dict(config)
+    except (ConfigurationError, AttributeError):
+        config_payload = {
+            "describe": config.describe(),
+            "class": f"{type(config).__module__}."
+                     f"{type(config).__qualname__}",
+        }
+        device = getattr(config, "device", None)
+        device_name = getattr(device, "name", None)
+        if device_name is not None:
+            config_payload["device"] = device_name
+    return cache_key(kind, {"config": config_payload, **params})
 
 
 class EvalCache:
@@ -174,28 +236,10 @@ class EvalCache:
     def key_for_config(self, kind: str, config, **params: Any) -> str:
         """Key for an evaluation of one configuration.
 
-        Falls back to a ``describe()``-based payload for devices
-        :mod:`repro.io` cannot serialize (ad-hoc experimental devices),
-        so memory-layer memoization still works for them.  The fallback
-        embeds the config's class qualname and the device name: two
-        distinct ad-hoc devices can share a describe string, and their
-        evaluations must not share cache entries.
+        Delegates to the module-level :func:`key_for_config`; kept as a
+        method for callers holding a cache instance.
         """
-        from repro.io import config_to_dict
-
-        try:
-            config_payload: Any = config_to_dict(config)
-        except (ConfigurationError, AttributeError):
-            config_payload = {
-                "describe": config.describe(),
-                "class": f"{type(config).__module__}."
-                         f"{type(config).__qualname__}",
-            }
-            device = getattr(config, "device", None)
-            device_name = getattr(device, "name", None)
-            if device_name is not None:
-                config_payload["device"] = device_name
-        return cache_key(kind, {"config": config_payload, **params})
+        return key_for_config(kind, config, **params)
 
     # -- storage layers ------------------------------------------------------
     def _version_dir(self) -> Path:
@@ -205,27 +249,48 @@ class EvalCache:
     def _entry_path(self, key: str) -> Path:
         return self._version_dir() / key[:2] / f"{key}.json"
 
+    def _evict_corrupt(self, path: Path) -> Any:
+        """Delete an unreadable disk entry so it gets recomputed."""
+        self.stats.corrupt_entries += 1
+        _metrics.counter("cache.corrupt_entries").inc()
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return _MISS
+
     def _disk_get(self, key: str) -> Any:
         if self.disk_dir is None:
             return _MISS
         path = self._entry_path(key)
         with _tracer.span("cache.disk_get"):
             try:
-                entry = json.loads(path.read_text())
-            except (OSError, json.JSONDecodeError):
-                return _MISS
+                text = path.read_text()
+            except OSError:
+                return _MISS  # genuinely absent (or unreadable): a miss
             try:
-                return _decode(entry)
+                entry = json.loads(text)
+            except json.JSONDecodeError:
+                return self._evict_corrupt(path)
+            stored_sum = entry.get("sha256") if isinstance(entry, dict) \
+                else None
+            # Entries written before checksums existed carry no
+            # ``sha256`` field; accept them as-is.
+            if stored_sum is not None and stored_sum != entry_checksum(entry):
+                return self._evict_corrupt(path)
+            try:
+                return decode_value(entry)
             except (ConfigurationError, KeyError, TypeError):
-                return _MISS
+                return self._evict_corrupt(path)
 
     def _disk_put(self, key: str, value: Any) -> None:
         if self.disk_dir is None:
             return
         try:
-            entry = _encode(value)
+            entry = encode_value(value)
         except ConfigurationError:
             return  # unserializable (e.g. ad-hoc device): memory-only
+        entry["sha256"] = entry_checksum(entry)
         path = self._entry_path(key)
         # Writers in other processes may share this directory, so the
         # temp name must be unique per process *and* per write, and a
@@ -244,6 +309,15 @@ class EvalCache:
                     tmp.unlink()
                 except OSError:
                     pass
+                return
+        if _faults.fired("cache.corrupt") is not None:
+            # Model bit rot / a torn write: truncate the entry we just
+            # committed so the next read sees a corrupt file.
+            try:
+                text = path.read_text()
+                path.write_text(text[: max(1, len(text) // 2)])
+            except OSError:
+                pass
 
     # -- public API ----------------------------------------------------------
     def get(self, key: str) -> Any:

@@ -37,6 +37,8 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 from repro.errors import ConfigurationError, ParallelExecutionError
 from repro.obs import metrics as _metrics
 from repro.obs import tracer as _tracer
+from repro.resilience import faults as _faults
+from repro.resilience.retry import call_with_retry
 
 #: Environment variable consulted when no explicit job count is given.
 JOBS_ENV_VAR = "HETEROSVD_JOBS"
@@ -179,6 +181,20 @@ class ParallelRunner:
                 when there is no pool in the way.
         """
         items = list(items)
+        # Fault-plan hooks: checked parent-side (before any pool work)
+        # so firing counters persist across retry attempts — a plan
+        # that crashes the first map call is survived by the second.
+        stall = _faults.fired("exec.worker_stall")
+        if stall is not None:
+            _metrics.counter("resilience.stalls").inc()
+            time.sleep(stall.param if stall.param > 0 else 0.05)
+        if _faults.fired("exec.worker_crash") is not None:
+            raise ParallelExecutionError(
+                "injected worker crash (fault plan)",
+                item_index=-1,
+                item_repr="<fault-injection>",
+                completed_items=0,
+            )
         with _tracer.span(
             "parallel.map", items=len(items), jobs=self.jobs, mode=self.mode,
         ):
@@ -205,6 +221,10 @@ class ParallelRunner:
                         f"({failure.item_repr}): {failure.error_repr}",
                         item_index=item_index,
                         item_repr=failure.item_repr,
+                        # Later chunks may have finished out of order,
+                        # but only the contiguous prefix is credited:
+                        # that is what resume machinery can trust.
+                        completed_items=item_index,
                     ) from failure
                 except Exception:
                     # Pool-level failure (broken pool, unpicklable fn):
@@ -360,6 +380,8 @@ def parallel_explore(
     jobs: Optional[int] = None,
     cache=None,
     runner: Optional[ParallelRunner] = None,
+    checkpoint=None,
+    retry=None,
 ) -> List[Any]:
     """Parallel, cache-aware equivalent of ``DesignSpaceExplorer.explore``.
 
@@ -375,6 +397,13 @@ def parallel_explore(
             across sweeps.
         runner: Inject a pre-configured runner (tests); overrides
             ``jobs``.
+        checkpoint: Optional
+            :class:`~repro.resilience.checkpoint.SweepCheckpoint` (or a
+            path coercible by :func:`~repro.resilience.as_checkpoint`);
+            completed evaluations are recorded and restored on resume.
+        retry: Optional :class:`~repro.resilience.RetryPolicy` applied
+            to every pool fan-out, so transient worker failures do not
+            kill the sweep.
 
     Raises:
         DesignSpaceError: when nothing is feasible.
@@ -386,13 +415,17 @@ def parallel_explore(
             f"unknown objective {objective!r}; expected one of "
             f"{VALID_OBJECTIVES}"
         )
+    if checkpoint is not None:
+        from repro.resilience import as_checkpoint
+
+        checkpoint = as_checkpoint(checkpoint, kind="dse-sweep")
     owns_runner = runner is None
     if owns_runner:
         runner = ParallelRunner(jobs=jobs)
     try:
         return _explore_with_runner(
             explorer, objective, batch, frequency_hz, power_cap_w,
-            cache, runner,
+            cache, runner, checkpoint=checkpoint, retry=retry,
         )
     finally:
         if owns_runner:
@@ -407,10 +440,14 @@ def _explore_with_runner(
     power_cap_w: Optional[float],
     cache,
     runner: ParallelRunner,
+    checkpoint=None,
+    retry=None,
 ) -> List[Any]:
     from repro.errors import DesignSpaceError
 
-    candidates = _cached_candidates(explorer, frequency_hz, cache, runner)
+    candidates = call_with_retry(
+        retry, _cached_candidates, explorer, frequency_hz, cache, runner
+    )
     with _tracer.span("dse.stage2", category="dse",
                       candidates=len(candidates), jobs=runner.jobs), \
             _metrics.timer("dse.stage2_seconds"):
@@ -418,17 +455,25 @@ def _explore_with_runner(
         keys: List[Optional[str]] = [None] * len(candidates)
         missing: List[int] = []
         for index, (p_eng, p_task) in enumerate(candidates):
-            if cache is not None:
-                key = cache.key_for_config(
+            if cache is not None or checkpoint is not None:
+                from repro.exec.cache import key_for_config
+
+                key = key_for_config(
                     "dse-evaluate",
                     explorer.make_config(p_eng, p_task, frequency_hz),
                     batch=batch,
                 )
                 keys[index] = key
-                cached = cache.get(key)
-                if cached is not None:
-                    points[index] = cached
-                    continue
+                if cache is not None:
+                    cached = cache.get(key)
+                    if cached is not None:
+                        points[index] = cached
+                        continue
+                if checkpoint is not None:
+                    restored = checkpoint.get(key)
+                    if restored is not None:
+                        points[index] = restored
+                        continue
             missing.append(index)
 
         _metrics.counter("dse.candidates").inc(len(candidates))
@@ -441,11 +486,34 @@ def _explore_with_runner(
                  candidates[i][0], candidates[i][1], batch, frequency_hz)
                 for i in missing
             ]
-            evaluated = runner.map(_evaluate_candidate, payloads)
-            for index, point in zip(missing, evaluated):
-                points[index] = point
-                if cache is not None and keys[index] is not None:
-                    cache.put(keys[index], point)
+            if checkpoint is None and retry is None:
+                evaluated = runner.map(_evaluate_candidate, payloads)
+                for index, point in zip(missing, evaluated):
+                    points[index] = point
+                    if cache is not None and keys[index] is not None:
+                        cache.put(keys[index], point)
+            else:
+                # Chunked fan-out with a flush after every chunk: a
+                # killed sweep loses at most one chunk of work, and
+                # each chunk's map is individually retried.
+                step = runner.jobs * CHUNKS_PER_WORKER
+                if checkpoint is not None:
+                    step = max(step, checkpoint.flush_interval)
+                for start in range(0, len(missing), step):
+                    chunk_indices = missing[start:start + step]
+                    chunk_payloads = payloads[start:start + step]
+                    evaluated = call_with_retry(
+                        retry, runner.map, _evaluate_candidate,
+                        chunk_payloads,
+                    )
+                    for index, point in zip(chunk_indices, evaluated):
+                        points[index] = point
+                        if cache is not None and keys[index] is not None:
+                            cache.put(keys[index], point)
+                        if checkpoint is not None and keys[index] is not None:
+                            checkpoint.record(keys[index], point)
+                    if checkpoint is not None:
+                        checkpoint.flush()
 
         kept = [
             p for p in points

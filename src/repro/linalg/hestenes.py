@@ -19,12 +19,19 @@ simulation (:mod:`repro.core.accelerator`) is validated against.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import List, Optional, Type
 
 import numpy as np
 
-from repro.errors import ConvergenceError, NumericalError
+from repro.errors import (
+    ConvergenceError,
+    DegradedResultWarning,
+    NumericalError,
+)
+from repro.obs import metrics as _metrics
+from repro.resilience import faults as _faults
 from repro.linalg.convergence import (
     DEFAULT_PRECISION,
     pair_convergence_ratio,
@@ -50,6 +57,8 @@ class HestenesResult:
         converged: Whether the convergence criterion was met.
         rotations: Total non-identity rotations applied.
         sweep_residuals: Off-diagonal ratio observed after each sweep.
+        degraded: True when the iterative solver gave up and the
+            factors come from the reference (LAPACK) fallback instead.
     """
 
     u: np.ndarray
@@ -59,6 +68,7 @@ class HestenesResult:
     converged: bool
     rotations: int
     sweep_residuals: List[float] = field(default_factory=list)
+    degraded: bool = False
 
     def reconstruct(self) -> np.ndarray:
         """Return ``U diag(S) V^T`` for residual checks."""
@@ -88,12 +98,40 @@ def normalize_columns(b: np.ndarray, v: np.ndarray) -> "tuple[np.ndarray, np.nda
     return u, sigma, v
 
 
+def reference_fallback(a: np.ndarray, error: ConvergenceError) -> HestenesResult:
+    """Reference (LAPACK) thin SVD, used when an iterative solver gives up.
+
+    Emits a :class:`~repro.errors.DegradedResultWarning` and counts the
+    event in the ``resilience.degraded_tasks`` metric; the returned
+    result is marked ``degraded=True`` so callers can audit which
+    factorizations did not come from the Jacobi path.
+    """
+    warnings.warn(
+        f"falling back to reference SVD after non-convergence: {error}",
+        DegradedResultWarning,
+        stacklevel=2,
+    )
+    _metrics.counter("resilience.degraded_tasks").inc()
+    u, s, vt = np.linalg.svd(np.asarray(a, dtype=float), full_matrices=False)
+    return HestenesResult(
+        u=u,
+        singular_values=s,
+        v=vt.T,
+        sweeps=error.iterations,
+        converged=False,
+        rotations=0,
+        sweep_residuals=[],
+        degraded=True,
+    )
+
+
 def hestenes_svd(
     a: np.ndarray,
     precision: float = DEFAULT_PRECISION,
     max_sweeps: int = DEFAULT_MAX_SWEEPS,
     ordering_cls: Optional[Type[Ordering]] = None,
     fixed_sweeps: Optional[int] = None,
+    fallback: Optional[str] = None,
 ) -> HestenesResult:
     """Compute the thin SVD of ``a`` by one-sided Jacobi rotations.
 
@@ -110,6 +148,10 @@ def hestenes_svd(
         fixed_sweeps: When given, run exactly this many sweeps without
             checking convergence (the paper's fixed-6-iteration
             benchmarking mode) and never raise on non-convergence.
+        fallback: ``"reference"`` degrades gracefully on
+            non-convergence — the reference LAPACK SVD is returned
+            (marked ``degraded=True``) instead of raising; None
+            (default) keeps the raising behavior.
 
     Returns:
         A :class:`HestenesResult`.
@@ -117,8 +159,12 @@ def hestenes_svd(
     Raises:
         NumericalError: for invalid shapes or non-finite input.
         ConvergenceError: when ``max_sweeps`` is exhausted (only in
-            precision-driven mode).
+            precision-driven mode, and only without ``fallback``).
     """
+    if fallback not in (None, "reference"):
+        raise NumericalError(
+            f"unknown fallback {fallback!r}; expected None or 'reference'"
+        )
     a = np.asarray(a, dtype=float)
     if a.ndim != 2:
         raise NumericalError(f"expected a 2-D matrix, got shape {a.shape}")
@@ -132,6 +178,16 @@ def hestenes_svd(
         raise NumericalError(f"column count must be even and >= 2, got {n}")
     if not np.all(np.isfinite(a)):
         raise NumericalError("input matrix contains non-finite entries")
+    if _faults.fired("linalg.nonconvergence") is not None:
+        error = ConvergenceError(
+            "injected fault: forced non-convergence "
+            "(0 iterations, residual inf)",
+            iterations=0,
+            residual=float("inf"),
+        )
+        if fallback == "reference":
+            return reference_fallback(a, error)
+        raise error
 
     ordering = (ordering_cls or RingOrdering)(n)
     zero_sq = zero_column_threshold_sq(float(np.linalg.norm(a)), a.dtype)
@@ -168,12 +224,19 @@ def hestenes_svd(
     if fixed_sweeps is not None:
         converged = sweep_residuals[-1] < precision if sweep_residuals else False
     elif not converged:
-        raise ConvergenceError(
+        # A zero budget exhausts before the first sweep measures
+        # anything; report an infinite residual rather than crashing
+        # on the empty history.
+        residual = sweep_residuals[-1] if sweep_residuals else float("inf")
+        error = ConvergenceError(
             f"Hestenes-Jacobi did not converge in {max_sweeps} sweeps "
-            f"(residual {sweep_residuals[-1]:.3e})",
+            f"({sweeps_done} iterations, residual {residual:.3e})",
             iterations=sweeps_done,
-            residual=sweep_residuals[-1],
+            residual=residual,
         )
+        if fallback == "reference":
+            return reference_fallback(a, error)
+        raise error
 
     u, sigma, v = normalize_columns(b, v)
     return HestenesResult(

@@ -162,10 +162,14 @@ def kogbetliantz_svd(
             converged = True
 
     if not converged:
+        # No sweep ran (zero budget) → no measured residual; report
+        # inf, never NaN, so callers can compare and format it.
+        residual = off_history[-1] if off_history else float("inf")
         raise ConvergenceError(
-            f"Kogbetliantz did not converge in {max_sweeps} sweeps",
+            f"Kogbetliantz did not converge in {max_sweeps} sweeps "
+            f"({sweeps} iterations, residual {residual:.3e})",
             iterations=sweeps,
-            residual=off_history[-1] if off_history else float("nan"),
+            residual=residual,
         )
 
     # Fix signs (singular values must be non-negative) and sort.

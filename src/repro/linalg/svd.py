@@ -29,6 +29,7 @@ from repro.linalg.hestenes import (
     HestenesResult,
     hestenes_svd,
     normalize_columns,
+    reference_fallback,
 )
 from repro.linalg.orderings import Ordering, ShiftingRingOrdering
 from repro.linalg.rotations import apply_rotation, compute_rotation
@@ -47,6 +48,8 @@ class SVDResult:
         converged: Whether the precision target was met.
         method: ``"hestenes"`` or ``"block"``.
         sweep_residuals: Off-diagonal ratio after each sweep.
+        degraded: True when the Jacobi solver did not converge and the
+            factors come from the reference (LAPACK) fallback.
     """
 
     u: np.ndarray
@@ -56,6 +59,7 @@ class SVDResult:
     converged: bool
     method: str
     sweep_residuals: List[float] = field(default_factory=list)
+    degraded: bool = False
 
     def reconstruct(self) -> np.ndarray:
         """Return ``U diag(S) V^H`` (``V^T`` for real factors)."""
@@ -69,6 +73,7 @@ def _block_jacobi_svd(
     max_sweeps: int,
     ordering_cls: Type[Ordering],
     fixed_sweeps: Optional[int],
+    fallback: Optional[str] = None,
 ) -> HestenesResult:
     """Block Hestenes-Jacobi: the software mirror of Algorithm 1."""
     m, n = a.shape
@@ -123,12 +128,16 @@ def _block_jacobi_svd(
     if fixed_sweeps is not None:
         converged = sweep_residuals[-1] < precision if sweep_residuals else False
     elif not converged:
-        raise ConvergenceError(
+        residual = sweep_residuals[-1] if sweep_residuals else float("inf")
+        error = ConvergenceError(
             f"block Jacobi did not converge in {max_sweeps} sweeps "
-            f"(residual {sweep_residuals[-1]:.3e})",
+            f"({sweeps_done} iterations, residual {residual:.3e})",
             iterations=sweeps_done,
-            residual=sweep_residuals[-1],
+            residual=residual,
         )
+        if fallback == "reference":
+            return reference_fallback(a, error)
+        raise error
 
     u, sigma, v = normalize_columns(b, v)
     return HestenesResult(
@@ -184,6 +193,7 @@ def _complex_svd(
         converged=real.converged,
         method=real.method,
         sweep_residuals=real.sweep_residuals,
+        degraded=real.degraded,
     )
 
 
@@ -195,6 +205,7 @@ def svd(
     max_sweeps: int = DEFAULT_MAX_SWEEPS,
     ordering_cls: Optional[Type[Ordering]] = None,
     fixed_sweeps: Optional[int] = None,
+    fallback: Optional[str] = None,
 ) -> SVDResult:
     """Compute the thin SVD of a real matrix by one-sided Jacobi.
 
@@ -215,6 +226,9 @@ def svd(
             ring ordering).
         fixed_sweeps: Run exactly this many sweeps without convergence
             checks (benchmark mode).
+        fallback: ``"reference"`` returns the LAPACK factorization
+            (``degraded=True``) on non-convergence instead of raising
+            :class:`~repro.errors.ConvergenceError`.
 
     Returns:
         An :class:`SVDResult` with ``min(m, n)`` singular triplets.
@@ -233,6 +247,7 @@ def svd(
             max_sweeps=max_sweeps,
             ordering_cls=ordering_cls,
             fixed_sweeps=fixed_sweeps,
+            fallback=fallback,
         )
     a = a.astype(float)
 
@@ -259,6 +274,7 @@ def svd(
             max_sweeps=max_sweeps,
             ordering_cls=ordering,
             fixed_sweeps=fixed_sweeps,
+            fallback=fallback,
         )
     elif method == "block":
         width = block_width if block_width is not None else min(8, work.shape[1] // 2)
@@ -269,6 +285,7 @@ def svd(
             max_sweeps=max_sweeps,
             ordering_cls=ordering,
             fixed_sweeps=fixed_sweeps,
+            fallback=fallback,
         )
     else:
         raise NumericalError(f"unknown SVD method {method!r}")
@@ -295,4 +312,5 @@ def svd(
         converged=result.converged,
         method=method,
         sweep_residuals=result.sweep_residuals,
+        degraded=result.degraded,
     )

@@ -1,0 +1,60 @@
+"""Fault injection and resilience for long-running co-design flows.
+
+The ``repro.resilience`` package makes the sweep machinery survivable
+and testable under failure:
+
+* :mod:`repro.resilience.faults` — a seeded, deterministic
+  :class:`FaultPlan` that injects failures at named sites (PLIO
+  transfer errors, AIE tile memory drops, worker crashes and stalls,
+  cache corruption, forced solver non-convergence), activated via a
+  context manager or the ``--fault-plan FILE`` CLI flag and zero-cost
+  when absent;
+* :mod:`repro.resilience.retry` — :class:`RetryPolicy`, exponential
+  backoff with deterministic jitter and a per-exception-class
+  allowlist, applied by :class:`~repro.exec.batch.BatchExecutor` and
+  the DSE fan-out;
+* :mod:`repro.resilience.checkpoint` — :class:`SweepCheckpoint`,
+  atomic JSON checkpointing of completed design-point evaluations so a
+  killed sweep resumes (``--resume``) losing at most one chunk.
+
+Graceful numerical degradation (non-convergent blocks falling back to
+the reference LAPACK SVD) lives with the solvers in
+:mod:`repro.linalg.hestenes` and the batch executor; its warnings use
+:class:`repro.errors.DegradedResultWarning`.
+
+A chaos run end to end::
+
+    from repro.resilience import FaultPlan, FaultSpec, RetryPolicy
+
+    plan = FaultPlan(seed=7, faults=[
+        FaultSpec(site="exec.worker_crash", at=(0,)),
+        FaultSpec(site="linalg.nonconvergence", at=(0,)),
+    ])
+    with plan.activate():
+        report = BatchExecutor(config, retry=RetryPolicy(seed=7)).run(batch)
+    assert report.degraded_tasks >= 1   # degraded, not dead
+"""
+
+from repro.resilience.checkpoint import SweepCheckpoint, as_checkpoint
+from repro.resilience.faults import (
+    KNOWN_SITES,
+    FaultPlan,
+    FaultSpec,
+    active_plan,
+    fired,
+    load_fault_plan,
+)
+from repro.resilience.retry import RetryPolicy, call_with_retry
+
+__all__ = [
+    "KNOWN_SITES",
+    "FaultPlan",
+    "FaultSpec",
+    "RetryPolicy",
+    "SweepCheckpoint",
+    "active_plan",
+    "as_checkpoint",
+    "call_with_retry",
+    "fired",
+    "load_fault_plan",
+]

@@ -1,0 +1,286 @@
+"""Seeded, deterministic fault injection.
+
+A :class:`FaultPlan` names *sites* — well-known places in the hardware
+model and the execution layer that have opted into injection — and
+decides, deterministically from a seed, which invocations of each site
+fail.  Production code never pays for the machinery: every hook is a
+single function call that returns immediately while no plan is active
+(module-global ``None`` check), and with no ``--fault-plan`` flag no
+plan is ever constructed.
+
+Sites shipped with the library:
+
+=========================  ==================================================
+``versal.plio``            PLIO transfer error → ``CommunicationError``
+``versal.tile_memory``     AIE tile memory drop → ``MemoryAllocationError``
+``sim.event``              event-queue corruption → ``SimulationError``
+``exec.worker_crash``      a pool worker dies → ``ParallelExecutionError``
+``exec.worker_stall``      a slow worker (sleep of ``param`` seconds)
+``cache.corrupt``          an ``EvalCache`` disk entry is corrupted in place
+``linalg.nonconvergence``  a solver raises ``ConvergenceError``
+=========================  ==================================================
+
+Determinism contract: activating the same plan twice produces the same
+firing sequence — :meth:`FaultPlan.activate` resets the per-site
+invocation counters, and the firing indices derive only from the seed
+and the site name.  That is what makes a chaos test replayable.
+
+Plans cross process boundaries by value (they pickle), so worker-side
+sites (``linalg.*`` inside a :class:`~repro.exec.batch.BatchExecutor`
+pipeline) count invocations per worker stream, not globally.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import zlib
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigurationError
+from repro.obs import metrics as _metrics
+
+#: Sites the library's built-in hooks consult.  Plans may also name
+#: custom sites (for user-defined hooks); unknown sites simply never
+#: fire unless some code checks them.
+KNOWN_SITES = (
+    "versal.plio",
+    "versal.tile_memory",
+    "sim.event",
+    "exec.worker_crash",
+    "exec.worker_stall",
+    "cache.corrupt",
+    "linalg.nonconvergence",
+)
+
+#: Default number of leading invocations a derived firing set is drawn
+#: from when a spec gives only a ``count``.
+DEFAULT_WINDOW = 8
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Injection schedule of one site.
+
+    Attributes:
+        site: Site name (see :data:`KNOWN_SITES`).
+        count: Number of firings when ``at`` is not given.
+        at: Explicit 0-based invocation indices that fire; overrides
+            ``count``/``window``.
+        window: The derived firing indices are sampled from the first
+            ``window`` invocations of the site.
+        param: Site-specific knob — stall seconds for
+            ``exec.worker_stall``; unused elsewhere.
+    """
+
+    site: str
+    count: int = 1
+    at: Optional[Tuple[int, ...]] = None
+    window: int = DEFAULT_WINDOW
+    param: float = 0.0
+
+    def __post_init__(self):
+        if not self.site:
+            raise ConfigurationError("fault spec needs a site name")
+        if self.at is not None:
+            object.__setattr__(self, "at", tuple(int(i) for i in self.at))
+            if any(i < 0 for i in self.at):
+                raise ConfigurationError(
+                    f"fault indices must be >= 0, got {self.at}"
+                )
+        elif self.count < 1:
+            raise ConfigurationError(
+                f"fault count must be >= 1, got {self.count}"
+            )
+
+    def resolve_hits(self, seed: int) -> FrozenSet[int]:
+        """Invocation indices at which this spec fires.
+
+        Explicit ``at`` wins; otherwise ``count`` indices are sampled
+        (seeded by the plan seed and the site name, so two sites of one
+        plan fail at independent offsets).
+        """
+        if self.at is not None:
+            return frozenset(self.at)
+        window = max(self.window, self.count)
+        rng = random.Random(seed * 1_000_003 + zlib.crc32(self.site.encode()))
+        return frozenset(rng.sample(range(window), self.count))
+
+
+class FaultPlan:
+    """A deterministic schedule of failures across named sites.
+
+    Args:
+        seed: Drives derived firing indices and the retry jitter of any
+            :class:`~repro.resilience.retry.RetryPolicy` built from the
+            plan.
+        faults: The per-site :class:`FaultSpec` schedules (at most one
+            per site).
+    """
+
+    def __init__(self, seed: int = 0, faults: Sequence[FaultSpec] = ()):
+        self.seed = int(seed)
+        self.specs: Dict[str, FaultSpec] = {}
+        for spec in faults:
+            if spec.site in self.specs:
+                raise ConfigurationError(
+                    f"duplicate fault spec for site {spec.site!r}"
+                )
+            self.specs[spec.site] = spec
+        self._hits: Dict[str, FrozenSet[int]] = {
+            site: spec.resolve_hits(self.seed)
+            for site, spec in self.specs.items()
+        }
+        self._counters: Dict[str, int] = {}
+        #: Faults fired since the last :meth:`reset`.
+        self.injected = 0
+
+    # -- firing --------------------------------------------------------------
+    def reset(self) -> None:
+        """Rewind every site counter (start of a deterministic replay)."""
+        self._counters.clear()
+        self.injected = 0
+
+    def check(self, site: str) -> Optional[FaultSpec]:
+        """Count one invocation of ``site``; the spec when it fires."""
+        spec = self.specs.get(site)
+        if spec is None:
+            return None
+        index = self._counters.get(site, 0)
+        self._counters[site] = index + 1
+        if index not in self._hits[site]:
+            return None
+        self.injected += 1
+        _metrics.counter("resilience.faults_injected").inc()
+        return spec
+
+    def hits(self, site: str) -> FrozenSet[int]:
+        """The resolved firing indices of a site (empty if unscheduled)."""
+        return self._hits.get(site, frozenset())
+
+    def subset(self, prefix: str) -> "FaultPlan":
+        """A fresh plan holding only sites starting with ``prefix``.
+
+        Used to ship just the worker-side sites (``linalg.*``) across a
+        process pool; the copy has its own counters, so activating it in
+        a worker never perturbs the parent's firing sequence.
+        """
+        return FaultPlan(
+            self.seed,
+            [s for site, s in self.specs.items() if site.startswith(prefix)],
+        )
+
+    @contextmanager
+    def activate(self) -> Iterator["FaultPlan"]:
+        """Install this plan as the process-wide active plan.
+
+        Counters reset on entry, so every activation replays the same
+        firing sequence.  Nesting restores the previous plan on exit.
+        """
+        global _ACTIVE
+        previous = _ACTIVE
+        self.reset()
+        _ACTIVE = self
+        try:
+            yield self
+        finally:
+            _ACTIVE = previous
+
+    # -- serialization -------------------------------------------------------
+    def to_dict(self) -> Dict:
+        """JSON-compatible representation (the ``--fault-plan`` format)."""
+        faults: List[Dict] = []
+        for spec in self.specs.values():
+            entry: Dict = {"site": spec.site}
+            if spec.at is not None:
+                entry["at"] = list(spec.at)
+            else:
+                entry["count"] = spec.count
+                entry["window"] = spec.window
+            if spec.param:
+                entry["param"] = spec.param
+            faults.append(entry)
+        return {"seed": self.seed, "faults": faults}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FaultPlan":
+        """Inverse of :meth:`to_dict`.
+
+        Raises:
+            ConfigurationError: for a malformed plan description.
+        """
+        if not isinstance(data, dict) or "faults" not in data:
+            raise ConfigurationError(
+                "fault plan must be an object with a 'faults' list"
+            )
+        specs = []
+        for entry in data["faults"]:
+            if not isinstance(entry, dict) or "site" not in entry:
+                raise ConfigurationError(
+                    f"fault entry must be an object with a 'site': {entry!r}"
+                )
+            unknown = set(entry) - {"site", "count", "at", "window", "param"}
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown fault spec fields {sorted(unknown)} "
+                    f"for site {entry['site']!r}"
+                )
+            specs.append(
+                FaultSpec(
+                    site=entry["site"],
+                    count=int(entry.get("count", 1)),
+                    at=tuple(entry["at"]) if "at" in entry else None,
+                    window=int(entry.get("window", DEFAULT_WINDOW)),
+                    param=float(entry.get("param", 0.0)),
+                )
+            )
+        return cls(seed=int(data.get("seed", 0)), faults=specs)
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the plan as JSON."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True))
+        return path
+
+
+def load_fault_plan(path: Union[str, Path]) -> FaultPlan:
+    """Read a plan file written by :meth:`FaultPlan.save` (or by hand).
+
+    Raises:
+        ConfigurationError: when the file is missing or malformed.
+    """
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read fault plan {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(
+            f"fault plan {path} is not valid JSON: {exc}"
+        ) from exc
+    return FaultPlan.from_dict(data)
+
+
+#: The process-wide active plan; None means injection is off and every
+#: hook returns after one pointer comparison.
+_ACTIVE: Optional[FaultPlan] = None
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The currently activated plan, or None."""
+    return _ACTIVE
+
+
+def fired(site: str) -> Optional[FaultSpec]:
+    """Hook entry point: the firing spec for this invocation, or None.
+
+    This is the only call production code places at a site; with no
+    active plan it is a global load and a comparison.
+    """
+    plan = _ACTIVE
+    if plan is None:
+        return None
+    return plan.check(site)

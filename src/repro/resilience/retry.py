@@ -1,0 +1,118 @@
+"""Retry with exponential backoff and deterministic jitter.
+
+:class:`RetryPolicy` re-invokes a callable when it raises one of an
+allowlisted set of exception classes, sleeping an exponentially growing
+delay between attempts.  The jitter that decorrelates concurrent
+retriers is drawn from a seeded PRNG (typically the fault plan's seed),
+so a chaos run's timing is replayable.
+
+The policy is deliberately value-like (frozen dataclass): sharing one
+instance across call sites is safe, and every :meth:`call` draws its
+jitter from a fresh generator.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Tuple, Type
+
+from repro.errors import ConfigurationError, ReproError
+from repro.obs import metrics as _metrics
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a transiently failing operation is re-attempted.
+
+    Attributes:
+        max_attempts: Total attempts, first try included (>= 1; 1 means
+            no retries).
+        base_delay_s: Sleep before the first retry.
+        backoff: Multiplier applied to the delay after each retry.
+        max_delay_s: Upper bound on any single sleep.
+        jitter: Fractional random extension of each sleep (0.1 = up to
+            +10%), drawn deterministically from ``seed``.
+        retry_on: Exception classes that qualify for a retry; anything
+            else propagates immediately.  Defaults to the library's own
+            :class:`~repro.errors.ReproError` hierarchy.
+        seed: Seeds the jitter PRNG (use the fault plan's seed for
+            replayable chaos runs).
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.05
+    backoff: float = 2.0
+    max_delay_s: float = 2.0
+    jitter: float = 0.1
+    retry_on: Tuple[Type[BaseException], ...] = (ReproError,)
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ConfigurationError("retry delays must be >= 0")
+        if self.backoff < 1.0:
+            raise ConfigurationError(
+                f"backoff must be >= 1, got {self.backoff}"
+            )
+        if not 0 <= self.jitter <= 1:
+            raise ConfigurationError(
+                f"jitter must be in [0, 1], got {self.jitter}"
+            )
+        if not self.retry_on:
+            raise ConfigurationError("retry_on must name at least one class")
+
+    def delays(self) -> Iterator[float]:
+        """The sleep before each retry (``max_attempts - 1`` values).
+
+        Deterministic for a given policy: same seed, same delays.
+        """
+        rng = random.Random(self.seed)
+        delay = self.base_delay_s
+        for _ in range(self.max_attempts - 1):
+            yield min(self.max_delay_s, delay) * (1.0 + self.jitter * rng.random())
+            delay *= self.backoff
+
+    def call(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
+        """Invoke ``fn`` under this policy.
+
+        Publishes ``resilience.retries`` per re-attempt and
+        ``resilience.gave_up`` when the budget is exhausted, at which
+        point the last exception is re-raised unchanged (its context
+        chain still names the injected/underlying cause).
+        """
+        delays = list(self.delays())
+        attempt = 0
+        while True:
+            try:
+                return fn(*args, **kwargs)
+            except self.retry_on:
+                if attempt >= len(delays):
+                    _metrics.counter("resilience.gave_up").inc()
+                    raise  # the original exception, attempts exhausted
+                pause = delays[attempt]
+                attempt += 1
+                _metrics.counter("resilience.retries").inc()
+                if pause > 0:
+                    time.sleep(pause)
+
+
+def call_with_retry(
+    retry: "RetryPolicy | None",
+    fn: Callable[..., Any],
+    *args: Any,
+    **kwargs: Any,
+) -> Any:
+    """``fn(*args)`` under ``retry`` when given, else a plain call.
+
+    The helper keeps integration sites one-liners and guarantees the
+    no-policy path adds zero frames of behavior change.
+    """
+    if retry is None:
+        return fn(*args, **kwargs)
+    return retry.call(fn, *args, **kwargs)

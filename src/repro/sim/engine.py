@@ -18,6 +18,7 @@ from typing import Callable, List, Optional
 
 from repro.errors import SimulationError
 from repro.obs import metrics as _metrics
+from repro.resilience import faults as _faults
 
 
 @dataclass(order=True)
@@ -51,6 +52,10 @@ class SimulationEngine:
         """
         if delay < 0:
             raise SimulationError(f"negative delay {delay} for event {label!r}")
+        if _faults.fired("sim.event") is not None:
+            raise SimulationError(
+                f"injected fault: event {label!r} lost before scheduling"
+            )
         heapq.heappush(
             self._queue,
             Event(self.now + delay, next(self._sequence), action, label),

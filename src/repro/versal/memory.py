@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.errors import MemoryAllocationError
+from repro.resilience import faults as _faults
 from repro.units import kib
 
 #: AIE1 tile data memory: 4 banks x 8 KB.
@@ -100,6 +101,13 @@ class MemoryModule:
         """
         if name in self._buffers:
             raise MemoryAllocationError(f"buffer {name!r} already allocated")
+        if _faults.fired("versal.tile_memory") is not None:
+            # An active fault plan models a dropped AIE tile: its
+            # memory module refuses service.
+            raise MemoryAllocationError(
+                f"injected fault: tile memory dropped, cannot place "
+                f"buffer {name!r}"
+            )
         for index, bank in enumerate(self.banks):
             if bits <= bank.free_bits:
                 bank.allocate(bits)

@@ -22,6 +22,7 @@ import enum
 from dataclasses import dataclass
 
 from repro.errors import CommunicationError
+from repro.resilience import faults as _faults
 from repro.versal.device import DeviceSpec, VCK190
 
 #: PLIOs consumed by one task pipeline (4 orth + 2 norm).
@@ -73,9 +74,20 @@ class PLIOPort:
         )
 
     def transfer_seconds(self, bits: int, pl_frequency_hz: float) -> float:
-        """Time to move ``bits`` through this port (Eq. 8)."""
+        """Time to move ``bits`` through this port (Eq. 8).
+
+        Raises:
+            CommunicationError: for a negative payload — or when an
+                active fault plan fires the ``versal.plio`` site,
+                modelling a transient stream-interface transfer error.
+        """
         if bits < 0:
             raise CommunicationError(f"negative payload: {bits}")
+        if _faults.fired("versal.plio") is not None:
+            raise CommunicationError(
+                f"injected fault: PLIO {self.index} "
+                f"({self.direction.value}) transfer error"
+            )
         return bits / self.effective_bits_per_s(pl_frequency_hz)
 
     def transfer_pl_cycles(self, bits: int, pl_frequency_hz: float) -> float:

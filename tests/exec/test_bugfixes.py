@@ -172,6 +172,31 @@ class TestWorkerFailureContext:
         assert len(executed) < 40
 
 
+class TestCompletedItems:
+    """``ParallelExecutionError.completed_items`` credits the contiguous
+    prefix of items known finished before the failure, so callers (e.g.
+    a checkpointed DSE chunk loop) can reason about lost work."""
+
+    def test_pooled_failure_reports_contiguous_prefix(self):
+        items = list(range(20))
+        with ParallelRunner(jobs=2, chunk_size=3) as runner:
+            with pytest.raises(ParallelExecutionError) as excinfo:
+                runner.map(_explode_on_poison, items)
+        error = excinfo.value
+        assert error.completed_items == error.item_index
+        assert 0 <= error.completed_items < len(items)
+
+    def test_failure_on_first_item_reports_zero(self):
+        with ParallelRunner(jobs=2, mode="thread", chunk_size=1) as runner:
+            with pytest.raises(ParallelExecutionError) as excinfo:
+                runner.map(_explode_on_poison, [_POISON, 1, 2])
+        assert excinfo.value.completed_items == 0
+
+    def test_default_is_zero(self):
+        error = ParallelExecutionError("boom", item_index=3, item_repr="x")
+        assert error.completed_items == 0
+
+
 # -- fix 3: fallback-key collisions -------------------------------------------
 
 class _AdHocDevice:

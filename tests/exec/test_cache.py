@@ -158,3 +158,78 @@ class TestDiskLayer:
         assert "1 memory hits" in text
         assert "1 misses" in text
         assert cache.stats.hit_rate == 0.5
+
+
+class TestCorruptionResilience:
+    """Disk entries carry a sha256 checksum; damaged entries are
+    evicted (and counted) instead of being served or crashing."""
+
+    def test_entries_carry_a_checksum(self, tmp_path):
+        from repro.exec.cache import entry_checksum
+
+        cache = EvalCache(disk_dir=tmp_path / "c")
+        cache.put("k", 1.0)
+        entry = json.loads(cache._entry_path("k").read_text())
+        assert entry["sha256"] == entry_checksum(entry)
+
+    def test_truncated_entry_is_evicted_and_recomputable(self, tmp_path):
+        cache = EvalCache(disk_dir=tmp_path / "c")
+        cache.put("k", 1.0)
+        path = cache._entry_path("k")
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])  # torn write / bit rot
+
+        fresh = EvalCache(disk_dir=tmp_path / "c")
+        assert fresh.get("k") is None
+        assert fresh.stats.corrupt_entries == 1
+        assert not path.exists()  # evicted, not left to fail again
+        fresh.put("k", 1.0)  # recompute-and-store works
+        assert EvalCache(disk_dir=tmp_path / "c").get("k") == 1.0
+
+    def test_checksum_mismatch_is_evicted(self, tmp_path):
+        cache = EvalCache(disk_dir=tmp_path / "c")
+        cache.put("k", 1.0)
+        path = cache._entry_path("k")
+        entry = json.loads(path.read_text())
+        entry["data"] = 2.0  # valid JSON, silently flipped payload
+        path.write_text(json.dumps(entry))
+
+        fresh = EvalCache(disk_dir=tmp_path / "c")
+        assert fresh.get("k") is None
+        assert fresh.stats.corrupt_entries == 1
+
+    def test_legacy_entry_without_checksum_still_served(self, tmp_path):
+        cache = EvalCache(disk_dir=tmp_path / "c")
+        cache.put("k", 1.0)
+        path = cache._entry_path("k")
+        entry = json.loads(path.read_text())
+        del entry["sha256"]  # entry written before the integrity field
+        path.write_text(json.dumps(entry))
+
+        fresh = EvalCache(disk_dir=tmp_path / "c")
+        assert fresh.get("k") == 1.0
+        assert fresh.stats.corrupt_entries == 0
+
+    def test_corrupt_entries_surface_in_describe_and_metrics(self, tmp_path):
+        from repro import obs
+
+        cache = EvalCache(disk_dir=tmp_path / "c")
+        cache.put("k", 1.0)
+        cache._entry_path("k").write_text("{not json")
+
+        obs.reset()
+        obs.enable()
+        try:
+            fresh = EvalCache(disk_dir=tmp_path / "c")
+            assert fresh.get("k") is None
+            counters = obs.get_metrics().snapshot()["counters"]
+            assert counters["cache.corrupt_entries"] == 1
+        finally:
+            obs.disable()
+        assert "1 corrupt entries evicted" in fresh.stats.describe()
+
+    def test_clean_cache_reports_no_corruption(self, tmp_path):
+        cache = EvalCache(disk_dir=tmp_path / "c")
+        cache.put("k", 1.0)
+        assert EvalCache(disk_dir=tmp_path / "c").get("k") == 1.0
+        assert "corrupt" not in cache.stats.describe()

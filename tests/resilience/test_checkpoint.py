@@ -1,0 +1,187 @@
+"""Tests for sweep checkpoint/resume."""
+
+import json
+
+import pytest
+
+from repro.core.dse import DesignSpaceExplorer
+from repro.errors import CheckpointError, ParallelExecutionError
+from repro.io import design_point_to_dict
+from repro.resilience import (
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    SweepCheckpoint,
+    as_checkpoint,
+)
+
+
+def _fingerprint(points):
+    return json.dumps(
+        [design_point_to_dict(p) for p in points], sort_keys=True
+    )
+
+
+@pytest.fixture(scope="module")
+def explorer():
+    return DesignSpaceExplorer(64, 64)
+
+
+class TestSweepCheckpoint:
+    def test_design_point_round_trip(self, tmp_path, explorer):
+        point = explorer.evaluate(4, 1)
+        path = tmp_path / "ck.json"
+        ck = SweepCheckpoint(path, kind="dse-sweep")
+        ck.record("k1", point)
+        ck.flush()
+
+        fresh = SweepCheckpoint(path, kind="dse-sweep")
+        restored = fresh.get("k1")
+        assert restored is not None
+        assert design_point_to_dict(restored) == design_point_to_dict(point)
+        assert fresh.resumed == 1
+        assert fresh.get("unknown") is None
+
+    def test_auto_flush_every_interval(self, tmp_path):
+        path = tmp_path / "ck.json"
+        ck = SweepCheckpoint(path, kind="sweep", flush_interval=2)
+        ck.record("a", 1.0)
+        assert not path.exists()  # still buffered
+        ck.record("b", 2.0)
+        assert path.exists()  # interval reached → atomic write
+        assert len(SweepCheckpoint(path, kind="sweep")) == 2
+
+    def test_contains_does_not_count_as_resume(self, tmp_path):
+        ck = SweepCheckpoint(tmp_path / "ck.json", kind="sweep")
+        ck.record("a", 1.0)
+        assert ck.contains("a")
+        assert not ck.contains("b")
+        assert ck.resumed == 0
+
+    def test_kind_mismatch_raises(self, tmp_path):
+        path = tmp_path / "ck.json"
+        ck = SweepCheckpoint(path, kind="dse-sweep")
+        ck.record("a", 1.0)
+        ck.flush()
+        with pytest.raises(CheckpointError, match="dse-sweep"):
+            SweepCheckpoint(path, kind="sensitivity")
+
+    def test_corrupt_file_warns_and_starts_fresh(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text("{truncated")
+        with pytest.warns(UserWarning, match="corrupt checkpoint"):
+            ck = SweepCheckpoint(path, kind="sweep")
+        assert len(ck) == 0
+        ck.record("a", 1.0)
+        ck.flush()
+        assert len(SweepCheckpoint(path, kind="sweep")) == 1
+
+    def test_stale_model_version_discarded(self, tmp_path, monkeypatch):
+        from repro.core import perf_model
+
+        path = tmp_path / "ck.json"
+        ck = SweepCheckpoint(path, kind="sweep")
+        ck.record("a", 1.0)
+        ck.flush()
+        monkeypatch.setattr(perf_model, "MODEL_VERSION", "0.0-stale")
+        with pytest.warns(UserWarning, match="stale checkpoint"):
+            stale = SweepCheckpoint(path, kind="sweep")
+        assert len(stale) == 0
+
+    def test_garbled_entry_recomputed_not_fatal(self, tmp_path):
+        path = tmp_path / "ck.json"
+        ck = SweepCheckpoint(path, kind="sweep")
+        ck.record("good", 1.0)
+        ck.flush()
+        data = json.loads(path.read_text())
+        data["entries"]["bad"] = {"type": "design_point", "data": {}}
+        path.write_text(json.dumps(data))
+        fresh = SweepCheckpoint(path, kind="sweep")
+        assert fresh.get("bad") is None  # evicted, will be recomputed
+        assert fresh.get("good") == 1.0
+
+    def test_as_checkpoint_coercions(self, tmp_path):
+        assert as_checkpoint(None, kind="sweep") is None
+        ck = SweepCheckpoint(tmp_path / "a.json", kind="dse-sweep")
+        assert as_checkpoint(ck, kind="ignored") is ck
+        opened = as_checkpoint(tmp_path / "b.json", kind="dse-sweep")
+        assert isinstance(opened, SweepCheckpoint)
+        assert opened.kind == "dse-sweep"
+
+
+class TestDSEResume:
+    def test_kill_and_resume_matches_uninterrupted(self, tmp_path, explorer):
+        baseline = explorer.explore()
+        path = tmp_path / "dse.json"
+
+        # First run: the pool is killed on its second fan-out chunk.
+        plan = FaultPlan(
+            faults=[FaultSpec(site="exec.worker_crash", at=(1,))]
+        )
+        ck = SweepCheckpoint(path, kind="dse-sweep")
+        with plan.activate():
+            with pytest.raises(ParallelExecutionError):
+                explorer.explore(jobs=1, checkpoint=ck)
+        survived = SweepCheckpoint(path, kind="dse-sweep")
+        assert 0 < len(survived) < len(baseline)  # partial progress kept
+
+        # Resume against the same file: completes, and the result is
+        # byte-identical to the never-interrupted sweep.
+        resumed = explorer.explore(jobs=1, checkpoint=survived)
+        assert survived.resumed > 0
+        assert _fingerprint(resumed) == _fingerprint(baseline)
+
+    def test_checkpoint_and_retry_preserve_numeric_parity(
+        self, tmp_path, explorer
+    ):
+        baseline = explorer.explore()
+        retry = RetryPolicy(max_attempts=2, base_delay_s=0.0, jitter=0.0)
+        points = explorer.explore(
+            jobs=1,
+            checkpoint=SweepCheckpoint(tmp_path / "dse.json",
+                                       kind="dse-sweep"),
+            retry=retry,
+        )
+        assert _fingerprint(points) == _fingerprint(baseline)
+
+    def test_retry_recovers_a_crashed_chunk(self, tmp_path, explorer):
+        baseline = explorer.explore()
+        plan = FaultPlan(
+            faults=[FaultSpec(site="exec.worker_crash", at=(1,))]
+        )
+        retry = RetryPolicy(max_attempts=2, base_delay_s=0.0, jitter=0.0)
+        ck = SweepCheckpoint(tmp_path / "dse.json", kind="dse-sweep")
+        with plan.activate():
+            # The crash counter lives in the parent, so the re-attempted
+            # chunk lands on the next index and succeeds.
+            points = explorer.explore(jobs=1, checkpoint=ck, retry=retry)
+        assert _fingerprint(points) == _fingerprint(baseline)
+
+    def test_best_accepts_resilience_arguments(self, tmp_path, explorer):
+        best_plain = explorer.best()
+        best_ck = explorer.best(
+            jobs=1,
+            checkpoint=SweepCheckpoint(tmp_path / "dse.json",
+                                       kind="dse-sweep"),
+        )
+        assert design_point_to_dict(best_ck) == design_point_to_dict(
+            best_plain
+        )
+
+
+class TestSensitivityResume:
+    def test_resume_skips_completed_knobs(self, tmp_path, explorer):
+        from repro.analysis.sensitivity import sensitivity_analysis
+
+        config = explorer.make_config(4, 1)
+        baseline = sensitivity_analysis(config)
+        path = tmp_path / "sens.json"
+
+        first = sensitivity_analysis(config, checkpoint=path)
+        assert first == baseline
+
+        ck = SweepCheckpoint(path, kind="sensitivity")
+        second = sensitivity_analysis(config, checkpoint=ck)
+        assert ck.resumed == len(baseline)  # every knob restored
+        assert ck.recorded == 0
+        assert second == baseline

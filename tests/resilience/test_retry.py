@@ -1,0 +1,133 @@
+"""Tests for the retry-with-backoff policy."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ReproError, SimulationError
+from repro.resilience import RetryPolicy, call_with_retry
+
+# Delays collapsed to zero so the tests never actually sleep.
+FAST = dict(base_delay_s=0.0, jitter=0.0)
+
+
+class Flaky:
+    """Raises ``exc`` for the first ``failures`` calls, then returns."""
+
+    def __init__(self, failures, exc=ReproError("transient")):
+        self.failures = failures
+        self.exc = exc
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.exc
+        return "ok"
+
+
+class TestRetryPolicy:
+    def test_transient_failure_recovers(self):
+        fn = Flaky(failures=2)
+        policy = RetryPolicy(max_attempts=3, **FAST)
+        assert policy.call(fn) == "ok"
+        assert fn.calls == 3
+
+    def test_exhaustion_reraises_the_original_exception(self):
+        original = SimulationError("persistent")
+        fn = Flaky(failures=99, exc=original)
+        policy = RetryPolicy(max_attempts=3, **FAST)
+        with pytest.raises(SimulationError) as excinfo:
+            policy.call(fn)
+        assert excinfo.value is original
+        assert fn.calls == 3
+
+    def test_allowlist_lets_other_exceptions_through(self):
+        fn = Flaky(failures=99, exc=ValueError("not ours"))
+        policy = RetryPolicy(max_attempts=5, **FAST)
+        with pytest.raises(ValueError):
+            policy.call(fn)
+        assert fn.calls == 1  # no retry for a non-allowlisted class
+
+    def test_custom_allowlist(self):
+        fn = Flaky(failures=1, exc=KeyError("transient"))
+        policy = RetryPolicy(max_attempts=2, retry_on=(KeyError,), **FAST)
+        assert policy.call(fn) == "ok"
+
+    def test_single_attempt_means_no_retry(self):
+        fn = Flaky(failures=1)
+        policy = RetryPolicy(max_attempts=1, **FAST)
+        with pytest.raises(ReproError):
+            policy.call(fn)
+        assert fn.calls == 1
+
+    def test_arguments_are_forwarded(self):
+        policy = RetryPolicy(max_attempts=2, **FAST)
+        assert policy.call(lambda a, b=0: a + b, 2, b=3) == 5
+
+    def test_metrics_count_retries_and_give_ups(self):
+        from repro import obs
+
+        obs.reset()
+        obs.enable()
+        try:
+            policy = RetryPolicy(max_attempts=3, **FAST)
+            policy.call(Flaky(failures=1))
+            with pytest.raises(ReproError):
+                policy.call(Flaky(failures=99))
+            counters = obs.get_metrics().snapshot()["counters"]
+            assert counters["resilience.retries"] == 3  # 1 + 2
+            assert counters["resilience.gave_up"] == 1
+        finally:
+            obs.disable()
+
+
+class TestDelays:
+    def test_deterministic_for_a_seed(self):
+        policy = RetryPolicy(max_attempts=5, seed=42)
+        assert list(policy.delays()) == list(policy.delays())
+
+    def test_different_seeds_differ(self):
+        a = RetryPolicy(max_attempts=5, seed=1)
+        b = RetryPolicy(max_attempts=5, seed=2)
+        assert list(a.delays()) != list(b.delays())
+
+    def test_exponential_growth_and_cap(self):
+        policy = RetryPolicy(
+            max_attempts=6, base_delay_s=0.1, backoff=2.0,
+            max_delay_s=0.3, jitter=0.0,
+        )
+        assert list(policy.delays()) == pytest.approx(
+            [0.1, 0.2, 0.3, 0.3, 0.3]
+        )
+
+    def test_count_is_attempts_minus_one(self):
+        assert len(list(RetryPolicy(max_attempts=4).delays())) == 3
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(max_attempts=0),
+            dict(base_delay_s=-1.0),
+            dict(max_delay_s=-0.1),
+            dict(backoff=0.5),
+            dict(jitter=1.5),
+            dict(retry_on=()),
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(**kwargs)
+
+
+class TestCallWithRetry:
+    def test_none_policy_is_a_plain_call(self):
+        fn = Flaky(failures=1)
+        with pytest.raises(ReproError):
+            call_with_retry(None, fn)
+        assert fn.calls == 1
+
+    def test_policy_is_applied(self):
+        fn = Flaky(failures=1)
+        policy = RetryPolicy(max_attempts=2, **FAST)
+        assert call_with_retry(policy, fn) == "ok"
