@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test bench validate examples lint smoke ci all clean
+.PHONY: install test bench bench-smoke microbench validate examples lint smoke ci all clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -11,7 +11,23 @@ install:
 test:
 	$(PYTHON) -m pytest tests/ -x -q
 
+# Full regression harness: every suite at default size, reports written
+# to the repo root and compared against any previous BENCH_*.json.
 bench:
+	$(PYTHON) -m repro.cli bench --suite solver --repeat 3
+	$(PYTHON) -m repro.cli bench --suite dse
+	$(PYTHON) -m repro.cli bench --suite scheduler
+	$(PYTHON) -m repro.cli bench --suite batch
+
+# Seconds-long CI variant: tiny sizes, schema check on the artifacts.
+bench-smoke:
+	$(PYTHON) -m repro.cli bench --suite solver --size 48 --out .
+	$(PYTHON) -m repro.cli bench --suite scheduler --size 64 --out .
+	$(PYTHON) -m repro.cli bench --check BENCH_solver.json
+	$(PYTHON) -m repro.cli bench --check BENCH_scheduler.json
+
+# pytest-benchmark microbenchmarks (kernel-level timings).
+microbench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
 
 validate:
@@ -20,7 +36,8 @@ validate:
 # Fast fail-first gate: byte-compile everything, then ruff when available
 # (the offline dev container does not ship it; CI installs it).
 lint:
-	$(PYTHON) -m compileall -q src benchmarks examples tests
+	$(PYTHON) -m compileall -q src benchmarks examples tests tools
+	$(PYTHON) tools/check_doc_links.py
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src benchmarks examples tests; \
 	else \

@@ -1,0 +1,79 @@
+"""Benchmark and performance-regression harness (``repro bench``).
+
+This package turns "is the code still fast?" into a checked artifact.
+A run of ``heterosvd bench --suite <name>`` executes one declared suite
+(:mod:`repro.bench.suites`), records per-case wall time plus the
+``repro.obs`` counters that accumulated during the run, and writes a
+schema-validated ``BENCH_<name>.json`` report
+(:mod:`repro.bench.schema`) stamped with the machine, seed, and
+performance-model version.  When a previous report exists it is loaded
+as the baseline and the fresh run is compared case by case with a
+configurable relative threshold (:mod:`repro.bench.runner`); a breach
+exits non-zero so CI and ``make bench`` catch regressions.
+
+Why this exists here: the flagship optimisation of this repository's
+software solver is the *vectorized Jacobi inner loop*.  One-sided
+Jacobi sweeps are organised into rounds by a parallel ordering (ring /
+round-robin / the paper's shifting ring); every round is a perfect
+matching of the columns, so the pairs of a round touch **disjoint**
+columns.  That independent-pair batching invariant — the same property
+that lets HeteroSVD drive ``P_eng`` AIE engine rows concurrently —
+lets the software path compute all of a round's Gram entries, rotation
+angles, and column updates as single batched NumPy operations instead
+of a Python-level pair loop, while performing arithmetic identical to
+the scalar reference (up to floating-point summation order inside dot
+products).  The ``solver`` suite pins that story down: it times the
+``strategy="scalar"`` and ``strategy="vectorized"`` paths on the same
+matrices so every report documents the measured speedup, and the
+regression comparison keeps it from silently eroding.
+
+See ``docs/performance.md`` for the full performance story and report
+format walkthrough.
+"""
+
+from repro.bench.runner import (
+    DEFAULT_THRESHOLD,
+    BenchCase,
+    BenchReport,
+    CaseComparison,
+    CaseResult,
+    RegressionReport,
+    compare_reports,
+    load_report,
+    machine_stamp,
+    report_path,
+    run_case,
+    run_suite,
+    write_report,
+)
+from repro.bench.schema import SCHEMA_VERSION, validate_report
+from repro.bench.suites import (
+    DEFAULT_SIZES,
+    SUITES,
+    build_suite,
+    strategy_speedups,
+    suite_names,
+)
+
+__all__ = [
+    "DEFAULT_THRESHOLD",
+    "DEFAULT_SIZES",
+    "SCHEMA_VERSION",
+    "SUITES",
+    "BenchCase",
+    "BenchReport",
+    "CaseComparison",
+    "CaseResult",
+    "RegressionReport",
+    "build_suite",
+    "compare_reports",
+    "load_report",
+    "machine_stamp",
+    "report_path",
+    "run_case",
+    "run_suite",
+    "strategy_speedups",
+    "suite_names",
+    "validate_report",
+    "write_report",
+]

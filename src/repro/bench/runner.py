@@ -1,0 +1,382 @@
+"""Benchmark runner: time suites, stamp reports, compare for regressions.
+
+The runner is deliberately small and dependency-free:
+
+* :func:`run_suite` executes a list of :class:`BenchCase` callables
+  ``repeats`` times each, recording per-repeat wall time (the *minimum*
+  is the headline number) and the ``repro.obs`` counters/gauges that
+  accumulated during the final repeat.
+* :func:`write_report` / :func:`load_report` round-trip the
+  ``BENCH_<suite>.json`` artifact, validating against
+  :mod:`repro.bench.schema` in both directions.
+* :func:`compare_reports` diffs two reports case by case with a
+  configurable relative threshold, and downgrades the verdict to
+  *advisory* when the machine or model-version stamps differ (wall
+  times from different machines are not comparable evidence).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro import obs
+from repro.core.perf_model import MODEL_VERSION
+from repro.errors import BenchmarkError
+from repro.bench.schema import SCHEMA_VERSION, validate_report
+
+#: Default relative slowdown tolerated before a case counts as a
+#: regression (0.25 = 25% slower than the baseline's wall_time_s).
+DEFAULT_THRESHOLD = 0.25
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One named benchmark: a callable timed by the runner.
+
+    Attributes:
+        name: Unique case name within the suite (becomes the
+            ``results[].name`` key compared across runs).
+        fn: ``fn(seed) -> metrics`` — does the work and returns a flat
+            dict of case-specific metrics (numbers or strings).
+    """
+
+    name: str
+    fn: Callable[[int], Dict[str, Any]]
+
+
+@dataclass
+class CaseResult:
+    """Timing and metrics of one executed case."""
+
+    name: str
+    wall_times_s: List[float]
+    metrics: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def wall_time_s(self) -> float:
+        """Best (minimum) observed wall time."""
+        return min(self.wall_times_s)
+
+    @property
+    def repeats(self) -> int:
+        return len(self.wall_times_s)
+
+
+@dataclass
+class BenchReport:
+    """A full suite run, serializable to ``BENCH_<suite>.json``."""
+
+    suite: str
+    seed: int
+    results: List[CaseResult]
+    machine: Dict[str, Any]
+    created_unix: float
+    model_version: str = MODEL_VERSION
+    schema_version: str = SCHEMA_VERSION
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": self.schema_version,
+            "suite": self.suite,
+            "created_unix": self.created_unix,
+            "machine": dict(self.machine),
+            "seed": self.seed,
+            "model_version": self.model_version,
+            "results": [
+                {
+                    "name": r.name,
+                    "repeats": r.repeats,
+                    "wall_time_s": r.wall_time_s,
+                    "wall_times_s": list(r.wall_times_s),
+                    "metrics": dict(r.metrics),
+                }
+                for r in self.results
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "BenchReport":
+        validate_report(doc)
+        return cls(
+            suite=doc["suite"],
+            seed=doc["seed"],
+            machine=doc["machine"],
+            created_unix=doc["created_unix"],
+            model_version=doc["model_version"],
+            schema_version=doc["schema_version"],
+            results=[
+                CaseResult(
+                    name=r["name"],
+                    wall_times_s=list(r["wall_times_s"]),
+                    metrics=dict(r["metrics"]),
+                )
+                for r in doc["results"]
+            ],
+        )
+
+    def case(self, name: str) -> Optional[CaseResult]:
+        for result in self.results:
+            if result.name == name:
+                return result
+        return None
+
+
+def machine_stamp() -> Dict[str, Any]:
+    """Identify the machine a report was produced on."""
+    return {
+        "hostname": platform.node() or "unknown",
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+def _flatten_obs_metrics(snapshot: Dict[str, Any]) -> Dict[str, Any]:
+    """Counters and gauges from an obs snapshot, namespaced ``obs.*``."""
+    flat: Dict[str, Any] = {}
+    for name, value in snapshot.get("counters", {}).items():
+        flat[f"obs.{name}"] = value
+    for name, value in snapshot.get("gauges", {}).items():
+        flat[f"obs.{name}"] = value
+    return flat
+
+
+def run_case(case: BenchCase, seed: int, repeats: int) -> CaseResult:
+    """Execute one case ``repeats`` times under the observability layer.
+
+    The obs layer is reset per repeat so the recorded counters describe
+    exactly one execution; the final repeat's snapshot is kept.  The
+    case's own metrics dict (also from the final repeat) wins on key
+    collisions.
+    """
+    if repeats < 1:
+        raise BenchmarkError(f"repeats must be >= 1, got {repeats}")
+    wall_times: List[float] = []
+    metrics: Dict[str, Any] = {}
+    owned = not obs.is_enabled()
+    for _ in range(repeats):
+        if owned:
+            obs.reset()
+            obs.enable()
+        try:
+            started = time.perf_counter()
+            case_metrics = case.fn(seed)
+            wall_times.append(time.perf_counter() - started)
+        finally:
+            if owned:
+                obs.disable()
+        metrics = _flatten_obs_metrics(obs.get_metrics().snapshot())
+        metrics.update(case_metrics or {})
+    return CaseResult(name=case.name, wall_times_s=wall_times,
+                      metrics=metrics)
+
+
+def run_suite(
+    suite: str,
+    cases: List[BenchCase],
+    seed: int = 0,
+    repeats: int = 1,
+    progress: Optional[Callable[[str, CaseResult], None]] = None,
+) -> BenchReport:
+    """Run every case of a suite and assemble the stamped report.
+
+    Args:
+        suite: Suite name (becomes the report's ``suite`` field and the
+            ``BENCH_<suite>.json`` file name).
+        cases: The benchmark cases, run in order.
+        seed: Deterministic seed forwarded to every case.
+        repeats: Timed repetitions per case; the minimum wall time is
+            the compared quantity.
+        progress: Optional callback invoked after each case.
+    """
+    if not cases:
+        raise BenchmarkError(f"suite {suite!r} has no cases")
+    results = []
+    for case in cases:
+        result = run_case(case, seed, repeats)
+        results.append(result)
+        if progress is not None:
+            progress(case.name, result)
+    report = BenchReport(
+        suite=suite,
+        seed=seed,
+        results=results,
+        machine=machine_stamp(),
+        created_unix=time.time(),
+    )
+    validate_report(report.to_dict())
+    return report
+
+
+def report_path(directory: str, suite: str) -> str:
+    """The canonical artifact path: ``<directory>/BENCH_<suite>.json``."""
+    return os.path.join(directory, f"BENCH_{suite}.json")
+
+
+def write_report(report: BenchReport, path: str) -> str:
+    """Validate and atomically write a report to ``path``."""
+    doc = validate_report(report.to_dict())
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+    return path
+
+
+def load_report(path: str) -> BenchReport:
+    """Load and validate a ``BENCH_*.json`` file.
+
+    Raises:
+        BenchmarkError: when the file is unreadable, not JSON, or
+            violates the schema.
+    """
+    try:
+        with open(path) as handle:
+            doc = json.load(handle)
+    except OSError as error:
+        raise BenchmarkError(f"cannot read BENCH report {path}: {error}")
+    except json.JSONDecodeError as error:
+        raise BenchmarkError(f"BENCH report {path} is not valid JSON: {error}")
+    return BenchReport.from_dict(doc)
+
+
+@dataclass
+class CaseComparison:
+    """One case diffed between baseline and current reports."""
+
+    name: str
+    baseline_s: float
+    current_s: float
+
+    @property
+    def ratio(self) -> float:
+        """current / baseline wall time (> 1 means slower)."""
+        if self.baseline_s <= 0.0:
+            return float("inf") if self.current_s > 0.0 else 1.0
+        return self.current_s / self.baseline_s
+
+
+@dataclass
+class RegressionReport:
+    """Outcome of comparing a suite run against its previous report.
+
+    Attributes:
+        threshold: Relative slowdown bound used for the verdict.
+        comparable: False when the machine or model-version stamps
+            differ — the comparison is then advisory and never counts
+            as a breach.
+        regressions: Cases slower than ``baseline * (1 + threshold)``.
+        improvements: Cases faster than ``baseline * (1 - threshold)``.
+        steady: Cases within the threshold band.
+        new_cases: Names present only in the current report.
+        missing_cases: Names present only in the baseline.
+    """
+
+    threshold: float
+    comparable: bool
+    regressions: List[CaseComparison] = field(default_factory=list)
+    improvements: List[CaseComparison] = field(default_factory=list)
+    steady: List[CaseComparison] = field(default_factory=list)
+    new_cases: List[str] = field(default_factory=list)
+    missing_cases: List[str] = field(default_factory=list)
+
+    @property
+    def breached(self) -> bool:
+        """True when a comparable run regressed beyond the threshold."""
+        return self.comparable and bool(self.regressions)
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = []
+        if not self.comparable:
+            lines.append(
+                "baseline stamps differ (machine or model version); "
+                "comparison is advisory only"
+            )
+        for comparison in self.regressions:
+            lines.append(
+                f"REGRESSION {comparison.name}: "
+                f"{comparison.baseline_s:.4f}s -> "
+                f"{comparison.current_s:.4f}s "
+                f"({comparison.ratio:.2f}x, threshold "
+                f"{1 + self.threshold:.2f}x)"
+            )
+        for comparison in self.improvements:
+            lines.append(
+                f"improved {comparison.name}: "
+                f"{comparison.baseline_s:.4f}s -> "
+                f"{comparison.current_s:.4f}s ({comparison.ratio:.2f}x)"
+            )
+        for comparison in self.steady:
+            lines.append(
+                f"steady {comparison.name}: {comparison.current_s:.4f}s "
+                f"({comparison.ratio:.2f}x baseline)"
+            )
+        for name in self.new_cases:
+            lines.append(f"new case {name}: no baseline")
+        for name in self.missing_cases:
+            lines.append(f"missing case {name}: present only in baseline")
+        return "\n".join(lines)
+
+
+def compare_reports(
+    baseline: BenchReport,
+    current: BenchReport,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> RegressionReport:
+    """Diff two suite reports case by case.
+
+    Args:
+        baseline: The previous report (e.g. the existing
+            ``BENCH_<suite>.json`` before overwriting).
+        current: The fresh run.
+        threshold: Relative slowdown bound; 0.25 flags cases more than
+            25% slower than baseline.
+
+    Raises:
+        BenchmarkError: when the reports describe different suites or
+            the threshold is not positive.
+    """
+    if baseline.suite != current.suite:
+        raise BenchmarkError(
+            f"cannot compare suites {baseline.suite!r} and "
+            f"{current.suite!r}"
+        )
+    if threshold <= 0.0:
+        raise BenchmarkError(f"threshold must be > 0, got {threshold}")
+    comparable = (
+        baseline.machine.get("hostname") == current.machine.get("hostname")
+        and baseline.machine.get("platform")
+        == current.machine.get("platform")
+        and baseline.model_version == current.model_version
+    )
+    report = RegressionReport(threshold=threshold, comparable=comparable)
+    baseline_names = {r.name for r in baseline.results}
+    for result in current.results:
+        previous = baseline.case(result.name)
+        if previous is None:
+            report.new_cases.append(result.name)
+            continue
+        comparison = CaseComparison(
+            name=result.name,
+            baseline_s=previous.wall_time_s,
+            current_s=result.wall_time_s,
+        )
+        if comparison.current_s > comparison.baseline_s * (1.0 + threshold):
+            report.regressions.append(comparison)
+        elif comparison.current_s < comparison.baseline_s * (1.0 - threshold):
+            report.improvements.append(comparison)
+        else:
+            report.steady.append(comparison)
+    current_names = {r.name for r in current.results}
+    report.missing_cases = sorted(baseline_names - current_names)
+    return report

@@ -1,0 +1,171 @@
+"""The ``BENCH_<suite>.json`` report schema.
+
+A benchmark report is the machine-readable record of one suite run.
+Version ``1`` of the schema is a single JSON object:
+
+.. code-block:: json
+
+    {
+      "schema_version": "1",
+      "suite": "solver",
+      "created_unix": 1754000000.0,
+      "machine": {
+        "hostname": "runner-1",
+        "platform": "Linux-6.8-x86_64",
+        "python": "3.12.3",
+        "numpy": "1.26.4",
+        "cpu_count": 8
+      },
+      "seed": 0,
+      "model_version": "1",
+      "results": [
+        {
+          "name": "hestenes_vectorized_256",
+          "repeats": 3,
+          "wall_time_s": 1.91,
+          "wall_times_s": [2.02, 1.91, 1.95],
+          "metrics": {"sweeps": 9, "rotations": 268432}
+        }
+      ]
+    }
+
+``wall_time_s`` is the **minimum** over the repeats — the standard
+"best observed" estimator, least contaminated by scheduler noise — and
+the quantity the regression comparison uses.  ``metrics`` merges the
+case's own outputs with the ``repro.obs`` counters/gauges recorded
+around the timed run.  The ``machine``/``seed``/``model_version``
+stamps make reports self-describing: a comparison across different
+machines or model versions is reported as advisory rather than a hard
+regression verdict.
+
+:func:`validate_report` is the single source of truth for schema
+validity; the runner validates before writing and after loading, and
+CI fails if a produced artifact does not validate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.errors import BenchmarkError
+
+#: Current report schema version (bump on incompatible layout changes).
+SCHEMA_VERSION = "1"
+
+_MACHINE_FIELDS = {
+    "hostname": str,
+    "platform": str,
+    "python": str,
+    "numpy": str,
+    "cpu_count": int,
+}
+
+_RESULT_FIELDS = {
+    "name": str,
+    "repeats": int,
+    "wall_time_s": (int, float),
+    "wall_times_s": list,
+    "metrics": dict,
+}
+
+
+def _fail(message: str) -> None:
+    raise BenchmarkError(f"invalid BENCH report: {message}")
+
+
+def validate_report(doc: Any) -> Dict[str, Any]:
+    """Validate a parsed ``BENCH_*.json`` document against the schema.
+
+    Args:
+        doc: The parsed JSON value.
+
+    Returns:
+        The document, unchanged, for call chaining.
+
+    Raises:
+        BenchmarkError: describing the first violation found.
+    """
+    if not isinstance(doc, dict):
+        _fail(f"top level must be an object, got {type(doc).__name__}")
+    for key in ("schema_version", "suite", "created_unix", "machine",
+                "seed", "model_version", "results"):
+        if key not in doc:
+            _fail(f"missing top-level key {key!r}")
+    if doc["schema_version"] != SCHEMA_VERSION:
+        _fail(
+            f"schema_version {doc['schema_version']!r} is not the "
+            f"supported {SCHEMA_VERSION!r}"
+        )
+    if not isinstance(doc["suite"], str) or not doc["suite"]:
+        _fail("suite must be a non-empty string")
+    if not isinstance(doc["created_unix"], (int, float)):
+        _fail("created_unix must be a number")
+    if not isinstance(doc["seed"], int):
+        _fail("seed must be an integer")
+    if not isinstance(doc["model_version"], str):
+        _fail("model_version must be a string")
+
+    machine = doc["machine"]
+    if not isinstance(machine, dict):
+        _fail("machine must be an object")
+    for field, kind in _MACHINE_FIELDS.items():
+        if field not in machine:
+            _fail(f"machine is missing {field!r}")
+        if not isinstance(machine[field], kind):
+            _fail(
+                f"machine.{field} must be {kind.__name__}, got "
+                f"{type(machine[field]).__name__}"
+            )
+
+    results = doc["results"]
+    if not isinstance(results, list) or not results:
+        _fail("results must be a non-empty array")
+    seen = set()
+    for index, result in enumerate(results):
+        if not isinstance(result, dict):
+            _fail(f"results[{index}] must be an object")
+        for field, kind in _RESULT_FIELDS.items():
+            if field not in result:
+                _fail(f"results[{index}] is missing {field!r}")
+            if not isinstance(result[field], kind):
+                _fail(
+                    f"results[{index}].{field} has type "
+                    f"{type(result[field]).__name__}"
+                )
+        if isinstance(result["wall_time_s"], bool):
+            _fail(f"results[{index}].wall_time_s must be a number")
+        name = result["name"]
+        if not name:
+            _fail(f"results[{index}].name must be non-empty")
+        if name in seen:
+            _fail(f"duplicate result name {name!r}")
+        seen.add(name)
+        times = result["wall_times_s"]
+        if len(times) != result["repeats"]:
+            _fail(
+                f"results[{index}]: {len(times)} wall_times_s for "
+                f"{result['repeats']} repeats"
+            )
+        if not all(
+            isinstance(t, (int, float)) and not isinstance(t, bool)
+            and t >= 0.0
+            for t in times
+        ):
+            _fail(f"results[{index}].wall_times_s must be non-negative "
+                  f"numbers")
+        if times and abs(result["wall_time_s"] - min(times)) > 1e-12:
+            _fail(
+                f"results[{index}].wall_time_s is not the minimum of "
+                f"wall_times_s"
+            )
+        for key, value in result["metrics"].items():
+            if not isinstance(key, str):
+                _fail(f"results[{index}].metrics keys must be strings")
+            if isinstance(value, bool) or not isinstance(
+                value, (int, float, str)
+            ):
+                _fail(
+                    f"results[{index}].metrics[{key!r}] must be a "
+                    f"number or string"
+                )
+    return doc

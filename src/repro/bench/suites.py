@@ -1,0 +1,225 @@
+"""Declared benchmark suites for ``repro bench``.
+
+Each suite is a named list of :class:`~repro.bench.runner.BenchCase`
+objects built by a factory that takes a ``size`` knob, so the same
+suite runs at full scale locally (``--size 256``) and as a seconds-long
+smoke test in CI (``--size 48``).  The registry:
+
+* ``solver`` — Jacobi SVD kernels: the scalar reference inner loop
+  against the vectorized ``sweep_pairs`` path, for both the plain
+  Hestenes solver and the block-Jacobi method.  This suite is the
+  performance story of the vectorization work: on one report the
+  ``hestenes_scalar_<n>`` / ``hestenes_vectorized_<n>`` pair measures
+  the batching speedup directly (see :func:`strategy_speedups`).
+* ``dse`` — a full design-space exploration sweep (feasibility +
+  modelled evaluation of every candidate point).
+* ``scheduler`` — LPT scheduling and pipeline assignment of a large
+  mixed-size batch through :class:`~repro.core.scheduler.BatchScheduler`.
+* ``batch`` — end-to-end :class:`~repro.exec.batch.BatchExecutor` runs
+  over a same-sized task batch, one case per engine.
+
+Cases only read their ``seed`` argument and module-level constants, so
+a suite run is deterministic up to wall-clock noise; the recorded
+``metrics`` (sweep counts, point counts, makespans) are bit-stable and
+double as a cheap correctness cross-check between runs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.bench.runner import BenchCase, BenchReport
+from repro.errors import BenchmarkError
+
+#: Default problem size per suite when ``--size`` is not given.
+DEFAULT_SIZES = {
+    "solver": 256,
+    "dse": 64,
+    "scheduler": 400,
+    "batch": 32,
+}
+
+
+def _solver_cases(size: int) -> List[BenchCase]:
+    from repro.linalg import hestenes_svd, svd
+    from repro.workloads import random_matrix, make_batch, solve_batch
+
+    def matrix(seed: int):
+        return random_matrix(size, size, seed=seed)
+
+    def hestenes_case(strategy: str) -> Callable[[int], Dict[str, Any]]:
+        def run(seed: int) -> Dict[str, Any]:
+            result = hestenes_svd(matrix(seed), strategy=strategy)
+            return {"sweeps": result.sweeps, "strategy": strategy,
+                    "n": size}
+
+        return run
+
+    def block_case(strategy: str) -> Callable[[int], Dict[str, Any]]:
+        def run(seed: int) -> Dict[str, Any]:
+            result = svd(matrix(seed), method="block", strategy=strategy)
+            return {"sweeps": result.sweeps, "strategy": strategy,
+                    "n": size}
+
+        return run
+
+    def batch_run(seed: int) -> Dict[str, Any]:
+        small = max(8, size // 8)
+        batch = make_batch(small, small, batch=8, seed=seed)
+        results = solve_batch(batch, strategy="vectorized")
+        return {"tasks": len(results), "n": small}
+
+    return [
+        BenchCase(f"hestenes_scalar_{size}", hestenes_case("scalar")),
+        BenchCase(f"hestenes_vectorized_{size}",
+                  hestenes_case("vectorized")),
+        BenchCase(f"block_scalar_{size}", block_case("scalar")),
+        BenchCase(f"block_vectorized_{size}", block_case("vectorized")),
+        BenchCase(f"solve_batch_vectorized_{size}", batch_run),
+    ]
+
+
+def _dse_cases(size: int) -> List[BenchCase]:
+    from repro.core.dse import DesignSpaceExplorer
+
+    def explore(objective: str) -> Callable[[int], Dict[str, Any]]:
+        def run(seed: int) -> Dict[str, Any]:
+            explorer = DesignSpaceExplorer(size, size)
+            points = explorer.explore(objective, batch=20)
+            best = points[0]
+            return {
+                "points": len(points),
+                "objective": objective,
+                "best_p_eng": best.config.p_eng,
+                "best_p_task": best.config.p_task,
+            }
+
+        return run
+
+    return [
+        BenchCase(f"dse_latency_{size}", explore("latency")),
+        BenchCase(f"dse_throughput_{size}", explore("throughput")),
+    ]
+
+
+def _scheduler_cases(size: int) -> List[BenchCase]:
+    from repro.core.config import HeteroSVDConfig
+    from repro.core.scheduler import BatchScheduler, TaskSpec
+
+    def specs(seed: int) -> List[TaskSpec]:
+        # Deterministic mixed workload: sizes cycle through a few
+        # shapes so the LPT policy has real balancing work to do.
+        shapes = [(32, 32), (64, 64), (48, 32), (96, 64)]
+        return [
+            TaskSpec(m=shapes[(seed + i) % len(shapes)][0],
+                     n=shapes[(seed + i) % len(shapes)][1],
+                     task_id=i)
+            for i in range(size)
+        ]
+
+    def schedule(policy: str) -> Callable[[int], Dict[str, Any]]:
+        def run(seed: int) -> Dict[str, Any]:
+            config = HeteroSVDConfig(m=96, n=64, p_eng=4, p_task=4)
+            scheduler = BatchScheduler(config)
+            result = scheduler.schedule(specs(seed), policy)
+            assignment = scheduler.assignment(result)
+            return {
+                "tasks": size,
+                "policy": policy,
+                "makespan_model_s": result.makespan,
+                "balance": result.balance,
+                "pipelines": len(assignment),
+            }
+
+        return run
+
+    return [
+        BenchCase(f"schedule_lpt_{size}", schedule("lpt")),
+        BenchCase(f"schedule_fifo_{size}", schedule("fifo")),
+    ]
+
+
+def _batch_cases(size: int) -> List[BenchCase]:
+    from repro.core.config import HeteroSVDConfig
+    from repro.exec.batch import BatchExecutor
+    from repro.workloads import make_batch
+
+    def execute(engine: str) -> Callable[[int], Dict[str, Any]]:
+        def run(seed: int) -> Dict[str, Any]:
+            config = HeteroSVDConfig(m=size, n=size, p_eng=4, p_task=2)
+            batch = make_batch(size, size, batch=6, seed=seed)
+            executor = BatchExecutor(config, engine=engine, jobs=1)
+            report = executor.run(batch)
+            return {
+                "engine": engine,
+                "tasks": len(report.results),
+                "makespan_model_s": report.schedule.makespan,
+            }
+
+        return run
+
+    return [
+        BenchCase(f"executor_software_{size}", execute("software")),
+        BenchCase(f"executor_accelerator_{size}", execute("accelerator")),
+    ]
+
+
+#: Suite registry: name -> cases factory taking the problem size.
+SUITES: Dict[str, Callable[[int], List[BenchCase]]] = {
+    "solver": _solver_cases,
+    "dse": _dse_cases,
+    "scheduler": _scheduler_cases,
+    "batch": _batch_cases,
+}
+
+
+def suite_names() -> List[str]:
+    """Registered suite names, sorted."""
+    return sorted(SUITES)
+
+
+def build_suite(name: str, size: Optional[int] = None) -> List[BenchCase]:
+    """Instantiate a registered suite.
+
+    Args:
+        name: A key of :data:`SUITES`.
+        size: Problem-size knob; None uses the suite default from
+            :data:`DEFAULT_SIZES`.
+
+    Raises:
+        BenchmarkError: for unknown suites or non-positive sizes.
+    """
+    if name not in SUITES:
+        raise BenchmarkError(
+            f"unknown suite {name!r}; expected one of {suite_names()}"
+        )
+    resolved = DEFAULT_SIZES[name] if size is None else size
+    if resolved < 8:
+        raise BenchmarkError(
+            f"suite size must be >= 8, got {resolved}"
+        )
+    return SUITES[name](resolved)
+
+
+def strategy_speedups(report: BenchReport) -> Dict[str, float]:
+    """Scalar-over-vectorized speedups derivable from a solver report.
+
+    Scans the report for ``<kernel>_scalar_<n>`` /
+    ``<kernel>_vectorized_<n>`` case pairs and returns
+    ``{"<kernel>_<n>": scalar_s / vectorized_s}`` — the figure quoted
+    in ``docs/performance.md``.  Reports without such pairs yield an
+    empty dict.
+    """
+    speedups: Dict[str, float] = {}
+    for result in report.results:
+        marker = "_scalar_"
+        if marker not in result.name:
+            continue
+        partner = report.case(result.name.replace(marker, "_vectorized_"))
+        if partner is None or partner.wall_time_s <= 0.0:
+            continue
+        kernel, _, tail = result.name.partition(marker)
+        speedups[f"{kernel}_{tail}"] = (
+            result.wall_time_s / partner.wall_time_s
+        )
+    return speedups

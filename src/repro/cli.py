@@ -15,6 +15,7 @@ and library use stay in sync.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -146,7 +147,7 @@ def _cmd_svd_batch(args) -> int:
     )
     executor = BatchExecutor(
         config, engine=args.engine, jobs=args.jobs, cache=_make_cache(args),
-        retry=_make_retry(args),
+        retry=_make_retry(args), strategy=args.strategy,
     )
     report = executor.run(batch)
     print(f"batch of {len(batch)} {args.size}x{args.size} SVDs on "
@@ -414,6 +415,95 @@ def cmd_placement(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    """Run a benchmark suite and compare against the previous report.
+
+    Writes ``BENCH_<suite>.json`` into ``--out`` and, when a baseline
+    is available (``--baseline FILE`` or the report file that was
+    about to be overwritten), prints a case-by-case comparison.  Exit
+    codes: 0 on success, 1 for schema/usage failures, 3 when a
+    comparable baseline regressed beyond ``--threshold``.
+    """
+    from repro.bench import (
+        build_suite,
+        compare_reports,
+        load_report,
+        report_path,
+        run_suite,
+        strategy_speedups,
+        suite_names,
+        write_report,
+    )
+    from repro.errors import BenchmarkError
+
+    if args.list:
+        for name in suite_names():
+            print(name)
+        return 0
+    if args.check is not None:
+        try:
+            load_report(args.check)
+        except BenchmarkError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        print(f"{args.check}: valid BENCH report")
+        return 0
+    if args.suite is None:
+        print("error: --suite is required (or use --list/--check)",
+              file=sys.stderr)
+        return 1
+    try:
+        cases = build_suite(args.suite, args.size)
+    except BenchmarkError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    out_path = report_path(args.out, args.suite)
+    baseline = None
+    baseline_path = args.baseline
+    if baseline_path is None and os.path.exists(out_path):
+        baseline_path = out_path
+    if baseline_path is not None and not args.no_compare:
+        try:
+            baseline = load_report(baseline_path)
+        except BenchmarkError as error:
+            print(f"error: baseline {baseline_path}: {error}",
+                  file=sys.stderr)
+            return 1
+
+    def progress(name, result):
+        print(f"{name}: {result.wall_time_s:.4f}s "
+              f"({result.repeats} repeat(s))")
+
+    report = run_suite(args.suite, cases, seed=args.seed,
+                       repeats=args.repeat, progress=progress)
+    for pair, speedup in sorted(strategy_speedups(report).items()):
+        print(f"speedup {pair}: {speedup:.2f}x (scalar / vectorized)")
+    write_report(report, out_path)
+    print(f"wrote {out_path}")
+
+    if baseline is None:
+        if not args.no_compare:
+            print("no baseline report; comparison skipped")
+        return 0
+    try:
+        comparison = compare_reports(baseline, report, args.threshold)
+    except BenchmarkError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    described = comparison.describe()
+    if described:
+        print(described)
+    if comparison.breached:
+        print(
+            f"regression threshold breached "
+            f"({len(comparison.regressions)} case(s))",
+            file=sys.stderr,
+        )
+        return 3
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -492,6 +582,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", default="accelerator",
         choices=["accelerator", "software"],
         help="solver the batch workers use",
+    )
+    p_svd.add_argument(
+        "--strategy", default="auto",
+        choices=["auto", "scalar", "vectorized"],
+        help="Jacobi inner-loop strategy for the software engine "
+        "(auto = vectorized; see docs/performance.md)",
     )
     add_jobs_flag(p_svd)
     add_cache_flag(p_svd)
@@ -576,6 +672,59 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_report.add_argument("--output", default="heterosvd_report.html")
     p_report.set_defaults(func=cmd_report)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="run a benchmark suite and check for regressions",
+        description="Run a declared benchmark suite, write a "
+        "BENCH_<suite>.json report, and compare wall times against the "
+        "previous report (see docs/performance.md).",
+    )
+    p_bench.add_argument(
+        "--suite", default=None, metavar="NAME",
+        help="suite to run: solver, dse, scheduler or batch",
+    )
+    p_bench.add_argument(
+        "--size", type=int, default=None, metavar="N",
+        help="problem-size knob (default: per-suite full size; "
+        "CI smoke uses a small value)",
+    )
+    p_bench.add_argument(
+        "--repeat", type=int, default=1, metavar="R",
+        help="timed repetitions per case; the minimum wall time is "
+        "compared (default: 1)",
+    )
+    p_bench.add_argument(
+        "--seed", type=int, default=0, metavar="S",
+        help="deterministic seed forwarded to every case (default: 0)",
+    )
+    p_bench.add_argument(
+        "--out", default=".", metavar="DIR",
+        help="directory for BENCH_<suite>.json (default: .)",
+    )
+    p_bench.add_argument(
+        "--threshold", type=float, default=0.25, metavar="T",
+        help="relative slowdown treated as a regression "
+        "(default: 0.25 = 25%% slower than baseline)",
+    )
+    p_bench.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="compare against this report instead of the existing "
+        "BENCH_<suite>.json in --out",
+    )
+    p_bench.add_argument(
+        "--no-compare", action="store_true",
+        help="skip the baseline comparison (still writes the report)",
+    )
+    p_bench.add_argument(
+        "--check", default=None, metavar="FILE",
+        help="only validate FILE against the BENCH schema and exit",
+    )
+    p_bench.add_argument(
+        "--list", action="store_true",
+        help="list the registered suites and exit",
+    )
+    p_bench.set_defaults(func=cmd_bench)
 
     return parser
 

@@ -112,5 +112,10 @@ class FaultInjectionError(ReproError):
     """An injected fault fired at a site with no domain-specific error."""
 
 
+class BenchmarkError(ReproError):
+    """A benchmark suite failed to run or a ``BENCH_*.json`` report is
+    malformed (unknown suite, schema violation, unreadable baseline)."""
+
+
 class CheckpointError(ReproError):
     """A sweep checkpoint file is unusable (wrong format or version)."""

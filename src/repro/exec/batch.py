@@ -127,8 +127,15 @@ def _pad_columns(a: np.ndarray, p_eng: int) -> np.ndarray:
     return np.hstack([a, np.zeros((m, padded_n - n))])
 
 
-def _factor_task(matrix: np.ndarray, config, engine: str) -> np.ndarray:
-    """Singular values of one task matrix via the selected engine."""
+def _factor_task(
+    matrix: np.ndarray, config, engine: str, strategy: str = "auto"
+) -> np.ndarray:
+    """Singular values of one task matrix via the selected engine.
+
+    ``strategy`` selects the Jacobi inner-loop implementation for the
+    software engine (see :func:`repro.linalg.svd`); the accelerator
+    engine models hardware round by round and ignores it.
+    """
     if engine == "accelerator":
         from repro.core.accelerator import HeteroSVDAccelerator
 
@@ -152,6 +159,7 @@ def _factor_task(matrix: np.ndarray, config, engine: str) -> np.ndarray:
         method="block",
         block_width=config.p_eng,
         precision=config.precision,
+        strategy=strategy,
     ).singular_values
 
 
@@ -166,7 +174,7 @@ def _run_pipeline(
     degrades to the reference LAPACK singular values (``degrade=True``,
     the default) instead of killing the pipeline.
     """
-    pipeline, config, engine, tasks, degrade, worker_plan = payload
+    pipeline, config, engine, tasks, degrade, worker_plan, strategy = payload
     started = time.perf_counter()
     outputs: List[Tuple[int, np.ndarray, bool]] = []
     context = (
@@ -184,7 +192,7 @@ def _run_pipeline(
                         iterations=0,
                         residual=float("inf"),
                     )
-                sigma = _factor_task(matrix, config, engine)
+                sigma = _factor_task(matrix, config, engine, strategy)
             except ConvergenceError:
                 if not degrade:
                     raise
@@ -216,6 +224,9 @@ class BatchExecutor:
             reference LAPACK singular values and is reported via
             ``BatchReport.degraded_tasks``; when False the error
             propagates.
+        strategy: Jacobi inner-loop strategy for the software engine —
+            ``"auto"`` (default, vectorized), ``"scalar"`` or
+            ``"vectorized"``; ignored by the accelerator engine.
     """
 
     def __init__(
@@ -226,16 +237,20 @@ class BatchExecutor:
         cache=None,
         retry=None,
         degrade: bool = True,
+        strategy: str = "auto",
     ):
         if engine not in VALID_ENGINES:
             raise ConfigurationError(
                 f"unknown engine {engine!r}; expected one of {VALID_ENGINES}"
             )
+        from repro.linalg.hestenes import resolve_strategy
+
         self.config = config
         self.engine = engine
         self.jobs = jobs
         self.retry = retry
         self.degrade = degrade
+        self.strategy = resolve_strategy(strategy)
         self.scheduler = BatchScheduler(config, cost_cache=cache)
 
     def run(
@@ -270,6 +285,7 @@ class BatchExecutor:
                 [(spec.task_id, matrices[spec.task_id]) for spec in specs_],
                 self.degrade,
                 worker_plan,
+                self.strategy,
             )
             for pipeline, specs_ in enumerate(assignment)
             if specs_

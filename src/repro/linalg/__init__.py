@@ -17,7 +17,12 @@ accelerates (paper Section II-A):
 * :mod:`repro.linalg.reference` — validation against ``numpy.linalg``.
 """
 
-from repro.linalg.rotations import JacobiRotation, compute_rotation, apply_rotation
+from repro.linalg.rotations import (
+    JacobiRotation,
+    apply_rotation,
+    compute_rotation,
+    compute_rotations_batch,
+)
 from repro.linalg.orderings import (
     Ordering,
     RingOrdering,
@@ -25,9 +30,23 @@ from repro.linalg.orderings import (
     ShiftingRingOrdering,
     sweep_rounds,
 )
-from repro.linalg.convergence import off_diagonal_ratio, pair_convergence_ratio
-from repro.linalg.hestenes import HestenesResult, hestenes_svd
-from repro.linalg.block import BlockPartition, block_pairs
+from repro.linalg.convergence import (
+    off_diagonal_ratio,
+    pair_convergence_ratio,
+    pair_convergence_ratios,
+)
+from repro.linalg.hestenes import (
+    STRATEGIES,
+    HestenesResult,
+    hestenes_svd,
+    resolve_strategy,
+    sweep_pairs,
+)
+from repro.linalg.block import (
+    BlockPartition,
+    block_pairs,
+    orthogonalize_block_pair,
+)
 from repro.linalg.svd import SVDResult, svd
 from repro.linalg.kogbetliantz import KogbetliantzResult, kogbetliantz_svd
 from repro.linalg.truncated import TruncatedSVDResult, truncated_svd
@@ -35,7 +54,13 @@ from repro.linalg.truncated import TruncatedSVDResult, truncated_svd
 __all__ = [
     "JacobiRotation",
     "compute_rotation",
+    "compute_rotations_batch",
     "apply_rotation",
+    "sweep_pairs",
+    "pair_convergence_ratios",
+    "orthogonalize_block_pair",
+    "STRATEGIES",
+    "resolve_strategy",
     "Ordering",
     "RingOrdering",
     "RoundRobinOrdering",

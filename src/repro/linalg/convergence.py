@@ -66,6 +66,36 @@ def pair_convergence_ratio(
     return abs(gamma) / denominator
 
 
+def pair_convergence_ratios(
+    alpha: np.ndarray, beta: np.ndarray, gamma: np.ndarray,
+    zero_sq: float = 0.0,
+) -> np.ndarray:
+    """Vectorized :func:`pair_convergence_ratio` over arrays of pairs.
+
+    All three inputs are 1-D arrays of Gram entries for a batch of
+    *disjoint* column pairs (one round of a parallel ordering).  Entry
+    ``k`` of the result equals
+    ``pair_convergence_ratio(alpha[k], beta[k], gamma[k], zero_sq)``:
+    the same zero-column floor applies, and the denominator is computed
+    as ``sqrt(alpha) * sqrt(beta)`` (not ``sqrt(alpha * beta)``) so
+    near-zero columns cannot underflow the product.
+    """
+    alpha = np.asarray(alpha, dtype=float)
+    beta = np.asarray(beta, dtype=float)
+    gamma = np.asarray(gamma, dtype=float)
+    live = (alpha > zero_sq) & (beta > zero_sq) & (alpha > 0.0) & (beta > 0.0)
+    ratios = np.zeros_like(alpha)
+    if np.any(live):
+        denominator = np.sqrt(alpha[live]) * np.sqrt(beta[live])
+        safe = denominator > 0.0
+        quotient = np.zeros_like(denominator)
+        np.divide(
+            np.abs(gamma[live]), denominator, out=quotient, where=safe
+        )
+        ratios[live] = quotient
+    return ratios
+
+
 def off_diagonal_ratio(matrix: np.ndarray) -> float:
     """Maximum pair convergence ratio over all column pairs of a matrix.
 

@@ -100,6 +100,66 @@ def compute_rotation(alpha: float, beta: float, gamma: float) -> JacobiRotation:
     return JacobiRotation(c=c, s=s)
 
 
+def compute_rotations_batch(
+    alpha: np.ndarray, beta: np.ndarray, gamma: np.ndarray
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+    """Vectorized :func:`compute_rotation` over arrays of Gram entries.
+
+    This is the software analogue of what one *row* of orth-AIEs does in
+    hardware: every AIE of the layer computes its rotation angle from
+    its own pair's Gram entries, all at the same time.  Batching is
+    valid because the pairs of one parallel-ordering round are disjoint
+    by construction — no column appears in two pairs, so no rotation
+    reads Gram entries another rotation of the same round invalidates
+    (see :mod:`repro.linalg.orderings`).
+
+    Args:
+        alpha: 1-D array, ``a_i^T a_i`` per pair.
+        beta: 1-D array, ``a_j^T a_j`` per pair.
+        gamma: 1-D array, ``a_i^T a_j`` per pair.
+
+    Returns:
+        ``(c, s, identity)`` arrays of the same length: cosines, sines,
+        and the boolean mask of pairs that need no rotation (already
+        orthogonal under the same relative :data:`ORTHOGONALITY_EPS`
+        test as the scalar path).  Identity entries carry ``c=1, s=0``.
+
+    Raises:
+        NumericalError: if any Gram entry is non-finite or any squared
+            norm is negative (same contract as the scalar routine).
+    """
+    alpha = np.asarray(alpha, dtype=float)
+    beta = np.asarray(beta, dtype=float)
+    gamma = np.asarray(gamma, dtype=float)
+    if not (
+        np.all(np.isfinite(alpha))
+        and np.all(np.isfinite(beta))
+        and np.all(np.isfinite(gamma))
+    ):
+        raise NumericalError(
+            "non-finite Gram entries in batched rotation computation"
+        )
+    if np.any(alpha < 0) or np.any(beta < 0):
+        raise NumericalError(
+            "squared norms must be non-negative in batched rotation "
+            "computation"
+        )
+    norm_product = np.sqrt(alpha) * np.sqrt(beta)
+    identity = (gamma == 0.0) | (
+        np.abs(gamma) <= ORTHOGONALITY_EPS * norm_product
+    )
+    # Compute tau only where a rotation happens; identity slots get a
+    # harmless placeholder denominator to avoid divide-by-zero warnings.
+    abs_gamma = np.where(identity, 1.0, np.abs(gamma))
+    tau = (beta - alpha) / (2.0 * abs_gamma)
+    t = np.copysign(1.0, tau) / (np.abs(tau) + np.hypot(1.0, tau))
+    c = 1.0 / np.hypot(1.0, t)
+    s = np.copysign(1.0, gamma) * t * c
+    c = np.where(identity, 1.0, c)
+    s = np.where(identity, 0.0, s)
+    return c, s, identity
+
+
 def apply_rotation(
     ai: np.ndarray, aj: np.ndarray, rotation: JacobiRotation
 ) -> "tuple[np.ndarray, np.ndarray]":

@@ -18,7 +18,12 @@ from typing import List, Optional, Type
 import numpy as np
 
 from repro.errors import ConvergenceError, NumericalError
-from repro.linalg.block import BlockPartition, block_pairs
+from repro.linalg.block import (
+    BlockPartition,
+    block_pair_rounds,
+    block_pairs,
+    orthogonalize_block_pair,
+)
 from repro.linalg.convergence import (
     DEFAULT_PRECISION,
     off_diagonal_ratio,
@@ -27,13 +32,13 @@ from repro.linalg.convergence import (
 from repro.linalg.hestenes import (
     DEFAULT_MAX_SWEEPS,
     HestenesResult,
+    _sweep_pairs_indexed,
     hestenes_svd,
     normalize_columns,
     reference_fallback,
+    resolve_strategy,
 )
 from repro.linalg.orderings import Ordering, ShiftingRingOrdering
-from repro.linalg.rotations import apply_rotation, compute_rotation
-from repro.linalg.convergence import pair_convergence_ratio
 
 
 @dataclass
@@ -74,6 +79,7 @@ def _block_jacobi_svd(
     ordering_cls: Type[Ordering],
     fixed_sweeps: Optional[int],
     fallback: Optional[str] = None,
+    strategy: str = "vectorized",
 ) -> HestenesResult:
     """Block Hestenes-Jacobi: the software mirror of Algorithm 1."""
     m, n = a.shape
@@ -82,8 +88,45 @@ def _block_jacobi_svd(
     pairs = block_pairs(partition.n_blocks)
 
     zero_sq = zero_column_threshold_sq(float(np.linalg.norm(a)), a.dtype)
-    b = a.copy()
-    v = np.eye(n)
+    if strategy == "vectorized":
+        # Fortran order keeps the batched column gathers contiguous.
+        # Block pairs of one tournament round touch disjoint column
+        # sets, so their (identical) sweeps commute: interleaving them
+        # round by round performs the exact same rotations as visiting
+        # each block pair in sequence, while multiplying the batch
+        # width by the number of concurrent block pairs.  Stack the
+        # per-round global index arrays across each round's pairs once;
+        # the schedule repeats identically every outer sweep.
+        b = np.asfortranarray(a)
+        v = np.asfortranarray(np.eye(n))
+        ordering_rounds = ordering.rounds()
+        stacked_rounds = []
+        for block_round in block_pair_rounds(partition.n_blocks):
+            cols_per_pair = [
+                partition.pair_columns(pair) for pair in block_round
+            ]
+            for one_round in ordering_rounds:
+                ii = np.fromiter(
+                    (
+                        cols[i]
+                        for cols in cols_per_pair
+                        for i, _ in one_round
+                    ),
+                    dtype=np.intp,
+                )
+                jj = np.fromiter(
+                    (
+                        cols[j]
+                        for cols in cols_per_pair
+                        for _, j in one_round
+                    ),
+                    dtype=np.intp,
+                )
+                stacked_rounds.append((ii, jj))
+    else:
+        b = a.copy()
+        v = np.eye(n)
+        stacked_rounds = []
     rotations = 0
     sweep_residuals: List[float] = []
     converged = False
@@ -92,29 +135,24 @@ def _block_jacobi_svd(
     sweeps_done = 0
     for _ in range(budget):
         sweep_worst = 0.0
-        for pair in pairs:
-            cols = partition.pair_columns(pair)
-            for one_round in ordering:
-                for local_i, local_j in one_round:
-                    gi, gj = cols[local_i], cols[local_j]
-                    alpha = float(b[:, gi] @ b[:, gi])
-                    beta = float(b[:, gj] @ b[:, gj])
-                    gamma = float(b[:, gi] @ b[:, gj])
-                    ratio = pair_convergence_ratio(
-                        alpha, beta, gamma, zero_sq
-                    )
-                    if ratio > sweep_worst:
-                        sweep_worst = ratio
-                    if ratio < precision:
-                        continue
-                    rotation = compute_rotation(alpha, beta, gamma)
-                    b[:, gi], b[:, gj] = apply_rotation(
-                        b[:, gi], b[:, gj], rotation
-                    )
-                    v[:, gi], v[:, gj] = apply_rotation(
-                        v[:, gi], v[:, gj], rotation
-                    )
-                    rotations += 1
+        if strategy == "vectorized":
+            for ii, jj in stacked_rounds:
+                round_worst, round_rotations = _sweep_pairs_indexed(
+                    b, v, ii, jj, precision, zero_sq
+                )
+                if round_worst > sweep_worst:
+                    sweep_worst = round_worst
+                rotations += round_rotations
+        else:
+            for pair in pairs:
+                cols = partition.pair_columns(pair)
+                pair_worst, pair_rotations = orthogonalize_block_pair(
+                    b, v, cols, ordering, precision, zero_sq,
+                    strategy=strategy,
+                )
+                if pair_worst > sweep_worst:
+                    sweep_worst = pair_worst
+                rotations += pair_rotations
         sweeps_done += 1
         # The per-pair worst ratio is measured before rotations of later
         # pairs touch the same columns; re-measure globally so the
@@ -206,6 +244,7 @@ def svd(
     ordering_cls: Optional[Type[Ordering]] = None,
     fixed_sweeps: Optional[int] = None,
     fallback: Optional[str] = None,
+    strategy: str = "auto",
 ) -> SVDResult:
     """Compute the thin SVD of a real matrix by one-sided Jacobi.
 
@@ -229,6 +268,11 @@ def svd(
         fallback: ``"reference"`` returns the LAPACK factorization
             (``degraded=True``) on non-convergence instead of raising
             :class:`~repro.errors.ConvergenceError`.
+        strategy: ``"scalar"`` for the per-pair reference loops,
+            ``"vectorized"`` for batched rounds
+            (:func:`~repro.linalg.hestenes.sweep_pairs`), ``"auto"``
+            (default) for vectorized.  Strategies agree to 1e-10 on the
+            singular values; see ``docs/performance.md``.
 
     Returns:
         An :class:`SVDResult` with ``min(m, n)`` singular triplets.
@@ -238,6 +282,7 @@ def svd(
         raise NumericalError(f"expected a 2-D matrix, got shape {a.shape}")
     if a.size == 0:
         raise NumericalError("cannot factor an empty matrix")
+    strategy = resolve_strategy(strategy)
     if np.iscomplexobj(a):
         return _complex_svd(
             a,
@@ -248,6 +293,7 @@ def svd(
             ordering_cls=ordering_cls,
             fixed_sweeps=fixed_sweeps,
             fallback=fallback,
+            strategy=strategy,
         )
     a = a.astype(float)
 
@@ -275,6 +321,7 @@ def svd(
             ordering_cls=ordering,
             fixed_sweeps=fixed_sweeps,
             fallback=fallback,
+            strategy=strategy,
         )
     elif method == "block":
         width = block_width if block_width is not None else min(8, work.shape[1] // 2)
@@ -286,6 +333,7 @@ def svd(
             ordering_cls=ordering,
             fixed_sweeps=fixed_sweeps,
             fallback=fallback,
+            strategy=strategy,
         )
     else:
         raise NumericalError(f"unknown SVD method {method!r}")

@@ -21,7 +21,7 @@ from repro.workloads.matrices import (
 from repro.workloads.mimo import mimo_channel, rayleigh_channel_real
 from repro.workloads.recsys import rating_matrix
 from repro.workloads.signal import snapshot_matrix, estimate_doa
-from repro.workloads.batch import TaskBatch, make_batch
+from repro.workloads.batch import TaskBatch, make_batch, solve_batch
 
 __all__ = [
     "random_matrix",
@@ -34,4 +34,5 @@ __all__ = [
     "estimate_doa",
     "TaskBatch",
     "make_batch",
+    "solve_batch",
 ]

@@ -86,3 +86,30 @@ def make_batch(m: int, n: int, batch: int, seed: int = 0) -> TaskBatch:
         raise ConfigurationError(f"batch must be >= 1, got {batch}")
     matrices = [random_matrix(m, n, seed=seed + i) for i in range(batch)]
     return TaskBatch(m=m, n=n, matrices=matrices)
+
+
+def solve_batch(batch: TaskBatch, strategy: str = "auto", **svd_kwargs) -> List:
+    """Factor every task of a batch in-process with the software solver.
+
+    The serial batched-SVD path: each matrix goes through
+    :func:`repro.linalg.svd` with the selected inner-loop ``strategy``
+    (``"auto"``/``"vectorized"``/``"scalar"``).  Use
+    :class:`~repro.exec.batch.BatchExecutor` instead when the batch
+    should fan out across pipeline workers; this helper is the
+    single-process building block the benchmark suites time.
+
+    Args:
+        batch: The task batch.
+        strategy: Jacobi inner-loop strategy, forwarded to ``svd``.
+        **svd_kwargs: Further keyword arguments for ``svd`` (method,
+            block_width, precision, ...).
+
+    Returns:
+        The per-task :class:`~repro.linalg.svd.SVDResult` list, in
+        batch order.
+    """
+    from repro.linalg import svd
+
+    return [
+        svd(matrix, strategy=strategy, **svd_kwargs) for matrix in batch
+    ]

@@ -1,0 +1,154 @@
+"""Schema validation and round-trip tests for BENCH_<suite>.json."""
+
+import copy
+import json
+
+import pytest
+
+from repro.bench import SCHEMA_VERSION, validate_report
+from repro.errors import BenchmarkError
+
+
+def make_doc():
+    """A minimal valid schema-v1 document."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "suite": "solver",
+        "created_unix": 1754000000.0,
+        "machine": {
+            "hostname": "host-1",
+            "platform": "Linux-test",
+            "python": "3.11.0",
+            "numpy": "1.26.0",
+            "cpu_count": 4,
+        },
+        "seed": 0,
+        "model_version": "1",
+        "results": [
+            {
+                "name": "hestenes_vectorized_64",
+                "repeats": 2,
+                "wall_time_s": 0.5,
+                "wall_times_s": [0.6, 0.5],
+                "metrics": {"sweeps": 7, "strategy": "vectorized"},
+            }
+        ],
+    }
+
+
+class TestValidDocuments:
+    def test_minimal_document_validates(self):
+        doc = make_doc()
+        assert validate_report(doc) is doc
+
+    def test_json_round_trip_validates(self):
+        rebuilt = json.loads(json.dumps(make_doc()))
+        validate_report(rebuilt)
+
+    def test_integer_times_accepted(self):
+        doc = make_doc()
+        doc["results"][0]["wall_times_s"] = [1, 2]
+        doc["results"][0]["wall_time_s"] = 1
+        validate_report(doc)
+
+    def test_empty_metrics_accepted(self):
+        doc = make_doc()
+        doc["results"][0]["metrics"] = {}
+        validate_report(doc)
+
+
+class TestInvalidDocuments:
+    @pytest.mark.parametrize("key", [
+        "schema_version", "suite", "created_unix", "machine", "seed",
+        "model_version", "results",
+    ])
+    def test_missing_top_level_key(self, key):
+        doc = make_doc()
+        del doc[key]
+        with pytest.raises(BenchmarkError, match=key):
+            validate_report(doc)
+
+    def test_non_object_top_level(self):
+        with pytest.raises(BenchmarkError):
+            validate_report([make_doc()])
+
+    def test_wrong_schema_version(self):
+        doc = make_doc()
+        doc["schema_version"] = "99"
+        with pytest.raises(BenchmarkError, match="schema_version"):
+            validate_report(doc)
+
+    def test_empty_suite_name(self):
+        doc = make_doc()
+        doc["suite"] = ""
+        with pytest.raises(BenchmarkError, match="suite"):
+            validate_report(doc)
+
+    @pytest.mark.parametrize("field", [
+        "hostname", "platform", "python", "numpy", "cpu_count",
+    ])
+    def test_missing_machine_field(self, field):
+        doc = make_doc()
+        del doc["machine"][field]
+        with pytest.raises(BenchmarkError, match=field):
+            validate_report(doc)
+
+    def test_machine_field_type(self):
+        doc = make_doc()
+        doc["machine"]["cpu_count"] = "four"
+        with pytest.raises(BenchmarkError, match="cpu_count"):
+            validate_report(doc)
+
+    def test_empty_results(self):
+        doc = make_doc()
+        doc["results"] = []
+        with pytest.raises(BenchmarkError, match="results"):
+            validate_report(doc)
+
+    def test_duplicate_case_names(self):
+        doc = make_doc()
+        doc["results"].append(copy.deepcopy(doc["results"][0]))
+        with pytest.raises(BenchmarkError, match="duplicate"):
+            validate_report(doc)
+
+    def test_empty_case_name(self):
+        doc = make_doc()
+        doc["results"][0]["name"] = ""
+        with pytest.raises(BenchmarkError, match="name"):
+            validate_report(doc)
+
+    def test_repeats_mismatch(self):
+        doc = make_doc()
+        doc["results"][0]["repeats"] = 3
+        with pytest.raises(BenchmarkError, match="repeats"):
+            validate_report(doc)
+
+    def test_negative_wall_time(self):
+        doc = make_doc()
+        doc["results"][0]["wall_times_s"] = [-0.1, 0.5]
+        with pytest.raises(BenchmarkError, match="non-negative"):
+            validate_report(doc)
+
+    def test_boolean_wall_time_rejected(self):
+        doc = make_doc()
+        doc["results"][0]["wall_times_s"] = [True, 0.5]
+        with pytest.raises(BenchmarkError, match="non-negative"):
+            validate_report(doc)
+
+    def test_headline_not_minimum(self):
+        doc = make_doc()
+        doc["results"][0]["wall_time_s"] = 0.6
+        with pytest.raises(BenchmarkError, match="minimum"):
+            validate_report(doc)
+
+    def test_metric_value_type(self):
+        doc = make_doc()
+        doc["results"][0]["metrics"]["bad"] = [1, 2]
+        with pytest.raises(BenchmarkError, match="bad"):
+            validate_report(doc)
+
+    def test_boolean_metric_rejected(self):
+        doc = make_doc()
+        doc["results"][0]["metrics"]["flag"] = True
+        with pytest.raises(BenchmarkError, match="flag"):
+            validate_report(doc)

@@ -43,6 +43,14 @@ class TestParser:
         args = build_parser().parse_args(["sensitivity", "--jobs", "2"])
         assert args.jobs == 2
 
+    def test_svd_strategy_flag(self):
+        args = build_parser().parse_args(["svd"])
+        assert args.strategy == "auto"
+        args = build_parser().parse_args(["svd", "--strategy", "scalar"])
+        assert args.strategy == "scalar"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["svd", "--strategy", "simd"])
+
 
 class TestCommands:
     def test_svd_command(self, capsys):
@@ -50,6 +58,35 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "singular values" in out
         assert "LAPACK" in out
+
+    def test_svd_stdout_identical_across_strategies(self, capsys):
+        """The default accelerator path is strategy-independent.
+
+        ``--strategy`` tunes the software solver's inner loop only, so
+        the default CLI output must stay byte-identical — the parity
+        contract of docs/performance.md.
+        """
+        assert main(["svd", "--size", "16", "--p-eng", "2"]) == 0
+        default_out = capsys.readouterr().out
+        for strategy in ("scalar", "vectorized"):
+            assert main(["svd", "--size", "16", "--p-eng", "2",
+                         "--strategy", strategy]) == 0
+            assert capsys.readouterr().out == default_out
+
+    def test_svd_batch_software_strategies_agree(self, capsys):
+        """Both inner-loop strategies solve the batch accurately."""
+        deviations = []
+        for strategy in ("scalar", "vectorized"):
+            assert main([
+                "svd", "--batch", "2", "--size", "16", "--p-eng", "4",
+                "--engine", "software", "--jobs", "1",
+                "--strategy", strategy,
+            ]) == 0
+            out = capsys.readouterr().out
+            line = next(l for l in out.splitlines()
+                        if "max deviation" in l)
+            deviations.append(float(line.split()[-1]))
+        assert all(d < 1e-6 for d in deviations)
 
     def test_svd_with_file_io(self, tmp_path, capsys, rng):
         matrix = rng.standard_normal((12, 12))

@@ -1,0 +1,91 @@
+"""Documentation link checker.
+
+Two invariants, both directions:
+
+1. every ``docs/*.md`` path referenced from README.md exists, and
+2. every file under ``docs/`` is referenced from README.md at least
+   once (an orphaned doc is a doc nobody will find).
+
+Additionally, every relative ``[...](...)``  markdown link inside
+``docs/*.md`` must resolve to an existing file (anchors and external
+URLs are ignored).
+
+Run:  python tools/check_doc_links.py   (exit 1 on any violation)
+"""
+
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Markdown inline links: [text](target)
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def markdown_links(path):
+    with open(path, encoding="utf-8") as handle:
+        return LINK_PATTERN.findall(handle.read())
+
+
+def is_relative_file_link(target):
+    if target.startswith(("http://", "https://", "mailto:", "#")):
+        return False
+    return True
+
+
+def main():
+    errors = []
+    readme = os.path.join(REPO_ROOT, "README.md")
+    docs_dir = os.path.join(REPO_ROOT, "docs")
+
+    # 1. README -> docs/*.md targets must exist.
+    referenced_docs = set()
+    for target in markdown_links(readme):
+        if not is_relative_file_link(target):
+            continue
+        clean = target.split("#", 1)[0]
+        if not clean:
+            continue
+        resolved = os.path.normpath(os.path.join(REPO_ROOT, clean))
+        if not os.path.exists(resolved):
+            errors.append(f"README.md links to missing file: {clean}")
+        if clean.startswith("docs/"):
+            referenced_docs.add(os.path.normpath(clean))
+
+    # 2. Every docs/*.md must be referenced from README.
+    for name in sorted(os.listdir(docs_dir)):
+        if not name.endswith(".md"):
+            continue
+        rel = os.path.normpath(os.path.join("docs", name))
+        if rel not in referenced_docs:
+            errors.append(f"docs/{name} is not referenced from README.md")
+
+    # 3. Relative links inside docs/*.md must resolve.
+    for name in sorted(os.listdir(docs_dir)):
+        if not name.endswith(".md"):
+            continue
+        doc_path = os.path.join(docs_dir, name)
+        for target in markdown_links(doc_path):
+            if not is_relative_file_link(target):
+                continue
+            clean = target.split("#", 1)[0]
+            if not clean:
+                continue
+            resolved = os.path.normpath(os.path.join(docs_dir, clean))
+            if not os.path.exists(resolved):
+                errors.append(
+                    f"docs/{name} links to missing file: {clean}"
+                )
+
+    if errors:
+        for error in errors:
+            print(f"doc-link error: {error}", file=sys.stderr)
+        return 1
+    print(f"doc links OK: {len(referenced_docs)} docs referenced from "
+          f"README, all targets resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
