@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test bench bench-smoke microbench validate examples lint smoke ci all clean
+.PHONY: install test bench bench-smoke microbench validate examples lint smoke guard-smoke ci all clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -57,8 +57,21 @@ smoke:
 	$(PYTHON) -m repro.cli dse --size 64 --top 3 \
 		--fault-plan examples/fault_plans/chaos_smoke.json --retries 2
 
+# Adversarial-input and deadline smoke: a NaN matrix must exit 4 with
+# InputValidationError, a deadline-bounded DSE must exit 5 and then
+# resume from its checkpoint, and invariant checking must pass on a
+# healthy solve.
+guard-smoke:
+	$(PYTHON) -c "import numpy as np; a = np.eye(16); a[3, 4] = np.nan; np.save('guard_nan.npy', a)"
+	$(PYTHON) -m repro.cli svd --input guard_nan.npy; test $$? -eq 4
+	rm -f guard_ck.json
+	$(PYTHON) -m repro.cli dse --size 64 --deadline 0.001 --checkpoint guard_ck.json; test $$? -eq 5
+	$(PYTHON) -m repro.cli dse --size 64 --top 3 --checkpoint guard_ck.json --resume
+	$(PYTHON) -m repro.cli svd --size 32 --p-eng 4 --check-invariants --deadline 60
+	rm -f guard_nan.npy guard_ck.json
+
 # Reproduce the GitHub Actions pipeline locally.
-ci: lint test smoke
+ci: lint test smoke guard-smoke
 
 examples:
 	$(PYTHON) examples/quickstart.py

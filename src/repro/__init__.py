@@ -43,6 +43,7 @@ from repro.core.resources import ResourceUsage, estimate_resources
 from repro.core.power import PowerModel
 from repro.baselines import FPGABaselineModel, GPUBaselineModel
 from repro.exec import BatchExecutor, EvalCache, ParallelRunner
+from repro.guard import Deadline, Watchdog, validate_matrix
 from repro.obs import MetricsRegistry, Tracer
 from repro.versal import VCK190, AIEArray
 
@@ -75,6 +76,9 @@ __all__ = [
     "BatchExecutor",
     "EvalCache",
     "ParallelRunner",
+    "Deadline",
+    "Watchdog",
+    "validate_matrix",
     "Tracer",
     "MetricsRegistry",
     "VCK190",

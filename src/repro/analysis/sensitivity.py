@@ -126,6 +126,7 @@ def sensitivity_analysis(
     scale: float = 1.2,
     jobs: Optional[int] = None,
     checkpoint=None,
+    deadline=None,
 ) -> List[SensitivityResult]:
     """Perturb each calibration knob by ``scale`` and rank the effects.
 
@@ -139,6 +140,12 @@ def sensitivity_analysis(
             :class:`~repro.resilience.SweepCheckpoint` (or path);
             completed knob measurements persist and are skipped when
             the analysis is resumed.
+        deadline: Optional wall-clock budget (a
+            :class:`~repro.guard.Deadline` or seconds).  The pending
+            knobs are then evaluated one by one with the checkpoint
+            flushed after each, so an expired run raises
+            :class:`~repro.errors.DeadlineExceeded` having persisted
+            every completed knob for resume.
 
     Returns:
         Results sorted by descending effect.
@@ -146,6 +153,9 @@ def sensitivity_analysis(
     Raises:
         ConfigurationError: for a non-positive or identity scale.
     """
+    from repro.guard.deadline import as_deadline
+
+    deadline = as_deadline(deadline)
     if scale <= 0 or scale == 1.0:
         raise ConfigurationError(
             f"scale must be positive and != 1, got {scale}"
@@ -182,7 +192,25 @@ def sensitivity_analysis(
             effective_jobs = 1  # ad-hoc device: fall back to serial
     with _tracer.span("sensitivity.knobs", category="sensitivity",
                       knobs=len(pending), jobs=effective_jobs):
-        if effective_jobs > 1 and len(pending) > 1:
+        if deadline is not None:
+            # Deadline-bounded: knob-by-knob with incremental
+            # checkpointing, so an expiry loses at most one knob.
+            computed = []
+            for index, name in enumerate(pending):
+                if deadline.expired():
+                    if checkpoint is not None:
+                        checkpoint.flush()
+                    deadline.check(
+                        kind="sensitivity",
+                        completed=len(restored) + index,
+                        total=len(names),
+                        checkpointed=checkpoint is not None,
+                    )
+                result = _knob_result(config, name, scale, baseline)
+                computed.append(result)
+                if checkpoint is not None:
+                    checkpoint.record(keys[name], _result_to_json(result))
+        elif effective_jobs > 1 and len(pending) > 1:
             runner = ParallelRunner(jobs=effective_jobs, chunk_size=1)
             computed = runner.map(
                 _knob_worker,

@@ -48,24 +48,48 @@ from __future__ import annotations
 from typing import Any, Dict
 
 from repro.errors import BenchmarkError
+from repro.guard.schemas import validate_json
 
 #: Current report schema version (bump on incompatible layout changes).
 SCHEMA_VERSION = "1"
 
-_MACHINE_FIELDS = {
-    "hostname": str,
-    "platform": str,
-    "python": str,
-    "numpy": str,
-    "cpu_count": int,
-}
-
-_RESULT_FIELDS = {
-    "name": str,
-    "repeats": int,
-    "wall_time_s": (int, float),
-    "wall_times_s": list,
-    "metrics": dict,
+#: Structural schema (see :mod:`repro.guard.schemas`).  Cross-field
+#: semantics — duplicate names, the repeats/wall_times_s length match,
+#: non-negative times and the min-over-repeats headline — stay in
+#: :func:`validate_report`, where they have the context to report both
+#: sides of the violated relation.
+_REPORT_SCHEMA = {
+    "fields": {
+        "schema_version": {"const": SCHEMA_VERSION},
+        "suite": {"type": str, "non_empty": True},
+        "created_unix": (int, float),
+        "machine": {
+            "fields": {
+                "hostname": str,
+                "platform": str,
+                "python": str,
+                "numpy": str,
+                "cpu_count": int,
+            },
+            "extra": "allow",
+        },
+        "seed": int,
+        "model_version": str,
+        "results": {
+            "items": {
+                "fields": {
+                    "name": {"type": str, "non_empty": True},
+                    "repeats": int,
+                    "wall_time_s": (int, float),
+                    "wall_times_s": list,
+                    "metrics": {"values": (int, float, str)},
+                },
+                "extra": "allow",
+            },
+            "min_len": 1,
+        },
+    },
+    "extra": "allow",
 }
 
 
@@ -84,59 +108,14 @@ def validate_report(doc: Any) -> Dict[str, Any]:
 
     Raises:
         BenchmarkError: describing the first violation found.
+        Structural violations raise
+        :class:`~repro.errors.SchemaValidationError` (a
+        :class:`BenchmarkError` subclass) naming the exact JSON path.
     """
-    if not isinstance(doc, dict):
-        _fail(f"top level must be an object, got {type(doc).__name__}")
-    for key in ("schema_version", "suite", "created_unix", "machine",
-                "seed", "model_version", "results"):
-        if key not in doc:
-            _fail(f"missing top-level key {key!r}")
-    if doc["schema_version"] != SCHEMA_VERSION:
-        _fail(
-            f"schema_version {doc['schema_version']!r} is not the "
-            f"supported {SCHEMA_VERSION!r}"
-        )
-    if not isinstance(doc["suite"], str) or not doc["suite"]:
-        _fail("suite must be a non-empty string")
-    if not isinstance(doc["created_unix"], (int, float)):
-        _fail("created_unix must be a number")
-    if not isinstance(doc["seed"], int):
-        _fail("seed must be an integer")
-    if not isinstance(doc["model_version"], str):
-        _fail("model_version must be a string")
-
-    machine = doc["machine"]
-    if not isinstance(machine, dict):
-        _fail("machine must be an object")
-    for field, kind in _MACHINE_FIELDS.items():
-        if field not in machine:
-            _fail(f"machine is missing {field!r}")
-        if not isinstance(machine[field], kind):
-            _fail(
-                f"machine.{field} must be {kind.__name__}, got "
-                f"{type(machine[field]).__name__}"
-            )
-
-    results = doc["results"]
-    if not isinstance(results, list) or not results:
-        _fail("results must be a non-empty array")
+    validate_json(doc, _REPORT_SCHEMA)
     seen = set()
-    for index, result in enumerate(results):
-        if not isinstance(result, dict):
-            _fail(f"results[{index}] must be an object")
-        for field, kind in _RESULT_FIELDS.items():
-            if field not in result:
-                _fail(f"results[{index}] is missing {field!r}")
-            if not isinstance(result[field], kind):
-                _fail(
-                    f"results[{index}].{field} has type "
-                    f"{type(result[field]).__name__}"
-                )
-        if isinstance(result["wall_time_s"], bool):
-            _fail(f"results[{index}].wall_time_s must be a number")
+    for index, result in enumerate(doc["results"]):
         name = result["name"]
-        if not name:
-            _fail(f"results[{index}].name must be non-empty")
         if name in seen:
             _fail(f"duplicate result name {name!r}")
         seen.add(name)
@@ -158,14 +137,4 @@ def validate_report(doc: Any) -> Dict[str, Any]:
                 f"results[{index}].wall_time_s is not the minimum of "
                 f"wall_times_s"
             )
-        for key, value in result["metrics"].items():
-            if not isinstance(key, str):
-                _fail(f"results[{index}].metrics keys must be strings")
-            if isinstance(value, bool) or not isinstance(
-                value, (int, float, str)
-            ):
-                _fail(
-                    f"results[{index}].metrics[{key!r}] must be a "
-                    f"number or string"
-                )
     return doc

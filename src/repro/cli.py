@@ -93,16 +93,33 @@ def _load_matrix(args) -> np.ndarray:
     return random_matrix(args.size, args.size, seed=args.seed)
 
 
+def _make_deadline(args):
+    """Build the Deadline requested by ``--deadline``, or None."""
+    budget = getattr(args, "deadline", None)
+    if budget is None:
+        return None
+    from repro.guard import as_deadline
+
+    return as_deadline(budget)
+
+
 def cmd_svd(args) -> int:
     """Factor a matrix on the functional accelerator model.
 
     With ``--batch N`` (N > 1), N matrices run as a task stream
     through the :class:`~repro.exec.batch.BatchExecutor`'s pipeline
-    workers instead.
+    workers instead.  ``--no-validate`` skips the input health check;
+    ``--deadline`` bounds the wall clock (exit 5 on expiry);
+    ``--check-invariants`` verifies the produced factors.
     """
     if args.batch > 1:
         return _cmd_svd_batch(args)
+    deadline = _make_deadline(args)
     a = _load_matrix(args)
+    if args.validate:
+        from repro.guard import validate_matrix
+
+        validate_matrix(a, name="input matrix")
     m, n = a.shape
     config = HeteroSVDConfig(
         m=m,
@@ -113,7 +130,14 @@ def cmd_svd(args) -> int:
     )
     if config.n != n:
         a = np.hstack([a, np.zeros((m, config.n - n))])
-    result = HeteroSVDAccelerator(config).run(a)
+    result = HeteroSVDAccelerator(config).run(
+        a, accumulate_v=args.check_invariants
+    )
+    if deadline is not None:
+        deadline.check(
+            kind="svd", completed=result.iterations,
+            total=result.iterations, converged=result.converged,
+        )
     s_ref = np.linalg.svd(a, compute_uv=False)
     deviation = float(np.max(np.abs(result.sigma[: len(s_ref)] - s_ref)))
     print(f"matrix {m}x{n}, P_eng={args.p_eng}")
@@ -123,6 +147,19 @@ def cmd_svd(args) -> int:
     print(f"max deviation vs LAPACK: {deviation:.3e}")
     print(f"traffic: {result.transfers.dma_transfers} DMA / "
           f"{result.transfers.neighbor_transfers} neighbour transfers")
+    if args.check_invariants:
+        from repro.guard import check_factor_invariants
+
+        report = check_factor_invariants(
+            a, result.u * result.sigma, result.v, args.precision,
+            converged=result.converged,
+        )
+        print(f"invariants: {'ok' if report.ok else 'VIOLATED'} "
+              f"(reconstruction {report.reconstruction_error:.3e}, "
+              f"orthogonality {report.orthogonality_residual:.3e})")
+        if not report.ok:
+            print("error: factor invariants violated", file=sys.stderr)
+            return 1
     if args.output:
         np.savez(args.output, u=result.u, sigma=result.sigma)
         print(f"saved factors to {args.output}")
@@ -138,6 +175,11 @@ def _cmd_svd_batch(args) -> int:
         print("--batch and --input are mutually exclusive", file=sys.stderr)
         return 2
     batch = make_batch(args.size, args.size, args.batch, seed=args.seed)
+    if args.validate:
+        from repro.guard import validate_matrix
+
+        for task_id, matrix in enumerate(batch.matrices):
+            validate_matrix(matrix, name=f"batch matrix {task_id}")
     config = HeteroSVDConfig(
         m=args.size,
         n=_padded(args.size, args.p_eng),
@@ -148,8 +190,9 @@ def _cmd_svd_batch(args) -> int:
     executor = BatchExecutor(
         config, engine=args.engine, jobs=args.jobs, cache=_make_cache(args),
         retry=_make_retry(args), strategy=args.strategy,
+        check_invariants=args.check_invariants,
     )
-    report = executor.run(batch)
+    report = executor.run(batch, deadline=_make_deadline(args))
     print(f"batch of {len(batch)} {args.size}x{args.size} SVDs on "
           f"{config.p_task} pipelines ({args.engine} engine)")
     for run in report.runs:
@@ -184,6 +227,7 @@ def cmd_dse(args) -> int:
         cache=cache,
         checkpoint=checkpoint,
         retry=_make_retry(args),
+        deadline=_make_deadline(args),
     )
     table = Table(
         f"DSE: {args.size}x{args.size}, objective={args.objective}, "
@@ -262,7 +306,8 @@ def cmd_sensitivity(args) -> int:
     )
     checkpoint = _make_checkpoint(args, "sensitivity")
     results = sensitivity_analysis(
-        config, scale=args.scale, jobs=args.jobs, checkpoint=checkpoint
+        config, scale=args.scale, jobs=args.jobs, checkpoint=checkpoint,
+        deadline=_make_deadline(args),
     )
     if checkpoint is not None:
         print(f"checkpoint: {checkpoint.describe()}", file=sys.stderr)
@@ -551,6 +596,27 @@ def build_parser() -> argparse.ArgumentParser:
             "with exponential backoff (default: 0, no retry)",
         )
 
+    def add_deadline_flag(sub_parser):
+        sub_parser.add_argument(
+            "--deadline", type=float, default=None, metavar="SECONDS",
+            help="wall-clock budget for the command's computation; on "
+            "expiry it stops at the next safe point and exits 5 with "
+            "a partial-progress summary on stderr",
+        )
+
+    def add_guard_flags(sub_parser):
+        sub_parser.add_argument(
+            "--validate", action=argparse.BooleanOptionalAction,
+            default=True,
+            help="check input health (NaN/Inf/dtype/scale) before "
+            "solving; exit 4 on invalid input (default: on)",
+        )
+        sub_parser.add_argument(
+            "--check-invariants", action="store_true",
+            help="verify factor orthogonality and reconstruction "
+            "after solving",
+        )
+
     def add_checkpoint_flags(sub_parser):
         sub_parser.add_argument(
             "--checkpoint", default=None, metavar="FILE",
@@ -594,6 +660,8 @@ def build_parser() -> argparse.ArgumentParser:
     add_obs_flags(p_svd)
     add_fault_plan_flag(p_svd)
     add_retries_flag(p_svd)
+    add_deadline_flag(p_svd)
+    add_guard_flags(p_svd)
     p_svd.set_defaults(func=cmd_svd)
 
     p_dse = sub.add_parser("dse", help="explore the design space")
@@ -613,6 +681,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_fault_plan_flag(p_dse)
     add_retries_flag(p_dse)
     add_checkpoint_flags(p_dse)
+    add_deadline_flag(p_dse)
     p_dse.set_defaults(func=cmd_dse)
 
     p_model = sub.add_parser("model", help="performance-model breakdown")
@@ -646,6 +715,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_obs_flags(p_sens)
     add_fault_plan_flag(p_sens)
     add_checkpoint_flags(p_sens)
+    add_deadline_flag(p_sens)
     p_sens.set_defaults(func=cmd_sensitivity)
 
     p_profile = sub.add_parser(
@@ -738,6 +808,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     files, so stdout stays byte-identical to an uninstrumented run.
     ``--fault-plan FILE`` activates a deterministic fault-injection
     plan around the subcommand the same way (summary on stderr).
+
+    Guard exit codes: invalid input
+    (:class:`~repro.errors.InputValidationError`) exits 4; an expired
+    ``--deadline`` (:class:`~repro.errors.DeadlineExceeded`) exits 5
+    with the partial-progress summary on stderr.
     """
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -765,8 +840,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return status
 
+    from repro.errors import DeadlineExceeded, InputValidationError
+
     try:
         return invoke()
+    except InputValidationError as error:
+        print(f"error: invalid input: {error}", file=sys.stderr)
+        return 4
+    except DeadlineExceeded as error:
+        print(f"error: {error}", file=sys.stderr)
+        if error.partial is not None:
+            print(f"partial progress: {error.partial.describe()}",
+                  file=sys.stderr)
+            if error.partial.details.get("checkpointed"):
+                print("completed work is checkpointed; rerun with "
+                      "--checkpoint FILE --resume to continue",
+                      file=sys.stderr)
+        return 5
     finally:
         if wants_obs:
             from repro import obs

@@ -251,6 +251,7 @@ class DesignSpaceExplorer:
         cache=None,
         checkpoint=None,
         retry=None,
+        deadline=None,
     ) -> List[DesignPoint]:
         """Evaluate the whole feasible space, best point first.
 
@@ -272,6 +273,13 @@ class DesignSpaceExplorer:
             retry: Optional :class:`~repro.resilience.RetryPolicy`
                 re-attempting the parallel fan-out on transient
                 failures.
+            deadline: Optional wall-clock budget (a
+                :class:`~repro.guard.Deadline` or seconds) for the whole
+                exploration; on expiry
+                :class:`~repro.errors.DeadlineExceeded` carries a
+                :class:`~repro.guard.PartialResult` and, combined with
+                ``checkpoint``, the sweep resumes losing at most one
+                chunk of evaluations.
 
         Raises:
             DesignSpaceError: when nothing is feasible.
@@ -285,7 +293,8 @@ class DesignSpaceExplorer:
         with _tracer.span("dse.explore", category="dse",
                           m=self.m, n=self.n, objective=objective):
             if jobs is not None or cache is not None or env_jobs \
-                    or checkpoint is not None or retry is not None:
+                    or checkpoint is not None or retry is not None \
+                    or deadline is not None:
                 # Lazy import: repro.exec depends on this module.
                 from repro.exec.parallel import parallel_explore
 
@@ -299,6 +308,7 @@ class DesignSpaceExplorer:
                     cache=cache,
                     checkpoint=checkpoint,
                     retry=retry,
+                    deadline=deadline,
                 )
             with _tracer.span("dse.stage1", category="dse", jobs=1,
                               cached=False), \
@@ -336,9 +346,11 @@ class DesignSpaceExplorer:
         cache=None,
         checkpoint=None,
         retry=None,
+        deadline=None,
     ) -> DesignPoint:
         """The optimal design point for an objective."""
         return self.explore(
             objective, batch, frequency_hz, power_cap_w, jobs=jobs,
             cache=cache, checkpoint=checkpoint, retry=retry,
+            deadline=deadline,
         )[0]

@@ -22,6 +22,40 @@ class NumericalError(ReproError):
     """A numerical routine received invalid input or failed to converge."""
 
 
+class InputValidationError(NumericalError):
+    """An input matrix failed validation before any solver work ran.
+
+    Raised by :func:`repro.guard.validate_matrix` (and by every public
+    solver entry point that calls it) for NaN/Inf entries, wrong
+    dtypes, empty matrices and unsalvageable scalings.  Subclasses
+    :class:`NumericalError` so existing ``except NumericalError``
+    handlers keep working.
+
+    Attributes:
+        reason: Machine-readable failure category — one of
+            ``"non-finite"``, ``"dtype"``, ``"shape"``, ``"empty"``,
+            ``"scale"``.
+        location: Where in the input the problem was found (e.g.
+            ``"matrix[3,7]"``), or None when it is a whole-array
+            property.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        reason: str = "invalid",
+        location: "str | None" = None,
+    ):
+        super().__init__(message)
+        self.reason = reason
+        self.location = location
+
+    def __reduce__(self):
+        # Custom-__init__ exceptions need explicit pickle support to
+        # survive a process-pool boundary.
+        return (type(self), (self.args[0], self.reason, self.location))
+
+
 class ConvergenceError(NumericalError):
     """An iterative solver exhausted its iteration budget before converging.
 
@@ -119,3 +153,61 @@ class BenchmarkError(ReproError):
 
 class CheckpointError(ReproError):
     """A sweep checkpoint file is unusable (wrong format or version)."""
+
+
+class SchemaValidationError(ConfigurationError, BenchmarkError, CheckpointError):
+    """A JSON document violated a declarative schema.
+
+    Raised by :func:`repro.guard.schemas.validate_json`, the shared
+    strict validator behind fault plans, sweep checkpoints and BENCH
+    reports.  The multiple inheritance keeps each subsystem's existing
+    error contract: ``except ConfigurationError`` still catches a bad
+    fault plan, ``except BenchmarkError`` a bad BENCH report, and
+    ``except CheckpointError`` a bad checkpoint — while new code can
+    catch the one precise type.
+
+    Attributes:
+        path: JSON-path-style location of the first violation (e.g.
+            ``"$.results[2].wall_time_s"``).
+    """
+
+    def __init__(self, message: str, path: str = "$"):
+        super().__init__(message)
+        self.path = path
+
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.path))
+
+
+class DeadlineExceeded(ReproError):
+    """A cooperative wall-clock budget expired before the work finished.
+
+    Carries the :class:`repro.guard.deadline.PartialResult` describing
+    how far the computation got, so callers can surface partial
+    progress or resume from a checkpoint.
+
+    Attributes:
+        budget_s: The wall-clock budget that expired, in seconds.
+        elapsed_s: Seconds actually elapsed when the expiry was
+            detected.
+        partial: The :class:`~repro.guard.deadline.PartialResult`
+            snapshot, or None when no progress was measurable.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        budget_s: float,
+        elapsed_s: float,
+        partial: "object | None" = None,
+    ):
+        super().__init__(message)
+        self.budget_s = budget_s
+        self.elapsed_s = elapsed_s
+        self.partial = partial
+
+    def __reduce__(self):
+        return (
+            type(self),
+            (self.args[0], self.budget_s, self.elapsed_s, self.partial),
+        )

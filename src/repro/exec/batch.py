@@ -32,9 +32,11 @@ from repro.core.scheduler import BatchScheduler, Schedule
 from repro.errors import (
     ConfigurationError,
     ConvergenceError,
+    DeadlineExceeded,
     DegradedResultWarning,
 )
 from repro.exec.parallel import ParallelRunner, resolve_jobs
+from repro.guard.deadline import Deadline, PartialResult, as_deadline
 from repro.obs import metrics as _metrics
 from repro.obs import tracer as _tracer
 from repro.resilience import faults as _faults
@@ -128,13 +130,19 @@ def _pad_columns(a: np.ndarray, p_eng: int) -> np.ndarray:
 
 
 def _factor_task(
-    matrix: np.ndarray, config, engine: str, strategy: str = "auto"
+    matrix: np.ndarray,
+    config,
+    engine: str,
+    strategy: str = "auto",
+    deadline: Optional[Deadline] = None,
+    check_invariants: bool = False,
 ) -> np.ndarray:
     """Singular values of one task matrix via the selected engine.
 
     ``strategy`` selects the Jacobi inner-loop implementation for the
     software engine (see :func:`repro.linalg.svd`); the accelerator
-    engine models hardware round by round and ignores it.
+    engine models hardware round by round and ignores it (deadlines
+    apply between its tasks, not within them).
     """
     if engine == "accelerator":
         from repro.core.accelerator import HeteroSVDAccelerator
@@ -160,12 +168,14 @@ def _factor_task(
         block_width=config.p_eng,
         precision=config.precision,
         strategy=strategy,
+        deadline=deadline,
+        check_invariants=check_invariants,
     ).singular_values
 
 
 def _run_pipeline(
     payload: Tuple,
-) -> Tuple[int, float, List[Tuple[int, np.ndarray, bool]]]:
+) -> Tuple[int, float, List[Tuple[int, np.ndarray, bool]], bool]:
     """Worker: factor one pipeline's task stream, in schedule order.
 
     When a worker-side fault plan ships with the payload it is
@@ -173,9 +183,19 @@ def _run_pipeline(
     pool worker.  A task whose solver raises :class:`ConvergenceError`
     degrades to the reference LAPACK singular values (``degrade=True``,
     the default) instead of killing the pipeline.
+
+    A deadline budget ships as plain remaining-seconds (re-anchored
+    here — a :class:`Deadline` instance must not cross the process
+    boundary, and exceptions raised in a worker lose state in pickling
+    anyway).  On expiry the worker stops cleanly and returns its
+    completed prefix with ``expired=True``; the parent converts the
+    flags into one :class:`~repro.errors.DeadlineExceeded`.
     """
-    pipeline, config, engine, tasks, degrade, worker_plan, strategy = payload
+    (pipeline, config, engine, tasks, degrade, worker_plan, strategy,
+     budget_s, check_invariants) = payload
     started = time.perf_counter()
+    deadline = Deadline(budget_s) if budget_s is not None else None
+    expired = False
     outputs: List[Tuple[int, np.ndarray, bool]] = []
     context = (
         worker_plan.activate() if worker_plan is not None
@@ -183,6 +203,9 @@ def _run_pipeline(
     )
     with context:
         for task_id, matrix in tasks:
+            if deadline is not None and deadline.expired():
+                expired = True
+                break
             degraded = False
             try:
                 if _faults.fired("linalg.nonconvergence") is not None:
@@ -192,14 +215,20 @@ def _run_pipeline(
                         iterations=0,
                         residual=float("inf"),
                     )
-                sigma = _factor_task(matrix, config, engine, strategy)
+                sigma = _factor_task(
+                    matrix, config, engine, strategy,
+                    deadline=deadline, check_invariants=check_invariants,
+                )
+            except DeadlineExceeded:
+                expired = True
+                break
             except ConvergenceError:
                 if not degrade:
                     raise
                 sigma = np.linalg.svd(np.asarray(matrix), compute_uv=False)
                 degraded = True
             outputs.append((task_id, np.asarray(sigma), degraded))
-    return pipeline, time.perf_counter() - started, outputs
+    return pipeline, time.perf_counter() - started, outputs, expired
 
 
 class BatchExecutor:
@@ -227,6 +256,14 @@ class BatchExecutor:
         strategy: Jacobi inner-loop strategy for the software engine —
             ``"auto"`` (default, vectorized), ``"scalar"`` or
             ``"vectorized"``; ignored by the accelerator engine.
+        stall_timeout: Optional watchdog timeout (seconds) for the
+            pipeline fan-out; a stalled worker raises a retryable
+            :class:`~repro.errors.ParallelExecutionError` instead of
+            hanging the batch (see
+            :class:`~repro.exec.parallel.ParallelRunner`).
+        check_invariants: Verify factorization invariants for every
+            software-engine task (see :func:`repro.linalg.svd`);
+            ignored by the accelerator engine.
     """
 
     def __init__(
@@ -238,6 +275,8 @@ class BatchExecutor:
         retry=None,
         degrade: bool = True,
         strategy: str = "auto",
+        stall_timeout: Optional[float] = None,
+        check_invariants: bool = False,
     ):
         if engine not in VALID_ENGINES:
             raise ConfigurationError(
@@ -251,19 +290,28 @@ class BatchExecutor:
         self.retry = retry
         self.degrade = degrade
         self.strategy = resolve_strategy(strategy)
+        self.stall_timeout = stall_timeout
+        self.check_invariants = check_invariants
         self.scheduler = BatchScheduler(config, cost_cache=cache)
 
     def run(
-        self, batch: TaskBatch, policy: str = "lpt"
+        self, batch: TaskBatch, policy: str = "lpt", deadline=None
     ) -> BatchReport:
         """Schedule and execute a batch.
 
         Args:
             batch: Same-sized or mixed-size tasks.
             policy: Scheduling policy (``"lpt"`` or ``"fifo"``).
+            deadline: Optional wall-clock budget (a
+                :class:`~repro.guard.Deadline` or seconds) shared by
+                all pipelines.  On expiry the batch raises
+                :class:`~repro.errors.DeadlineExceeded` whose
+                :class:`~repro.guard.PartialResult` lists the task ids
+                completed before the cut-off.
         """
         if len(batch) == 0:
             raise ConfigurationError("cannot execute an empty batch")
+        deadline = as_deadline(deadline)
         specs = batch.to_specs()
         with _tracer.span("batch.schedule", category="batch",
                           tasks=len(specs), policy=policy):
@@ -286,6 +334,8 @@ class BatchExecutor:
                 self.degrade,
                 worker_plan,
                 self.strategy,
+                deadline.remaining() if deadline is not None else None,
+                self.check_invariants,
             )
             for pipeline, specs_ in enumerate(assignment)
             if specs_
@@ -295,7 +345,10 @@ class BatchExecutor:
             workers = self.config.p_task if env_jobs == 1 else env_jobs
         else:
             workers = resolve_jobs(self.jobs)
-        runner = ParallelRunner(jobs=min(workers, max(1, len(payloads))))
+        runner = ParallelRunner(
+            jobs=min(workers, max(1, len(payloads))),
+            stall_timeout=self.stall_timeout,
+        )
 
         started = time.perf_counter()
         with _tracer.span("batch.execute", category="batch",
@@ -311,7 +364,9 @@ class BatchExecutor:
         runs: List[PipelineRun] = []
         results: List[Optional[TaskResult]] = [None] * len(specs)
         degraded_tasks = 0
-        for pipeline, wall, outputs in raw:
+        any_expired = False
+        for pipeline, wall, outputs, expired in raw:
+            any_expired = any_expired or expired
             runs.append(
                 PipelineRun(
                     pipeline=pipeline,
@@ -328,6 +383,27 @@ class BatchExecutor:
                 if degraded:
                     degraded_tasks += 1
         runs.sort(key=lambda r: r.pipeline)
+        if any_expired:
+            completed_ids = sorted(
+                r.task_id for r in results if r is not None
+            )
+            elapsed = deadline.elapsed() if deadline is not None else 0.0
+            budget = deadline.budget_s if deadline is not None else 0.0
+            _metrics.counter("guard.deadline_expired").inc()
+            raise DeadlineExceeded(
+                f"batch deadline of {budget:.3f}s expired with "
+                f"{len(completed_ids)}/{len(specs)} tasks completed",
+                budget_s=budget,
+                elapsed_s=elapsed,
+                partial=PartialResult(
+                    kind="batch",
+                    completed=len(completed_ids),
+                    total=len(specs),
+                    elapsed_s=elapsed,
+                    budget_s=budget,
+                    details={"completed_task_ids": completed_ids},
+                ),
+            )
         _metrics.counter("batch.tasks").inc(len(specs))
         _metrics.gauge("batch.wall_makespan_s").set(wall_makespan)
         for run in runs:

@@ -32,9 +32,12 @@ from concurrent.futures import (
     ProcessPoolExecutor,
     ThreadPoolExecutor,
 )
+from concurrent.futures import TimeoutError as _FuturesTimeout
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError, ParallelExecutionError
+from repro.guard.deadline import as_deadline
+from repro.guard.watchdog import Watchdog
 from repro.obs import metrics as _metrics
 from repro.obs import tracer as _tracer
 from repro.resilience import faults as _faults
@@ -129,6 +132,13 @@ class ParallelRunner:
             pure-Python model code) or ``"thread"``.
         chunk_size: Items per submitted chunk; None picks
             ``ceil(len(items) / (jobs * CHUNKS_PER_WORKER))``.
+        stall_timeout: Optional watchdog timeout in seconds.  When set,
+            a :class:`~repro.guard.Watchdog` monitors every :meth:`map`
+            for progress (each completed chunk feeds it); a stall
+            longer than this raises a *retryable*
+            :class:`~repro.errors.ParallelExecutionError`, so wrapping
+            the map in a :class:`~repro.resilience.RetryPolicy` turns a
+            hung worker into a cancel-and-retry instead of a hung sweep.
     """
 
     def __init__(
@@ -136,6 +146,7 @@ class ParallelRunner:
         jobs: Optional[int] = None,
         mode: str = "process",
         chunk_size: Optional[int] = None,
+        stall_timeout: Optional[float] = None,
     ):
         if mode not in VALID_MODES:
             raise ConfigurationError(
@@ -145,9 +156,14 @@ class ParallelRunner:
             raise ConfigurationError(
                 f"chunk_size must be >= 1, got {chunk_size}"
             )
+        if stall_timeout is not None and not stall_timeout > 0:
+            raise ConfigurationError(
+                f"stall_timeout must be > 0 seconds, got {stall_timeout!r}"
+            )
         self.jobs = resolve_jobs(jobs)
         self.mode = mode
         self.chunk_size = chunk_size
+        self.stall_timeout = stall_timeout
         self._pool = None
 
     def _chunks(self, items: Sequence[Any]) -> List[Sequence[Any]]:
@@ -181,6 +197,32 @@ class ParallelRunner:
                 when there is no pool in the way.
         """
         items = list(items)
+        watchdog = (
+            Watchdog(self.stall_timeout).start()
+            if self.stall_timeout is not None
+            else None
+        )
+        try:
+            return self._map_guarded(fn, items, watchdog)
+        finally:
+            if watchdog is not None:
+                watchdog.stop()
+
+    def _stall_error(self, completed: int) -> ParallelExecutionError:
+        return ParallelExecutionError(
+            f"worker stalled: no progress within {self.stall_timeout:.3f}s "
+            f"(watchdog fired); remaining chunks cancelled",
+            item_index=-1,
+            item_repr="<watchdog>",
+            completed_items=completed,
+        )
+
+    def _map_guarded(
+        self,
+        fn: Callable[[Any], Any],
+        items: List[Any],
+        watchdog: Optional[Watchdog],
+    ) -> List[Any]:
         # Fault-plan hooks: checked parent-side (before any pool work)
         # so firing counters persist across retry attempts — a plan
         # that crashes the first map call is survived by the second.
@@ -188,6 +230,11 @@ class ParallelRunner:
         if stall is not None:
             _metrics.counter("resilience.stalls").inc()
             time.sleep(stall.param if stall.param > 0 else 0.05)
+            # The injected stall sleeps in the parent, exactly where a
+            # hung fan-out would block: the watchdog detecting it here
+            # exercises the same fired-flag path a real stall takes.
+            if watchdog is not None and watchdog.fired:
+                raise self._stall_error(0)
         if _faults.fired("exec.worker_crash") is not None:
             raise ParallelExecutionError(
                 "injected worker crash (fault plan)",
@@ -199,7 +246,14 @@ class ParallelRunner:
             "parallel.map", items=len(items), jobs=self.jobs, mode=self.mode,
         ):
             if self.jobs == 1 or len(items) <= 1:
-                return [fn(item) for item in items]
+                results = []
+                for item in items:
+                    results.append(fn(item))
+                    if watchdog is not None:
+                        watchdog.feed()
+                        if watchdog.fired:
+                            raise self._stall_error(len(results))
+                return results
             chunks = self._chunks(items)
             pool = self._get_pool()
             futures: List[Future] = [
@@ -211,7 +265,21 @@ class ParallelRunner:
             for chunk_index, future in enumerate(futures):
                 # submit order == input order
                 try:
-                    duration, chunk_results = future.result()
+                    if watchdog is None:
+                        duration, chunk_results = future.result()
+                    else:
+                        while True:
+                            try:
+                                duration, chunk_results = future.result(
+                                    timeout=watchdog.poll_interval
+                                )
+                                break
+                            except _FuturesTimeout:
+                                if watchdog.fired:
+                                    for pending in futures[chunk_index + 1:]:
+                                        pending.cancel()
+                                    raise self._stall_error(offset) from None
+                        watchdog.feed()
                 except _ChunkItemFailure as failure:
                     for pending in futures[chunk_index + 1:]:
                         pending.cancel()
@@ -382,6 +450,7 @@ def parallel_explore(
     runner: Optional[ParallelRunner] = None,
     checkpoint=None,
     retry=None,
+    deadline=None,
 ) -> List[Any]:
     """Parallel, cache-aware equivalent of ``DesignSpaceExplorer.explore``.
 
@@ -404,6 +473,13 @@ def parallel_explore(
         retry: Optional :class:`~repro.resilience.RetryPolicy` applied
             to every pool fan-out, so transient worker failures do not
             kill the sweep.
+        deadline: Optional wall-clock budget (a
+            :class:`~repro.guard.Deadline` or seconds) checked between
+            evaluation chunks.  On expiry the checkpoint (if any) is
+            flushed first, then :class:`~repro.errors.DeadlineExceeded`
+            is raised with a :class:`~repro.guard.PartialResult` — so
+            an expired sweep resumes from the checkpoint losing at most
+            the in-flight chunk.
 
     Raises:
         DesignSpaceError: when nothing is feasible.
@@ -415,6 +491,7 @@ def parallel_explore(
             f"unknown objective {objective!r}; expected one of "
             f"{VALID_OBJECTIVES}"
         )
+    deadline = as_deadline(deadline)
     if checkpoint is not None:
         from repro.resilience import as_checkpoint
 
@@ -426,6 +503,7 @@ def parallel_explore(
         return _explore_with_runner(
             explorer, objective, batch, frequency_hz, power_cap_w,
             cache, runner, checkpoint=checkpoint, retry=retry,
+            deadline=deadline,
         )
     finally:
         if owns_runner:
@@ -442,6 +520,7 @@ def _explore_with_runner(
     runner: ParallelRunner,
     checkpoint=None,
     retry=None,
+    deadline=None,
 ) -> List[Any]:
     from repro.errors import DesignSpaceError
 
@@ -486,7 +565,7 @@ def _explore_with_runner(
                  candidates[i][0], candidates[i][1], batch, frequency_hz)
                 for i in missing
             ]
-            if checkpoint is None and retry is None:
+            if checkpoint is None and retry is None and deadline is None:
                 evaluated = runner.map(_evaluate_candidate, payloads)
                 for index, point in zip(missing, evaluated):
                     points[index] = point
@@ -495,11 +574,22 @@ def _explore_with_runner(
             else:
                 # Chunked fan-out with a flush after every chunk: a
                 # killed sweep loses at most one chunk of work, and
-                # each chunk's map is individually retried.
+                # each chunk's map is individually retried.  A deadline
+                # also forces this path, so expiry is detected at chunk
+                # granularity with everything before it checkpointed.
                 step = runner.jobs * CHUNKS_PER_WORKER
                 if checkpoint is not None:
                     step = max(step, checkpoint.flush_interval)
                 for start in range(0, len(missing), step):
+                    if deadline is not None and deadline.expired():
+                        if checkpoint is not None:
+                            checkpoint.flush()
+                        deadline.check(
+                            kind="dse-sweep",
+                            completed=len(candidates) - len(missing) + start,
+                            total=len(candidates),
+                            checkpointed=checkpoint is not None,
+                        )
                     chunk_indices = missing[start:start + step]
                     chunk_payloads = payloads[start:start + step]
                     evaluated = call_with_retry(

@@ -1,0 +1,164 @@
+"""Cooperative wall-clock deadlines for iterative sweeps.
+
+HeteroSVD's one-sided Jacobi is iterative with a data-dependent sweep
+count, so on ill-conditioned input the solver — and everything built on
+it: the DSE sweep, the batch executor, the sensitivity analysis — can
+run far past any latency budget.  A :class:`Deadline` is a monotonic
+wall-clock budget those loops check *cooperatively* (once per Jacobi
+round, DSE chunk or batch task); on expiry they raise
+:class:`~repro.errors.DeadlineExceeded` carrying a
+:class:`PartialResult` snapshot of how far they got.
+
+The checks are cheap (one ``time.monotonic()`` call behind a ``None``
+test), opt-in, and never interrupt mid-rotation — an expired sweep
+stops at the next check point with its working state still consistent,
+which is what lets an expired DSE run resume from its checkpoint.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Union
+
+from repro.errors import DeadlineExceeded, NumericalError
+from repro.obs import metrics as _metrics
+
+
+@dataclass(frozen=True)
+class PartialResult:
+    """How far a deadline-bounded computation got before expiring.
+
+    Attributes:
+        kind: What was running — ``"hestenes-sweep"``, ``"block-sweep"``,
+            ``"dse-sweep"``, ``"sensitivity"`` or ``"batch"``.
+        completed: Units finished (sweeps, design points, tasks).
+        total: Units planned, or None when unbounded/unknown.
+        residual: Last observed convergence residual (solvers), or None.
+        elapsed_s: Seconds elapsed when the expiry was detected.
+        budget_s: The budget that expired.
+        details: Kind-specific extras (completed task ids, checkpoint
+            description, rotation counts, ...).
+    """
+
+    kind: str
+    completed: int
+    total: Optional[int] = None
+    residual: Optional[float] = None
+    elapsed_s: float = 0.0
+    budget_s: float = 0.0
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        """One-line human summary for CLI/error messages."""
+        progress = (
+            f"{self.completed}/{self.total}" if self.total is not None
+            else f"{self.completed}"
+        )
+        text = (
+            f"{self.kind}: {progress} completed in {self.elapsed_s:.3f}s "
+            f"(budget {self.budget_s:.3f}s)"
+        )
+        if self.residual is not None:
+            text += f", residual {self.residual:.3e}"
+        return text
+
+
+class Deadline:
+    """A monotonic wall-clock budget.
+
+    The clock starts at construction (``time.monotonic()``), so a
+    single instance threaded through nested calls measures the
+    end-to-end budget, not per-callee budgets.
+
+    Args:
+        budget_s: Seconds allowed from construction.
+    """
+
+    __slots__ = ("budget_s", "_start", "_expiry")
+
+    def __init__(self, budget_s: float):
+        if not budget_s >= 0.0:  # also rejects NaN
+            raise NumericalError(
+                f"deadline budget must be >= 0 seconds, got {budget_s!r}"
+            )
+        self.budget_s = float(budget_s)
+        self._start = time.monotonic()
+        self._expiry = self._start + self.budget_s
+
+    @classmethod
+    def after(cls, seconds: float) -> "Deadline":
+        """Alias constructor reading as ``Deadline.after(0.5)``."""
+        return cls(seconds)
+
+    def elapsed(self) -> float:
+        """Seconds since the budget started."""
+        return time.monotonic() - self._start
+
+    def remaining(self) -> float:
+        """Seconds left (clamped at 0)."""
+        return max(0.0, self._expiry - time.monotonic())
+
+    def expired(self) -> bool:
+        """Whether the budget is used up (the cheap hot-loop test)."""
+        return time.monotonic() >= self._expiry
+
+    def check(
+        self,
+        kind: str,
+        completed: int = 0,
+        total: Optional[int] = None,
+        residual: Optional[float] = None,
+        **details: Any,
+    ) -> None:
+        """Raise :class:`~repro.errors.DeadlineExceeded` if expired.
+
+        The raised error carries a :class:`PartialResult` built from
+        the arguments; callers pass whatever progress accounting they
+        have at the check point.
+        """
+        if not self.expired():
+            return
+        elapsed = self.elapsed()
+        partial = PartialResult(
+            kind=kind,
+            completed=completed,
+            total=total,
+            residual=residual,
+            elapsed_s=elapsed,
+            budget_s=self.budget_s,
+            details=dict(details),
+        )
+        _metrics.counter("guard.deadline_expired").inc()
+        raise DeadlineExceeded(
+            f"deadline of {self.budget_s:.3f}s exceeded after "
+            f"{elapsed:.3f}s ({partial.describe()})",
+            budget_s=self.budget_s,
+            elapsed_s=elapsed,
+            partial=partial,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Deadline(budget_s={self.budget_s!r}, "
+            f"remaining={self.remaining():.3f})"
+        )
+
+
+def as_deadline(
+    deadline: Union["Deadline", float, int, None],
+) -> Optional[Deadline]:
+    """Coerce a user-supplied deadline argument.
+
+    Accepts an existing :class:`Deadline` (returned unchanged, so a
+    budget threads through nested calls without restarting), a number
+    of seconds (anchored *now*), or None.
+    """
+    if deadline is None or isinstance(deadline, Deadline):
+        return deadline
+    if isinstance(deadline, bool) or not isinstance(deadline, (int, float)):
+        raise NumericalError(
+            f"deadline must be a Deadline, seconds, or None; "
+            f"got {deadline!r}"
+        )
+    return Deadline(float(deadline))

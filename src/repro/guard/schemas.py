@@ -1,0 +1,141 @@
+"""Declarative strict-JSON validation with precise error paths.
+
+Fault plans, sweep checkpoints and BENCH reports each grew their own
+ad-hoc structural checks; :func:`validate_json` unifies them.  A schema
+is a plain Python value describing the allowed shape, and every
+violation raises one error type —
+:class:`~repro.errors.SchemaValidationError` — whose message carries a
+JSON-path-style location (``$.results[2].wall_time_s``), so a malformed
+or version-skewed file names the exact offending field instead of
+failing with a ``KeyError`` three layers deep.
+
+Schema language (by example)::
+
+    int                         # isinstance check (bool never counts
+    (int, float)                #   as a number unless bool is listed)
+    {"enum": ("a", "b")}        # value must be one of these
+    {"const": "1"}              # value must equal exactly
+    {"items": int}              # list whose items all match
+    {"items": int, "min_len": 1}
+    {"values": dict}            # object with arbitrary string keys
+    {"fields": {"x": int},      # object with declared fields;
+     "optional": {"y"},         #   all required unless listed optional
+     "extra": "allow"}          #   unknown keys rejected by default
+    {"type": str, "non_empty": True}
+
+Checks compose: ``{"fields": {...}}`` nests specs for every field.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional, Tuple, Union
+
+from repro.errors import SchemaValidationError
+
+Spec = Union[type, Tuple[type, ...], Dict[str, Any]]
+
+
+def _type_name(spec: Tuple[type, ...]) -> str:
+    return " or ".join(t.__name__ for t in spec)
+
+
+def _fail(path: str, message: str) -> None:
+    raise SchemaValidationError(f"{path}: {message}", path=path)
+
+
+def _check_type(value: Any, types: Tuple[type, ...], path: str) -> None:
+    # bool subclasses int; a schema asking for numbers almost never
+    # wants True/False, so booleans only pass when listed explicitly.
+    if isinstance(value, bool) and bool not in types:
+        _fail(path, f"must be {_type_name(types)}, got bool")
+    if not isinstance(value, types):
+        _fail(
+            path,
+            f"must be {_type_name(types)}, got {type(value).__name__}",
+        )
+
+
+def validate_json(value: Any, spec: Spec, path: str = "$") -> Any:
+    """Validate a parsed JSON value against a declarative spec.
+
+    Args:
+        value: The parsed JSON value (dict/list/scalar tree).
+        spec: The schema (see module docstring).
+        path: Location prefix for error messages (nested calls extend
+            it; top-level callers keep the default ``"$"``).
+
+    Returns:
+        ``value`` unchanged, for call chaining.
+
+    Raises:
+        SchemaValidationError: naming the first violation and its
+            precise path.  The error is simultaneously a
+            :class:`~repro.errors.ConfigurationError`,
+            :class:`~repro.errors.BenchmarkError` and
+            :class:`~repro.errors.CheckpointError`, so subsystem
+            callers keep their historical error contracts.
+    """
+    if isinstance(spec, type):
+        _check_type(value, (spec,), path)
+        return value
+    if isinstance(spec, tuple):
+        _check_type(value, spec, path)
+        return value
+    if not isinstance(spec, dict):
+        raise TypeError(f"invalid schema node at {path}: {spec!r}")
+
+    if "const" in spec:
+        if value != spec["const"]:
+            _fail(path, f"must be {spec['const']!r}, got {value!r}")
+        return value
+    if "enum" in spec:
+        allowed = tuple(spec["enum"])
+        if value not in allowed:
+            _fail(path, f"must be one of {allowed!r}, got {value!r}")
+        return value
+
+    declared_type: Optional[Spec] = spec.get("type")
+    if "items" in spec:
+        _check_type(value, (list,), path)
+        if len(value) < spec.get("min_len", 0):
+            _fail(
+                path,
+                f"must have at least {spec['min_len']} item(s), "
+                f"got {len(value)}",
+            )
+        for index, item in enumerate(value):
+            validate_json(item, spec["items"], f"{path}[{index}]")
+        return value
+    if "fields" in spec or "values" in spec:
+        _check_type(value, (dict,), path)
+        if "fields" in spec:
+            fields: Dict[str, Spec] = spec["fields"]
+            optional: Iterable[str] = spec.get("optional", ())
+            for field_name, field_spec in fields.items():
+                if field_name not in value:
+                    if field_name in optional:
+                        continue
+                    _fail(path, f"missing required field {field_name!r}")
+                validate_json(
+                    value[field_name], field_spec, f"{path}.{field_name}"
+                )
+            if spec.get("extra", "reject") == "reject":
+                unknown = sorted(set(value) - set(fields))
+                if unknown:
+                    _fail(path, f"unknown field(s) {unknown}")
+        if "values" in spec:
+            for key, item in value.items():
+                if not isinstance(key, str):
+                    _fail(path, f"keys must be strings, got {key!r}")
+                validate_json(item, spec["values"], f"{path}[{key!r}]")
+        return value
+    if declared_type is not None:
+        types = (
+            (declared_type,) if isinstance(declared_type, type)
+            else tuple(declared_type)
+        )
+        _check_type(value, types, path)
+        if spec.get("non_empty") and not value:
+            _fail(path, "must be non-empty")
+        return value
+    raise TypeError(f"invalid schema node at {path}: {spec!r}")

@@ -1,0 +1,222 @@
+"""Input-matrix validation and safe pre-scaling.
+
+Every public solver entry point eventually sees hostile input: NaN/Inf
+entries, object dtypes, empty arrays, matrices scaled to 1e±300 where
+the Jacobi Gram computations (squared column norms!) overflow or
+underflow long before any rotation formula runs.  :func:`validate_matrix`
+front-loads those checks into one structured
+:class:`~repro.errors.InputValidationError` with a precise location,
+and :func:`prescale_matrix` rescales an extreme-but-finite matrix by a
+power of two — exactly invertible on the singular values
+(:func:`postscale_singular_values`), since a power-of-two scale is
+exact in binary floating point and ``svd(c·A) = c·svd(A)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import InputValidationError
+from repro.obs import metrics as _metrics
+
+#: Largest entry magnitude whose *squared* column norm is safely finite
+#: (``2**500 ≈ 3e150``; squaring lands at 2**1000, well inside float64).
+SCALE_MAX = 2.0 ** 500
+
+#: Smallest nonzero entry magnitude whose squared norm stays a normal
+#: number (below this, Gram entries land in the denormal range and the
+#: relative-orthogonality test loses all precision).
+SCALE_MIN = 2.0 ** -500
+
+
+@dataclass(frozen=True)
+class MatrixHealth:
+    """Cheap numerical-health report of a validated matrix.
+
+    Attributes:
+        shape: Matrix shape.
+        dtype: Input dtype name.
+        max_abs: Largest entry magnitude (0 for the zero matrix).
+        min_nonzero_abs: Smallest nonzero entry magnitude (0 when the
+            matrix is all-zero).
+        zero_columns: Number of exactly-zero columns.
+        condition_estimate: Ratio of the largest to the smallest
+            nonzero column norm — a cheap lower bound on the condition
+            number relevant to one-sided Jacobi (``inf`` when a zero
+            column makes the matrix exactly singular).
+        scale_exponent: Recommended power-of-two pre-scale exponent
+            (``a * 2**scale_exponent`` lands near unit scale); 0 when
+            the matrix is already in the safe range.
+        denormals: True when the matrix contains entries denormal for
+            its own dtype (a float32 workload that will lose precision
+            on the AIE datapath).
+    """
+
+    shape: Tuple[int, ...]
+    dtype: str
+    max_abs: float
+    min_nonzero_abs: float
+    zero_columns: int
+    condition_estimate: float
+    scale_exponent: int
+    denormals: bool
+
+
+def _first_bad_location(finite_mask: np.ndarray, name: str) -> str:
+    index = np.unravel_index(int(np.argmin(finite_mask)), finite_mask.shape)
+    return f"{name}[{','.join(str(i) for i in index)}]"
+
+
+def validate_matrix(
+    a: np.ndarray,
+    name: str = "matrix",
+    require_2d: bool = True,
+    allow_empty: bool = False,
+) -> MatrixHealth:
+    """Validate a solver input and report its numerical health.
+
+    Args:
+        a: The candidate input (anything ``np.asarray`` accepts).
+        name: How the input is referred to in error messages/locations.
+        require_2d: Reject non-2-D arrays (all the Jacobi drivers do).
+        allow_empty: Accept zero-sized arrays (no solver does).
+
+    Returns:
+        A :class:`MatrixHealth` report for inputs that pass.
+
+    Raises:
+        InputValidationError: with ``reason`` one of ``"dtype"``,
+            ``"shape"``, ``"empty"``, ``"non-finite"`` or ``"scale"``
+            — the last only for magnitudes a power-of-two pre-scale
+            cannot bring into range (it can always; ``"scale"`` is
+            reserved for callers that disabled pre-scaling, see
+            :func:`repro.linalg.svd`).
+    """
+    _metrics.counter("guard.validations").inc()
+    arr = np.asarray(a)
+    if arr.dtype.kind not in "fiuc":
+        _metrics.counter("guard.validation_failures").inc()
+        raise InputValidationError(
+            f"{name} has non-numeric dtype {arr.dtype!r}; expected a "
+            f"real or complex numeric array",
+            reason="dtype",
+        )
+    if require_2d and arr.ndim != 2:
+        _metrics.counter("guard.validation_failures").inc()
+        raise InputValidationError(
+            f"{name} must be 2-D, got shape {arr.shape}",
+            reason="shape",
+        )
+    if arr.size == 0 and not allow_empty:
+        _metrics.counter("guard.validation_failures").inc()
+        raise InputValidationError(
+            f"{name} is empty (shape {arr.shape}); cannot factor an "
+            f"empty matrix",
+            reason="empty",
+        )
+
+    if arr.dtype.kind in "fc":
+        finite = np.isfinite(arr)
+        if not finite.all():
+            bad = arr[~finite]
+            nans = int(np.count_nonzero(np.isnan(bad)))
+            infs = int(bad.size - nans)
+            location = _first_bad_location(finite, name)
+            _metrics.counter("guard.validation_failures").inc()
+            raise InputValidationError(
+                f"{name} contains non-finite entries ({nans} NaN, "
+                f"{infs} Inf); first at {location}",
+                reason="non-finite",
+                location=location,
+            )
+
+    mags = np.abs(arr).astype(float, copy=False)
+    max_abs = float(mags.max()) if mags.size else 0.0
+    nonzero = mags[mags > 0]
+    min_nonzero = float(nonzero.min()) if nonzero.size else 0.0
+
+    if arr.ndim == 2 and arr.size:
+        col_max = mags.max(axis=0)
+        zero_columns = int(np.count_nonzero(col_max == 0))
+        # Column norms computed scale-free: factor each column's peak
+        # out before squaring, so the estimate survives 1e±300 inputs.
+        live = col_max > 0
+        if np.any(live):
+            scaled = np.where(live, col_max, 1.0)
+            norms = scaled * np.sqrt(
+                np.einsum("ij,ij->j", mags / scaled, mags / scaled)
+            )
+            live_norms = norms[live]
+            condition = (
+                float(live_norms.max() / live_norms.min())
+                if zero_columns == 0
+                else float("inf")
+            )
+        else:
+            condition = float("inf")
+    else:
+        zero_columns = 0
+        condition = 1.0 if max_abs > 0 else float("inf")
+
+    scale_exponent = 0
+    if max_abs > 0 and not (SCALE_MIN <= max_abs <= SCALE_MAX):
+        # Exponent bringing the peak magnitude to [0.5, 1).
+        scale_exponent = -math.frexp(max_abs)[1]
+
+    denormals = False
+    if arr.dtype.kind == "f" and min_nonzero > 0:
+        denormals = min_nonzero < np.finfo(arr.dtype).tiny
+
+    return MatrixHealth(
+        shape=tuple(arr.shape),
+        dtype=str(arr.dtype),
+        max_abs=max_abs,
+        min_nonzero_abs=min_nonzero,
+        zero_columns=zero_columns,
+        condition_estimate=condition,
+        scale_exponent=scale_exponent,
+        denormals=denormals,
+    )
+
+
+def prescale_matrix(
+    a: np.ndarray, health: Optional[MatrixHealth] = None
+) -> Tuple[np.ndarray, int]:
+    """Rescale an extreme-magnitude matrix into the safe range.
+
+    Returns ``(scaled, exponent)`` with ``scaled = a * 2**exponent``
+    computed via ``ldexp`` (exact — no rounding, only the exponent
+    field changes), and ``exponent == 0`` (input returned as-is) when
+    the matrix is already in range.  Undo with
+    :func:`postscale_singular_values`.
+    """
+    if health is None:
+        health = validate_matrix(a, require_2d=False, allow_empty=True)
+    exponent = health.scale_exponent
+    if exponent == 0:
+        return np.asarray(a), 0
+    _metrics.counter("guard.prescaled_inputs").inc()
+    arr = np.asarray(a)
+    if arr.dtype.kind == "c":
+        scaled = np.ldexp(arr.real, exponent) + 1j * np.ldexp(
+            arr.imag, exponent
+        )
+    else:
+        scaled = np.ldexp(arr.astype(float, copy=False), exponent)
+    return scaled, exponent
+
+
+def postscale_singular_values(s: np.ndarray, exponent: int) -> np.ndarray:
+    """Undo :func:`prescale_matrix` on the computed singular values.
+
+    ``svd(2**e · A)`` has singular values ``2**e · σ(A)``, so dividing
+    by the same power of two recovers the spectrum of the original
+    matrix exactly (modulo the far end of the denormal range).
+    """
+    if exponent == 0:
+        return s
+    return np.ldexp(np.asarray(s, dtype=float), -exponent)

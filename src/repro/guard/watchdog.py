@@ -1,0 +1,115 @@
+"""A thread watchdog detecting stalled workers.
+
+PR 3 added the ``exec.worker_stall`` fault site — a deterministic way
+to *inject* a stalled worker — but nothing actually detected one: a
+worker that hangs forever hangs the sweep with it.  :class:`Watchdog`
+closes that loop.  A daemon thread watches a feed timestamp; when no
+:meth:`feed` arrives within the timeout, it marks itself fired (and
+runs an optional callback once).  The owner polls :attr:`fired` at its
+own cancellation points — the watchdog never kills anything itself,
+which keeps worker state consistent and lets the owner cancel pending
+futures and raise a retryable
+:class:`~repro.errors.ParallelExecutionError` (so a
+:class:`~repro.resilience.RetryPolicy` can re-attempt the fan-out).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+from repro.errors import ConfigurationError
+from repro.obs import metrics as _metrics
+
+
+class Watchdog:
+    """Fires when no progress is fed within ``timeout_s``.
+
+    Use as a context manager around the guarded section::
+
+        with Watchdog(timeout_s=5.0) as dog:
+            for chunk in chunks:
+                wait_for(chunk, poll=dog.poll_interval)
+                if dog.fired:
+                    ...cancel and raise...
+                dog.feed()
+
+    Args:
+        timeout_s: Seconds of silence before the watchdog fires.
+        on_stall: Optional callback invoked (once, from the watchdog
+            thread) at the moment of firing.
+    """
+
+    def __init__(
+        self,
+        timeout_s: float,
+        on_stall: Optional[Callable[[], None]] = None,
+    ):
+        if not timeout_s > 0:
+            raise ConfigurationError(
+                f"watchdog timeout must be > 0 seconds, got {timeout_s!r}"
+            )
+        self.timeout_s = float(timeout_s)
+        self.on_stall = on_stall
+        #: How often owners should poll blocking waits (seconds).
+        self.poll_interval = max(0.01, min(0.25, self.timeout_s / 4.0))
+        self._last_feed = time.monotonic()
+        self._fired = threading.Event()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+
+    @property
+    def fired(self) -> bool:
+        """Whether a stall was detected since the last start."""
+        return self._fired.is_set()
+
+    def stalled_for(self) -> float:
+        """Seconds since the last feed."""
+        with self._lock:
+            return time.monotonic() - self._last_feed
+
+    def feed(self) -> None:
+        """Report progress, pushing the firing point out."""
+        with self._lock:
+            self._last_feed = time.monotonic()
+
+    def start(self) -> "Watchdog":
+        """Start watching (idempotent)."""
+        if self._thread is not None:
+            return self
+        self._fired.clear()
+        self._stop.clear()
+        self.feed()
+        self._thread = threading.Thread(
+            target=self._watch, name="repro-watchdog", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the watchdog thread (idempotent)."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=self.timeout_s + 1.0)
+            self._thread = None
+
+    def _watch(self) -> None:
+        while not self._stop.wait(self.poll_interval):
+            if self.stalled_for() >= self.timeout_s:
+                self._fired.set()
+                _metrics.counter("guard.watchdog_fired").inc()
+                if self.on_stall is not None:
+                    try:
+                        self.on_stall()
+                    except Exception:
+                        pass  # a broken callback must not kill detection
+                return
+
+    def __enter__(self) -> "Watchdog":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -30,6 +30,9 @@ from repro.errors import (
     DegradedResultWarning,
     NumericalError,
 )
+from repro.guard.deadline import Deadline, as_deadline
+from repro.guard.invariants import check_factor_invariants
+from repro.guard.validate import validate_matrix
 from repro.obs import metrics as _metrics
 from repro.resilience import faults as _faults
 from repro.linalg.convergence import (
@@ -272,6 +275,8 @@ def hestenes_svd(
     fixed_sweeps: Optional[int] = None,
     fallback: Optional[str] = None,
     strategy: str = "auto",
+    deadline: "Optional[Deadline | float]" = None,
+    check_invariants: bool = False,
 ) -> HestenesResult:
     """Compute the thin SVD of ``a`` by one-sided Jacobi rotations.
 
@@ -299,20 +304,34 @@ def hestenes_svd(
             strategies perform the same rotations in the same order
             and agree to floating-point summation order (singular
             values within ~1e-12 relative; pinned at 1e-10 by tests).
+        deadline: Optional wall-clock budget — a
+            :class:`~repro.guard.Deadline` or a number of seconds —
+            checked cooperatively once per ordering round; on expiry
+            :class:`~repro.errors.DeadlineExceeded` is raised carrying
+            a :class:`~repro.guard.PartialResult` with the sweeps done
+            and last residual.
+        check_invariants: Verify the factorization invariants
+            (orthogonality of ``B``, reconstruction of ``A``) before
+            returning; on failure run one re-orthogonalization sweep,
+            then degrade to the reference fallback with a
+            :class:`~repro.errors.DegradedResultWarning`.
 
     Returns:
         A :class:`HestenesResult`.
 
     Raises:
-        NumericalError: for invalid shapes or non-finite input.
+        NumericalError: for invalid shapes or non-finite input (the
+            latter as :class:`~repro.errors.InputValidationError`).
         ConvergenceError: when ``max_sweeps`` is exhausted (only in
             precision-driven mode, and only without ``fallback``).
+        DeadlineExceeded: when ``deadline`` expires mid-factorization.
     """
     if fallback not in (None, "reference"):
         raise NumericalError(
             f"unknown fallback {fallback!r}; expected None or 'reference'"
         )
     strategy = resolve_strategy(strategy)
+    deadline = as_deadline(deadline)
     a = np.asarray(a, dtype=float)
     if a.ndim != 2:
         raise NumericalError(f"expected a 2-D matrix, got shape {a.shape}")
@@ -324,8 +343,7 @@ def hestenes_svd(
         )
     if n < 2 or n % 2 != 0:
         raise NumericalError(f"column count must be even and >= 2, got {n}")
-    if not np.all(np.isfinite(a)):
-        raise NumericalError("input matrix contains non-finite entries")
+    validate_matrix(a, name="input matrix")
     if _faults.fired("linalg.nonconvergence") is not None:
         error = ConvergenceError(
             "injected fault: forced non-convergence "
@@ -361,18 +379,35 @@ def hestenes_svd(
             for one_round in ordering
         ]
     sweeps_done = 0
-    for _ in range(budget):
+
+    def check_deadline() -> None:
+        # Once per ordering round: one monotonic-clock read behind a
+        # None test, so the hot loop pays nothing when unbounded.
+        if deadline is None or not deadline.expired():
+            return
+        deadline.check(
+            kind="hestenes-sweep",
+            completed=sweeps_done,
+            total=budget,
+            residual=sweep_residuals[-1] if sweep_residuals else None,
+            rotations=rotations,
+        )
+
+    def run_sweep() -> "tuple[float, int]":
         sweep_worst = 0.0
+        sweep_rotations = 0
         if strategy == "vectorized":
             for ii, jj in round_indices:
+                check_deadline()
                 round_worst, round_rotations = _sweep_pairs_indexed(
                     b, v, ii, jj, precision, zero_sq
                 )
                 if round_worst > sweep_worst:
                     sweep_worst = round_worst
-                rotations += round_rotations
+                sweep_rotations += round_rotations
         else:
             for one_round in ordering:
+                check_deadline()
                 for i, j in one_round:
                     alpha = float(b[:, i] @ b[:, i])
                     beta = float(b[:, j] @ b[:, j])
@@ -385,7 +420,12 @@ def hestenes_svd(
                     rotation = compute_rotation(alpha, beta, gamma)
                     b[:, i], b[:, j] = apply_rotation(b[:, i], b[:, j], rotation)
                     v[:, i], v[:, j] = apply_rotation(v[:, i], v[:, j], rotation)
-                    rotations += 1
+                    sweep_rotations += 1
+        return sweep_worst, sweep_rotations
+
+    for _ in range(budget):
+        sweep_worst, sweep_rotations = run_sweep()
+        rotations += sweep_rotations
         sweeps_done += 1
         sweep_residuals.append(sweep_worst)
         if fixed_sweeps is None and sweep_worst < precision:
@@ -399,15 +439,47 @@ def hestenes_svd(
         # anything; report an infinite residual rather than crashing
         # on the empty history.
         residual = sweep_residuals[-1] if sweep_residuals else float("inf")
+        detail = f"{sweeps_done} iterations, residual {residual:.3e}"
+        if deadline is not None:
+            detail += f", deadline remaining {deadline.remaining():.3f}s"
         error = ConvergenceError(
             f"Hestenes-Jacobi did not converge in {max_sweeps} sweeps "
-            f"({sweeps_done} iterations, residual {residual:.3e})",
+            f"({detail})",
             iterations=sweeps_done,
             residual=residual,
         )
         if fallback == "reference":
             return reference_fallback(a, error)
         raise error
+
+    if check_invariants:
+        report = check_factor_invariants(
+            a, b, v, precision, converged=converged
+        )
+        if not report.ok:
+            # One repair attempt: an extra sweep re-orthogonalizes a
+            # marginally-off factor; a corrupt one won't recover and
+            # degrades to the reference fallback.
+            _metrics.counter("guard.reorth_passes").inc()
+            extra_worst, extra_rotations = run_sweep()
+            rotations += extra_rotations
+            sweep_residuals.append(extra_worst)
+            report = check_factor_invariants(
+                a, b, v, precision, converged=converged
+            )
+        if not report.ok:
+            error = ConvergenceError(
+                f"factor invariants violated after re-orthogonalization "
+                f"(reconstruction error {report.reconstruction_error:.3e}, "
+                f"orthogonality residual {report.orthogonality_residual})",
+                iterations=sweeps_done,
+                residual=float(
+                    report.orthogonality_residual
+                    if report.orthogonality_residual is not None
+                    else report.reconstruction_error
+                ),
+            )
+            return reference_fallback(a, error)
 
     u, sigma, v = normalize_columns(b, v)
     return HestenesResult(

@@ -43,6 +43,44 @@ from repro.errors import NumericalError
 #: still be highly correlated.
 ORTHOGONALITY_EPS = 1e-18
 
+#: Gram entries above this magnitude are brought back to unit scale by
+#: an exact power-of-two rescale before the rotation formulas run.  The
+#: rotation angle depends only on *ratios* of the Gram triple, so a
+#: common scale factor changes nothing mathematically — but it keeps
+#: ``beta - alpha``, ``2*|gamma|`` and ``tau`` inside the normal float64
+#: range for inputs scaled to 1e±300.  Entries inside
+#: ``[GRAM_SCALE_MIN, GRAM_SCALE_MAX]`` are left untouched, so results
+#: for ordinarily-scaled matrices are bit-identical to the unscaled
+#: formulas.
+GRAM_SCALE_MAX = 2.0 ** 512
+
+#: Lower bound of the no-rescale range (see :data:`GRAM_SCALE_MAX`).
+#: Below it, squared norms sit in or near the denormal range where the
+#: relative orthogonality test and ``tau`` lose precision.
+GRAM_SCALE_MIN = 2.0 ** -512
+
+
+def _rescale_gram_scalar(
+    alpha: float, beta: float, gamma: float
+) -> "tuple[float, float, float]":
+    """Exactly rescale an out-of-range Gram triple to unit scale.
+
+    Multiplies all three entries by the power of two that brings the
+    peak magnitude into ``[0.5, 1)``.  ``ldexp`` only adjusts the
+    exponent field, so the rescale is exact and the rotation computed
+    from the scaled triple equals the one from the original (Eq. 3 is
+    scale-invariant).  In-range triples are returned unchanged.
+    """
+    peak = max(alpha, beta, abs(gamma))
+    if peak == 0.0 or GRAM_SCALE_MIN <= peak <= GRAM_SCALE_MAX:
+        return alpha, beta, gamma
+    exponent = -math.frexp(peak)[1]
+    return (
+        math.ldexp(alpha, exponent),
+        math.ldexp(beta, exponent),
+        math.ldexp(gamma, exponent),
+    )
+
 
 @dataclass(frozen=True)
 class JacobiRotation:
@@ -89,6 +127,7 @@ def compute_rotation(alpha: float, beta: float, gamma: float) -> JacobiRotation:
         raise NumericalError(
             f"squared norms must be non-negative: alpha={alpha}, beta={beta}"
         )
+    alpha, beta, gamma = _rescale_gram_scalar(alpha, beta, gamma)
     norm_product = math.sqrt(alpha) * math.sqrt(beta)
     if gamma == 0.0 or abs(gamma) <= ORTHOGONALITY_EPS * norm_product:
         return JacobiRotation(c=1.0, s=0.0, identity=True)
@@ -144,6 +183,17 @@ def compute_rotations_batch(
             "squared norms must be non-negative in batched rotation "
             "computation"
         )
+    peak = np.maximum(np.maximum(alpha, beta), np.abs(gamma))
+    needs_rescale = (peak > GRAM_SCALE_MAX) | (
+        (peak > 0.0) & (peak < GRAM_SCALE_MIN)
+    )
+    if np.any(needs_rescale):
+        # Same exact power-of-two rescale as the scalar path; lanes in
+        # the safe range get exponent 0 (ldexp(x, 0) is bit-identical).
+        exponent = np.where(needs_rescale, -np.frexp(peak)[1], 0)
+        alpha = np.ldexp(alpha, exponent)
+        beta = np.ldexp(beta, exponent)
+        gamma = np.ldexp(gamma, exponent)
     norm_product = np.sqrt(alpha) * np.sqrt(beta)
     identity = (gamma == 0.0) | (
         np.abs(gamma) <= ORTHOGONALITY_EPS * norm_product

@@ -18,6 +18,13 @@ from typing import List, Optional, Type
 import numpy as np
 
 from repro.errors import ConvergenceError, NumericalError
+from repro.guard.deadline import Deadline, as_deadline
+from repro.guard.invariants import check_factor_invariants
+from repro.guard.validate import (
+    postscale_singular_values,
+    prescale_matrix,
+    validate_matrix,
+)
 from repro.linalg.block import (
     BlockPartition,
     block_pair_rounds,
@@ -39,6 +46,7 @@ from repro.linalg.hestenes import (
     resolve_strategy,
 )
 from repro.linalg.orderings import Ordering, ShiftingRingOrdering
+from repro.obs import metrics as _metrics
 
 
 @dataclass
@@ -80,6 +88,8 @@ def _block_jacobi_svd(
     fixed_sweeps: Optional[int],
     fallback: Optional[str] = None,
     strategy: str = "vectorized",
+    deadline: Optional[Deadline] = None,
+    check_invariants: bool = False,
 ) -> HestenesResult:
     """Block Hestenes-Jacobi: the software mirror of Algorithm 1."""
     m, n = a.shape
@@ -133,18 +143,33 @@ def _block_jacobi_svd(
     budget = fixed_sweeps if fixed_sweeps is not None else max_sweeps
 
     sweeps_done = 0
-    for _ in range(budget):
+
+    def check_deadline() -> None:
+        if deadline is None or not deadline.expired():
+            return
+        deadline.check(
+            kind="block-sweep",
+            completed=sweeps_done,
+            total=budget,
+            residual=sweep_residuals[-1] if sweep_residuals else None,
+            rotations=rotations,
+        )
+
+    def run_sweep() -> "tuple[float, int]":
         sweep_worst = 0.0
+        sweep_rotations = 0
         if strategy == "vectorized":
             for ii, jj in stacked_rounds:
+                check_deadline()
                 round_worst, round_rotations = _sweep_pairs_indexed(
                     b, v, ii, jj, precision, zero_sq
                 )
                 if round_worst > sweep_worst:
                     sweep_worst = round_worst
-                rotations += round_rotations
+                sweep_rotations += round_rotations
         else:
             for pair in pairs:
+                check_deadline()
                 cols = partition.pair_columns(pair)
                 pair_worst, pair_rotations = orthogonalize_block_pair(
                     b, v, cols, ordering, precision, zero_sq,
@@ -152,7 +177,12 @@ def _block_jacobi_svd(
                 )
                 if pair_worst > sweep_worst:
                     sweep_worst = pair_worst
-                rotations += pair_rotations
+                sweep_rotations += pair_rotations
+        return sweep_worst, sweep_rotations
+
+    for _ in range(budget):
+        sweep_worst, sweep_rotations = run_sweep()
+        rotations += sweep_rotations
         sweeps_done += 1
         # The per-pair worst ratio is measured before rotations of later
         # pairs touch the same columns; re-measure globally so the
@@ -167,15 +197,44 @@ def _block_jacobi_svd(
         converged = sweep_residuals[-1] < precision if sweep_residuals else False
     elif not converged:
         residual = sweep_residuals[-1] if sweep_residuals else float("inf")
+        detail = f"{sweeps_done} iterations, residual {residual:.3e}"
+        if deadline is not None:
+            detail += f", deadline remaining {deadline.remaining():.3f}s"
         error = ConvergenceError(
             f"block Jacobi did not converge in {max_sweeps} sweeps "
-            f"({sweeps_done} iterations, residual {residual:.3e})",
+            f"({detail})",
             iterations=sweeps_done,
             residual=residual,
         )
         if fallback == "reference":
             return reference_fallback(a, error)
         raise error
+
+    if check_invariants:
+        report = check_factor_invariants(
+            a, b, v, precision, converged=converged
+        )
+        if not report.ok:
+            _metrics.counter("guard.reorth_passes").inc()
+            extra_worst, extra_rotations = run_sweep()
+            rotations += extra_rotations
+            sweep_residuals.append(off_diagonal_ratio(b))
+            report = check_factor_invariants(
+                a, b, v, precision, converged=converged
+            )
+        if not report.ok:
+            error = ConvergenceError(
+                f"factor invariants violated after re-orthogonalization "
+                f"(reconstruction error {report.reconstruction_error:.3e}, "
+                f"orthogonality residual {report.orthogonality_residual})",
+                iterations=sweeps_done,
+                residual=float(
+                    report.orthogonality_residual
+                    if report.orthogonality_residual is not None
+                    else report.reconstruction_error
+                ),
+            )
+            return reference_fallback(a, error)
 
     u, sigma, v = normalize_columns(b, v)
     return HestenesResult(
@@ -245,6 +304,10 @@ def svd(
     fixed_sweeps: Optional[int] = None,
     fallback: Optional[str] = None,
     strategy: str = "auto",
+    validate: bool = True,
+    prescale: "bool | str" = "auto",
+    deadline: "Optional[Deadline | float]" = None,
+    check_invariants: bool = False,
 ) -> SVDResult:
     """Compute the thin SVD of a real matrix by one-sided Jacobi.
 
@@ -273,6 +336,27 @@ def svd(
             (:func:`~repro.linalg.hestenes.sweep_pairs`), ``"auto"``
             (default) for vectorized.  Strategies agree to 1e-10 on the
             singular values; see ``docs/performance.md``.
+        validate: Run :func:`~repro.guard.validate_matrix` on the input
+            (default).  Rejects NaN/Inf/non-numeric input with a
+            structured :class:`~repro.errors.InputValidationError`
+            instead of propagating NaN into the factors, and computes
+            the health report driving ``prescale``.
+        prescale: ``"auto"`` (default) rescales extreme-magnitude
+            inputs (entries beyond ~1e±150) by an exact power of two
+            before factoring and undoes the scale on the singular
+            values; ``True`` forces the rescale decision through the
+            health report even for ordinary inputs (still a no-op when
+            already in range); ``False`` disables it.  Requires
+            ``validate=True`` to have any effect.
+        deadline: Optional wall-clock budget (a
+            :class:`~repro.guard.Deadline` or seconds) checked once per
+            ordering round; raises
+            :class:`~repro.errors.DeadlineExceeded` with a
+            :class:`~repro.guard.PartialResult` on expiry.
+        check_invariants: Verify orthogonality/reconstruction
+            invariants before returning, with one re-orthogonalization
+            attempt and a degraded reference fallback (see
+            :func:`~repro.guard.check_factor_invariants`).
 
     Returns:
         An :class:`SVDResult` with ``min(m, n)`` singular triplets.
@@ -283,7 +367,16 @@ def svd(
     if a.size == 0:
         raise NumericalError("cannot factor an empty matrix")
     strategy = resolve_strategy(strategy)
+    deadline = as_deadline(deadline)
+    if prescale not in (False, True, "auto"):
+        raise NumericalError(
+            f"unknown prescale mode {prescale!r}; expected True, False "
+            f"or 'auto'"
+        )
+    health = validate_matrix(a, name="matrix") if validate else None
     if np.iscomplexobj(a):
+        # The real embedding shares the input's magnitude range, so the
+        # recursive call re-validates and pre-scales it consistently.
         return _complex_svd(
             a,
             method=method,
@@ -294,8 +387,16 @@ def svd(
             fixed_sweeps=fixed_sweeps,
             fallback=fallback,
             strategy=strategy,
+            validate=validate,
+            prescale=prescale,
+            deadline=deadline,
+            check_invariants=check_invariants,
         )
     a = a.astype(float)
+    scale_exponent = 0
+    if health is not None and prescale in (True, "auto") and \
+            health.scale_exponent != 0:
+        a, scale_exponent = prescale_matrix(a, health)
 
     m, n = a.shape
     transposed = m < n
@@ -322,6 +423,8 @@ def svd(
             fixed_sweeps=fixed_sweeps,
             fallback=fallback,
             strategy=strategy,
+            deadline=deadline,
+            check_invariants=check_invariants,
         )
     elif method == "block":
         width = block_width if block_width is not None else min(8, work.shape[1] // 2)
@@ -334,6 +437,8 @@ def svd(
             fixed_sweeps=fixed_sweeps,
             fallback=fallback,
             strategy=strategy,
+            deadline=deadline,
+            check_invariants=check_invariants,
         )
     else:
         raise NumericalError(f"unknown SVD method {method!r}")
@@ -342,7 +447,9 @@ def svd(
     if padded_row:
         u = u[:-1, :]
     u = u[:, :rank_bound]
-    s = result.singular_values[:rank_bound]
+    s = postscale_singular_values(
+        result.singular_values[:rank_bound], scale_exponent
+    )
     v = result.v
     if padded:
         # Drop the padded coordinate: right singular vectors of the

@@ -43,6 +43,7 @@ from repro.resilience.faults import (
     active_plan,
     fired,
     load_fault_plan,
+    register_site,
 )
 from repro.resilience.retry import RetryPolicy, call_with_retry
 
@@ -57,4 +58,5 @@ __all__ = [
     "call_with_retry",
     "fired",
     "load_fault_plan",
+    "register_site",
 ]

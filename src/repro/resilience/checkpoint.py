@@ -23,11 +23,26 @@ import warnings
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
-from repro.errors import CheckpointError
+from repro.errors import CheckpointError, SchemaValidationError
+from repro.guard.schemas import validate_json
 from repro.obs import metrics as _metrics
 
 #: Bump when the on-disk layout changes incompatibly.
 FORMAT_VERSION = 1
+
+#: Structural schema of a checkpoint file.  ``format``/``model``/
+#: ``kind`` values are checked semantically in :meth:`_load` (stale
+#: versions are tolerated with a warning, not a schema error).
+_CHECKPOINT_SCHEMA = {
+    "fields": {
+        "format": int,
+        "model": str,
+        "kind": str,
+        "entries": {"values": dict},
+    },
+    "optional": ("format", "model", "kind"),
+    "extra": "allow",
+}
 
 #: Records buffered before an automatic atomic rewrite.
 DEFAULT_FLUSH_INTERVAL = 8
@@ -94,12 +109,12 @@ class SweepCheckpoint:
             return  # no checkpoint yet
         try:
             data = json.loads(raw)
-            if not isinstance(data, dict):
-                raise ValueError("checkpoint root must be an object")
+            validate_json(data, _CHECKPOINT_SCHEMA)
             entries = data["entries"]
-            if not isinstance(entries, dict):
-                raise ValueError("checkpoint entries must be an object")
-        except (ValueError, KeyError) as exc:
+        except (ValueError, SchemaValidationError) as exc:
+            # SchemaValidationError carries the precise JSON path of
+            # the damage; the recovery policy is unchanged — warn and
+            # start the sweep from scratch.
             warnings.warn(
                 f"ignoring corrupt checkpoint {self.path}: {exc}",
                 stacklevel=3,

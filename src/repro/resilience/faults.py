@@ -32,20 +32,26 @@ pipeline) count invocations per worker stream, not globally.
 
 from __future__ import annotations
 
+import difflib
 import json
 import random
 import zlib
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.errors import ConfigurationError
+from repro.guard.schemas import validate_json
 from repro.obs import metrics as _metrics
 
 #: Sites the library's built-in hooks consult.  Plans may also name
-#: custom sites (for user-defined hooks); unknown sites simply never
-#: fire unless some code checks them.
+#: custom sites (for user-defined hooks) registered via
+#: :func:`register_site`; :class:`FaultSpec`/:class:`FaultPlan`
+#: constructors stay permissive (tests and ad-hoc hooks build plans
+#: with arbitrary sites in code), but :func:`load_fault_plan` rejects
+#: unregistered names — a typo in a plan *file* would otherwise
+#: silently never fire.
 KNOWN_SITES = (
     "versal.plio",
     "versal.tile_memory",
@@ -55,6 +61,26 @@ KNOWN_SITES = (
     "cache.corrupt",
     "linalg.nonconvergence",
 )
+
+#: Extra sites registered at runtime (user-defined hooks).
+_REGISTERED_SITES: Set[str] = set()
+
+
+def register_site(name: str) -> str:
+    """Register a custom fault site for use in plan *files*.
+
+    Code-constructed plans never need this; it only widens the set of
+    names :func:`load_fault_plan` accepts.
+    """
+    if not name or not isinstance(name, str):
+        raise ConfigurationError(f"fault site name must be a non-empty string, got {name!r}")
+    _REGISTERED_SITES.add(name)
+    return name
+
+
+def registered_sites() -> Tuple[str, ...]:
+    """All site names valid in a plan file (built-in + registered)."""
+    return KNOWN_SITES + tuple(sorted(_REGISTERED_SITES))
 
 #: Default number of leading invocations a derived firing set is drawn
 #: from when a spec gives only a ``count``.
@@ -246,11 +272,43 @@ class FaultPlan:
         return path
 
 
+#: Structural schema of a ``--fault-plan`` file (see
+#: :mod:`repro.guard.schemas`); semantic checks (index signs, count
+#: bounds, duplicate sites) stay in the constructors.
+_PLAN_SCHEMA = {
+    "fields": {
+        "seed": int,
+        "faults": {
+            "items": {
+                "fields": {
+                    "site": {"type": str, "non_empty": True},
+                    "count": int,
+                    "at": {"items": int},
+                    "window": int,
+                    "param": (int, float),
+                },
+                "optional": ("count", "at", "window", "param"),
+            },
+        },
+    },
+    "optional": ("seed",),
+}
+
+
 def load_fault_plan(path: Union[str, Path]) -> FaultPlan:
     """Read a plan file written by :meth:`FaultPlan.save` (or by hand).
 
+    The file is validated structurally (one
+    :class:`~repro.errors.SchemaValidationError` naming the offending
+    JSON path) and every site name is checked against
+    :func:`registered_sites` — an unknown name errors out with the
+    nearest valid site suggested, instead of silently never firing.
+
     Raises:
-        ConfigurationError: when the file is missing or malformed.
+        ConfigurationError: when the file is missing or malformed
+            (schema and site-name violations are
+            :class:`~repro.errors.SchemaValidationError` /
+            :class:`ConfigurationError` subclasses).
     """
     path = Path(path)
     try:
@@ -261,6 +319,21 @@ def load_fault_plan(path: Union[str, Path]) -> FaultPlan:
         raise ConfigurationError(
             f"fault plan {path} is not valid JSON: {exc}"
         ) from exc
+    validate_json(data, _PLAN_SCHEMA)
+    valid = registered_sites()
+    for index, entry in enumerate(data["faults"]):
+        site = entry["site"]
+        if site not in valid:
+            nearest = difflib.get_close_matches(site, valid, n=1)
+            hint = (
+                f"; did you mean {nearest[0]!r}?" if nearest
+                else f"; valid sites: {', '.join(valid)}"
+            )
+            raise ConfigurationError(
+                f"fault plan {path}: unknown site {site!r} at "
+                f"$.faults[{index}].site{hint} (custom sites must be "
+                f"registered via register_site())"
+            )
     return FaultPlan.from_dict(data)
 
 

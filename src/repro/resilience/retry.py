@@ -18,7 +18,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Tuple, Type
 
-from repro.errors import ConfigurationError, ReproError
+from repro.errors import ConfigurationError, DeadlineExceeded, ReproError
 from repro.obs import metrics as _metrics
 
 
@@ -85,13 +85,20 @@ class RetryPolicy:
         ``resilience.gave_up`` when the budget is exhausted, at which
         point the last exception is re-raised unchanged (its context
         chain still names the injected/underlying cause).
+
+        :class:`~repro.errors.DeadlineExceeded` is never retried, even
+        when ``retry_on`` covers it: an expired wall-clock budget only
+        gets *more* expired by sleeping and re-running, and the partial
+        result it carries would be lost.
         """
         delays = list(self.delays())
         attempt = 0
         while True:
             try:
                 return fn(*args, **kwargs)
-            except self.retry_on:
+            except self.retry_on as exc:
+                if isinstance(exc, DeadlineExceeded):
+                    raise
                 if attempt >= len(delays):
                     _metrics.counter("resilience.gave_up").inc()
                     raise  # the original exception, attempts exhausted

@@ -88,7 +88,12 @@ def make_batch(m: int, n: int, batch: int, seed: int = 0) -> TaskBatch:
     return TaskBatch(m=m, n=n, matrices=matrices)
 
 
-def solve_batch(batch: TaskBatch, strategy: str = "auto", **svd_kwargs) -> List:
+def solve_batch(
+    batch: TaskBatch,
+    strategy: str = "auto",
+    deadline=None,
+    **svd_kwargs,
+) -> List:
     """Factor every task of a batch in-process with the software solver.
 
     The serial batched-SVD path: each matrix goes through
@@ -101,6 +106,11 @@ def solve_batch(batch: TaskBatch, strategy: str = "auto", **svd_kwargs) -> List:
     Args:
         batch: The task batch.
         strategy: Jacobi inner-loop strategy, forwarded to ``svd``.
+        deadline: Optional wall-clock budget for the *whole batch* (a
+            :class:`~repro.guard.Deadline` or seconds).  Anchored once
+            here, so every task draws from the same budget; expiry
+            raises :class:`~repro.errors.DeadlineExceeded` from within
+            the running task's sweep loop.
         **svd_kwargs: Further keyword arguments for ``svd`` (method,
             block_width, precision, ...).
 
@@ -108,8 +118,11 @@ def solve_batch(batch: TaskBatch, strategy: str = "auto", **svd_kwargs) -> List:
         The per-task :class:`~repro.linalg.svd.SVDResult` list, in
         batch order.
     """
+    from repro.guard.deadline import as_deadline
     from repro.linalg import svd
 
+    deadline = as_deadline(deadline)
     return [
-        svd(matrix, strategy=strategy, **svd_kwargs) for matrix in batch
+        svd(matrix, strategy=strategy, deadline=deadline, **svd_kwargs)
+        for matrix in batch
     ]

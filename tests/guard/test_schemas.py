@@ -1,0 +1,102 @@
+"""Unit tests for the declarative strict-JSON validator."""
+
+import pickle
+
+import pytest
+
+from repro.errors import (
+    BenchmarkError,
+    CheckpointError,
+    ConfigurationError,
+    SchemaValidationError,
+)
+from repro.guard import validate_json
+
+
+class TestScalars:
+    def test_type_match_returns_value(self):
+        assert validate_json(3, int) == 3
+        assert validate_json("x", str) == "x"
+
+    def test_type_mismatch_names_path(self):
+        with pytest.raises(SchemaValidationError, match=r"\$: must be int"):
+            validate_json("x", int)
+
+    def test_bool_is_not_int(self):
+        with pytest.raises(SchemaValidationError, match="got bool"):
+            validate_json(True, int)
+        with pytest.raises(SchemaValidationError, match="got bool"):
+            validate_json(True, (int, float))
+        assert validate_json(True, (int, bool)) is True
+
+    def test_const(self):
+        assert validate_json("1", {"const": "1"}) == "1"
+        with pytest.raises(SchemaValidationError, match="must be '1'"):
+            validate_json("99", {"const": "1"})
+
+    def test_enum(self):
+        assert validate_json("a", {"enum": ("a", "b")}) == "a"
+        with pytest.raises(SchemaValidationError, match="one of"):
+            validate_json("c", {"enum": ("a", "b")})
+
+    def test_non_empty(self):
+        with pytest.raises(SchemaValidationError, match="non-empty"):
+            validate_json("", {"type": str, "non_empty": True})
+
+
+class TestContainers:
+    def test_items_with_index_path(self):
+        with pytest.raises(SchemaValidationError, match=r"\$\[1\]"):
+            validate_json([1, "x"], {"items": int})
+
+    def test_min_len(self):
+        with pytest.raises(SchemaValidationError, match="at least 1"):
+            validate_json([], {"items": int, "min_len": 1})
+
+    def test_missing_required_field(self):
+        with pytest.raises(SchemaValidationError, match="'x'"):
+            validate_json({}, {"fields": {"x": int}})
+
+    def test_optional_field_may_be_absent(self):
+        spec = {"fields": {"x": int, "y": int}, "optional": ("y",)}
+        assert validate_json({"x": 1}, spec) == {"x": 1}
+
+    def test_unknown_fields_rejected_by_default(self):
+        with pytest.raises(SchemaValidationError, match="unknown"):
+            validate_json({"x": 1, "z": 2}, {"fields": {"x": int}})
+        validate_json(
+            {"x": 1, "z": 2}, {"fields": {"x": int}, "extra": "allow"}
+        )
+
+    def test_nested_path_is_precise(self):
+        spec = {"fields": {"results": {"items": {"fields": {"t": int}}}}}
+        with pytest.raises(
+            SchemaValidationError, match=r"\$\.results\[1\]\.t"
+        ) as excinfo:
+            validate_json({"results": [{"t": 1}, {"t": "x"}]}, spec)
+        assert excinfo.value.path == "$.results[1].t"
+
+    def test_values_spec(self):
+        validate_json({"a": 1, "b": 2}, {"values": int})
+        with pytest.raises(SchemaValidationError, match=r"\$\['b'\]"):
+            validate_json({"a": 1, "b": "x"}, {"values": int})
+
+
+class TestErrorContract:
+    def test_error_satisfies_all_subsystem_contracts(self):
+        with pytest.raises(SchemaValidationError) as excinfo:
+            validate_json("x", int)
+        error = excinfo.value
+        assert isinstance(error, ConfigurationError)
+        assert isinstance(error, BenchmarkError)
+        assert isinstance(error, CheckpointError)
+
+    def test_error_pickles_with_path(self):
+        with pytest.raises(SchemaValidationError) as excinfo:
+            validate_json({"a": "x"}, {"fields": {"a": int}})
+        rebuilt = pickle.loads(pickle.dumps(excinfo.value))
+        assert rebuilt.path == "$.a"
+
+    def test_invalid_schema_is_a_programming_error(self):
+        with pytest.raises(TypeError):
+            validate_json(1, {"bogus": True})

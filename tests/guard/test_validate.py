@@ -1,0 +1,177 @@
+"""Unit tests for input validation and exact power-of-two pre-scaling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InputValidationError, NumericalError
+from repro.guard import (
+    SCALE_MAX,
+    SCALE_MIN,
+    postscale_singular_values,
+    prescale_matrix,
+    validate_matrix,
+)
+
+
+class TestValidateMatrix:
+    def test_healthy_matrix_passes(self, rng):
+        a = rng.standard_normal((8, 6))
+        health = validate_matrix(a)
+        assert health.shape == (8, 6)
+        assert health.zero_columns == 0
+        assert health.scale_exponent == 0
+        assert not health.denormals
+        assert health.condition_estimate >= 1.0
+
+    def test_nan_rejected_with_location(self):
+        a = np.eye(4)
+        a[2, 1] = np.nan
+        with pytest.raises(InputValidationError) as excinfo:
+            validate_matrix(a, name="input")
+        assert excinfo.value.reason == "non-finite"
+        assert excinfo.value.location == "input[2,1]"
+        assert "1 NaN" in str(excinfo.value)
+
+    def test_inf_rejected(self):
+        a = np.eye(3)
+        a[0, 0] = np.inf
+        with pytest.raises(InputValidationError) as excinfo:
+            validate_matrix(a)
+        assert excinfo.value.reason == "non-finite"
+        assert "1 Inf" in str(excinfo.value)
+
+    def test_object_dtype_rejected(self):
+        a = np.array([["a", "b"], ["c", "d"]], dtype=object)
+        with pytest.raises(InputValidationError) as excinfo:
+            validate_matrix(a)
+        assert excinfo.value.reason == "dtype"
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(InputValidationError) as excinfo:
+            validate_matrix(np.zeros(4))
+        assert excinfo.value.reason == "shape"
+        health = validate_matrix(np.zeros(4), require_2d=False)
+        assert health.shape == (4,)
+
+    def test_empty_rejected(self):
+        with pytest.raises(InputValidationError) as excinfo:
+            validate_matrix(np.zeros((0, 3)))
+        assert excinfo.value.reason == "empty"
+
+    def test_zero_columns_counted_and_condition_inf(self, rng):
+        a = rng.standard_normal((6, 4))
+        a[:, 1] = 0.0
+        health = validate_matrix(a)
+        assert health.zero_columns == 1
+        assert health.condition_estimate == float("inf")
+
+    def test_condition_estimate_tracks_column_scaling(self, rng):
+        a = rng.standard_normal((16, 4))
+        a[:, 0] *= 1e8
+        health = validate_matrix(a)
+        assert health.condition_estimate > 1e6
+
+    def test_extreme_scale_flagged(self):
+        health = validate_matrix(np.eye(3) * 1e300)
+        assert health.scale_exponent != 0
+        # Applying the recommended exponent lands near unit scale.
+        assert SCALE_MIN <= health.max_abs * 2.0 ** health.scale_exponent \
+            <= SCALE_MAX
+
+    def test_in_range_scale_not_flagged(self):
+        assert validate_matrix(np.eye(3) * 1e-30).scale_exponent == 0
+
+    def test_float32_denormals_flagged(self):
+        a = np.eye(3, dtype=np.float32)
+        a[0, 1] = np.float32(1e-40)  # denormal in float32
+        health = validate_matrix(a)
+        assert health.denormals
+
+    def test_integer_matrix_passes(self):
+        health = validate_matrix(np.eye(4, dtype=np.int64))
+        assert health.dtype == "int64"
+
+    def test_complex_nan_rejected(self):
+        a = np.eye(3, dtype=complex)
+        a[1, 1] = complex(np.nan, 0.0)
+        with pytest.raises(InputValidationError):
+            validate_matrix(a)
+
+    def test_pickles(self):
+        import pickle
+
+        with pytest.raises(InputValidationError) as excinfo:
+            validate_matrix(np.full((2, 2), np.nan))
+        rebuilt = pickle.loads(pickle.dumps(excinfo.value))
+        assert isinstance(rebuilt, InputValidationError)
+        assert rebuilt.reason == "non-finite"
+
+
+class TestPrescale:
+    @pytest.mark.parametrize("magnitude", [1e300, 1e-300, 1e290, 2.0 ** 600])
+    def test_round_trip_is_exact(self, rng, magnitude):
+        a = rng.standard_normal((6, 6)) * magnitude
+        scaled, exponent = prescale_matrix(a)
+        assert exponent != 0
+        assert np.all(np.isfinite(scaled))
+        assert SCALE_MIN <= np.abs(scaled).max() <= SCALE_MAX
+        # ldexp is exact: undoing the scale reproduces the input bits.
+        assert np.array_equal(np.ldexp(scaled, -exponent), a)
+
+    def test_in_range_matrix_untouched(self, rng):
+        a = rng.standard_normal((4, 4))
+        scaled, exponent = prescale_matrix(a)
+        assert exponent == 0
+        assert scaled is not None and np.array_equal(scaled, a)
+
+    def test_complex_prescale(self, rng):
+        a = (rng.standard_normal((4, 4))
+             + 1j * rng.standard_normal((4, 4))) * 1e300
+        scaled, exponent = prescale_matrix(a)
+        assert exponent != 0
+        assert np.all(np.isfinite(scaled.real))
+        assert np.all(np.isfinite(scaled.imag))
+
+    def test_postscale_inverts(self):
+        s = np.array([3.0, 2.0, 1.0])
+        assert np.array_equal(
+            postscale_singular_values(np.ldexp(s, -40), -40), s
+        )
+        assert postscale_singular_values(s, 0) is s
+
+
+class TestSvdIntegration:
+    def test_svd_validates_by_default(self):
+        from repro.linalg.svd import svd
+
+        a = np.eye(8)
+        a[3, 3] = np.nan
+        with pytest.raises(InputValidationError):
+            svd(a)
+
+    def test_svd_no_validate_skips_the_check(self, rng):
+        from repro.linalg.svd import svd
+
+        # Healthy input still solves fine with validation off.
+        a = rng.standard_normal((8, 8))
+        result = svd(a, validate=False)
+        assert np.allclose(
+            result.singular_values,
+            np.linalg.svd(a, compute_uv=False),
+        )
+
+    @pytest.mark.parametrize("magnitude", [1e300, 1e-300])
+    def test_svd_prescales_extreme_input(self, rng, magnitude):
+        from repro.linalg.svd import svd
+
+        a = rng.standard_normal((12, 12)) * magnitude
+        result = svd(a)
+        s_ref = np.linalg.svd(a, compute_uv=False)
+        assert np.all(np.isfinite(result.singular_values))
+        assert np.allclose(result.singular_values, s_ref, rtol=1e-8)
+
+    def test_unknown_prescale_mode_rejected(self, rng):
+        from repro.linalg.svd import svd
+
+        with pytest.raises(NumericalError):
+            svd(rng.standard_normal((4, 4)), prescale="sometimes")

@@ -1,0 +1,92 @@
+"""Watchdog unit tests and the worker-stall detection path."""
+
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError, ParallelExecutionError
+from repro.guard import Watchdog
+
+
+class TestWatchdog:
+    def test_rejects_non_positive_timeout(self):
+        with pytest.raises(ConfigurationError):
+            Watchdog(0.0)
+        with pytest.raises(ConfigurationError):
+            Watchdog(-1.0)
+
+    def test_fed_watchdog_does_not_fire(self):
+        with Watchdog(timeout_s=0.5) as dog:
+            for _ in range(5):
+                time.sleep(0.02)
+                dog.feed()
+            assert not dog.fired
+
+    def test_starved_watchdog_fires(self):
+        fired_callbacks = []
+        with Watchdog(timeout_s=0.05,
+                      on_stall=lambda: fired_callbacks.append(1)) as dog:
+            deadline = time.monotonic() + 2.0
+            while not dog.fired and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert dog.fired
+        assert fired_callbacks == [1]
+
+    def test_broken_callback_does_not_kill_detection(self):
+        def boom():
+            raise RuntimeError("broken callback")
+
+        with Watchdog(timeout_s=0.05, on_stall=boom) as dog:
+            deadline = time.monotonic() + 2.0
+            while not dog.fired and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert dog.fired
+
+    def test_poll_interval_scales_with_timeout(self):
+        assert Watchdog(100.0).poll_interval == 0.25
+        assert Watchdog(0.02).poll_interval == 0.01
+        assert Watchdog(0.4).poll_interval == pytest.approx(0.1)
+
+    def test_start_is_idempotent_and_stop_joins(self):
+        dog = Watchdog(timeout_s=1.0)
+        assert dog.start() is dog
+        assert dog.start() is dog
+        dog.stop()
+        dog.stop()
+
+
+class TestRunnerStallDetection:
+    def test_stall_timeout_must_be_positive(self):
+        from repro.exec.parallel import ParallelRunner
+
+        with pytest.raises(ConfigurationError):
+            ParallelRunner(jobs=1, stall_timeout=0.0)
+
+    def test_injected_stall_is_detected_and_retryable(self):
+        """The exec.worker_stall fault site's detection path: a stalled
+        worker fires the watchdog, which cancels the map with a
+        retryable ParallelExecutionError."""
+        from repro.exec.parallel import ParallelRunner
+        from repro.resilience import FaultPlan, FaultSpec
+
+        runner = ParallelRunner(jobs=1, stall_timeout=0.05)
+        plan = FaultPlan(seed=0, faults=[
+            FaultSpec(site="exec.worker_stall", at=(0,), param=0.4),
+        ])
+        with plan.activate():
+            with pytest.raises(ParallelExecutionError) as excinfo:
+                runner.map(abs, [1, -2, 3])
+        assert "stalled" in str(excinfo.value)
+        assert excinfo.value.item_repr == "<watchdog>"
+
+    def test_healthy_map_unaffected_by_watchdog(self):
+        from repro.exec.parallel import ParallelRunner
+
+        runner = ParallelRunner(jobs=1, stall_timeout=30.0)
+        assert runner.map(abs, [1, -2, 3]) == [1, 2, 3]
+
+    def test_pooled_map_with_watchdog(self):
+        from repro.exec.parallel import ParallelRunner
+
+        runner = ParallelRunner(jobs=2, stall_timeout=30.0)
+        assert runner.map(abs, list(range(-8, 0))) == list(range(1, 9))[::-1]

@@ -51,6 +51,27 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["svd", "--strategy", "simd"])
 
+    def test_guard_flags(self):
+        args = build_parser().parse_args(["svd"])
+        assert args.validate is True
+        assert args.check_invariants is False
+        assert args.deadline is None
+        args = build_parser().parse_args(
+            ["svd", "--no-validate", "--check-invariants",
+             "--deadline", "1.5"]
+        )
+        assert args.validate is False
+        assert args.check_invariants is True
+        assert args.deadline == 1.5
+
+    def test_deadline_flag_on_sweep_commands(self):
+        assert build_parser().parse_args(
+            ["dse", "--deadline", "10"]
+        ).deadline == 10.0
+        assert build_parser().parse_args(
+            ["sensitivity", "--deadline", "10"]
+        ).deadline == 10.0
+
 
 class TestCommands:
     def test_svd_command(self, capsys):
@@ -193,3 +214,51 @@ class TestAnalysisCommands:
         assert "Table IV" in content
         assert "Fig. 3" in content
         assert content.startswith("<!DOCTYPE html>")
+
+
+class TestGuardIntegration:
+    def test_nan_input_exits_4(self, tmp_path, capsys):
+        a = np.eye(8)
+        a[0, 3] = np.nan
+        path = tmp_path / "bad.npy"
+        np.save(path, a)
+        assert main(["svd", "--input", str(path)]) == 4
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "invalid input" in captured.err
+        assert "non-finite" in captured.err
+
+    def test_expired_deadline_exits_5_with_partial_progress(self, capsys):
+        code = main(["dse", "--size", "64", "--deadline", "0.001"])
+        assert code == 5
+        err = capsys.readouterr().err
+        assert "deadline" in err
+        assert "partial progress" in err
+
+    def test_expired_dse_hints_at_checkpoint_resume(self, tmp_path, capsys):
+        ck = tmp_path / "dse.ckpt.json"
+        code = main([
+            "dse", "--size", "64", "--deadline", "0.001",
+            "--checkpoint", str(ck),
+        ])
+        assert code == 5
+        assert "--resume" in capsys.readouterr().err
+        assert main([
+            "dse", "--size", "64", "--top", "3",
+            "--checkpoint", str(ck), "--resume",
+        ]) == 0
+
+    def test_check_invariants_prints_ok_line(self, capsys):
+        assert main([
+            "svd", "--size", "16", "--p-eng", "2", "--check-invariants",
+        ]) == 0
+        assert "invariants: ok" in capsys.readouterr().out
+
+    def test_guard_flags_leave_default_stdout_untouched(self, capsys):
+        assert main(["svd", "--size", "16", "--p-eng", "2"]) == 0
+        baseline = capsys.readouterr().out
+        assert main([
+            "svd", "--size", "16", "--p-eng", "2",
+            "--deadline", "300", "--validate",
+        ]) == 0
+        assert capsys.readouterr().out == baseline
