@@ -3,7 +3,9 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test bench bench-smoke microbench validate examples lint smoke guard-smoke ci all clean
+.PHONY: install test bench bench-smoke baselines serve-smoke microbench validate examples lint smoke guard-smoke ci all clean
+
+BASELINE_DIR := benchmarks/baselines
 
 install:
 	$(PYTHON) setup.py develop
@@ -19,12 +21,41 @@ bench:
 	$(PYTHON) -m repro.cli bench --suite scheduler
 	$(PYTHON) -m repro.cli bench --suite batch
 
-# Seconds-long CI variant: tiny sizes, schema check on the artifacts.
+# Seconds-long CI variant: tiny sizes, schema check on the artifacts,
+# and an advisory comparison against the blessed baselines (exit 3 —
+# regression past threshold — is reported but tolerated, because the
+# baselines were recorded on a different machine).
 bench-smoke:
-	$(PYTHON) -m repro.cli bench --suite solver --size 48 --out .
-	$(PYTHON) -m repro.cli bench --suite scheduler --size 64 --out .
+	$(PYTHON) -m repro.cli bench --suite solver --size 48 --out . \
+		--baseline $(BASELINE_DIR)/BENCH_solver.json --threshold 0.5; \
+		test $$? -eq 0 -o $$? -eq 3
+	$(PYTHON) -m repro.cli bench --suite dse --size 48 --out . \
+		--baseline $(BASELINE_DIR)/BENCH_dse.json --threshold 0.5; \
+		test $$? -eq 0 -o $$? -eq 3
+	$(PYTHON) -m repro.cli bench --suite scheduler --size 64 --out . \
+		--baseline $(BASELINE_DIR)/BENCH_scheduler.json --threshold 0.5; \
+		test $$? -eq 0 -o $$? -eq 3
+	$(PYTHON) -m repro.cli bench --suite batch --size 16 --out . \
+		--baseline $(BASELINE_DIR)/BENCH_batch.json --threshold 0.5; \
+		test $$? -eq 0 -o $$? -eq 3
 	$(PYTHON) -m repro.cli bench --check BENCH_solver.json
+	$(PYTHON) -m repro.cli bench --check BENCH_dse.json
 	$(PYTHON) -m repro.cli bench --check BENCH_scheduler.json
+	$(PYTHON) -m repro.cli bench --check BENCH_batch.json
+
+# Re-record the blessed baselines (commit the result deliberately).
+baselines:
+	mkdir -p $(BASELINE_DIR)
+	$(PYTHON) -m repro.cli bench --suite solver --size 48 --out $(BASELINE_DIR) --no-compare
+	$(PYTHON) -m repro.cli bench --suite dse --size 48 --out $(BASELINE_DIR) --no-compare
+	$(PYTHON) -m repro.cli bench --suite scheduler --size 64 --out $(BASELINE_DIR) --no-compare
+	$(PYTHON) -m repro.cli bench --suite batch --size 16 --out $(BASELINE_DIR) --no-compare
+
+# Serving-layer smoke: real daemon subprocess, 200-request wire-driven
+# mix (deadline + oversized probes), counter assertions, then the
+# in-process >=1k-queued acceptance burst.  Same script CI runs.
+serve-smoke:
+	$(PYTHON) tools/serve_smoke.py --out .
 
 # pytest-benchmark microbenchmarks (kernel-level timings).
 microbench:
@@ -71,7 +102,7 @@ guard-smoke:
 	rm -f guard_nan.npy guard_ck.json
 
 # Reproduce the GitHub Actions pipeline locally.
-ci: lint test smoke guard-smoke
+ci: lint test smoke guard-smoke serve-smoke
 
 examples:
 	$(PYTHON) examples/quickstart.py

@@ -17,6 +17,10 @@ smoke test in CI (``--size 48``).  The registry:
   mixed-size batch through :class:`~repro.core.scheduler.BatchScheduler`.
 * ``batch`` — end-to-end :class:`~repro.exec.batch.BatchExecutor` runs
   over a same-sized task batch, one case per engine.
+* ``serve`` — the serving-layer load generator: a seeded request burst
+  through an in-process ``heterosvd serve`` daemon (or an external one
+  when ``HETEROSVD_SERVE_ADDR`` is set), reporting p50/p99 latency,
+  throughput, shed-rate and degraded-rate (see docs/serving.md).
 
 Cases only read their ``seed`` argument and module-level constants, so
 a suite run is deterministic up to wall-clock noise; the recorded
@@ -37,6 +41,7 @@ DEFAULT_SIZES = {
     "dse": 64,
     "scheduler": 400,
     "batch": 32,
+    "serve": 200,
 }
 
 
@@ -164,12 +169,30 @@ def _batch_cases(size: int) -> List[BenchCase]:
     ]
 
 
+def _serve_cases(size: int) -> List[BenchCase]:
+    import os
+
+    from repro.serve.loadgen import run_load
+
+    def run(seed: int) -> Dict[str, Any]:
+        # HETEROSVD_SERVE_ADDR targets an already-running daemon (the
+        # CI serve-smoke job); otherwise an in-process server is
+        # started per repeat, tuned by default_server_config so a
+        # >= 1000-request burst actually builds > 1000 queued jobs.
+        address = os.environ.get("HETEROSVD_SERVE_ADDR") or None
+        report = run_load(address=address, count=size, seed=seed)
+        return dict(report.metrics())
+
+    return [BenchCase(f"serve_load_{size}", run)]
+
+
 #: Suite registry: name -> cases factory taking the problem size.
 SUITES: Dict[str, Callable[[int], List[BenchCase]]] = {
     "solver": _solver_cases,
     "dse": _dse_cases,
     "scheduler": _scheduler_cases,
     "batch": _batch_cases,
+    "serve": _serve_cases,
 }
 
 

@@ -7,6 +7,8 @@ Installed as the ``heterosvd`` console script::
     heterosvd dse --size 256 --batch 100     # explore the design space
     heterosvd model --size 256 --p-eng 8     # performance breakdown
     heterosvd placement --p-eng 8 --p-task 2 # render the AIE placement
+    heterosvd serve --port 7863              # SVD-as-a-service daemon
+    heterosvd bench --suite serve            # load-test the daemon
 
 Every subcommand is a thin veneer over the public API so scripted use
 and library use stay in sync.
@@ -549,6 +551,71 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the SVD serving daemon (see docs/serving.md).
+
+    Prints ``serving on HOST:PORT`` to stdout (flushed) once the
+    socket is bound — scripts wait for that line — then blocks until a
+    ``shutdown`` op or Ctrl-C.  A final counter summary goes to
+    stderr.  With ``--metrics FILE`` the ``serve.*`` counters and
+    latency histograms are exported on the way out.
+    """
+    import asyncio
+
+    from repro.errors import ConfigurationError
+    from repro.serve.queue import AdmissionPolicy
+    from repro.serve.server import ServeConfig, SVDServer
+
+    weights = {}
+    for spec in args.tenant or []:
+        name, sep, value = spec.partition("=")
+        try:
+            weights[name] = float(value) if sep else None
+        except ValueError:
+            weights[name] = None
+        if not name or weights[name] is None:
+            print(f"error: --tenant expects NAME=WEIGHT, got {spec!r}",
+                  file=sys.stderr)
+            return 2
+    try:
+        config = ServeConfig(
+            host=args.host,
+            port=args.port,
+            p_eng=args.p_eng,
+            p_task=args.p_task,
+            jobs=args.jobs if args.jobs is not None else 1,
+            strategy=args.strategy,
+            precision=args.precision,
+            admission=AdmissionPolicy(
+                max_depth=args.max_queue,
+                high_water=args.high_water,
+                max_cells=args.max_cells,
+                reject_cells=args.reject_cells,
+                max_batch=args.max_batch,
+            ),
+            tenant_weights=weights,
+            default_deadline_s=args.default_deadline,
+            retries=args.retries,
+        )
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    server = SVDServer(config)
+
+    def ready(address):
+        print(f"serving on {address[0]}:{address[1]}", flush=True)
+
+    try:
+        asyncio.run(server.serve(ready=ready))
+    except KeyboardInterrupt:
+        pass
+    summary = ", ".join(
+        f"{key}={value}" for key, value in sorted(server.stats().items())
+    )
+    print(f"serve: stopped ({summary})", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -795,6 +862,73 @@ def build_parser() -> argparse.ArgumentParser:
         help="list the registered suites and exit",
     )
     p_bench.set_defaults(func=cmd_bench)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the SVD serving daemon (NDJSON over TCP)",
+        description="Serve decompose requests over newline-delimited "
+        "JSON: coalesced batches, weighted tenants, deadline SLOs and "
+        "brownout load-shedding (see docs/serving.md).",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (default: 0 = ephemeral; the bound address is "
+        "printed as 'serving on HOST:PORT')",
+    )
+    p_serve.add_argument(
+        "--p-eng", type=int, default=4,
+        help="default engine block width for requests without one",
+    )
+    p_serve.add_argument(
+        "--p-task", type=int, default=2,
+        help="pipeline workers per coalesced engine batch",
+    )
+    p_serve.add_argument(
+        "--strategy", default="auto",
+        choices=["auto", "scalar", "vectorized"],
+        help="default Jacobi strategy for the engine tier",
+    )
+    p_serve.add_argument("--precision", type=float, default=1e-6)
+    p_serve.add_argument(
+        "--max-queue", type=int, default=4096, metavar="N",
+        help="hard queue-depth cap; beyond it requests are rejected "
+        "with code=overloaded (default: 4096)",
+    )
+    p_serve.add_argument(
+        "--high-water", type=int, default=256, metavar="N",
+        help="queue depth above which batches are shed to the "
+        "degraded LAPACK brownout tier (default: 256)",
+    )
+    p_serve.add_argument(
+        "--max-cells", type=int, default=65536, metavar="CELLS",
+        help="largest m*n served by the engine; bigger requests are "
+        "shed to the brownout tier (default: 65536)",
+    )
+    p_serve.add_argument(
+        "--reject-cells", type=int, default=16 * 65536, metavar="CELLS",
+        help="hard m*n cap; beyond it requests are rejected with "
+        "code=oversized (default: 1048576)",
+    )
+    p_serve.add_argument(
+        "--max-batch", type=int, default=32, metavar="N",
+        help="widest coalesced batch handed to the executor "
+        "(default: 32)",
+    )
+    p_serve.add_argument(
+        "--tenant", action="append", metavar="NAME=WEIGHT",
+        help="weighted-fair-queuing weight for a tenant (repeatable; "
+        "unlisted tenants get weight 1)",
+    )
+    p_serve.add_argument(
+        "--default-deadline", type=float, default=None, metavar="SECONDS",
+        help="SLO budget applied to requests without their own "
+        "deadline_s (default: unbounded)",
+    )
+    add_jobs_flag(p_serve)
+    add_obs_flags(p_serve)
+    add_retries_flag(p_serve)
+    p_serve.set_defaults(func=cmd_serve)
 
     return parser
 

@@ -179,6 +179,76 @@ class SchemaValidationError(ConfigurationError, BenchmarkError, CheckpointError)
         return (type(self), (self.args[0], self.path))
 
 
+class ServeError(ReproError):
+    """Base class for errors raised by the serving layer (:mod:`repro.serve`)."""
+
+
+class ServeProtocolError(ServeError):
+    """A serve request or response violated the wire protocol.
+
+    Raised client-side when the server's answer cannot be parsed, and
+    used server-side to label malformed requests (the server itself
+    answers with a structured ``{"code": "schema"}`` error instead of
+    raising across the socket).
+
+    Attributes:
+        code: Machine-readable error code from the response envelope
+            (``"schema"``, ``"invalid"``, ``"internal"``, ...), or
+            ``"protocol"`` for unparseable answers.
+    """
+
+    def __init__(self, message: str, code: str = "protocol"):
+        super().__init__(message)
+        self.code = code
+
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.code))
+
+
+class ServeConnectionError(ServeError):
+    """The connection to the serve daemon failed or was lost.
+
+    Subclasses :class:`ServeError` (a :class:`ReproError`), so the
+    default :class:`~repro.resilience.RetryPolicy` allowlist covers it
+    — a client configured with retries transparently reconnects and
+    resends after a server restart.
+    """
+
+
+class ServiceOverloadError(ServeError):
+    """The serve admission controller rejected a request outright.
+
+    Raised client-side when the server answers with
+    ``{"code": "overloaded"}`` (queue at capacity) or
+    ``{"code": "oversized"}`` (request beyond the hard size cap).  The
+    brownout tier — degraded LAPACK answers flagged ``degraded=True``
+    — absorbs load *before* this error: rejection is the last resort.
+
+    Attributes:
+        code: ``"overloaded"`` or ``"oversized"``.
+        depth: Queue depth at rejection time (-1 when unknown).
+        limit: The limit that was exceeded (-1 when unknown).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        code: str = "overloaded",
+        depth: int = -1,
+        limit: int = -1,
+    ):
+        super().__init__(message)
+        self.code = code
+        self.depth = depth
+        self.limit = limit
+
+    def __reduce__(self):
+        return (
+            type(self),
+            (self.args[0], self.code, self.depth, self.limit),
+        )
+
+
 class DeadlineExceeded(ReproError):
     """A cooperative wall-clock budget expired before the work finished.
 

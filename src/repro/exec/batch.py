@@ -306,8 +306,14 @@ class BatchExecutor:
                 :class:`~repro.guard.Deadline` or seconds) shared by
                 all pipelines.  On expiry the batch raises
                 :class:`~repro.errors.DeadlineExceeded` whose
-                :class:`~repro.guard.PartialResult` lists the task ids
-                completed before the cut-off.
+                :class:`~repro.guard.PartialResult` accounts for every
+                task: ``details["results"]`` carries the completed
+                :class:`TaskResult` objects (degraded flags intact),
+                ``details["completed_task_ids"]`` /
+                ``details["pending_task_ids"]`` /
+                ``details["degraded_task_ids"]`` partition the batch,
+                so callers (e.g. the serving layer) can deliver the
+                finished prefix instead of discarding it.
         """
         if len(batch) == 0:
             raise ConfigurationError("cannot execute an empty batch")
@@ -384,8 +390,20 @@ class BatchExecutor:
                     degraded_tasks += 1
         runs.sort(key=lambda r: r.pipeline)
         if any_expired:
-            completed_ids = sorted(
-                r.task_id for r in results if r is not None
+            # Every task must be accounted for on the partial: the
+            # completed prefix travels as real TaskResults (degraded
+            # flags intact — a LAPACK-fallback task that finished
+            # before the cut-off is still a delivered answer), and the
+            # unfinished remainder is named in pending_task_ids rather
+            # than silently vanishing.
+            completed_results = sorted(
+                (r for r in results if r is not None),
+                key=lambda r: r.task_id,
+            )
+            completed_ids = [r.task_id for r in completed_results]
+            pending_ids = sorted(
+                spec.task_id for spec in specs
+                if results[spec.task_id] is None
             )
             elapsed = deadline.elapsed() if deadline is not None else 0.0
             budget = deadline.budget_s if deadline is not None else 0.0
@@ -401,7 +419,15 @@ class BatchExecutor:
                     total=len(specs),
                     elapsed_s=elapsed,
                     budget_s=budget,
-                    details={"completed_task_ids": completed_ids},
+                    details={
+                        "completed_task_ids": completed_ids,
+                        "pending_task_ids": pending_ids,
+                        "degraded_task_ids": [
+                            r.task_id for r in completed_results
+                            if r.degraded
+                        ],
+                        "results": completed_results,
+                    },
                 ),
             )
         _metrics.counter("batch.tasks").inc(len(specs))

@@ -1,0 +1,76 @@
+"""SVD-as-a-service: the asyncio serving layer.
+
+This package is the front-end the whole stack was built for (ROADMAP
+item 1): an NDJSON-over-TCP daemon that coalesces decompose requests
+into wide :class:`~repro.exec.batch.BatchExecutor` runs, schedules
+tenants with weighted fair queuing, enforces per-job
+:class:`~repro.guard.Deadline` SLO budgets, and degrades gracefully
+under load — brownout (LAPACK-tier ``degraded=True`` answers) before
+rejection (:class:`~repro.errors.ServiceOverloadError`).
+
+Modules:
+    protocol: Wire format, request/response schemas, coalescing key.
+    queue: Admission policy + tenant-weighted coalescing job queue.
+    server: The asyncio daemon (``heterosvd serve``) and
+        :class:`~repro.serve.server.ServerThread` test harness.
+    client: Blocking :class:`~repro.serve.client.ServeClient` with
+        retry-based reconnect.
+    loadgen: Seeded burst load generator behind
+        ``heterosvd bench --suite serve``.
+
+See ``docs/serving.md`` for the protocol and operational guide.
+"""
+
+from repro.serve.client import ServeClient, parse_address
+from repro.serve.loadgen import LoadReport, build_mix, percentile, run_load
+from repro.serve.protocol import (
+    ERROR_CODES,
+    MAX_LINE_BYTES,
+    OPS,
+    PROTOCOL_VERSION,
+    REQUEST_SCHEMA,
+    RESPONSE_SCHEMA,
+    CoalesceKey,
+    decode_line,
+    encode,
+    error_response,
+    result_response,
+    validate_request,
+    validate_response,
+)
+from repro.serve.queue import AdmissionPolicy, Job, JobQueue
+from repro.serve.server import (
+    ENGINE_MAX_M,
+    ServeConfig,
+    ServerThread,
+    SVDServer,
+)
+
+__all__ = [
+    "AdmissionPolicy",
+    "CoalesceKey",
+    "ENGINE_MAX_M",
+    "ERROR_CODES",
+    "Job",
+    "JobQueue",
+    "LoadReport",
+    "MAX_LINE_BYTES",
+    "OPS",
+    "PROTOCOL_VERSION",
+    "REQUEST_SCHEMA",
+    "RESPONSE_SCHEMA",
+    "ServeClient",
+    "ServeConfig",
+    "ServerThread",
+    "SVDServer",
+    "build_mix",
+    "decode_line",
+    "encode",
+    "error_response",
+    "parse_address",
+    "percentile",
+    "result_response",
+    "run_load",
+    "validate_request",
+    "validate_response",
+]

@@ -1,0 +1,319 @@
+"""Seeded load generator for the serve daemon.
+
+``heterosvd bench --suite serve`` (and the CI ``serve-smoke`` job)
+drive the daemon through :func:`run_load`: a deterministic request mix
+(:func:`build_mix`) is replayed over N pipelined connections as one
+burst, every response is matched back to its request, and the outcome
+is folded into a :class:`LoadReport` whose :meth:`LoadReport.metrics`
+feed the schema-validated ``BENCH_serve.json``.
+
+The burst shape is the point: all requests are written before any
+response is awaited, so queue depth actually builds (the ≥ 1k-queued
+acceptance run is this, with ``count=1200``) and the measured p50/p99
+latencies include queueing — tail latency under load, not idle
+round-trip time.
+
+The mix is seeded and self-contained: mostly small engine-tier shapes
+drawn from a handful of coalescing classes across three tenants, plus
+— at fixed positions — one request with a microscopic deadline (must
+come back ``code="deadline"``) and one oversized request (must be shed
+to the brownout tier, ``degraded=true, shed=true``).  Matrices travel
+as ``shape`` + ``seed`` so a 1200-request burst is a few hundred bytes
+per line, and the server regenerates bit-identical inputs with
+:func:`repro.workloads.random_matrix`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ServeConnectionError
+from repro.serve.client import ServeClient, parse_address
+from repro.serve.protocol import MAX_LINE_BYTES, decode_line, encode
+from repro.serve.queue import AdmissionPolicy
+from repro.serve.server import ServeConfig, ServerThread
+
+#: Engine-tier shapes the mix cycles through (small, distinct
+#: coalescing classes — the dispatcher must regroup them).
+MIX_SHAPES = ((16, 16), (24, 24), (32, 16), (16, 32))
+
+#: Tenants the mix cycles through.
+MIX_TENANTS = ("alpha", "beta", "gamma")
+
+#: Deadline given to ordinary mix requests (generous — only the
+#: dedicated over-deadline probe is meant to expire).
+MIX_DEADLINE_S = 120.0
+
+#: Deadline of the over-deadline probe: expires while queued.
+PROBE_DEADLINE_S = 1e-4
+
+#: Shape of the oversized probe: 64 * 2048 = 131072 cells, above the
+#: default ``AdmissionPolicy.max_cells`` (engine cap) but below
+#: ``reject_cells`` — it must be answered by the brownout tier.
+PROBE_OVERSIZED_SHAPE = (64, 2048)
+
+
+def build_mix(count: int, seed: int = 0) -> List[Dict[str, Any]]:
+    """A deterministic list of ``count`` request documents.
+
+    When ``count >= 8`` the mix embeds one over-deadline probe (at
+    index ``count // 3``) and one oversized-shedding probe (at index
+    ``count // 2``); everything else cycles shapes and tenants.
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    docs: List[Dict[str, Any]] = []
+    probe_deadline = count // 3 if count >= 8 else -1
+    probe_oversized = count // 2 if count >= 8 else -1
+    for index in range(count):
+        doc: Dict[str, Any] = {
+            "op": "decompose",
+            "id": f"load-{index}",
+            "tenant": MIX_TENANTS[index % len(MIX_TENANTS)],
+            "seed": seed + index,
+            "deadline_s": MIX_DEADLINE_S,
+        }
+        if index == probe_oversized:
+            doc["shape"] = list(PROBE_OVERSIZED_SHAPE)
+        else:
+            m, n = MIX_SHAPES[index % len(MIX_SHAPES)]
+            doc["shape"] = [m, n]
+        if index == probe_deadline:
+            doc["deadline_s"] = PROBE_DEADLINE_S
+        docs.append(doc)
+    return docs
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (``q`` in [0, 100])."""
+    if not values:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (len(ordered) - 1) * q / 100.0
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return float(ordered[low])
+    weight = rank - low
+    return float(ordered[low] * (1.0 - weight) + ordered[high] * weight)
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one :func:`run_load` burst.
+
+    ``responses`` holds ``(request_doc, response_doc, latency_s)``
+    triples in request order; the counter fields are derived from it.
+    """
+
+    total: int
+    wall_s: float
+    ok: int = 0
+    degraded: int = 0
+    shed: int = 0
+    rejected: int = 0
+    deadline_expired: int = 0
+    errors: int = 0
+    latencies_s: List[float] = field(default_factory=list)
+    responses: List[Tuple[Dict[str, Any], Dict[str, Any], float]] = (
+        field(default_factory=list)
+    )
+    server_stats: Dict[str, Any] = field(default_factory=dict)
+
+    def metrics(self) -> Dict[str, Union[int, float, str]]:
+        """Flat scalar metrics for a BENCH report."""
+        answered = self.ok + self.rejected + self.deadline_expired + self.errors
+        wall = max(self.wall_s, 1e-9)
+        denom = max(self.total, 1)
+        out: Dict[str, Union[int, float, str]] = {
+            "requests": self.total,
+            "answered": answered,
+            "ok": self.ok,
+            "wall_s": self.wall_s,
+            "throughput_rps": answered / wall,
+            "p50_latency_s": percentile(self.latencies_s, 50.0),
+            "p99_latency_s": percentile(self.latencies_s, 99.0),
+            "max_latency_s": (
+                max(self.latencies_s) if self.latencies_s else 0.0
+            ),
+            "degraded": self.degraded,
+            "shed": self.shed,
+            "rejected": self.rejected,
+            "deadline_expired": self.deadline_expired,
+            "errors": self.errors,
+            "degraded_rate": self.degraded / denom,
+            "shed_rate": self.shed / denom,
+            "reject_rate": self.rejected / denom,
+        }
+        peak = self.server_stats.get("peak_queue_depth")
+        if isinstance(peak, int):
+            out["peak_queue_depth"] = peak
+        batches = self.server_stats.get("serve.batches")
+        if isinstance(batches, int):
+            out["engine_batches"] = batches
+        coalesced = self.server_stats.get("serve.coalesced_tasks")
+        if isinstance(coalesced, int) and batches:
+            out["coalesce_factor"] = coalesced / batches
+        return out
+
+
+async def _drive_connection(
+    address: Tuple[str, int],
+    docs: List[Dict[str, Any]],
+    results: Dict[str, Tuple[Dict[str, Any], float]],
+    started_at: Dict[str, float],
+) -> None:
+    """Send this connection's docs as one burst, then read every answer."""
+    reader, writer = await asyncio.open_connection(
+        address[0], address[1], limit=MAX_LINE_BYTES
+    )
+    try:
+        for index, doc in enumerate(docs):
+            started_at[doc["id"]] = time.monotonic()
+            writer.write(encode(doc))
+            if index % 64 == 63:
+                await writer.drain()
+        await writer.drain()
+        pending = {doc["id"] for doc in docs}
+        while pending:
+            line = await reader.readline()
+            if not line:
+                raise ServeConnectionError(
+                    f"server closed the connection with {len(pending)} "
+                    f"answers outstanding"
+                )
+            response = decode_line(line)
+            request_id = response.get("id")
+            received = time.monotonic()
+            if request_id in pending:
+                pending.discard(request_id)
+                results[request_id] = (
+                    response, received - started_at[request_id]
+                )
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def _drive(
+    address: Tuple[str, int],
+    docs: List[Dict[str, Any]],
+    connections: int,
+    timeout_s: float,
+) -> Tuple[Dict[str, Tuple[Dict[str, Any], float]], float]:
+    lanes: List[List[Dict[str, Any]]] = [[] for _ in range(connections)]
+    for index, doc in enumerate(docs):
+        lanes[index % connections].append(doc)
+    results: Dict[str, Tuple[Dict[str, Any], float]] = {}
+    started_at: Dict[str, float] = {}
+    burst_start = time.monotonic()
+    await asyncio.wait_for(
+        asyncio.gather(*(
+            _drive_connection(address, lane, results, started_at)
+            for lane in lanes if lane
+        )),
+        timeout=timeout_s,
+    )
+    return results, time.monotonic() - burst_start
+
+
+def default_server_config(count: int) -> ServeConfig:
+    """In-process server tuning for a ``count``-request burst.
+
+    For the 1k-queued acceptance run the high-water mark sits at 1024
+    so the head batches take the (slow) engine tier while the burst
+    lands — guaranteeing the queue actually builds past 1000 — while
+    smaller smokes use a low mark so shedding is exercised too.
+    """
+    high_water = 1024 if count >= 1000 else max(32, count // 2)
+    return ServeConfig(
+        admission=AdmissionPolicy(
+            max_depth=max(4096, count + 64),
+            high_water=high_water,
+        ),
+        tenant_weights={"alpha": 4.0, "beta": 2.0, "gamma": 1.0},
+    )
+
+
+def run_load(
+    address: Optional[Union[str, Tuple[str, int]]] = None,
+    count: int = 200,
+    connections: int = 8,
+    seed: int = 0,
+    docs: Optional[List[Dict[str, Any]]] = None,
+    server_config: Optional[ServeConfig] = None,
+    timeout_s: float = 300.0,
+) -> LoadReport:
+    """Replay a seeded burst and summarize the outcome.
+
+    Args:
+        address: ``"host:port"`` (or tuple) of a running daemon; None
+            starts an in-process :class:`ServerThread` (configured by
+            ``server_config`` or :func:`default_server_config`) and
+            shuts it down afterwards.
+        count: Number of requests when ``docs`` is not given.
+        connections: Pipelined client connections for the burst.
+        seed: Mix seed (forwarded into every request's matrix seed).
+        docs: Explicit request documents (overrides ``count``/``seed``).
+        timeout_s: Hard wall-clock cap on the whole burst.
+    """
+    if connections < 1:
+        raise ValueError(f"connections must be >= 1, got {connections}")
+    docs = docs if docs is not None else build_mix(count, seed=seed)
+    handle: Optional[ServerThread] = None
+    if address is None:
+        config = server_config or default_server_config(len(docs))
+        handle = ServerThread(config).start()
+        target = handle.address
+    else:
+        target = parse_address(address)
+    try:
+        results, wall_s = asyncio.run(
+            _drive(target, docs, connections, timeout_s)
+        )
+        stats: Dict[str, Any] = {}
+        try:
+            with ServeClient(target[0], target[1]) as probe:
+                stats = probe.stats()
+        except Exception:
+            pass  # stats are best-effort garnish on the report
+    finally:
+        if handle is not None:
+            handle.stop()
+    report = LoadReport(
+        total=len(docs), wall_s=wall_s, server_stats=stats
+    )
+    for doc in docs:
+        entry = results.get(doc["id"])
+        if entry is None:
+            report.errors += 1
+            continue
+        response, latency = entry
+        report.responses.append((doc, response, latency))
+        report.latencies_s.append(latency)
+        if response.get("ok"):
+            report.ok += 1
+            if response.get("degraded"):
+                report.degraded += 1
+            if response.get("shed"):
+                report.shed += 1
+        else:
+            code = response.get("error", {}).get("code")
+            if code in ("overloaded", "oversized"):
+                report.rejected += 1
+            elif code == "deadline":
+                report.deadline_expired += 1
+            else:
+                report.errors += 1
+    return report

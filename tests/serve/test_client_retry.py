@@ -1,0 +1,78 @@
+"""Client-side resilience: reconnect-and-resend across a server kill.
+
+The client's transport errors surface as
+:class:`~repro.errors.ServeConnectionError`, which subclasses
+``ReproError`` and therefore sits inside the default
+:class:`~repro.resilience.RetryPolicy` allowlist — so a client
+configured with retries rides out a server restart transparently,
+while a bare client surfaces the failure immediately.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ServeConnectionError
+from repro.resilience import RetryPolicy
+from repro.serve import ServeClient, ServeConfig, ServerThread
+
+
+RETRY = RetryPolicy(max_attempts=5, base_delay_s=0.05, jitter=0.0)
+
+
+def test_connect_to_dead_server_raises_connection_error():
+    # Grab a port that nothing listens on by starting and stopping a
+    # server there.
+    with ServerThread(ServeConfig()) as handle:
+        host, port = handle.address
+    client = ServeClient(host, port)
+    with pytest.raises(ServeConnectionError):
+        client.ping()
+
+
+def test_retries_exhausted_still_raises_connection_error():
+    with ServerThread(ServeConfig()) as handle:
+        host, port = handle.address
+    client = ServeClient(
+        host, port,
+        retry=RetryPolicy(max_attempts=2, base_delay_s=0.01, jitter=0.0),
+    )
+    with pytest.raises(ServeConnectionError):
+        client.decompose(shape=[16, 16], seed=0)
+
+
+def test_client_survives_server_restart():
+    first = ServerThread(ServeConfig()).start()
+    host, port = first.address
+    client = ServeClient(host, port, retry=RETRY)
+    try:
+        before = client.decompose(shape=[16, 16], seed=7)
+        # Kill the server the client is connected to, then bring a
+        # fresh one up on the same port.
+        first.stop()
+        second = ServerThread(ServeConfig(host=host, port=port)).start()
+        try:
+            after = client.decompose(shape=[16, 16], seed=7)
+        finally:
+            second.stop()
+        # Same request, same engine path, same bytes — the restart is
+        # invisible apart from the retry delay.
+        assert np.asarray(after["sigma"]).tobytes() == np.asarray(
+            before["sigma"]
+        ).tobytes()
+    finally:
+        client.close()
+        first.stop()
+
+
+def test_bare_client_sees_the_kill():
+    first = ServerThread(ServeConfig()).start()
+    host, port = first.address
+    client = ServeClient(host, port)  # no retry policy
+    try:
+        client.ping()
+        first.stop()
+        with pytest.raises(ServeConnectionError):
+            client.ping()
+    finally:
+        client.close()
+        first.stop()

@@ -1,0 +1,119 @@
+"""Load-generator tests: mix determinism, percentiles, end-to-end runs."""
+
+import pytest
+
+from repro.serve import AdmissionPolicy, ServeConfig, build_mix, percentile
+from repro.serve.loadgen import (
+    MIX_SHAPES,
+    PROBE_DEADLINE_S,
+    PROBE_OVERSIZED_SHAPE,
+    LoadReport,
+    default_server_config,
+    run_load,
+)
+
+
+class TestBuildMix:
+    def test_deterministic(self):
+        assert build_mix(50, seed=3) == build_mix(50, seed=3)
+        assert build_mix(50, seed=3) != build_mix(50, seed=4)
+
+    def test_embeds_probes(self):
+        docs = build_mix(30)
+        deadlines = [d for d in docs if d["deadline_s"] == PROBE_DEADLINE_S]
+        oversized = [
+            d for d in docs if d["shape"] == list(PROBE_OVERSIZED_SHAPE)
+        ]
+        assert len(deadlines) == 1
+        assert len(oversized) == 1
+
+    def test_small_mixes_skip_probes(self):
+        docs = build_mix(4)
+        assert all(d["deadline_s"] != PROBE_DEADLINE_S for d in docs)
+
+    def test_cycles_shapes_and_tenants(self):
+        docs = build_mix(len(MIX_SHAPES))
+        assert {tuple(d["shape"]) for d in docs} == set(MIX_SHAPES)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            build_mix(0)
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1.0, 2.0, 3.0], 50) == 2.0
+
+    def test_interpolates(self):
+        assert percentile([0.0, 10.0], 50) == 5.0
+
+    def test_endpoints(self):
+        values = [5.0, 1.0, 3.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 5.0
+
+    def test_empty_is_zero(self):
+        assert percentile([], 99) == 0.0
+
+    def test_bad_quantile(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestRunLoad:
+    def test_in_process_burst_accounts_for_every_request(self):
+        report = run_load(count=24, connections=4, seed=1)
+        assert report.total == 24
+        answered = (report.ok + report.rejected +
+                    report.deadline_expired + report.errors)
+        assert answered == 24
+        assert report.errors == 0
+        assert report.deadline_expired >= 1   # the over-deadline probe
+        assert report.shed >= 1               # the oversized probe
+        assert report.degraded >= report.shed
+        metrics = report.metrics()
+        assert metrics["p99_latency_s"] >= metrics["p50_latency_s"] > 0
+        assert metrics["throughput_rps"] > 0
+        assert 0 <= metrics["shed_rate"] <= 1
+
+    def test_metrics_are_bench_compatible_scalars(self):
+        report = run_load(count=12, connections=2, seed=2)
+        for key, value in report.metrics().items():
+            assert isinstance(value, (int, float, str)), key
+
+    def test_default_config_scales_high_water(self):
+        small = default_server_config(200)
+        big = default_server_config(1200)
+        assert small.admission.high_water == 100
+        assert big.admission.high_water == 1024
+        assert big.admission.max_depth >= 1264
+
+    def test_explicit_docs_override_mix(self):
+        docs = [
+            {"op": "decompose", "id": f"d-{i}", "shape": [16, 16],
+             "seed": i, "deadline_s": 60.0}
+            for i in range(6)
+        ]
+        report = run_load(docs=docs, connections=2)
+        assert report.total == 6
+        assert report.ok == 6
+        assert report.degraded == 0
+
+    def test_empty_report_percentiles(self):
+        report = LoadReport(total=0, wall_s=0.0)
+        metrics = report.metrics()
+        assert metrics["p50_latency_s"] == 0.0
+
+
+def test_run_load_respects_server_config():
+    # A tiny high-water mark forces shedding even on a small burst.
+    config = ServeConfig(
+        admission=AdmissionPolicy(max_depth=256, high_water=1),
+        tenant_weights={"alpha": 2.0},
+    )
+    report = run_load(count=16, connections=4, seed=5,
+                      server_config=config)
+    answered = (report.ok + report.rejected +
+                report.deadline_expired + report.errors)
+    assert answered == 16
+    assert report.errors == 0

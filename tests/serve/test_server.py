@@ -1,0 +1,307 @@
+"""End-to-end server tests over a real loopback socket.
+
+Each test hosts the daemon with :class:`repro.serve.ServerThread` and
+talks to it with :class:`repro.serve.ServeClient` or a raw socket.
+Timing-sensitive scenarios (deadline expiry in queue, overload
+rejection) are made deterministic by first parking a slow engine job
+on the single compute thread, so subsequent jobs provably sit in the
+queue for the duration.
+"""
+
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    DeadlineExceeded,
+    ServeProtocolError,
+    ServiceOverloadError,
+)
+from repro.linalg import svd
+from repro.serve import (
+    AdmissionPolicy,
+    ServeClient,
+    ServeConfig,
+    ServerThread,
+)
+from repro.serve.protocol import decode_line, encode
+from repro.workloads.matrices import random_matrix
+
+
+@pytest.fixture()
+def server():
+    with ServerThread(ServeConfig()) as handle:
+        yield handle
+
+
+@pytest.fixture()
+def client(server):
+    with ServeClient(*server.address) as handle:
+        yield handle
+
+
+def _raw_exchange(address, *lines):
+    """Send raw byte lines, return one decoded response per line."""
+    with socket.create_connection(address, timeout=30) as sock:
+        handle = sock.makefile("rb")
+        for line in lines:
+            sock.sendall(line)
+        return [decode_line(handle.readline()) for _ in lines]
+
+
+def _park_slow_job(address, results):
+    """Occupy the compute thread with a big engine-tier decompose."""
+    def work():
+        with ServeClient(*address) as slow:
+            results.append(slow.decompose(shape=[96, 96], seed=1))
+
+    thread = threading.Thread(target=work)
+    thread.start()
+    return thread
+
+
+class TestByteIdentity:
+    def test_seeded_result_byte_identical_to_serial_svd(self, client):
+        for seed, shape in [(3, (16, 16)), (11, (24, 24)), (5, (32, 16))]:
+            response = client.decompose(shape=shape, seed=seed)
+            assert response["degraded"] is False
+            assert response["shed"] is False
+            local = svd(
+                random_matrix(*shape, seed=seed),
+                method="block", block_width=4, precision=1e-6,
+                strategy="auto",
+            ).singular_values
+            wire = np.asarray(response["sigma"], dtype=np.float64)
+            assert wire.tobytes() == np.asarray(
+                local, dtype=np.float64
+            ).tobytes()
+
+    def test_inline_matrix_byte_identical(self, client):
+        matrix = random_matrix(8, 8, seed=42)
+        response = client.decompose(matrix=matrix.tolist())
+        local = svd(
+            matrix, method="block", block_width=4, precision=1e-6,
+            strategy="auto",
+        ).singular_values
+        assert np.asarray(response["sigma"]).tobytes() == np.asarray(
+            local, dtype=np.float64
+        ).tobytes()
+
+    def test_coalesced_batch_matches_one_at_a_time(self, server):
+        # Same-key requests from several connections coalesce into one
+        # executor batch; every answer must still be byte-identical to
+        # its own serial svd() call.
+        seeds = list(range(6))
+        responses = {}
+        errors = []
+
+        def ask(seed):
+            try:
+                with ServeClient(*server.address) as c:
+                    responses[seed] = c.decompose(shape=[16, 16], seed=seed)
+            except Exception as error:  # surfaced after join
+                errors.append(error)
+
+        threads = [threading.Thread(target=ask, args=(s,)) for s in seeds]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        for seed in seeds:
+            local = svd(
+                random_matrix(16, 16, seed=seed),
+                method="block", block_width=4, precision=1e-6,
+                strategy="auto",
+            ).singular_values
+            assert np.asarray(
+                responses[seed]["sigma"]
+            ).tobytes() == np.asarray(local, dtype=np.float64).tobytes()
+
+
+class TestBrownoutTier:
+    def test_oversized_request_is_shed_and_degraded(self):
+        config = ServeConfig(
+            admission=AdmissionPolicy(max_cells=256, reject_cells=100_000)
+        )
+        with ServerThread(config) as handle:
+            with ServeClient(*handle.address) as client:
+                response = client.decompose(shape=[32, 32], seed=2)
+                assert response["degraded"] is True
+                assert response["shed"] is True
+                reference = np.linalg.svd(
+                    random_matrix(32, 32, seed=2), compute_uv=False
+                )
+                np.testing.assert_allclose(
+                    np.asarray(response["sigma"]), reference,
+                    rtol=1e-10, atol=1e-12,
+                )
+                stats = client.stats()
+                assert stats["serve.shed"] == 1
+                assert stats["serve.degraded"] == 1
+                assert stats["serve.oversized"] == 1
+
+    def test_beyond_hard_cap_rejected_oversized(self):
+        config = ServeConfig(
+            admission=AdmissionPolicy(max_cells=256, reject_cells=1024)
+        )
+        with ServerThread(config) as handle:
+            with ServeClient(*handle.address) as client:
+                with pytest.raises(ServiceOverloadError) as excinfo:
+                    client.decompose(shape=[64, 64], seed=0)
+                assert excinfo.value.code == "oversized"
+
+
+class TestSloAndOverload:
+    def test_queued_job_past_deadline_answered_deadline(self, server):
+        results = []
+        slow = _park_slow_job(server.address, results)
+        try:
+            with ServeClient(*server.address) as client:
+                # The compute thread is busy for >> 1 ms, so this job's
+                # budget provably expires while it waits in the queue.
+                with pytest.raises(DeadlineExceeded):
+                    client.decompose(shape=[16, 16], seed=9,
+                                     deadline_s=0.001)
+        finally:
+            slow.join()
+        assert results and results[0]["ok"]
+
+    def test_full_queue_rejects_overloaded(self):
+        config = ServeConfig(
+            admission=AdmissionPolicy(max_depth=1, high_water=1)
+        )
+        with ServerThread(config) as handle:
+            results = []
+            slow = _park_slow_job(handle.address, results)
+            try:
+                filler = ServeClient(*handle.address)
+                overflow = ServeClient(*handle.address)
+                # Wait until the slow job is off the queue and on the
+                # compute thread, then fill the single queue slot.
+                import time
+                deadline = time.monotonic() + 10
+                with ServeClient(*handle.address) as probe:
+                    while time.monotonic() < deadline:
+                        if probe.stats()["queue_depth"] == 0 and (
+                            probe.stats()["admitted"] >= 1
+                        ):
+                            break
+                        time.sleep(0.01)
+                fill_thread = threading.Thread(
+                    target=lambda: filler.decompose(shape=[16, 16], seed=1)
+                )
+                fill_thread.start()
+                try:
+                    with overflow:
+                        deadline = time.monotonic() + 10
+                        while True:
+                            try:
+                                overflow.decompose(shape=[16, 16], seed=2)
+                            except ServiceOverloadError as error:
+                                assert error.code == "overloaded"
+                                break
+                            assert time.monotonic() < deadline, (
+                                "queue never reported overload"
+                            )
+                finally:
+                    fill_thread.join()
+                    filler.close()
+            finally:
+                slow.join()
+
+
+class TestWireRejections:
+    def test_non_json_line(self, server):
+        (response,) = _raw_exchange(server.address, b"not json\n")
+        assert response["ok"] is False
+        assert response["error"]["code"] == "schema"
+        assert response["id"] is None
+
+    def test_unknown_op(self, server):
+        (response,) = _raw_exchange(
+            server.address, encode({"op": "explode", "id": "x"})
+        )
+        assert response["error"]["code"] == "schema"
+        assert response["id"] == "x"
+
+    def test_missing_matrix_and_shape(self, server):
+        (response,) = _raw_exchange(
+            server.address, encode({"op": "decompose", "id": "x"})
+        )
+        assert response["error"]["code"] == "schema"
+
+    def test_bad_block_width(self, server):
+        (response,) = _raw_exchange(
+            server.address,
+            encode({"op": "decompose", "id": "x", "shape": [16, 16],
+                    "block_width": 99}),
+        )
+        assert response["error"]["code"] == "schema"
+        assert "block_width" in response["error"]["message"]
+
+    def test_non_finite_matrix_rejected_invalid(self, server):
+        (response,) = _raw_exchange(
+            server.address,
+            encode({"op": "decompose", "id": "x",
+                    "matrix": [[1.0, 2.0], [3.0, None]]}),
+        )
+        # None materializes as NaN -> input validation, not schema.
+        assert response["error"]["code"] in ("schema", "invalid")
+
+    def test_client_raises_protocol_error_for_schema_answer(self, client):
+        from repro.serve.client import raise_for_error
+
+        envelope = client.request({"op": "decompose", "id": "x"})
+        assert envelope["ok"] is False
+        with pytest.raises(ServeProtocolError) as excinfo:
+            raise_for_error(envelope)
+        assert excinfo.value.code == "schema"
+
+
+class TestManagementOps:
+    def test_ping(self, client):
+        response = client.ping()
+        assert response["pong"] is True
+        assert response["version"] == "1"
+
+    def test_stats_reflect_traffic(self, client):
+        client.decompose(shape=[16, 16], seed=0)
+        stats = client.stats()
+        assert stats["serve.requests"] == 1
+        assert stats["admitted"] == 1
+        assert stats["serve.batches"] == 1
+        assert stats["version"] == "1"
+
+    def test_shutdown_stops_the_server(self, server):
+        with ServeClient(*server.address) as client:
+            client.decompose(shape=[16, 16], seed=1)
+            client.shutdown()
+        server._thread.join(timeout=10)
+        assert not server._thread.is_alive()
+        # Double-stop is a no-op.
+        server.stop()
+
+
+class TestConcurrentResponsesOnOneConnection:
+    def test_pipelined_requests_all_answered(self, server):
+        # Write several requests before reading anything; responses may
+        # arrive in any order but every id must be answered exactly
+        # once.
+        docs = [
+            {"op": "decompose", "id": f"p-{i}", "shape": [16, 16],
+             "seed": i}
+            for i in range(5)
+        ]
+        with socket.create_connection(server.address, timeout=60) as sock:
+            handle = sock.makefile("rb")
+            for doc in docs:
+                sock.sendall(encode(doc))
+            seen = set()
+            for _ in docs:
+                response = decode_line(handle.readline())
+                assert response["ok"]
+                seen.add(response["id"])
+        assert seen == {doc["id"] for doc in docs}

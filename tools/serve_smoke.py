@@ -1,0 +1,196 @@
+#!/usr/bin/env python
+"""End-to-end smoke for the serve daemon (CI ``serve-smoke`` job).
+
+Mirrors what ``make serve-smoke`` and ``.github/workflows/ci.yml`` run:
+
+1. Start ``heterosvd serve`` as a real subprocess on an ephemeral port
+   with a low high-water mark and a ``--metrics`` export, and wait for
+   its ``serving on HOST:PORT`` ready line.
+2. Drive the seeded 200-request load mix (including the over-deadline
+   probe and the oversized-shedding probe) through
+   ``heterosvd bench --suite serve`` pointed at the daemon via
+   ``HETEROSVD_SERVE_ADDR``, producing ``BENCH_serve.json``.
+3. Shut the daemon down over the wire, check it exits 0, and assert
+   the BENCH report and the daemon's own counters agree: every request
+   answered, p99 under a generous bound, at least one shed, one
+   degraded, and one deadline-expired request.
+4. Re-run the suite in-process at ``--size 1200`` and assert the
+   queue provably built past 1000 concurrent requests
+   (``peak_queue_depth``).
+
+Exits non-zero with a diagnostic on the first failed assertion.  Run
+from the repo root; needs only ``PYTHONPATH=src``.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+# Generous CI bound: the whole 200-request burst finishes in a few
+# seconds even on loaded runners; p99 includes queueing by design.
+P99_BOUND_S = 60.0
+READY_TIMEOUT_S = 60.0
+QUEUED_TARGET = 1000
+
+
+def fail(message):
+    print(f"serve-smoke: FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def check(condition, message):
+    if not condition:
+        fail(message)
+    print(f"serve-smoke: ok: {message}")
+
+
+def cli(*args, env=None):
+    command = [sys.executable, "-m", "repro.cli", *args]
+    print("serve-smoke: run:", " ".join(command), flush=True)
+    return subprocess.run(command, env=env, cwd=REPO_ROOT)
+
+
+def start_daemon(metrics_path):
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--port", "0", "--high-water", "64",
+         "--metrics", metrics_path],
+        stdout=subprocess.PIPE,
+        env=daemon_env(),
+        cwd=REPO_ROOT,
+        text=True,
+    )
+    deadline = time.monotonic() + READY_TIMEOUT_S
+    line = ""
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if line.startswith("serving on "):
+            break
+        if process.poll() is not None:
+            fail(f"daemon exited early with {process.returncode}")
+    else:
+        process.kill()
+        fail("daemon never printed its ready line")
+    address = line.split("serving on ", 1)[1].strip()
+    print(f"serve-smoke: daemon up at {address} (pid {process.pid})")
+    return process, address
+
+
+def daemon_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return env
+
+
+def case_metrics(report_path, name):
+    with open(report_path) as handle:
+        report = json.load(handle)
+    for result in report["results"]:
+        if result["name"] == name:
+            return result["metrics"]
+    fail(f"{report_path} has no case named {name!r}")
+
+
+def external_phase(out_dir, size):
+    """Phase 1: real daemon subprocess + wire-driven bench run."""
+    from repro.serve.client import ServeClient, parse_address
+
+    metrics_path = os.path.join(out_dir, "serve_metrics.json")
+    process, address = start_daemon(metrics_path)
+    try:
+        env = daemon_env()
+        env["HETEROSVD_SERVE_ADDR"] = address
+        bench = cli("bench", "--suite", "serve", "--size", str(size),
+                    "--out", out_dir, "--no-compare", env=env)
+        check(bench.returncode == 0,
+              f"bench --suite serve --size {size} exited 0")
+    finally:
+        try:
+            with ServeClient(*parse_address(address)) as client:
+                client.shutdown()
+        except Exception as error:
+            process.kill()
+            fail(f"could not shut the daemon down cleanly: {error}")
+        process.wait(timeout=READY_TIMEOUT_S)
+    check(process.returncode == 0,
+          f"daemon exited 0 (got {process.returncode})")
+
+    report_path = os.path.join(out_dir, "BENCH_serve.json")
+    checked = cli("bench", "--check", report_path)
+    check(checked.returncode == 0, f"{report_path} is schema-valid")
+
+    metrics = case_metrics(report_path, f"serve_load_{size}")
+    check(metrics["answered"] == size and metrics["errors"] == 0,
+          f"all {size} requests answered without transport errors")
+    check(metrics["p99_latency_s"] <= P99_BOUND_S,
+          f"p99 {metrics['p99_latency_s']:.3f}s <= {P99_BOUND_S}s")
+    check(metrics["deadline_expired"] >= 1,
+          "the over-deadline probe came back code=deadline")
+    check(metrics["shed"] >= 1,
+          "the oversized probe was shed to the brownout tier")
+    check(metrics["degraded"] >= metrics["shed"],
+          "every shed answer is also flagged degraded")
+
+    with open(metrics_path) as handle:
+        counters = json.load(handle)["counters"]
+    check(counters.get("serve.requests", 0) >= size,
+          f"daemon counted >= {size} requests")
+    check(counters.get("serve.shed", 0) >= 1,
+          "daemon counted shed requests")
+    check(counters.get("serve.deadline_expired", 0) >= 1,
+          "daemon counted the expired deadline")
+    check(counters.get("serve.oversized", 0) >= 1,
+          "daemon counted the oversized probe")
+    return report_path
+
+
+def queued_phase(size):
+    """Phase 2: in-process burst that must queue >= 1k concurrently."""
+    with tempfile.TemporaryDirectory(prefix="serve_smoke_") as scratch:
+        bench = cli("bench", "--suite", "serve", "--size", str(size),
+                    "--out", scratch, "--no-compare", env=daemon_env())
+        check(bench.returncode == 0,
+              f"in-process bench --size {size} exited 0")
+        metrics = case_metrics(
+            os.path.join(scratch, "BENCH_serve.json"),
+            f"serve_load_{size}",
+        )
+    check(metrics["answered"] == size and metrics["errors"] == 0,
+          f"all {size} queued requests answered")
+    check(metrics.get("peak_queue_depth", 0) >= QUEUED_TARGET,
+          f"peak queue depth {metrics.get('peak_queue_depth')} "
+          f">= {QUEUED_TARGET}")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=".", metavar="DIR",
+                        help="where BENCH_serve.json and "
+                             "serve_metrics.json land (default: .)")
+    parser.add_argument("--size", type=int, default=200,
+                        help="requests for the daemon phase")
+    parser.add_argument("--queued-size", type=int, default=1200,
+                        help="requests for the >=1k-queued phase")
+    parser.add_argument("--skip-queued", action="store_true",
+                        help="skip the in-process 1k-queued phase")
+    args = parser.parse_args(argv)
+
+    os.makedirs(args.out, exist_ok=True)
+    report_path = external_phase(args.out, args.size)
+    if not args.skip_queued:
+        queued_phase(args.queued_size)
+    print(f"serve-smoke: PASS ({report_path})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
