@@ -592,6 +592,7 @@ def cmd_serve(args) -> int:
                 max_cells=args.max_cells,
                 reject_cells=args.reject_cells,
                 max_batch=args.max_batch,
+                max_oversized=args.max_oversized,
             ),
             tenant_weights=weights,
             default_deadline_s=args.default_deadline,
@@ -914,6 +915,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-batch", type=int, default=32, metavar="N",
         help="widest coalesced batch handed to the executor "
         "(default: 32)",
+    )
+    p_serve.add_argument(
+        "--max-oversized", type=int, default=32, metavar="N",
+        help="in-flight cap for oversized brownout-tier jobs; at the "
+        "cap they are rejected with code=overloaded (default: 32)",
     )
     p_serve.add_argument(
         "--tenant", action="append", metavar="NAME=WEIGHT",

@@ -59,6 +59,9 @@ class AdmissionPolicy:
         reject_cells: Hard size cap; beyond this even the brownout
             tier refuses (``code="oversized"``).
         max_batch: Widest coalesced batch handed to the executor.
+        max_oversized: In-flight cap for oversized (brownout-tier)
+            jobs, which never enter the queue; at the cap further
+            oversized requests are rejected with ``code="overloaded"``.
     """
 
     max_depth: int = 4096
@@ -66,6 +69,7 @@ class AdmissionPolicy:
     max_cells: int = 65536
     reject_cells: int = 16 * 65536
     max_batch: int = 32
+    max_oversized: int = 32
 
     def __post_init__(self):
         if self.max_depth < 1:
@@ -89,6 +93,10 @@ class AdmissionPolicy:
         if self.max_batch < 1:
             raise ConfigurationError(
                 f"max_batch must be >= 1, got {self.max_batch}"
+            )
+        if self.max_oversized < 1:
+            raise ConfigurationError(
+                f"max_oversized must be >= 1, got {self.max_oversized}"
             )
 
 
@@ -241,7 +249,7 @@ class JobQueue:
         if not order:
             return [], None
         head = order[0]
-        self._virtual_now = self._vtime[head]
+        self._virtual_now = max(self._virtual_now, self._vtime[head])
         key = self._queues[head][0].key
         batch: List[Job] = []
         for tenant in order:
@@ -261,6 +269,18 @@ class JobQueue:
             queue.clear()
             queue.extend(kept)
         self._depth -= len(batch)
+        # Tenant names are arbitrary client strings: drop emptied
+        # tenants so _queues/_vtime stay bounded by the backlog, not by
+        # every name ever seen.  Folding the dropped tenant's charge
+        # into the (monotonic) clock keeps the fairness contract: its
+        # re-entry anchors at or past its last charge, so going idle
+        # still earns no credit.
+        for tenant in order:
+            if not self._queues[tenant]:
+                del self._queues[tenant]
+                self._virtual_now = max(
+                    self._virtual_now, self._vtime.pop(tenant)
+                )
         return batch, key
 
     def drain(self) -> List[Job]:
@@ -268,7 +288,8 @@ class JobQueue:
         jobs: List[Job] = []
         for tenant in sorted(self._queues):
             jobs.extend(self._queues[tenant])
-            self._queues[tenant].clear()
+        self._queues.clear()
+        self._vtime.clear()
         self._depth = 0
         return jobs
 
@@ -279,5 +300,7 @@ class JobQueue:
             "peak_queue_depth": self.peak_depth,
             "admitted": self.total_admitted,
             "rejected": self.total_rejected,
+            # Backlogged tenants only — emptied tenants are dropped in
+            # pop_batch/drain, so this cannot grow with names seen.
             "tenants": len(self._queues),
         }

@@ -179,6 +179,7 @@ class SVDServer:
         self._pool: Optional[ThreadPoolExecutor] = None
         self._writers: set = set()
         self._side_tasks: set = set()
+        self._oversized_inflight = 0
 
     # -- bookkeeping ---------------------------------------------------------
     def _count(self, name: str, amount: int = 1) -> None:
@@ -313,14 +314,6 @@ class SVDServer:
     async def _admit(self, doc: Dict[str, Any], writer, lock) -> None:
         request_id = doc["id"]
         self._count("serve.requests")
-        try:
-            matrix = request_matrix(doc)
-        except (ValueError, TypeError) as error:
-            self._count("serve.schema_errors")
-            await self._send(writer, lock, error_response(
-                request_id, "schema", f"matrix payload: {error}",
-            ))
-            return
         block_width = int(doc.get("block_width", self.config.p_eng))
         if block_width not in P_ENG_RANGE:
             self._count("serve.schema_errors")
@@ -330,7 +323,53 @@ class SVDServer:
                 f"{P_ENG_RANGE.stop - 1}], got {block_width}",
             ))
             return
-        key = request_key(doc, matrix.shape, self.config.p_eng)
+        # Classify from the *declared* shape before materializing: a
+        # 60-byte seeded request can name an arbitrarily large shape,
+        # and the hard cap must fire without ever allocating m*n
+        # floats on the event loop.
+        if "matrix" in doc:
+            shape = (len(doc["matrix"]), len(doc["matrix"][0]))
+        else:
+            shape = (int(doc["shape"][0]), int(doc["shape"][1]))
+        key = request_key(doc, shape, self.config.p_eng)
+        tier = self.queue.classify(key.cells)
+        if tier == "engine" and key.m > ENGINE_MAX_M:
+            tier = "brownout"
+        if tier == "reject":
+            self._count("serve.rejected")
+            await self._send(writer, lock, error_response(
+                request_id, "oversized",
+                f"{key.m}x{key.n} ({key.cells} cells) exceeds the hard "
+                f"cap of {self.queue.policy.reject_cells} cells",
+            ))
+            return
+        if (tier == "brownout"
+                and self._oversized_inflight
+                >= self.queue.policy.max_oversized):
+            self._count("serve.rejected")
+            await self._send(writer, lock, error_response(
+                request_id, "overloaded",
+                f"{self._oversized_inflight} oversized jobs already in "
+                f"flight (cap {self.queue.policy.max_oversized}); "
+                f"request rejected",
+            ))
+            return
+        try:
+            matrix = request_matrix(doc)
+        except (ValueError, TypeError) as error:
+            self._count("serve.schema_errors")
+            await self._send(writer, lock, error_response(
+                request_id, "schema", f"matrix payload: {error}",
+            ))
+            return
+        except MemoryError:
+            self._count("serve.internal_errors")
+            await self._send(writer, lock, error_response(
+                request_id, "internal",
+                f"materializing a {key.m}x{key.n} matrix exhausted "
+                f"memory",
+            ))
+            return
         try:
             validate_matrix(matrix, name="matrix")
         except InputValidationError as error:
@@ -351,21 +390,9 @@ class SVDServer:
             deadline=deadline,
             future=self._loop.create_future(),
         )
-        tier = self.queue.classify(key.cells)
-        if tier == "engine" and key.m > ENGINE_MAX_M:
-            tier = "brownout"
-        if tier == "reject":
-            self._count("serve.rejected")
-            await self._send(writer, lock, error_response(
-                request_id, "oversized",
-                f"{key.m}x{key.n} ({key.cells} cells) exceeds the hard "
-                f"cap of {self.queue.policy.reject_cells} cells",
-            ))
-            return
         if tier == "brownout":
-            self._spawn(self._run_brownout(
-                [job], shed=True, oversized=True,
-            ))
+            self._oversized_inflight += 1
+            self._spawn(self._run_oversized(job))
         else:
             try:
                 self.queue.push(job)
@@ -499,7 +526,17 @@ class SVDServer:
         self._count("serve.coalesced_tasks", len(jobs))
         by_task = {result.task_id: result for result in report.results}
         for task_id, job in enumerate(jobs):
-            result = by_task[task_id]
+            result = by_task.get(task_id)
+            if result is None:
+                # A report hole must not raise here: that would kill
+                # the dispatcher and strand every in-flight client.
+                self._count("serve.internal_errors")
+                self._resolve(job, error_response(
+                    job.request_id, "internal",
+                    f"engine batch returned no result for task "
+                    f"{task_id}",
+                ))
+                continue
             if result.degraded:
                 self._count("serve.degraded")
             queue_s = max(0.0, dispatched_at - job.enqueued_at)
@@ -555,6 +592,14 @@ class SVDServer:
         if leftovers:
             await self._run_brownout(leftovers, shed=False)
 
+    async def _run_oversized(self, job: Job) -> None:
+        """Brownout-serve one oversized job, releasing its slot in the
+        in-flight cap that stands in for queue admission on this path."""
+        try:
+            await self._run_brownout([job], shed=True, oversized=True)
+        finally:
+            self._oversized_inflight -= 1
+
     async def _run_brownout(
         self, jobs: List[Job], shed: bool, oversized: bool = False
     ) -> None:
@@ -564,9 +609,16 @@ class SVDServer:
             with _tracer.span("serve.brownout", category="serve",
                               tasks=len(jobs)):
                 for job in jobs:
-                    started = time.perf_counter()
+                    # Per-job dispatch stamp: queue time must end when
+                    # *this* job's SVD starts, not when the whole batch
+                    # finishes, or batchmates' compute time would be
+                    # booked as queueing.
+                    dispatched = time.monotonic()
                     sigma = _brownout_sigma(job.matrix)
-                    out.append((sigma, time.perf_counter() - started))
+                    out.append(
+                        (sigma, dispatched,
+                         time.monotonic() - dispatched)
+                    )
             return out
 
         try:
@@ -580,20 +632,18 @@ class SVDServer:
                 ))
             return
         self._count("serve.brownout_batches")
-        for job, (sigma, service_s) in zip(jobs, computed):
+        for job, (sigma, dispatched, service_s) in zip(jobs, computed):
             self._count("serve.degraded")
             if shed:
                 self._count("serve.shed")
             if oversized:
                 self._count("serve.oversized")
-            queue_s = job.queue_seconds() - service_s
-            _metrics.histogram("serve.queue_seconds").observe(
-                max(0.0, queue_s)
-            )
+            queue_s = max(0.0, dispatched - job.enqueued_at)
+            _metrics.histogram("serve.queue_seconds").observe(queue_s)
             _metrics.histogram("serve.service_seconds").observe(service_s)
             self._resolve(job, result_response(
                 job.request_id, sigma, degraded=True, shed=shed,
-                queue_s=max(0.0, queue_s), service_s=service_s,
+                queue_s=queue_s, service_s=service_s,
             ))
 
 

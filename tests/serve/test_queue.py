@@ -34,6 +34,7 @@ class TestAdmissionPolicy:
         {"max_cells": 1},
         {"reject_cells": 16, "max_cells": 65536},
         {"max_batch": 0},
+        {"max_oversized": 0},
     ])
     def test_bad_knobs_rejected(self, kwargs):
         with pytest.raises(ConfigurationError):
@@ -70,6 +71,30 @@ class TestAdmission:
         stats = queue.stats()
         assert stats["peak_queue_depth"] == 5
         assert stats["admitted"] == 5
+
+    def test_emptied_tenants_are_forgotten(self):
+        # Tenant names are arbitrary client strings: once a tenant's
+        # backlog drains, its deque and vtime entry must go with it or
+        # unique names grow the queue's bookkeeping without bound.
+        queue = JobQueue()
+        for name in ("alpha", "beta", "gamma"):
+            queue.push(_job(tenant=name, request_id=name))
+        while queue.depth:
+            queue.pop_batch()
+        assert queue.stats()["tenants"] == 0
+        assert queue._queues == {}
+        assert queue._vtime == {}
+        # Re-entry re-anchors to the virtual clock as usual.
+        queue.push(_job(tenant="alpha", request_id="again"))
+        assert queue._vtime["alpha"] == queue._virtual_now
+
+    def test_drain_forgets_tenants(self):
+        queue = JobQueue()
+        queue.push(_job(tenant="alpha", request_id="a"))
+        queue.push(_job(tenant="beta", key=KEY_B, request_id="b"))
+        assert len(queue.drain()) == 2
+        assert queue.stats()["tenants"] == 0
+        assert queue._vtime == {}
 
 
 class TestCoalescing:
@@ -157,11 +182,14 @@ class TestWeightedFairness:
         for _ in range(8):
             queue.pop_batch()
         # "sleeper" was idle the whole time; it re-enters at the
-        # current virtual clock, not at zero.
+        # current virtual clock, not at zero.  "busy" emptied, so its
+        # charge was folded into the clock and it re-anchors there too:
+        # a genuine tie, broken by name, one job each — neither tenant
+        # gained anything by its history.
         queue.push(_job(tenant="sleeper", key=KEY_B, request_id="s0"))
         queue.push(_job(tenant="busy", key=KEY_A, request_id="b8"))
         order = [queue.pop_batch()[0][0].request_id for _ in range(2)]
-        assert order == ["s0", "b8"]  # tie broken by name, one each
+        assert order == ["b8", "s0"]
         assert queue.depth == 0
 
     def test_bad_weight_rejected(self):

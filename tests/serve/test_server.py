@@ -8,8 +8,11 @@ on the single compute thread, so subsequent jobs provably sit in the
 queue for the duration.
 """
 
+import asyncio
 import socket
 import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 import pytest
@@ -60,6 +63,28 @@ def _park_slow_job(address, results):
     thread = threading.Thread(target=work)
     thread.start()
     return thread
+
+
+def _park_pool(server_thread):
+    """Deterministically park the daemon's compute thread.
+
+    Returns a ``threading.Event``; until it is set, every admitted job
+    provably stays queued (or in flight, for the oversized tier) —
+    no reliance on a 'slow enough' decompose.
+    """
+    release = threading.Event()
+    server_thread.server._pool.submit(release.wait)
+    return release
+
+
+def _wait_stats(probe, predicate, timeout=10.0):
+    """Poll the ``stats`` op until ``predicate(stats)`` holds."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate(probe.stats()):
+            return True
+        time.sleep(0.01)
+    return False
 
 
 class TestByteIdentity:
@@ -153,6 +178,51 @@ class TestBrownoutTier:
                     client.decompose(shape=[64, 64], seed=0)
                 assert excinfo.value.code == "oversized"
 
+    def test_huge_declared_shape_rejected_without_materialization(
+        self, client
+    ):
+        # The declared shape names an ~80 GB matrix; the hard cap must
+        # fire off the declaration, before any allocation happens.
+        with pytest.raises(ServiceOverloadError) as excinfo:
+            client.decompose(shape=[100_000, 100_000], seed=0)
+        assert excinfo.value.code == "oversized"
+
+    def test_oversized_inflight_cap_rejects_overloaded(self):
+        # Oversized jobs never enter the queue, so they are admitted
+        # against max_oversized instead: with the compute thread
+        # parked and a cap of 1, the first oversized request goes in
+        # flight and the rest must be refused code=overloaded.
+        config = ServeConfig(admission=AdmissionPolicy(max_oversized=1))
+        with ServerThread(config) as handle:
+            release = _park_pool(handle)
+            docs = [
+                {"op": "decompose", "id": f"o-{i}",
+                 "shape": [512, 256], "seed": i}
+                for i in range(3)
+            ]
+            with socket.create_connection(
+                handle.address, timeout=30
+            ) as sock:
+                reader = sock.makefile("rb")
+                for doc in docs:
+                    sock.sendall(encode(doc))
+                # o-0 holds the single in-flight slot behind the
+                # parked pool, so o-1 and o-2 are answered (refused)
+                # first, in order.
+                refused = [
+                    decode_line(reader.readline()) for _ in range(2)
+                ]
+                assert [r["id"] for r in refused] == ["o-1", "o-2"]
+                assert all(
+                    r["error"]["code"] == "overloaded" for r in refused
+                )
+                release.set()
+                served = decode_line(reader.readline())
+                assert served["id"] == "o-0"
+                assert served["ok"] is True
+                assert served["degraded"] is True
+                assert served["shed"] is True
+
 
 class TestSloAndOverload:
     def test_queued_job_past_deadline_answered_deadline(self, server):
@@ -174,43 +244,48 @@ class TestSloAndOverload:
             admission=AdmissionPolicy(max_depth=1, high_water=1)
         )
         with ServerThread(config) as handle:
+            release = _park_pool(handle)
             results = []
-            slow = _park_slow_job(handle.address, results)
+            threads = []
+
+            def ask(seed):
+                with ServeClient(*handle.address) as client:
+                    results.append(
+                        client.decompose(shape=[16, 16], seed=seed)
+                    )
+
             try:
-                filler = ServeClient(*handle.address)
-                overflow = ServeClient(*handle.address)
-                # Wait until the slow job is off the queue and on the
-                # compute thread, then fill the single queue slot.
-                import time
-                deadline = time.monotonic() + 10
                 with ServeClient(*handle.address) as probe:
-                    while time.monotonic() < deadline:
-                        if probe.stats()["queue_depth"] == 0 and (
-                            probe.stats()["admitted"] >= 1
-                        ):
-                            break
-                        time.sleep(0.01)
-                fill_thread = threading.Thread(
-                    target=lambda: filler.decompose(shape=[16, 16], seed=1)
-                )
-                fill_thread.start()
-                try:
-                    with overflow:
-                        deadline = time.monotonic() + 10
-                        while True:
-                            try:
-                                overflow.decompose(shape=[16, 16], seed=2)
-                            except ServiceOverloadError as error:
-                                assert error.code == "overloaded"
-                                break
-                            assert time.monotonic() < deadline, (
-                                "queue never reported overload"
-                            )
-                finally:
-                    fill_thread.join()
-                    filler.close()
+                    # Job A: admitted, popped by the dispatcher, stuck
+                    # behind the parked pool.
+                    threads.append(
+                        threading.Thread(target=ask, args=(1,))
+                    )
+                    threads[-1].start()
+                    assert _wait_stats(
+                        probe,
+                        lambda s: s["admitted"] >= 1
+                        and s["queue_depth"] == 0,
+                    )
+                    # Job B: fills the single queue slot.
+                    threads.append(
+                        threading.Thread(target=ask, args=(2,))
+                    )
+                    threads[-1].start()
+                    assert _wait_stats(
+                        probe, lambda s: s["queue_depth"] == 1
+                    )
+                    with ServeClient(*handle.address) as overflow:
+                        with pytest.raises(
+                            ServiceOverloadError
+                        ) as excinfo:
+                            overflow.decompose(shape=[16, 16], seed=3)
+                        assert excinfo.value.code == "overloaded"
             finally:
-                slow.join()
+                release.set()
+                for thread in threads:
+                    thread.join()
+        assert len(results) == 2 and all(r["ok"] for r in results)
 
 
 class TestWireRejections:
@@ -283,6 +358,99 @@ class TestManagementOps:
         assert not server._thread.is_alive()
         # Double-stop is a no-op.
         server.stop()
+
+
+def _loose_server():
+    """A loop-less SVDServer for driving tier coroutines directly."""
+    from repro.serve.server import SVDServer
+
+    server = SVDServer(ServeConfig())
+    server._loop = asyncio.get_running_loop()
+    server._pool = ThreadPoolExecutor(max_workers=1)
+    return server
+
+
+def _loose_job(server, index, key):
+    from repro.serve.queue import Job
+
+    return Job(
+        request_id=f"j{index}",
+        tenant="t",
+        key=key,
+        matrix=random_matrix(key.m, key.n, seed=index),
+        future=server._loop.create_future(),
+    )
+
+
+class TestTierInternals:
+    def test_brownout_queue_time_excludes_batchmates_service(
+        self, monkeypatch
+    ):
+        import repro.serve.server as server_mod
+        from repro.serve.protocol import CoalesceKey
+
+        real_sigma = server_mod._brownout_sigma
+
+        def slow_sigma(matrix):
+            time.sleep(0.05)
+            return real_sigma(matrix)
+
+        monkeypatch.setattr(server_mod, "_brownout_sigma", slow_sigma)
+        key = CoalesceKey(8, 8, "float64", "auto", 4)
+
+        async def run():
+            server = _loose_server()
+            try:
+                jobs = [_loose_job(server, i, key) for i in range(3)]
+                await server._run_brownout(jobs, shed=True)
+                return [job.future.result() for job in jobs]
+            finally:
+                server._pool.shutdown(wait=True)
+
+        responses = asyncio.run(run())
+        assert all(r["degraded"] for r in responses)
+        # Job 0 is dispatched immediately: the ~100 ms its batchmates
+        # compute after it must not be booked as its queue time.
+        assert responses[0]["queue_s"] < 0.05
+
+    def test_engine_report_hole_answered_internal(self, monkeypatch):
+        # A report missing a task's result must answer that job with
+        # an internal error, not raise KeyError into the dispatcher.
+        from types import SimpleNamespace
+
+        import repro.exec.batch as batch_mod
+        from repro.serve.protocol import CoalesceKey
+
+        key = CoalesceKey(8, 8, "float64", "auto", 4)
+
+        class HoleyExecutor:
+            def __init__(self, *args, **kwargs):
+                pass
+
+            def run(self, batch, deadline=None):
+                return SimpleNamespace(
+                    results=[SimpleNamespace(
+                        task_id=0, pipeline=0, degraded=False,
+                        sigma=np.ones(8),
+                    )],
+                    wall_makespan=0.001,
+                )
+
+        monkeypatch.setattr(batch_mod, "BatchExecutor", HoleyExecutor)
+
+        async def run():
+            server = _loose_server()
+            try:
+                jobs = [_loose_job(server, i, key) for i in range(2)]
+                await server._run_engine(jobs, key)
+                return [job.future.result() for job in jobs]
+            finally:
+                server._pool.shutdown(wait=True)
+
+        responses = asyncio.run(run())
+        assert responses[0]["ok"] is True
+        assert responses[1]["ok"] is False
+        assert responses[1]["error"]["code"] == "internal"
 
 
 class TestConcurrentResponsesOnOneConnection:
