@@ -38,10 +38,14 @@ bench-smoke:
 	$(PYTHON) -m repro.cli bench --suite batch --size 16 --out . \
 		--baseline $(BASELINE_DIR)/BENCH_batch.json --threshold 0.5; \
 		test $$? -eq 0 -o $$? -eq 3
+	$(PYTHON) -m repro.cli bench --suite serve --size 64 --out . \
+		--baseline $(BASELINE_DIR)/BENCH_serve.json --threshold 0.5; \
+		test $$? -eq 0 -o $$? -eq 3
 	$(PYTHON) -m repro.cli bench --check BENCH_solver.json
 	$(PYTHON) -m repro.cli bench --check BENCH_dse.json
 	$(PYTHON) -m repro.cli bench --check BENCH_scheduler.json
 	$(PYTHON) -m repro.cli bench --check BENCH_batch.json
+	$(PYTHON) -m repro.cli bench --check BENCH_serve.json
 
 # Re-record the blessed baselines (commit the result deliberately).
 baselines:
@@ -50,6 +54,7 @@ baselines:
 	$(PYTHON) -m repro.cli bench --suite dse --size 48 --out $(BASELINE_DIR) --no-compare
 	$(PYTHON) -m repro.cli bench --suite scheduler --size 64 --out $(BASELINE_DIR) --no-compare
 	$(PYTHON) -m repro.cli bench --suite batch --size 16 --out $(BASELINE_DIR) --no-compare
+	$(PYTHON) -m repro.cli bench --suite serve --size 64 --out $(BASELINE_DIR) --no-compare
 
 # Serving-layer smoke: real daemon subprocess, 200-request wire-driven
 # mix (deadline + oversized probes), counter assertions, then the

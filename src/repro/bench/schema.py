@@ -82,7 +82,9 @@ _REPORT_SCHEMA = {
                     "repeats": int,
                     "wall_time_s": (int, float),
                     "wall_times_s": list,
-                    "metrics": {"values": (int, float, str)},
+                    # None = "not measurable this run" (e.g. latency
+                    # percentiles of a burst with zero responses).
+                    "metrics": {"values": (int, float, str, type(None))},
                 },
                 "extra": "allow",
             },

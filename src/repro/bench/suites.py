@@ -74,7 +74,7 @@ def _solver_cases(size: int) -> List[BenchCase]:
         results = solve_batch(batch, strategy="vectorized")
         return {"tasks": len(results), "n": small}
 
-    return [
+    cases = [
         BenchCase(f"hestenes_scalar_{size}", hestenes_case("scalar")),
         BenchCase(f"hestenes_vectorized_{size}",
                   hestenes_case("vectorized")),
@@ -82,6 +82,18 @@ def _solver_cases(size: int) -> List[BenchCase]:
         BenchCase(f"block_vectorized_{size}", block_case("vectorized")),
         BenchCase(f"solve_batch_vectorized_{size}", batch_run),
     ]
+    # The native legs only run where the compiled tier actually exists;
+    # without Numba, "native" resolves to "vectorized" and the case
+    # would silently re-measure the vectorized leg under a misleading
+    # name.  Absent cases are advisory in baseline comparison.
+    from repro.linalg import native_available
+
+    if native_available():
+        cases.extend([
+            BenchCase(f"hestenes_native_{size}", hestenes_case("native")),
+            BenchCase(f"block_native_{size}", block_case("native")),
+        ])
+    return cases
 
 
 def _dse_cases(size: int) -> List[BenchCase]:
@@ -181,6 +193,15 @@ def _serve_cases(size: int) -> List[BenchCase]:
         # >= 1000-request burst actually builds > 1000 queued jobs.
         address = os.environ.get("HETEROSVD_SERVE_ADDR") or None
         report = run_load(address=address, count=size, seed=seed)
+        if report.ok == 0:
+            # A burst where nothing succeeded is a broken serve stack,
+            # not a data point: its latency metrics are all null and
+            # recording it as a baseline would bless the failure.
+            raise BenchmarkError(
+                f"serve load run produced no successful responses "
+                f"({report.total} sent, {report.errors} errors, "
+                f"{report.rejected} rejected)"
+            )
         return dict(report.metrics())
 
     return [BenchCase(f"serve_load_{size}", run)]
@@ -225,24 +246,26 @@ def build_suite(name: str, size: Optional[int] = None) -> List[BenchCase]:
 
 
 def strategy_speedups(report: BenchReport) -> Dict[str, float]:
-    """Scalar-over-vectorized speedups derivable from a solver report.
+    """Scalar-over-batched-tier speedups derivable from a solver report.
 
-    Scans the report for ``<kernel>_scalar_<n>`` /
-    ``<kernel>_vectorized_<n>`` case pairs and returns
-    ``{"<kernel>_<n>": scalar_s / vectorized_s}`` — the figure quoted
-    in ``docs/performance.md``.  Reports without such pairs yield an
-    empty dict.
+    Scans the report for ``<kernel>_scalar_<n>`` cases and, for each
+    faster tier present (``vectorized``, ``native``), returns
+    ``{"<kernel>_<n>": scalar_s / vectorized_s}`` and
+    ``{"<kernel>_<n>_native": scalar_s / native_s}`` — the figures
+    quoted in ``docs/performance.md``.  Reports without such pairs
+    yield an empty dict.
     """
     speedups: Dict[str, float] = {}
     for result in report.results:
         marker = "_scalar_"
         if marker not in result.name:
             continue
-        partner = report.case(result.name.replace(marker, "_vectorized_"))
-        if partner is None or partner.wall_time_s <= 0.0:
-            continue
         kernel, _, tail = result.name.partition(marker)
-        speedups[f"{kernel}_{tail}"] = (
-            result.wall_time_s / partner.wall_time_s
-        )
+        for tier, suffix in (("vectorized", ""), ("native", "_native")):
+            partner = report.case(result.name.replace(marker, f"_{tier}_"))
+            if partner is None or partner.wall_time_s <= 0.0:
+                continue
+            speedups[f"{kernel}_{tail}{suffix}"] = (
+                result.wall_time_s / partner.wall_time_s
+            )
     return speedups

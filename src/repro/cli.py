@@ -525,7 +525,8 @@ def cmd_bench(args) -> int:
     report = run_suite(args.suite, cases, seed=args.seed,
                        repeats=args.repeat, progress=progress)
     for pair, speedup in sorted(strategy_speedups(report).items()):
-        print(f"speedup {pair}: {speedup:.2f}x (scalar / vectorized)")
+        tier = "native" if pair.endswith("_native") else "vectorized"
+        print(f"speedup {pair}: {speedup:.2f}x (scalar / {tier})")
     write_report(report, out_path)
     print(f"wrote {out_path}")
 
@@ -719,9 +720,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_svd.add_argument(
         "--strategy", default="auto",
-        choices=["auto", "scalar", "vectorized"],
+        choices=["auto", "scalar", "vectorized", "native"],
         help="Jacobi inner-loop strategy for the software engine "
-        "(auto = vectorized; see docs/performance.md)",
+        "(auto probes native, then vectorized; see "
+        "docs/performance.md)",
     )
     add_jobs_flag(p_svd)
     add_cache_flag(p_svd)
@@ -887,7 +889,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument(
         "--strategy", default="auto",
-        choices=["auto", "scalar", "vectorized"],
+        choices=["auto", "scalar", "vectorized", "native"],
         help="default Jacobi strategy for the engine tier",
     )
     p_serve.add_argument("--precision", type=float, default=1e-6)

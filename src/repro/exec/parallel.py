@@ -36,6 +36,7 @@ from concurrent.futures import TimeoutError as _FuturesTimeout
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError, ParallelExecutionError
+from repro.exec import shm as _shm
 from repro.guard.deadline import as_deadline
 from repro.guard.watchdog import Watchdog
 from repro.obs import metrics as _metrics
@@ -107,13 +108,20 @@ def _run_chunk(
     """
     started = time.perf_counter()
     results: List[Any] = []
-    for offset, item in enumerate(chunk):
-        try:
-            results.append(fn(item))
-        except Exception as exc:
-            raise _ChunkItemFailure(
-                offset, _clip(repr(item)), _clip(repr(exc))
-            ) from exc
+    attachments: dict = {}
+    try:
+        for offset, item in enumerate(chunk):
+            try:
+                item = _shm.resolve_item(item, attachments)
+                results.append(fn(item))
+            except Exception as exc:
+                raise _ChunkItemFailure(
+                    offset, _clip(repr(item)), _clip(repr(exc))
+                ) from exc
+    finally:
+        # Views into the shared segment must not outlive this chunk:
+        # results crossing the pool are pickled (copied) anyway.
+        _shm.close_attachments(attachments)
     return time.perf_counter() - started, results
 
 
@@ -139,6 +147,15 @@ class ParallelRunner:
             :class:`~repro.errors.ParallelExecutionError`, so wrapping
             the map in a :class:`~repro.resilience.RetryPolicy` turns a
             hung worker into a cancel-and-retry instead of a hung sweep.
+        shared_memory: Zero-copy array passing for ``"process"`` mode
+            (see :mod:`repro.exec.shm`): large ndarrays inside the
+            items ride one shared segment instead of being pickled
+            per chunk.  None (default) enables it automatically when
+            the platform supports it; False forces plain pickling;
+            True requests it explicitly (still degrading silently to
+            pickling when unsupported — packing never fails a map).
+        shm_min_bytes: Smallest array (in bytes) placed in the shared
+            segment; smaller ones pickle faster than they attach.
     """
 
     def __init__(
@@ -147,6 +164,8 @@ class ParallelRunner:
         mode: str = "process",
         chunk_size: Optional[int] = None,
         stall_timeout: Optional[float] = None,
+        shared_memory: Optional[bool] = None,
+        shm_min_bytes: int = _shm.SHM_MIN_BYTES,
     ):
         if mode not in VALID_MODES:
             raise ConfigurationError(
@@ -160,11 +179,24 @@ class ParallelRunner:
             raise ConfigurationError(
                 f"stall_timeout must be > 0 seconds, got {stall_timeout!r}"
             )
+        if shm_min_bytes < 1:
+            raise ConfigurationError(
+                f"shm_min_bytes must be >= 1, got {shm_min_bytes}"
+            )
         self.jobs = resolve_jobs(jobs)
         self.mode = mode
         self.chunk_size = chunk_size
         self.stall_timeout = stall_timeout
+        self.shared_memory = shared_memory
+        self.shm_min_bytes = shm_min_bytes
         self._pool = None
+
+    def _shm_enabled(self) -> bool:
+        if self.mode != "process":
+            return False
+        if self.shared_memory is False:
+            return False
+        return _shm.shm_supported()
 
     def _chunks(self, items: Sequence[Any]) -> List[Sequence[Any]]:
         size = self.chunk_size
@@ -254,60 +286,79 @@ class ParallelRunner:
                         if watchdog.fired:
                             raise self._stall_error(len(results))
                 return results
-            chunks = self._chunks(items)
-            pool = self._get_pool()
-            futures: List[Future] = [
-                pool.submit(_run_chunk, fn, chunk) for chunk in chunks
-            ]
-            _metrics.counter("parallel.chunks").inc(len(chunks))
-            results: List[Any] = []
-            offset = 0
-            for chunk_index, future in enumerate(futures):
-                # submit order == input order
-                try:
-                    if watchdog is None:
-                        duration, chunk_results = future.result()
-                    else:
-                        while True:
-                            try:
-                                duration, chunk_results = future.result(
-                                    timeout=watchdog.poll_interval
-                                )
-                                break
-                            except _FuturesTimeout:
-                                if watchdog.fired:
-                                    for pending in futures[chunk_index + 1:]:
-                                        pending.cancel()
-                                    raise self._stall_error(offset) from None
-                        watchdog.feed()
-                except _ChunkItemFailure as failure:
-                    for pending in futures[chunk_index + 1:]:
-                        pending.cancel()
-                    item_index = offset + failure.offset
-                    raise ParallelExecutionError(
-                        f"worker failed on item {item_index} "
-                        f"({failure.item_repr}): {failure.error_repr}",
-                        item_index=item_index,
-                        item_repr=failure.item_repr,
-                        # Later chunks may have finished out of order,
-                        # but only the contiguous prefix is credited:
-                        # that is what resume machinery can trust.
-                        completed_items=item_index,
-                    ) from failure
-                except Exception:
-                    # Pool-level failure (broken pool, unpicklable fn):
-                    # still stop the sweep promptly.
-                    for pending in futures[chunk_index + 1:]:
-                        pending.cancel()
-                    raise
-                _metrics.histogram("parallel.chunk_seconds").observe(duration)
-                _tracer.get_tracer().record_span(
-                    "parallel.chunk", duration, category="parallel",
-                    chunk=chunk_index, items=len(chunks[chunk_index]),
+            segment = None
+            if self._shm_enabled():
+                # One shared segment per map: the chunks' large arrays
+                # travel as tiny refs, workers map the pages read-only,
+                # and the parent reclaims the segment after the map.
+                segment, items = _shm.pack_items(
+                    items, min_bytes=self.shm_min_bytes
                 )
-                results.extend(chunk_results)
-                offset += len(chunks[chunk_index])
-            return results
+            try:
+                return self._map_pooled(fn, items, watchdog)
+            finally:
+                _shm.release_segment(segment)
+
+    def _map_pooled(
+        self,
+        fn: Callable[[Any], Any],
+        items: List[Any],
+        watchdog: Optional[Watchdog],
+    ) -> List[Any]:
+        chunks = self._chunks(items)
+        pool = self._get_pool()
+        futures: List[Future] = [
+            pool.submit(_run_chunk, fn, chunk) for chunk in chunks
+        ]
+        _metrics.counter("parallel.chunks").inc(len(chunks))
+        results: List[Any] = []
+        offset = 0
+        for chunk_index, future in enumerate(futures):
+            # submit order == input order
+            try:
+                if watchdog is None:
+                    duration, chunk_results = future.result()
+                else:
+                    while True:
+                        try:
+                            duration, chunk_results = future.result(
+                                timeout=watchdog.poll_interval
+                            )
+                            break
+                        except _FuturesTimeout:
+                            if watchdog.fired:
+                                for pending in futures[chunk_index + 1:]:
+                                    pending.cancel()
+                                raise self._stall_error(offset) from None
+                    watchdog.feed()
+            except _ChunkItemFailure as failure:
+                for pending in futures[chunk_index + 1:]:
+                    pending.cancel()
+                item_index = offset + failure.offset
+                raise ParallelExecutionError(
+                    f"worker failed on item {item_index} "
+                    f"({failure.item_repr}): {failure.error_repr}",
+                    item_index=item_index,
+                    item_repr=failure.item_repr,
+                    # Later chunks may have finished out of order,
+                    # but only the contiguous prefix is credited:
+                    # that is what resume machinery can trust.
+                    completed_items=item_index,
+                ) from failure
+            except Exception:
+                # Pool-level failure (broken pool, unpicklable fn):
+                # still stop the sweep promptly.
+                for pending in futures[chunk_index + 1:]:
+                    pending.cancel()
+                raise
+            _metrics.histogram("parallel.chunk_seconds").observe(duration)
+            _tracer.get_tracer().record_span(
+                "parallel.chunk", duration, category="parallel",
+                chunk=chunk_index, items=len(chunks[chunk_index]),
+            )
+            results.extend(chunk_results)
+            offset += len(chunks[chunk_index])
+        return results
 
     def starmap(
         self, fn: Callable[..., Any], items: Sequence[Tuple]

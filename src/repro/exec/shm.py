@@ -1,0 +1,297 @@
+"""Zero-copy shared-memory array passing for process fan-out.
+
+:class:`~repro.exec.parallel.ParallelRunner` distributes work to a
+process pool by pickling each chunk's items.  For the DSE sweep that is
+fine — payloads are tuples of a few floats — but the batch executor
+ships whole matrices: a 512x512 float64 task costs ~2 MiB of pickle
+bytes *per transfer*, serialized in the parent, copied through a pipe,
+and deserialized in the worker.
+
+This module lets those arrays ride one
+:class:`multiprocessing.shared_memory.SharedMemory` segment instead:
+
+* :func:`pack_items` walks each payload (tuples/lists/dicts, any
+  depth), copies every large ndarray into a single shared segment, and
+  substitutes a tiny picklable :class:`ShmArrayRef` in its place.  One
+  parent-side copy replaces pickle-serialize + pipe + deserialize.
+* Workers call :func:`resolve_item` on each received item, attaching to
+  the segment (once per chunk) and rebuilding **read-only** NumPy views
+  at the recorded offsets — zero copies worker-side.  Views are
+  read-only because several workers map the same pages; the solvers
+  copy their inputs anyway (``svd`` starts with ``astype``/``copy``).
+* The parent closes and unlinks the segment after the map completes,
+  so segment lifetime is exactly one fan-out.
+
+Fallback is automatic and silent: platforms without
+``multiprocessing.shared_memory``, segment-creation failures (e.g. a
+full ``/dev/shm``), non-array payloads, and arrays under
+:data:`SHM_MIN_BYTES` all take the regular pickle path — packing never
+makes a map fail that would otherwise succeed.  The
+``parallel.shm_segments`` / ``parallel.shm_arrays`` /
+``parallel.shm_bytes`` counters record what actually rode the segment,
+and ``parallel.shm_fallbacks`` counts packing attempts that degraded.
+
+A worker attaching to a segment registers it with its resource
+tracker, which would unlink it again behind the parent's back
+(bpo-39959, fixed in 3.13 via ``track=False``); :func:`_attach` passes
+``track=False`` where available and suppresses the registration call
+on older interpreters, since the parent owns the segment's lifetime.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.obs import metrics as _metrics
+
+try:  # pragma: no cover - absent only on exotic platforms
+    from multiprocessing import resource_tracker as _resource_tracker
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+    _resource_tracker = None
+
+if _shared_memory is not None:
+    import inspect
+
+    #: Python 3.13+ lets an attaching process opt out of resource
+    #: tracking directly.
+    _HAS_TRACK_KW = "track" in inspect.signature(
+        _shared_memory.SharedMemory.__init__
+    ).parameters
+else:  # pragma: no cover
+    _HAS_TRACK_KW = False
+
+#: Arrays below this many bytes are cheaper to pickle than to place in
+#: a shared segment (segment setup + attach cost a few syscalls).
+SHM_MIN_BYTES = 16384
+
+#: Offset alignment inside the segment (cache-line friendly, and safe
+#: for any dtype's alignment requirement).
+_ALIGN = 64
+
+
+def shm_supported() -> bool:
+    """True when ``multiprocessing.shared_memory`` is importable."""
+    return _shared_memory is not None
+
+
+class ShmArrayRef:
+    """Picklable handle to one array stored in a shared segment.
+
+    Workers rebuild the array with :meth:`resolve` as a read-only view
+    over the attached segment's buffer — no data is copied.
+    """
+
+    __slots__ = ("segment", "offset", "shape", "dtype", "order")
+
+    def __init__(self, segment: str, offset: int, shape: Tuple[int, ...],
+                 dtype: str, order: str):
+        self.segment = segment
+        self.offset = offset
+        self.shape = shape
+        self.dtype = dtype
+        self.order = order
+
+    def __repr__(self) -> str:
+        return (
+            f"ShmArrayRef(segment={self.segment!r}, shape={self.shape}, "
+            f"dtype={self.dtype})"
+        )
+
+    # Explicit state methods: __slots__ classes have no __dict__ for
+    # the default pickle protocol to scrape.
+    def __getstate__(self):
+        return (self.segment, self.offset, self.shape, self.dtype,
+                self.order)
+
+    def __setstate__(self, state):
+        (self.segment, self.offset, self.shape, self.dtype,
+         self.order) = state
+
+    def resolve(self, segment) -> np.ndarray:
+        """Rebuild the read-only view over an attached segment."""
+        view = np.ndarray(
+            self.shape,
+            dtype=np.dtype(self.dtype),
+            buffer=segment.buf,
+            offset=self.offset,
+            order=self.order,
+        )
+        view.flags.writeable = False
+        return view
+
+
+def _eligible(value: Any, min_bytes: int) -> bool:
+    return (
+        isinstance(value, np.ndarray)
+        and value.dtype != object
+        and value.dtype.hasobject is False
+        and value.nbytes >= min_bytes
+    )
+
+
+def _substitute(value: Any, refs: Dict[int, ShmArrayRef]) -> Any:
+    """Deep-copy ``value`` with packed arrays replaced by their refs.
+
+    Only tuples, lists and dicts are descended into — the payload
+    shapes the runners actually ship.  Anything else passes through
+    unchanged (and pickles as before).
+    """
+    ref = refs.get(id(value))
+    if ref is not None:
+        return ref
+    if isinstance(value, tuple):
+        return tuple(_substitute(item, refs) for item in value)
+    if isinstance(value, list):
+        return [_substitute(item, refs) for item in value]
+    if isinstance(value, dict):
+        return {key: _substitute(item, refs) for key, item in value.items()}
+    return value
+
+
+def _collect(value: Any, min_bytes: int, found: Dict[int, np.ndarray]) -> None:
+    if _eligible(value, min_bytes):
+        found.setdefault(id(value), value)
+        return
+    if isinstance(value, (tuple, list)):
+        for item in value:
+            _collect(item, min_bytes, found)
+    elif isinstance(value, dict):
+        for item in value.values():
+            _collect(item, min_bytes, found)
+
+
+def pack_items(
+    items: List[Any], min_bytes: int = SHM_MIN_BYTES
+) -> "tuple[Optional[Any], List[Any]]":
+    """Move every large ndarray in ``items`` into one shared segment.
+
+    Returns ``(segment, packed_items)``.  ``segment`` is None — and
+    ``packed_items`` is ``items``, unchanged — when nothing qualified
+    or shared memory is unavailable; otherwise the caller owns the
+    segment and must :func:`release_segment` it once the fan-out is
+    done.  Duplicate array objects (same ``id``) are stored once.
+    """
+    if not shm_supported():
+        return None, items
+    found: Dict[int, np.ndarray] = {}
+    for item in items:
+        _collect(item, min_bytes, found)
+    if not found:
+        return None, items
+
+    offsets: Dict[int, int] = {}
+    cursor = 0
+    for key, array in found.items():
+        offsets[key] = cursor
+        cursor += (array.nbytes + _ALIGN - 1) // _ALIGN * _ALIGN
+    try:
+        segment = _shared_memory.SharedMemory(create=True, size=max(cursor, 1))
+    except (OSError, ValueError):
+        _metrics.counter("parallel.shm_fallbacks").inc()
+        return None, items
+    try:
+        refs: Dict[int, ShmArrayRef] = {}
+        for key, array in found.items():
+            order = "F" if (array.flags.f_contiguous
+                            and not array.flags.c_contiguous) else "C"
+            view = np.ndarray(
+                array.shape,
+                dtype=array.dtype,
+                buffer=segment.buf,
+                offset=offsets[key],
+                order=order,
+            )
+            view[...] = array
+            refs[key] = ShmArrayRef(
+                segment=segment.name,
+                offset=offsets[key],
+                shape=tuple(array.shape),
+                dtype=array.dtype.str,
+                order=order,
+            )
+        packed = [_substitute(item, refs) for item in items]
+    except Exception:
+        # Copy-in failed (should not happen for plain numeric arrays):
+        # tear the segment down and fall back to pickling.
+        release_segment(segment)
+        _metrics.counter("parallel.shm_fallbacks").inc()
+        return None, items
+    _metrics.counter("parallel.shm_segments").inc()
+    _metrics.counter("parallel.shm_arrays").inc(len(found))
+    _metrics.counter("parallel.shm_bytes").inc(
+        int(sum(array.nbytes for array in found.values()))
+    )
+    return segment, packed
+
+
+def release_segment(segment: Optional[Any]) -> None:
+    """Close and unlink a segment returned by :func:`pack_items`."""
+    if segment is None:
+        return
+    try:
+        segment.close()
+    except (OSError, BufferError):  # pragma: no cover - platform quirk
+        pass
+    try:
+        segment.unlink()
+    except (FileNotFoundError, OSError):  # pragma: no cover
+        pass
+
+
+def _attach(name: str, attachments: Dict[str, Any]):
+    """Worker-side: attach to a segment once, caching per chunk.
+
+    Attaching must not register the segment with the resource tracker:
+    the parent owns cleanup, and with fork-started workers the tracker
+    process is shared, so a child-side unregister-after-the-fact would
+    corrupt the parent's bookkeeping (see module docstring).
+    """
+    segment = attachments.get(name)
+    if segment is None:
+        if _HAS_TRACK_KW:
+            segment = _shared_memory.SharedMemory(name=name, track=False)
+        else:
+            original_register = _resource_tracker.register
+            _resource_tracker.register = lambda *args, **kwargs: None
+            try:
+                segment = _shared_memory.SharedMemory(name=name)
+            finally:
+                _resource_tracker.register = original_register
+        attachments[name] = segment
+    return segment
+
+
+def resolve_item(item: Any, attachments: Dict[str, Any]) -> Any:
+    """Replace every :class:`ShmArrayRef` in ``item`` with its view.
+
+    ``attachments`` caches open segments for the life of one chunk;
+    close them with :func:`close_attachments` when the chunk's results
+    no longer reference the views.  Items without refs are returned
+    as-is (identity for non-container types).
+    """
+    if isinstance(item, ShmArrayRef):
+        return item.resolve(_attach(item.segment, attachments))
+    if isinstance(item, tuple):
+        return tuple(resolve_item(entry, attachments) for entry in item)
+    if isinstance(item, list):
+        return [resolve_item(entry, attachments) for entry in item]
+    if isinstance(item, dict):
+        return {
+            key: resolve_item(entry, attachments)
+            for key, entry in item.items()
+        }
+    return item
+
+
+def close_attachments(attachments: Dict[str, Any]) -> None:
+    """Close every segment attached while resolving a chunk."""
+    for segment in attachments.values():
+        try:
+            segment.close()
+        except (OSError, BufferError):  # pragma: no cover
+            pass
+    attachments.clear()

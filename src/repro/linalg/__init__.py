@@ -11,6 +11,8 @@ accelerates (paper Section II-A):
 * :mod:`repro.linalg.convergence` — the convergence criterion (Eq. 6).
 * :mod:`repro.linalg.hestenes` — the full one-sided Hestenes-Jacobi SVD
   driver, including the normalization step (Eq. 7).
+* :mod:`repro.linalg.native` — compiled (Numba) whole-round kernels
+  behind ``strategy="native"``, with a graceful no-Numba fallback.
 * :mod:`repro.linalg.block` — column-block partitioning and block-pair
   enumeration used by the block-Jacobi variant (Algorithm 1).
 * :mod:`repro.linalg.svd` — the public entry point.
@@ -36,12 +38,14 @@ from repro.linalg.convergence import (
     pair_convergence_ratios,
 )
 from repro.linalg.hestenes import (
+    BATCHED_STRATEGIES,
     STRATEGIES,
     HestenesResult,
     hestenes_svd,
     resolve_strategy,
     sweep_pairs,
 )
+from repro.linalg.native import available as native_available
 from repro.linalg.block import (
     BlockPartition,
     block_pairs,
@@ -60,7 +64,9 @@ __all__ = [
     "pair_convergence_ratios",
     "orthogonalize_block_pair",
     "STRATEGIES",
+    "BATCHED_STRATEGIES",
     "resolve_strategy",
+    "native_available",
     "Ordering",
     "RingOrdering",
     "RoundRobinOrdering",

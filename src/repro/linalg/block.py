@@ -42,8 +42,10 @@ def orthogonalize_block_pair(
     streamed block pair (Algorithm 1, lines 6-10): the ordering's
     ``2k - 1`` rounds cover every local column pair once, and each round
     is either walked pair by pair (``strategy="scalar"``) or rotated as
-    one batch (``strategy="vectorized"``, via
-    :func:`repro.linalg.hestenes.sweep_pairs`).  Batching is safe for
+    one batch (``strategy="vectorized"`` via
+    :func:`repro.linalg.hestenes.sweep_pairs`, or ``strategy="native"``
+    via the compiled kernel of :mod:`repro.linalg.native`).  Batching
+    is safe for
     the same reason a round maps onto one hardware layer: a round's
     pairs are disjoint, so its rotations touch disjoint columns.
 
@@ -56,8 +58,9 @@ def orthogonalize_block_pair(
             ``2k`` local columns.
         precision: Eq. 6 threshold below which a pair is skipped.
         zero_sq: Zero-column floor for the convergence ratio.
-        strategy: ``"scalar"`` or ``"vectorized"`` (already resolved;
-            see :func:`repro.linalg.hestenes.resolve_strategy`).
+        strategy: ``"scalar"``, ``"vectorized"`` or ``"native"``
+            (already resolved; see
+            :func:`repro.linalg.hestenes.resolve_strategy`).
         round_indices: Optional precomputed global ``(ii, jj)`` index
             arrays per round (from :func:`block_pair_round_indices`);
             the vectorized path builds them from the ordering
@@ -68,16 +71,17 @@ def orthogonalize_block_pair(
         ``(worst_ratio, rotations)`` for the block-pair sweep.
     """
     from repro.linalg.convergence import pair_convergence_ratio
-    from repro.linalg.hestenes import _sweep_pairs_indexed
+    from repro.linalg.hestenes import BATCHED_STRATEGIES, _round_sweeper
     from repro.linalg.rotations import apply_rotation, compute_rotation
 
     worst = 0.0
     rotations = 0
-    if strategy == "vectorized":
+    if strategy in BATCHED_STRATEGIES:
+        sweep_rounds_fn = _round_sweeper(strategy)
         if round_indices is None:
             round_indices = block_pair_round_indices(cols, ordering)
         for ii, jj in round_indices:
-            round_worst, round_rotations = _sweep_pairs_indexed(
+            round_worst, round_rotations = sweep_rounds_fn(
                 b, v, ii, jj, precision, zero_sq
             )
             if round_worst > worst:

@@ -53,14 +53,29 @@ from repro.linalg.rotations import (
 DEFAULT_MAX_SWEEPS = 60
 
 #: Recognized values for the ``strategy`` knob of the Jacobi solvers.
-#: ``"auto"`` resolves to the vectorized path; ``"scalar"`` forces the
-#: original per-pair Python loop (the golden reference the vectorized
-#: path is pinned against); ``"vectorized"`` forces batched rounds.
-STRATEGIES = ("auto", "scalar", "vectorized")
+#: ``"auto"`` probes availability (native -> vectorized); ``"scalar"``
+#: forces the original per-pair Python loop (the golden reference the
+#: other tiers are pinned against); ``"vectorized"`` forces batched
+#: NumPy rounds; ``"native"`` requests the compiled (Numba) kernels of
+#: :mod:`repro.linalg.native`.
+STRATEGIES = ("auto", "scalar", "vectorized", "native")
+
+#: Strategies that batch whole ordering rounds on Fortran-ordered
+#: panels (the drivers share one code path for them and only swap the
+#: round kernel).
+BATCHED_STRATEGIES = ("vectorized", "native")
 
 
 def resolve_strategy(strategy: str) -> str:
-    """Map a user-facing strategy name to ``"scalar"`` or ``"vectorized"``.
+    """Map a user-facing strategy name to an executable tier.
+
+    ``"scalar"`` and ``"vectorized"`` pass through unchanged.
+    ``"auto"`` probes availability — the compiled ``"native"`` tier
+    when Numba is importable (see :func:`repro.linalg.native.available`),
+    else ``"vectorized"``; ``"scalar"`` always exists as the golden
+    reference, so the probe cannot fail.  An explicit ``"native"``
+    request degrades the same way rather than raising, so code tuned
+    for a Numba-equipped host runs unchanged (just slower) without it.
 
     Raises:
         NumericalError: for unrecognized strategy names.
@@ -69,7 +84,20 @@ def resolve_strategy(strategy: str) -> str:
         raise NumericalError(
             f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
         )
-    return "vectorized" if strategy == "auto" else strategy
+    if strategy in ("auto", "native"):
+        from repro.linalg import native
+
+        return "native" if native.available() else "vectorized"
+    return strategy
+
+
+def _round_sweeper(strategy: str):
+    """The whole-round kernel for a resolved batched strategy."""
+    if strategy == "native":
+        from repro.linalg import native
+
+        return native.sweep_pairs_indexed
+    return _sweep_pairs_indexed
 
 
 def sweep_pairs(
@@ -300,10 +328,13 @@ def hestenes_svd(
         strategy: ``"scalar"`` walks each round's pairs in a Python
             loop (the original reference path); ``"vectorized"``
             batches every round through :func:`sweep_pairs`;
-            ``"auto"`` (default) picks the vectorized path.  The two
-            strategies perform the same rotations in the same order
-            and agree to floating-point summation order (singular
-            values within ~1e-12 relative; pinned at 1e-10 by tests).
+            ``"native"`` runs the compiled whole-round kernel of
+            :mod:`repro.linalg.native` (falling back to vectorized
+            when Numba is absent); ``"auto"`` (default) probes
+            native -> vectorized.  All tiers perform the same
+            rotations in the same logical order and agree to
+            floating-point summation order (singular values within
+            ~1e-12 relative; pinned at 1e-10 by tests).
         deadline: Optional wall-clock budget — a
             :class:`~repro.guard.Deadline` or a number of seconds —
             checked cooperatively once per ordering round; on expiry
@@ -357,9 +388,11 @@ def hestenes_svd(
 
     ordering = (ordering_cls or RingOrdering)(n)
     zero_sq = zero_column_threshold_sq(float(np.linalg.norm(a)), a.dtype)
-    if strategy == "vectorized":
-        # Fortran order makes every column gather/scatter in
-        # _sweep_pairs_indexed a contiguous copy (~2x per round).
+    batched = strategy in BATCHED_STRATEGIES
+    if batched:
+        # Fortran order makes every column gather/scatter in the round
+        # kernels a contiguous copy (~2x per round), and gives the
+        # native kernel stride-1 column walks.
         b = np.asfortranarray(a)
         v = np.asfortranarray(np.eye(n))
     else:
@@ -370,7 +403,8 @@ def hestenes_svd(
     converged = False
     budget = fixed_sweeps if fixed_sweeps is not None else max_sweeps
 
-    if strategy == "vectorized":
+    if batched:
+        sweep_rounds_fn = _round_sweeper(strategy)
         round_indices = [
             (
                 np.fromiter((i for i, _ in one_round), dtype=np.intp),
@@ -396,10 +430,10 @@ def hestenes_svd(
     def run_sweep() -> "tuple[float, int]":
         sweep_worst = 0.0
         sweep_rotations = 0
-        if strategy == "vectorized":
+        if batched:
             for ii, jj in round_indices:
                 check_deadline()
-                round_worst, round_rotations = _sweep_pairs_indexed(
+                round_worst, round_rotations = sweep_rounds_fn(
                     b, v, ii, jj, precision, zero_sq
                 )
                 if round_worst > sweep_worst:

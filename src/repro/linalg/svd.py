@@ -37,9 +37,10 @@ from repro.linalg.convergence import (
     zero_column_threshold_sq,
 )
 from repro.linalg.hestenes import (
+    BATCHED_STRATEGIES,
     DEFAULT_MAX_SWEEPS,
     HestenesResult,
-    _sweep_pairs_indexed,
+    _round_sweeper,
     hestenes_svd,
     normalize_columns,
     reference_fallback,
@@ -98,7 +99,8 @@ def _block_jacobi_svd(
     pairs = block_pairs(partition.n_blocks)
 
     zero_sq = zero_column_threshold_sq(float(np.linalg.norm(a)), a.dtype)
-    if strategy == "vectorized":
+    batched = strategy in BATCHED_STRATEGIES
+    if batched:
         # Fortran order keeps the batched column gathers contiguous.
         # Block pairs of one tournament round touch disjoint column
         # sets, so their (identical) sweeps commute: interleaving them
@@ -109,6 +111,7 @@ def _block_jacobi_svd(
         # the schedule repeats identically every outer sweep.
         b = np.asfortranarray(a)
         v = np.asfortranarray(np.eye(n))
+        sweep_rounds_fn = _round_sweeper(strategy)
         ordering_rounds = ordering.rounds()
         stacked_rounds = []
         for block_round in block_pair_rounds(partition.n_blocks):
@@ -158,10 +161,10 @@ def _block_jacobi_svd(
     def run_sweep() -> "tuple[float, int]":
         sweep_worst = 0.0
         sweep_rotations = 0
-        if strategy == "vectorized":
+        if batched:
             for ii, jj in stacked_rounds:
                 check_deadline()
-                round_worst, round_rotations = _sweep_pairs_indexed(
+                round_worst, round_rotations = sweep_rounds_fn(
                     b, v, ii, jj, precision, zero_sq
                 )
                 if round_worst > sweep_worst:
@@ -333,8 +336,10 @@ def svd(
             :class:`~repro.errors.ConvergenceError`.
         strategy: ``"scalar"`` for the per-pair reference loops,
             ``"vectorized"`` for batched rounds
-            (:func:`~repro.linalg.hestenes.sweep_pairs`), ``"auto"``
-            (default) for vectorized.  Strategies agree to 1e-10 on the
+            (:func:`~repro.linalg.hestenes.sweep_pairs`), ``"native"``
+            for the compiled (Numba) whole-round kernels of
+            :mod:`repro.linalg.native`, ``"auto"`` (default) to probe
+            native -> vectorized.  Strategies agree to 1e-10 on the
             singular values; see ``docs/performance.md``.
         validate: Run :func:`~repro.guard.validate_matrix` on the input
             (default).  Rejects NaN/Inf/non-numeric input with a

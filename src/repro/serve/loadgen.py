@@ -89,9 +89,14 @@ def build_mix(count: int, seed: int = 0) -> List[Dict[str, Any]]:
 
 
 def percentile(values: Sequence[float], q: float) -> float:
-    """Linear-interpolation percentile (``q`` in [0, 100])."""
+    """Linear-interpolation percentile (``q`` in [0, 100]).
+
+    An empty sample has no percentiles: the result is NaN, not a
+    phantom ``0.0`` latency that would make a fully-failed load run
+    look infinitely fast in a BENCH report.
+    """
     if not values:
-        return 0.0
+        return float("nan")
     if not 0.0 <= q <= 100.0:
         raise ValueError(f"q must be in [0, 100], got {q}")
     ordered = sorted(values)
@@ -128,21 +133,31 @@ class LoadReport:
     )
     server_stats: Dict[str, Any] = field(default_factory=dict)
 
-    def metrics(self) -> Dict[str, Union[int, float, str]]:
-        """Flat scalar metrics for a BENCH report."""
+    def metrics(self) -> Dict[str, Union[int, float, str, None]]:
+        """Flat scalar metrics for a BENCH report.
+
+        Latency aggregates over an empty sample (no response ever
+        arrived) are ``None`` — serialized as JSON ``null`` — rather
+        than a fake ``0.0`` that a regression check would read as a
+        perfect run.
+        """
         answered = self.ok + self.rejected + self.deadline_expired + self.errors
         wall = max(self.wall_s, 1e-9)
         denom = max(self.total, 1)
-        out: Dict[str, Union[int, float, str]] = {
+
+        def _latency(value: float) -> "Union[float, None]":
+            return None if math.isnan(value) else value
+
+        out: Dict[str, Union[int, float, str, None]] = {
             "requests": self.total,
             "answered": answered,
             "ok": self.ok,
             "wall_s": self.wall_s,
             "throughput_rps": answered / wall,
-            "p50_latency_s": percentile(self.latencies_s, 50.0),
-            "p99_latency_s": percentile(self.latencies_s, 99.0),
+            "p50_latency_s": _latency(percentile(self.latencies_s, 50.0)),
+            "p99_latency_s": _latency(percentile(self.latencies_s, 99.0)),
             "max_latency_s": (
-                max(self.latencies_s) if self.latencies_s else 0.0
+                max(self.latencies_s) if self.latencies_s else None
             ),
             "degraded": self.degraded,
             "shed": self.shed,

@@ -64,7 +64,7 @@ ERROR_CODES = (
 )
 
 #: Jacobi strategies accepted on the wire (mirrors ``linalg.STRATEGIES``).
-WIRE_STRATEGIES = ("auto", "scalar", "vectorized")
+WIRE_STRATEGIES = ("auto", "scalar", "vectorized", "native")
 
 #: Matrix dtypes accepted on the wire.
 WIRE_DTYPES = ("float64", "float32")
@@ -290,12 +290,21 @@ def request_matrix(doc: Dict[str, Any]) -> np.ndarray:
 
 def request_key(doc: Dict[str, Any], shape: Tuple[int, int],
                 default_block_width: int) -> CoalesceKey:
-    """The request's coalescing key (shape already materialized)."""
+    """The request's coalescing key (shape already materialized).
+
+    The strategy is normalized through
+    :func:`repro.linalg.resolve_strategy` before keying: ``"auto"``
+    and its resolved tier name the same engine configuration, so a
+    mixed batch of ``"auto"`` and explicit-tier requests coalesces
+    instead of splitting into separate engine runs.
+    """
+    from repro.linalg.hestenes import resolve_strategy
+
     return CoalesceKey(
         m=int(shape[0]),
         n=int(shape[1]),
         dtype=doc.get("dtype", "float64"),
-        strategy=doc.get("strategy", "auto"),
+        strategy=resolve_strategy(doc.get("strategy", "auto")),
         block_width=int(doc.get("block_width", default_block_width)),
     )
 

@@ -98,7 +98,7 @@ def solve_batch(
 
     The serial batched-SVD path: each matrix goes through
     :func:`repro.linalg.svd` with the selected inner-loop ``strategy``
-    (``"auto"``/``"vectorized"``/``"scalar"``).  Use
+    (``"auto"``/``"scalar"``/``"vectorized"``/``"native"``).  Use
     :class:`~repro.exec.batch.BatchExecutor` instead when the batch
     should fan out across pipeline workers; this helper is the
     single-process building block the benchmark suites time.

@@ -1,5 +1,7 @@
 """Load-generator tests: mix determinism, percentiles, end-to-end runs."""
 
+import math
+
 import pytest
 
 from repro.serve import AdmissionPolicy, ServeConfig, build_mix, percentile
@@ -52,8 +54,11 @@ class TestPercentile:
         assert percentile(values, 0) == 1.0
         assert percentile(values, 100) == 5.0
 
-    def test_empty_is_zero(self):
-        assert percentile([], 99) == 0.0
+    def test_empty_is_nan(self):
+        # Regression: an empty sample used to report 0.0, which made a
+        # burst with zero responses look like a perfect-latency run.
+        assert math.isnan(percentile([], 99))
+        assert math.isnan(percentile([], 50))
 
     def test_bad_quantile(self):
         with pytest.raises(ValueError):
@@ -79,7 +84,10 @@ class TestRunLoad:
     def test_metrics_are_bench_compatible_scalars(self):
         report = run_load(count=12, connections=2, seed=2)
         for key, value in report.metrics().items():
-            assert isinstance(value, (int, float, str)), key
+            # None (JSON null) is the "not measurable" marker for
+            # latency aggregates; the bench schema accepts it.
+            assert isinstance(value, (int, float, str, type(None))), key
+        assert report.metrics()["p50_latency_s"] is not None
 
     def test_default_config_scales_high_water(self):
         small = default_server_config(200)
@@ -99,10 +107,28 @@ class TestRunLoad:
         assert report.ok == 6
         assert report.degraded == 0
 
-    def test_empty_report_percentiles(self):
+    def test_empty_report_latencies_are_null(self):
         report = LoadReport(total=0, wall_s=0.0)
         metrics = report.metrics()
-        assert metrics["p50_latency_s"] == 0.0
+        assert metrics["p50_latency_s"] is None
+        assert metrics["p99_latency_s"] is None
+        assert metrics["max_latency_s"] is None
+
+    def test_zero_ok_burst_fails_the_serve_suite(self, monkeypatch):
+        # bench --suite serve must fail loudly, not record nulls as a
+        # baseline, when no request succeeded.
+        from repro.bench import suites
+        from repro.errors import BenchmarkError
+
+        dead = LoadReport(total=8, wall_s=0.1, errors=8)
+
+        monkeypatch.setattr(
+            "repro.serve.loadgen.run_load",
+            lambda *args, **kwargs: dead,
+        )
+        (case,) = suites.build_suite("serve", 8)
+        with pytest.raises(BenchmarkError, match="no successful"):
+            case.fn(0)
 
 
 def test_run_load_respects_server_config():
