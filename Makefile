@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test bench bench-smoke baselines serve-smoke microbench validate examples lint smoke guard-smoke ci all clean
+.PHONY: install test bench bench-smoke baselines serve-smoke chaos-serve microbench validate examples lint smoke guard-smoke ci all clean
 
 BASELINE_DIR := benchmarks/baselines
 
@@ -41,11 +41,15 @@ bench-smoke:
 	$(PYTHON) -m repro.cli bench --suite serve --size 64 --out . \
 		--baseline $(BASELINE_DIR)/BENCH_serve.json --threshold 0.5; \
 		test $$? -eq 0 -o $$? -eq 3
+	$(PYTHON) -m repro.cli bench --suite chaos --size 48 --out . \
+		--baseline $(BASELINE_DIR)/BENCH_chaos.json --threshold 0.5; \
+		test $$? -eq 0 -o $$? -eq 3
 	$(PYTHON) -m repro.cli bench --check BENCH_solver.json
 	$(PYTHON) -m repro.cli bench --check BENCH_dse.json
 	$(PYTHON) -m repro.cli bench --check BENCH_scheduler.json
 	$(PYTHON) -m repro.cli bench --check BENCH_batch.json
 	$(PYTHON) -m repro.cli bench --check BENCH_serve.json
+	$(PYTHON) -m repro.cli bench --check BENCH_chaos.json
 
 # Re-record the blessed baselines (commit the result deliberately).
 baselines:
@@ -55,12 +59,20 @@ baselines:
 	$(PYTHON) -m repro.cli bench --suite scheduler --size 64 --out $(BASELINE_DIR) --no-compare
 	$(PYTHON) -m repro.cli bench --suite batch --size 16 --out $(BASELINE_DIR) --no-compare
 	$(PYTHON) -m repro.cli bench --suite serve --size 64 --out $(BASELINE_DIR) --no-compare
+	$(PYTHON) -m repro.cli bench --suite chaos --size 48 --out $(BASELINE_DIR) --no-compare
 
 # Serving-layer smoke: real daemon subprocess, 200-request wire-driven
 # mix (deadline + oversized probes), counter assertions, then the
 # in-process >=1k-queued acceptance burst.  Same script CI runs.
 serve-smoke:
 	$(PYTHON) tools/serve_smoke.py --out .
+
+# Chaos soak: real daemon subprocess under the committed serve_chaos
+# fault plan, exactly-once/zero-stranded/error-budget invariants,
+# graceful drain (exit 0), then the BENCH_chaos.json artifact.  Same
+# script CI runs.
+chaos-serve:
+	$(PYTHON) tools/chaos_soak.py --out .
 
 # pytest-benchmark microbenchmarks (kernel-level timings).
 microbench:
@@ -107,7 +119,7 @@ guard-smoke:
 	rm -f guard_nan.npy guard_ck.json
 
 # Reproduce the GitHub Actions pipeline locally.
-ci: lint test smoke guard-smoke serve-smoke
+ci: lint test smoke guard-smoke serve-smoke chaos-serve
 
 examples:
 	$(PYTHON) examples/quickstart.py

@@ -21,6 +21,12 @@ smoke test in CI (``--size 48``).  The registry:
   through an in-process ``heterosvd serve`` daemon (or an external one
   when ``HETEROSVD_SERVE_ADDR`` is set), reporting p50/p99 latency,
   throughput, shed-rate and degraded-rate (see docs/serving.md).
+* ``chaos`` — the same burst against an in-process daemon under a
+  seeded serve-layer fault plan (injected engine faults, a dispatcher
+  crash, dropped responses): the case asserts the exactly-one-response
+  invariant and reports the breaker/requeue/supervision counters next
+  to the usual latency metrics (see docs/serving.md's failure-mode
+  matrix).
 
 Cases only read their ``seed`` argument and module-level constants, so
 a suite run is deterministic up to wall-clock noise; the recorded
@@ -42,6 +48,7 @@ DEFAULT_SIZES = {
     "scheduler": 400,
     "batch": 32,
     "serve": 200,
+    "chaos": 120,
 }
 
 
@@ -207,6 +214,74 @@ def _serve_cases(size: int) -> List[BenchCase]:
     return [BenchCase(f"serve_load_{size}", run)]
 
 
+def _chaos_cases(size: int) -> List[BenchCase]:
+    from repro.resilience.faults import FaultPlan, FaultSpec
+    from repro.serve.loadgen import run_load
+    from repro.serve.queue import AdmissionPolicy
+    from repro.serve.server import ServeConfig
+
+    def run(seed: int) -> Dict[str, Any]:
+        # Deterministic in-code plan (mirrors the committed
+        # examples/fault_plans/serve_chaos.json): engine faults on the
+        # first three batches exercise the requeue and trip the
+        # strategy breaker, one dispatcher crash exercises supervision
+        # and one dropped response exercises the loadgen timeout.
+        plan = FaultPlan(seed=11 + seed, faults=[
+            FaultSpec(site="serve.engine_fault", at=(0, 1, 2)),
+            FaultSpec(site="serve.response_drop", at=(1,)),
+            FaultSpec(site="serve.compute_crash", at=(2,)),
+        ])
+        # High-water above the burst size: batches must reach the
+        # engine tier (not the depth-shed brownout path) for the
+        # injected engine faults to fire and the breaker to trip.
+        config = ServeConfig(
+            admission=AdmissionPolicy(
+                max_depth=max(4096, size + 64),
+                high_water=max(4096, size + 64),
+            ),
+            tenant_weights={"alpha": 4.0, "beta": 2.0, "gamma": 1.0},
+            retries=1,
+        )
+        with plan.activate():
+            report = run_load(
+                count=size, connections=4, seed=seed,
+                server_config=config, request_timeout_s=10.0,
+            )
+        metrics = dict(report.metrics())
+        answered = int(metrics["answered"])
+        exactly_once = (
+            answered + report.timeout == report.total
+            and report.duplicates == 0
+        )
+        if not exactly_once:
+            raise BenchmarkError(
+                f"exactly-once accounting broken: {answered} answered "
+                f"+ {report.timeout} timed out != {report.total} sent "
+                f"(or {report.duplicates} duplicate responses)"
+            )
+        if report.ok == 0:
+            raise BenchmarkError(
+                f"chaos load run produced no successful responses "
+                f"({report.total} sent, {report.errors} errors, "
+                f"{report.timeout} timeouts)"
+            )
+        stats = report.server_stats
+        metrics["exactly_once"] = int(exactly_once)
+        metrics["faults_injected"] = plan.injected
+        for counter in (
+            "serve.breaker_trips", "serve.breaker_probes",
+            "serve.breaker_recoveries", "serve.breaker_demoted",
+            "serve.requeued_batches", "serve.dispatcher_restarts",
+            "serve.orphaned", "serve.responses_dropped",
+        ):
+            value = stats.get(counter, 0)
+            if isinstance(value, int):
+                metrics[counter.replace("serve.", "")] = value
+        return metrics
+
+    return [BenchCase(f"serve_chaos_{size}", run)]
+
+
 #: Suite registry: name -> cases factory taking the problem size.
 SUITES: Dict[str, Callable[[int], List[BenchCase]]] = {
     "solver": _solver_cases,
@@ -214,6 +289,7 @@ SUITES: Dict[str, Callable[[int], List[BenchCase]]] = {
     "scheduler": _scheduler_cases,
     "batch": _batch_cases,
     "serve": _serve_cases,
+    "chaos": _chaos_cases,
 }
 
 

@@ -598,6 +598,9 @@ def cmd_serve(args) -> int:
             tenant_weights=weights,
             default_deadline_s=args.default_deadline,
             retries=args.retries,
+            drain_deadline_s=args.drain_deadline,
+            breaker_threshold=args.breaker_threshold,
+            breaker_probe_after=args.breaker_probe_after,
         )
     except ConfigurationError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -933,8 +936,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="SLO budget applied to requests without their own "
         "deadline_s (default: unbounded)",
     )
+    p_serve.add_argument(
+        "--drain-deadline", type=float, default=30.0, metavar="SECONDS",
+        help="budget for finishing queued work after a drain op or "
+        "SIGTERM; leftovers are answered code=shutdown (default: 30)",
+    )
+    p_serve.add_argument(
+        "--breaker-threshold", type=int, default=3, metavar="N",
+        help="consecutive engine-batch failures that trip a strategy "
+        "tier's circuit breaker (default: 3)",
+    )
+    p_serve.add_argument(
+        "--breaker-probe-after", type=int, default=4, metavar="N",
+        help="batches withheld from a tripped tier before a half-open "
+        "recovery probe (default: 4, plus seeded jitter)",
+    )
     add_jobs_flag(p_serve)
     add_obs_flags(p_serve)
+    add_fault_plan_flag(p_serve)
     add_retries_flag(p_serve)
     p_serve.set_defaults(func=cmd_serve)
 
@@ -971,6 +990,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         fault_path = getattr(args, "fault_plan", None)
         if fault_path is None:
             return args.func(args)
+        if getattr(args, "command", None) == "serve":
+            # load_fault_plan rejects unregistered site names, and the
+            # serve.* sites register at serve-module import — which
+            # cmd_serve would otherwise only reach after the plan load.
+            import repro.serve.server  # noqa: F401
         from repro.resilience import load_fault_plan
 
         plan = load_fault_plan(fault_path)

@@ -13,6 +13,10 @@ and testable under failure:
   backoff with deterministic jitter and a per-exception-class
   allowlist, applied by :class:`~repro.exec.batch.BatchExecutor` and
   the DSE fan-out;
+* :mod:`repro.resilience.circuit` — :class:`CircuitBreaker`, the
+  closed → open → half-open state machine (seeded probe scheduling)
+  the serving layer uses to demote a failing engine strategy tier and
+  recover it by probing (see ``docs/serving.md``);
 * :mod:`repro.resilience.checkpoint` — :class:`SweepCheckpoint`,
   atomic JSON checkpointing of completed design-point evaluations so a
   killed sweep resumes (``--resume``) losing at most one chunk.
@@ -36,6 +40,7 @@ A chaos run end to end::
 """
 
 from repro.resilience.checkpoint import SweepCheckpoint, as_checkpoint
+from repro.resilience.circuit import CircuitBreaker
 from repro.resilience.faults import (
     KNOWN_SITES,
     FaultPlan,
@@ -49,6 +54,7 @@ from repro.resilience.retry import RetryPolicy, call_with_retry
 
 __all__ = [
     "KNOWN_SITES",
+    "CircuitBreaker",
     "FaultPlan",
     "FaultSpec",
     "RetryPolicy",

@@ -278,6 +278,7 @@ class FaultPlan:
 _PLAN_SCHEMA = {
     "fields": {
         "seed": int,
+        "notes": str,  # free-form description; ignored by the loader
         "faults": {
             "items": {
                 "fields": {
@@ -291,7 +292,7 @@ _PLAN_SCHEMA = {
             },
         },
     },
-    "optional": ("seed",),
+    "optional": ("seed", "notes"),
 }
 
 

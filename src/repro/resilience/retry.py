@@ -90,6 +90,12 @@ class RetryPolicy:
         when ``retry_on`` covers it: an expired wall-clock budget only
         gets *more* expired by sleeping and re-running, and the partial
         result it carries would be lost.
+
+        An exception carrying a positive ``retry_after_s`` attribute
+        (a server's explicit back-off hint, e.g. a draining serve
+        daemon) raises the sleep before the next attempt to at least
+        that value, capped at ``max_delay_s`` — honoring the hint
+        without letting a hostile server park the client forever.
         """
         delays = list(self.delays())
         attempt = 0
@@ -103,6 +109,9 @@ class RetryPolicy:
                     _metrics.counter("resilience.gave_up").inc()
                     raise  # the original exception, attempts exhausted
                 pause = delays[attempt]
+                hint = getattr(exc, "retry_after_s", None)
+                if isinstance(hint, (int, float)) and hint > 0:
+                    pause = max(pause, min(float(hint), self.max_delay_s))
                 attempt += 1
                 _metrics.counter("resilience.retries").inc()
                 if pause > 0:

@@ -29,6 +29,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 from repro.errors import (
     DeadlineExceeded,
     ServeConnectionError,
+    ServeError,
     ServeProtocolError,
     ServiceOverloadError,
 )
@@ -52,6 +53,31 @@ def raise_for_error(response: Dict[str, Any]) -> Dict[str, Any]:
     if code == "deadline":
         raise DeadlineExceeded(message, budget_s=-1.0, elapsed_s=-1.0)
     raise ServeProtocolError(message, code=code)
+
+
+class _ServerBusy(ServeError):
+    """Internal: a ``draining``/``overloaded`` envelope carrying a
+    ``retry_after_s`` hint, raised inside the retry loop so the policy
+    treats it as retryable (it is a :class:`~repro.errors.ReproError`)
+    and honors the hint as a backoff floor.  Never escapes
+    :meth:`ServeClient.request` — after exhaustion the envelope is
+    returned, keeping the "structured errors come back as envelopes"
+    contract.
+    """
+
+    def __init__(self, response: Dict[str, Any], retry_after_s: float):
+        error = response["error"]
+        super().__init__(
+            f"server busy ({error['code']}): {error['message']}"
+        )
+        self.response = response
+        self.retry_after_s = retry_after_s
+
+
+#: Error codes a hinted response may carry and still be worth retrying:
+#: the condition is temporary by construction (a drain ends with a
+#: restarted daemon, an overload clears as the queue empties).
+RETRYABLE_BUSY_CODES = ("draining", "overloaded")
 
 
 class ServeClient:
@@ -134,15 +160,38 @@ class ServeClient:
             )
         return validate_response(decode_line(line))
 
+    def _exchange_retryable(self, frame: bytes) -> Dict[str, Any]:
+        """One exchange that also surfaces hinted busy envelopes
+        (``draining``/``overloaded`` + ``retry_after_s``) as the
+        retryable :class:`_ServerBusy`, so the retry policy re-sends
+        after at least the server's hinted backoff."""
+        response = self._exchange(frame)
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            hint = error.get("retry_after_s")
+            if (error.get("code") in RETRYABLE_BUSY_CODES
+                    and isinstance(hint, (int, float)) and hint > 0):
+                raise _ServerBusy(response, float(hint))
+        return response
+
     def request(self, doc: Dict[str, Any]) -> Dict[str, Any]:
         """Send one request document, return the raw response envelope.
 
-        Applies the retry policy (if any) around the transport only:
-        structured server errors come back as envelopes, not raises.
+        Applies the retry policy (if any) around the transport, plus
+        ``draining``/``overloaded`` envelopes that carry a
+        ``retry_after_s`` hint — those are retried with the hint as a
+        backoff floor.  Structured server errors still come back as
+        envelopes, not raises: when the retry budget runs out on a busy
+        server, the last busy envelope is returned.
         """
         frame = encode(doc)
         if self.retry is not None:
-            return call_with_retry(self.retry, self._exchange, frame)
+            try:
+                return call_with_retry(
+                    self.retry, self._exchange_retryable, frame
+                )
+            except _ServerBusy as busy:
+                return busy.response
         return self._exchange(frame)
 
     def _next_id(self) -> str:
@@ -202,6 +251,14 @@ class ServeClient:
             self.request({"op": "stats", "id": self._next_id()})
         )
         return response["stats"]
+
+    def drain(self) -> None:
+        """Ask the daemon to drain: stop admitting, finish queued work
+        under its drain deadline, then exit."""
+        raise_for_error(
+            self.request({"op": "drain", "id": self._next_id()})
+        )
+        self.close()
 
     def shutdown(self) -> None:
         """Ask the daemon to stop gracefully."""

@@ -127,6 +127,8 @@ class LoadReport:
     rejected: int = 0
     deadline_expired: int = 0
     errors: int = 0
+    timeout: int = 0
+    duplicates: int = 0
     latencies_s: List[float] = field(default_factory=list)
     responses: List[Tuple[Dict[str, Any], Dict[str, Any], float]] = (
         field(default_factory=list)
@@ -164,6 +166,8 @@ class LoadReport:
             "rejected": self.rejected,
             "deadline_expired": self.deadline_expired,
             "errors": self.errors,
+            "timeout": self.timeout,
+            "duplicates": self.duplicates,
             "degraded_rate": self.degraded / denom,
             "shed_rate": self.shed / denom,
             "reject_rate": self.rejected / denom,
@@ -185,8 +189,19 @@ async def _drive_connection(
     docs: List[Dict[str, Any]],
     results: Dict[str, Tuple[Dict[str, Any], float]],
     started_at: Dict[str, float],
+    timeouts: "set",
+    counters: Dict[str, int],
+    request_timeout_s: float,
 ) -> None:
-    """Send this connection's docs as one burst, then read every answer."""
+    """Send this connection's docs as one burst, then read every answer.
+
+    Reads are bounded by ``request_timeout_s``: a response the server
+    never writes (a crash, or an injected ``serve.response_drop``)
+    times out this lane's outstanding requests instead of hanging the
+    whole burst forever.  A response whose id was already answered is
+    counted as a duplicate — the exactly-once accounting the chaos
+    soak asserts on.
+    """
     reader, writer = await asyncio.open_connection(
         address[0], address[1], limit=MAX_LINE_BYTES
     )
@@ -199,7 +214,13 @@ async def _drive_connection(
         await writer.drain()
         pending = {doc["id"] for doc in docs}
         while pending:
-            line = await reader.readline()
+            try:
+                line = await asyncio.wait_for(
+                    reader.readline(), timeout=request_timeout_s
+                )
+            except asyncio.TimeoutError:
+                timeouts.update(pending)
+                return
             if not line:
                 raise ServeConnectionError(
                     f"server closed the connection with {len(pending)} "
@@ -213,6 +234,8 @@ async def _drive_connection(
                 results[request_id] = (
                     response, received - started_at[request_id]
                 )
+            elif request_id in started_at:
+                counters["duplicates"] = counters.get("duplicates", 0) + 1
     finally:
         writer.close()
         try:
@@ -226,21 +249,27 @@ async def _drive(
     docs: List[Dict[str, Any]],
     connections: int,
     timeout_s: float,
-) -> Tuple[Dict[str, Tuple[Dict[str, Any], float]], float]:
+    request_timeout_s: float,
+) -> Tuple[
+    Dict[str, Tuple[Dict[str, Any], float]], "set", Dict[str, int], float
+]:
     lanes: List[List[Dict[str, Any]]] = [[] for _ in range(connections)]
     for index, doc in enumerate(docs):
         lanes[index % connections].append(doc)
     results: Dict[str, Tuple[Dict[str, Any], float]] = {}
     started_at: Dict[str, float] = {}
+    timeouts: set = set()
+    counters: Dict[str, int] = {}
     burst_start = time.monotonic()
     await asyncio.wait_for(
         asyncio.gather(*(
-            _drive_connection(address, lane, results, started_at)
+            _drive_connection(address, lane, results, started_at,
+                              timeouts, counters, request_timeout_s)
             for lane in lanes if lane
         )),
         timeout=timeout_s,
     )
-    return results, time.monotonic() - burst_start
+    return results, timeouts, counters, time.monotonic() - burst_start
 
 
 def default_server_config(count: int) -> ServeConfig:
@@ -269,6 +298,7 @@ def run_load(
     docs: Optional[List[Dict[str, Any]]] = None,
     server_config: Optional[ServeConfig] = None,
     timeout_s: float = 300.0,
+    request_timeout_s: float = 60.0,
 ) -> LoadReport:
     """Replay a seeded burst and summarize the outcome.
 
@@ -282,6 +312,9 @@ def run_load(
         seed: Mix seed (forwarded into every request's matrix seed).
         docs: Explicit request documents (overrides ``count``/``seed``).
         timeout_s: Hard wall-clock cap on the whole burst.
+        request_timeout_s: Per-read timeout on each connection; a
+            response the server never sends is counted as ``timeout``
+            instead of hanging the burst.
     """
     if connections < 1:
         raise ValueError(f"connections must be >= 1, got {connections}")
@@ -294,8 +327,9 @@ def run_load(
     else:
         target = parse_address(address)
     try:
-        results, wall_s = asyncio.run(
-            _drive(target, docs, connections, timeout_s)
+        results, timeouts, counters, wall_s = asyncio.run(
+            _drive(target, docs, connections, timeout_s,
+                   request_timeout_s)
         )
         stats: Dict[str, Any] = {}
         try:
@@ -307,12 +341,16 @@ def run_load(
         if handle is not None:
             handle.stop()
     report = LoadReport(
-        total=len(docs), wall_s=wall_s, server_stats=stats
+        total=len(docs), wall_s=wall_s, server_stats=stats,
+        duplicates=counters.get("duplicates", 0),
     )
     for doc in docs:
         entry = results.get(doc["id"])
         if entry is None:
-            report.errors += 1
+            if doc["id"] in timeouts:
+                report.timeout += 1
+            else:
+                report.errors += 1
             continue
         response, latency = entry
         report.responses.append((doc, response, latency))

@@ -34,11 +34,14 @@ Error codes: ``schema`` (malformed request), ``invalid`` (input matrix
 failed validation), ``oversized`` (beyond the hard size cap),
 ``overloaded`` (queue at capacity), ``deadline`` (SLO budget expired
 before service), ``shutdown`` (server stopped with the job queued),
-``internal`` (unexpected server-side failure).
+``draining`` (admission closed while the daemon drains; carries a
+``retry_after_s`` back-off hint), ``internal`` (unexpected server-side
+failure).
 
 Management ops: ``ping`` (liveness), ``stats`` (counter snapshot +
-queue depths), ``shutdown`` (graceful stop; pending jobs are answered
-with ``code="shutdown"``).
+queue depths), ``drain`` (stop admitting, finish queued work under the
+drain deadline, then exit), ``shutdown`` (graceful stop; pending jobs
+are answered with ``code="shutdown"``).
 """
 
 from __future__ import annotations
@@ -55,12 +58,12 @@ from repro.guard.schemas import validate_json
 PROTOCOL_VERSION = "1"
 
 #: Valid request operations.
-OPS = ("decompose", "ping", "stats", "shutdown")
+OPS = ("decompose", "ping", "stats", "shutdown", "drain")
 
 #: Structured error codes a response may carry.
 ERROR_CODES = (
     "schema", "invalid", "oversized", "overloaded", "deadline",
-    "shutdown", "internal",
+    "shutdown", "draining", "internal",
 )
 
 #: Jacobi strategies accepted on the wire (mirrors ``linalg.STRATEGIES``).
@@ -105,7 +108,9 @@ RESPONSE_SCHEMA = {
             "fields": {
                 "code": {"enum": ERROR_CODES},
                 "message": str,
+                "retry_after_s": (int, float),
             },
+            "optional": ("retry_after_s",),
         },
         "pong": bool,
         "version": str,
@@ -310,15 +315,26 @@ def request_key(doc: Dict[str, Any], shape: Tuple[int, int],
 
 
 def error_response(
-    request_id: Optional[str], code: str, message: str
+    request_id: Optional[str],
+    code: str,
+    message: str,
+    retry_after_s: Optional[float] = None,
 ) -> Dict[str, Any]:
-    """Build a structured error envelope."""
+    """Build a structured error envelope.
+
+    ``retry_after_s`` is the server's explicit back-off hint (draining
+    responses carry it); clients with a retry policy treat a hinted
+    ``draining``/``overloaded`` answer as retryable.
+    """
     if code not in ERROR_CODES:
         raise ValueError(f"unknown error code {code!r}")
+    error: Dict[str, Any] = {"code": code, "message": message}
+    if retry_after_s is not None:
+        error["retry_after_s"] = float(retry_after_s)
     return {
         "id": request_id,
         "ok": False,
-        "error": {"code": code, "message": message},
+        "error": error,
     }
 
 

@@ -115,6 +115,8 @@ class Job:
         future: Resolution target — an :class:`asyncio.Future` in the
             server, any object with ``set_result``/``set_exception``
             semantics in tests.  The queue never touches it.
+        attempts: Engine runs already spent on this job; the dispatcher
+            requeues a transiently failed batch at most once.
     """
 
     request_id: str
@@ -124,6 +126,7 @@ class Job:
     deadline: Optional[Deadline] = None
     enqueued_at: float = field(default_factory=time.monotonic)
     future: Any = None
+    attempts: int = 0
 
     @property
     def cells(self) -> int:
@@ -282,6 +285,30 @@ class JobQueue:
                     self._virtual_now, self._vtime.pop(tenant)
                 )
         return batch, key
+
+    def requeue(self, jobs: List[Job]) -> None:
+        """Return popped jobs to the *front* of their tenant queues.
+
+        Used by the dispatcher after a transient engine failure: the
+        batch goes back ahead of younger work (its jobs kept their
+        original ``enqueued_at``, so deadline accounting is unchanged)
+        and is not re-charged virtual time — the charge from the
+        original ``pop_batch`` stands.  Bypasses admission: these jobs
+        were already admitted once.
+        """
+        for job in reversed(jobs):
+            queue = self._queues.get(job.tenant)
+            if queue is None:
+                queue = self._queues[job.tenant] = deque()
+            if not queue:
+                self._vtime[job.tenant] = max(
+                    self._vtime.get(job.tenant, 0.0), self._virtual_now
+                )
+            queue.appendleft(job)
+        self._depth += len(jobs)
+        if self._depth > self.peak_depth:
+            self.peak_depth = self._depth
+            _metrics.gauge("serve.queue_depth_peak").set(self.peak_depth)
 
     def drain(self) -> List[Job]:
         """Remove and return every queued job (shutdown path)."""

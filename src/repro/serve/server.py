@@ -33,6 +33,27 @@ expires mid-run answers its completed prefix normally — the partial
 results ride on :class:`~repro.errors.DeadlineExceeded` — and the
 unfinished remainder is answered from the brownout tier rather than
 dropped.
+
+Chaos hardening (``docs/serving.md`` has the failure-mode matrix):
+
+* five registered fault sites (:data:`SERVE_FAULT_SITES`) let a seeded
+  :class:`~repro.resilience.FaultPlan` attack a live daemon — dropped
+  admissions, dispatcher crashes, dropped/slowed responses, injected
+  engine failures;
+* a per-strategy :class:`~repro.resilience.CircuitBreaker` demotes a
+  repeatedly failing engine tier down the
+  native → vectorized → brownout ladder and recovers it via seeded
+  half-open probes;
+* the dispatcher runs under a supervisor: a crash answers the
+  in-flight batch with structured ``internal`` errors and restarts the
+  loop, so every admitted request is answered exactly once;
+* SIGTERM or a ``drain`` op closes admission (``code="draining"`` +
+  ``retry_after_s``), finishes queued work under a drain
+  :class:`~repro.guard.deadline.Deadline`, then exits cleanly.
+
+All of it is inert by default: without an active fault plan, a drain
+request, or a breaker-tripping failure, responses are byte-identical
+to the pre-hardening daemon.
 """
 
 from __future__ import annotations
@@ -40,6 +61,7 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import math
+import signal
 import sys
 import time
 import warnings
@@ -55,6 +77,7 @@ from repro.errors import (
     DeadlineExceeded,
     DegradedResultWarning,
     InputValidationError,
+    ServeError,
     ServeProtocolError,
     ServiceOverloadError,
 )
@@ -62,6 +85,8 @@ from repro.guard.deadline import Deadline
 from repro.guard.validate import validate_matrix
 from repro.obs import metrics as _metrics
 from repro.obs import tracer as _tracer
+from repro.resilience.circuit import CircuitBreaker
+from repro.resilience.faults import fired, register_site
 from repro.resilience.retry import RetryPolicy
 from repro.serve.protocol import (
     MAX_LINE_BYTES,
@@ -82,6 +107,25 @@ from repro.workloads.batch import TaskBatch
 #: fp32 elements — the same bound ``HeteroSVDConfig`` enforces);
 #: taller matrices are served by the brownout tier.
 ENGINE_MAX_M = 2048
+
+#: Serve-layer fault sites, registered so ``load_fault_plan`` accepts
+#: them in plan files (see ``examples/fault_plans/serve_chaos.json``).
+SERVE_FAULT_SITES = tuple(register_site(name) for name in (
+    "serve.accept_drop",     # admission silently drops the request
+    "serve.compute_crash",   # dispatcher loop raises mid-dispatch
+    "serve.response_drop",   # a response frame is never written
+    "serve.slow_write",      # a response write stalls (param = seconds)
+    "serve.engine_fault",    # engine batch raises a transient ServeError
+))
+
+#: Circuit-breaker demotion ladder: the tier tried when a strategy's
+#: breaker is open.  ``None`` means no engine tier remains — the batch
+#: is served from the brownout (degraded LAPACK) tier.
+_STRATEGY_DEMOTION: Dict[str, Optional[str]] = {
+    "native": "vectorized",
+    "vectorized": None,
+    "scalar": None,
+}
 
 
 @dataclass
@@ -107,6 +151,15 @@ class ServeConfig:
             their own ``deadline_s`` (None = unbounded).
         retries: Transient-failure re-attempts for each engine batch
             (builds a :class:`~repro.resilience.RetryPolicy`; 0 = off).
+            Also enables the one-shot batch requeue after a transient
+            engine failure.
+        drain_deadline_s: Wall-clock budget for finishing queued work
+            after a ``drain`` op / SIGTERM; leftovers past it are
+            answered with ``code="shutdown"``.
+        breaker_threshold: Consecutive engine-batch failures of one
+            strategy tier that trip its circuit breaker.
+        breaker_probe_after: Batches withheld from a tripped tier
+            before a half-open recovery probe (plus seeded jitter).
     """
 
     host: str = "127.0.0.1"
@@ -120,6 +173,9 @@ class ServeConfig:
     tenant_weights: Dict[str, float] = field(default_factory=dict)
     default_deadline_s: Optional[float] = None
     retries: int = 0
+    drain_deadline_s: float = 30.0
+    breaker_threshold: int = 3
+    breaker_probe_after: int = 4
 
     def __post_init__(self):
         if self.p_eng not in P_ENG_RANGE:
@@ -143,6 +199,21 @@ class ServeConfig:
             raise ConfigurationError(
                 f"default_deadline_s must be > 0, got "
                 f"{self.default_deadline_s}"
+            )
+        if not self.drain_deadline_s > 0:
+            raise ConfigurationError(
+                f"drain_deadline_s must be > 0, got "
+                f"{self.drain_deadline_s}"
+            )
+        if self.breaker_threshold < 1:
+            raise ConfigurationError(
+                f"breaker_threshold must be >= 1, got "
+                f"{self.breaker_threshold}"
+            )
+        if self.breaker_probe_after < 1:
+            raise ConfigurationError(
+                f"breaker_probe_after must be >= 1, got "
+                f"{self.breaker_probe_after}"
             )
 
 
@@ -178,8 +249,17 @@ class SVDServer:
         self._wake: Optional[asyncio.Event] = None
         self._pool: Optional[ThreadPoolExecutor] = None
         self._writers: set = set()
+        self._conn_tasks: set = set()
         self._side_tasks: set = set()
         self._oversized_inflight = 0
+        #: Per-strategy circuit breakers, created lazily on the first
+        #: engine failure of a tier — zero cost on the happy path.
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        #: The batch currently on the compute thread; a dispatcher
+        #: crash answers these jobs instead of stranding their clients.
+        self._inflight: List[Job] = []
+        self._draining = False
+        self._drain_deadline: Optional[Deadline] = None
 
     # -- bookkeeping ---------------------------------------------------------
     def _count(self, name: str, amount: int = 1) -> None:
@@ -191,6 +271,7 @@ class SVDServer:
         """Counter snapshot for the ``stats`` op (always on)."""
         snapshot: Dict[str, Any] = dict(self.queue.stats())
         snapshot.update(sorted(self._counters.items()))
+        snapshot["draining"] = int(self._draining)
         snapshot["version"] = PROTOCOL_VERSION
         return snapshot
 
@@ -214,6 +295,14 @@ class SVDServer:
             reuse_address=True,
         )
         self.address = server.sockets[0].getsockname()[:2]
+        # SIGTERM means "drain": stop admitting, finish queued work,
+        # then exit.  Not every host loop supports signal handlers
+        # (Windows, nested loops) — degrade to no handler there.
+        with contextlib.suppress(NotImplementedError, RuntimeError,
+                                 ValueError):
+            self._loop.add_signal_handler(
+                signal.SIGTERM, self.request_drain
+            )
         dispatcher = asyncio.ensure_future(self._dispatch_loop())
         if ready is not None:
             ready(self.address)
@@ -229,6 +318,12 @@ class SVDServer:
             for writer in list(self._writers):
                 with contextlib.suppress(Exception):
                     writer.close()
+            # Closed transports deliver EOF to the handlers' readline;
+            # give them a moment to exit on their own rather than being
+            # cancelled by loop teardown (which logs a noisy callback
+            # error per still-parked connection).
+            if self._conn_tasks:
+                await asyncio.wait(list(self._conn_tasks), timeout=1.0)
             self._pool.shutdown(wait=True)
 
     def request_shutdown(self) -> None:
@@ -239,6 +334,31 @@ class SVDServer:
         if self._wake is not None:
             self._wake.set()
 
+    def request_drain(self) -> None:
+        """Begin a graceful drain: admission closes (decompose requests
+        are answered ``code="draining"`` with a ``retry_after_s``
+        hint), queued work finishes under ``drain_deadline_s``, then
+        the daemon shuts down.  Idempotent.
+        """
+        if self._draining:
+            return
+        self._draining = True
+        self._drain_deadline = Deadline(self.config.drain_deadline_s)
+        self._count("serve.drains")
+        if self._wake is not None:
+            self._wake.set()
+
+    def _drain_retry_after_s(self) -> float:
+        """Back-off hint for a draining rejection: the remaining drain
+        budget (a restarted daemon is the earliest useful retry time),
+        floored so clients never spin."""
+        remaining = (
+            self._drain_deadline.remaining()
+            if self._drain_deadline is not None
+            else self.config.drain_deadline_s
+        )
+        return max(0.1, round(remaining, 3))
+
     def _spawn(self, coro) -> "asyncio.Task":
         task = asyncio.ensure_future(coro)
         self._side_tasks.add(task)
@@ -248,12 +368,26 @@ class SVDServer:
     # -- connection handling -------------------------------------------------
     async def _send(self, writer, lock: asyncio.Lock,
                     message: Dict[str, Any]) -> None:
+        spec = fired("serve.slow_write")
+        if spec is not None:
+            self._count("serve.slow_writes")
+            await asyncio.sleep(spec.param if spec.param > 0 else 0.05)
+        if fired("serve.response_drop") is not None:
+            # The frame is never written: the client sees a hung read
+            # (loadgen's per-request timeout) — the envelope is dropped,
+            # not the connection.
+            self._count("serve.responses_dropped")
+            return
         with contextlib.suppress(ConnectionError, RuntimeError):
             async with lock:
                 writer.write(encode(message))
                 await writer.drain()
 
     async def _on_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
         self._writers.add(writer)
         lock = asyncio.Lock()
         try:
@@ -304,6 +438,9 @@ class SVDServer:
             await self._send(writer, lock, {
                 "id": doc["id"], "ok": True, "stats": self.stats(),
             })
+        elif op == "drain":
+            await self._send(writer, lock, {"id": doc["id"], "ok": True})
+            self.request_drain()
         elif op == "shutdown":
             await self._send(writer, lock, {"id": doc["id"], "ok": True})
             self.request_shutdown()
@@ -314,6 +451,19 @@ class SVDServer:
     async def _admit(self, doc: Dict[str, Any], writer, lock) -> None:
         request_id = doc["id"]
         self._count("serve.requests")
+        if fired("serve.accept_drop") is not None:
+            # Admission silently swallows the request: no response ever
+            # leaves — the client's timeout is the only recovery.
+            self._count("serve.requests_dropped")
+            return
+        if self._draining:
+            self._count("serve.drained_rejects")
+            await self._send(writer, lock, error_response(
+                request_id, "draining",
+                "daemon is draining; admission is closed",
+                retry_after_s=self._drain_retry_after_s(),
+            ))
+            return
         block_width = int(doc.get("block_width", self.config.p_eng))
         if block_width not in P_ENG_RANGE:
             self._count("serve.schema_errors")
@@ -415,45 +565,89 @@ class SVDServer:
 
     # -- dispatch ------------------------------------------------------------
     async def _dispatch_loop(self) -> None:
-        try:
-            while True:
+        """Supervisor: keep the dispatcher alive for the daemon's whole
+        life.  A crashed iteration (bug or injected
+        ``serve.compute_crash``) answers the stranded in-flight batch
+        with structured errors and restarts the loop — admitted clients
+        are never left waiting on a dead dispatcher.
+        """
+        while True:
+            try:
+                await self._dispatch_forever()
+                return
+            except asyncio.CancelledError:
+                raise
+            except Exception as error:
+                self._count("serve.dispatcher_restarts")
+                print(f"serve: dispatcher crashed ({error!r}); "
+                      f"restarting", file=sys.stderr)
+                self._fail_orphans(error)
                 if self._shutdown.is_set():
                     self._drain_on_shutdown()
                     return
-                if self.queue.depth == 0:
-                    self._wake.clear()
-                    if self.queue.depth == 0 and not self._shutdown.is_set():
-                        await self._wake.wait()
-                    continue
-                depth_before = self.queue.depth
-                jobs, key = self.queue.pop_batch()
-                if not jobs:
-                    continue
-                live: List[Job] = []
-                for job in jobs:
-                    if job.deadline is not None and job.deadline.expired():
-                        self._count("serve.deadline_expired")
-                        self._resolve(job, error_response(
-                            job.request_id, "deadline",
-                            f"deadline of {job.deadline.budget_s:.3f}s "
-                            f"expired after {job.queue_seconds():.3f}s "
-                            f"in queue",
-                        ))
-                    else:
-                        live.append(job)
-                if not live:
-                    continue
+
+    def _fail_orphans(self, error: BaseException) -> None:
+        """Answer jobs stranded by a dispatcher crash exactly once."""
+        orphans, self._inflight = self._inflight, []
+        for job in orphans:
+            if job.future is not None and not job.future.done():
+                self._count("serve.orphaned")
+                self._resolve(job, error_response(
+                    job.request_id, "internal",
+                    f"dispatcher crashed while the job was in flight: "
+                    f"{error!r}",
+                ))
+
+    async def _dispatch_forever(self) -> None:
+        while True:
+            if self._shutdown.is_set():
+                self._drain_on_shutdown()
+                return
+            if self._draining and (
+                    self.queue.depth == 0
+                    or self._drain_deadline.expired()):
+                # Drained (or out of drain budget): stop the daemon.
+                # Any leftover queued jobs get code="shutdown" from
+                # _drain_on_shutdown on the next iteration.
+                self.request_shutdown()
+                continue
+            if self.queue.depth == 0:
+                self._wake.clear()
+                if self.queue.depth == 0 and not self._shutdown.is_set():
+                    await self._wake.wait()
+                continue
+            depth_before = self.queue.depth
+            jobs, key = self.queue.pop_batch()
+            if not jobs:
+                continue
+            # On an exception anywhere below, _inflight stays set so
+            # the supervisor's _fail_orphans can answer these jobs (a
+            # try/finally would clear it during unwinding, before the
+            # supervisor ever sees it).
+            self._inflight = list(jobs)
+            if fired("serve.compute_crash") is not None:
+                raise RuntimeError(
+                    "injected dispatcher crash (serve.compute_crash)"
+                )
+            live: List[Job] = []
+            for job in jobs:
+                if job.deadline is not None and job.deadline.expired():
+                    self._count("serve.deadline_expired")
+                    self._resolve(job, error_response(
+                        job.request_id, "deadline",
+                        f"deadline of {job.deadline.budget_s:.3f}s "
+                        f"expired after {job.queue_seconds():.3f}s "
+                        f"in queue",
+                    ))
+                else:
+                    live.append(job)
+            if live:
                 if depth_before > self.queue.policy.high_water:
                     self._count("serve.shed_batches")
                     await self._run_brownout(live, shed=True)
                 else:
                     await self._run_engine(live, key)
-        except asyncio.CancelledError:
-            raise
-        except Exception as error:  # dispatcher must never die silently
-            print(f"serve: dispatcher failed: {error!r}", file=sys.stderr)
-            self.request_shutdown()
-            self._drain_on_shutdown()
+            self._inflight = []
 
     def _drain_on_shutdown(self) -> None:
         for job in self.queue.drain():
@@ -478,11 +672,89 @@ class SVDServer:
             self._configs[key] = config
         return config
 
+    def _select_strategy(
+        self, requested: str
+    ) -> Tuple[Optional[str], Optional[CircuitBreaker]]:
+        """Walk the demotion ladder from the requested strategy to the
+        first tier whose breaker admits the call (closed breaker, no
+        breaker yet, or an open breaker due for a half-open probe).
+
+        Returns ``(None, None)`` when every tier is tripped — the
+        batch is then served from the brownout tier.
+        """
+        current: Optional[str] = requested
+        while current is not None:
+            breaker = self._breakers.get(current)
+            if breaker is None or breaker.allow():
+                if breaker is not None and breaker.state == "half_open":
+                    self._count("serve.breaker_probes")
+                return current, breaker
+            current = _STRATEGY_DEMOTION.get(current)
+        return None, None
+
+    def _strategy_breaker(self, strategy: str) -> CircuitBreaker:
+        breaker = self._breakers.get(strategy)
+        if breaker is None:
+            breaker = self._breakers[strategy] = CircuitBreaker(
+                name=f"serve.engine.{strategy}",
+                failure_threshold=self.config.breaker_threshold,
+                probe_after=self.config.breaker_probe_after,
+            )
+        return breaker
+
+    async def _handle_engine_failure(
+        self, jobs: List[Job], strategy: str, error: BaseException
+    ) -> None:
+        """Feed an engine-batch failure to the strategy's breaker, then
+        either requeue the batch once (transient failures, when a retry
+        policy is configured) or answer every job ``internal``.
+        """
+        event = self._strategy_breaker(strategy).record_failure()
+        if event == "tripped":
+            self._count("serve.breaker_trips")
+            print(
+                f"serve: circuit breaker tripped for strategy "
+                f"{strategy!r} after {self.config.breaker_threshold} "
+                f"consecutive failures", file=sys.stderr,
+            )
+        elif event == "reopened":
+            self._count("serve.breaker_reopened")
+        retryable = (
+            self._retry is not None
+            and isinstance(error, self._retry.retry_on)
+            and not isinstance(error, DeadlineExceeded)
+            and max(job.attempts for job in jobs) == 0
+        )
+        if retryable:
+            for job in jobs:
+                job.attempts += 1
+            self.queue.requeue(jobs)
+            self._count("serve.requeued_batches")
+            self._count("serve.requeued_jobs", len(jobs))
+            if self._wake is not None:
+                self._wake.set()
+            return
+        self._count("serve.internal_errors")
+        for job in jobs:
+            self._resolve(job, error_response(
+                job.request_id, "internal",
+                f"engine batch failed: {error!r}",
+            ))
+
     async def _run_engine(self, jobs: List[Job], key: CoalesceKey) -> None:
         from repro.exec.batch import BatchExecutor
 
         config = self.config
         dispatched_at = time.monotonic()
+        requested = key.strategy
+        effective, breaker = self._select_strategy(requested)
+        if effective is None:
+            # Every engine tier is tripped: brownout keeps answering.
+            self._count("serve.breaker_browned_out")
+            await self._run_brownout(jobs, shed=True)
+            return
+        if effective != requested:
+            self._count("serve.breaker_demoted")
 
         def work():
             with warnings.catch_warnings():
@@ -492,7 +764,7 @@ class SVDServer:
                     engine="software",
                     jobs=config.jobs,
                     retry=self._retry,
-                    strategy=key.strategy,
+                    strategy=effective,
                 )
                 batch = TaskBatch(
                     m=key.m, n=key.n,
@@ -510,18 +782,19 @@ class SVDServer:
                     return executor.run(batch, deadline=deadline)
 
         try:
+            if fired("serve.engine_fault") is not None:
+                raise ServeError(
+                    "injected engine fault (serve.engine_fault)"
+                )
             report = await self._loop.run_in_executor(self._pool, work)
         except DeadlineExceeded as error:
             await self._finish_expired_batch(jobs, dispatched_at, error)
             return
         except Exception as error:
-            self._count("serve.internal_errors")
-            for job in jobs:
-                self._resolve(job, error_response(
-                    job.request_id, "internal",
-                    f"engine batch failed: {error!r}",
-                ))
+            await self._handle_engine_failure(jobs, effective, error)
             return
+        if breaker is not None and breaker.record_success() == "recovered":
+            self._count("serve.breaker_recoveries")
         self._count("serve.batches")
         self._count("serve.coalesced_tasks", len(jobs))
         by_task = {result.task_id: result for result in report.results}

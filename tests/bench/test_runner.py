@@ -178,8 +178,8 @@ class TestCompareReports:
 
 class TestSuiteRegistry:
     def test_registered_names(self):
-        assert suite_names() == ["batch", "dse", "scheduler", "serve",
-                                  "solver"]
+        assert suite_names() == ["batch", "chaos", "dse", "scheduler",
+                                  "serve", "solver"]
 
     def test_unknown_suite_raises(self):
         with pytest.raises(BenchmarkError, match="unknown suite"):

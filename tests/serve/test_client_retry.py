@@ -76,3 +76,144 @@ def test_bare_client_sees_the_kill():
     finally:
         client.close()
         first.stop()
+
+
+class _ScriptedServer:
+    """A fake daemon answering one connection from a canned envelope
+    list — each reply reuses the incoming request's id.  Lets the busy
+    (``draining``/``overloaded`` + ``retry_after_s``) retry path be
+    tested without racing a real drain.
+    """
+
+    def __init__(self, envelopes):
+        import socket
+        import threading
+
+        self.envelopes = list(envelopes)
+        self.requests = []
+        self._sock = socket.socket()
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(1)
+        self.address = self._sock.getsockname()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    def _run(self):
+        import json
+
+        from repro.serve.protocol import encode
+
+        conn, _ = self._sock.accept()
+        with conn:
+            reader = conn.makefile("rb")
+            for envelope in self.envelopes:
+                line = reader.readline()
+                if not line:
+                    return
+                doc = json.loads(line)
+                self.requests.append(doc)
+                reply = dict(envelope)
+                reply["id"] = doc["id"]
+                conn.sendall(encode(reply))
+
+    def close(self):
+        self._sock.close()
+        self._thread.join(timeout=5)
+
+
+def _busy(code, retry_after_s=None):
+    error = {"code": code, "message": f"server busy ({code})"}
+    if retry_after_s is not None:
+        error["retry_after_s"] = retry_after_s
+    return {"ok": False, "error": error}
+
+
+_PONG = {"ok": True, "pong": True, "version": "1"}
+
+
+class TestBusyRetry:
+    def test_hinted_draining_is_retried_until_ok(self):
+        fake = _ScriptedServer([_busy("draining", 0.02), _PONG])
+        try:
+            client = ServeClient(*fake.address, retry=RetryPolicy(
+                max_attempts=3, base_delay_s=0.01, jitter=0.0))
+            response = client.request({"op": "ping", "id": "p-1"})
+            client.close()
+        finally:
+            fake.close()
+        assert response["ok"] is True
+        # The same request was re-sent after the hinted pause.
+        assert [doc["id"] for doc in fake.requests] == ["p-1", "p-1"]
+
+    def test_hinted_overloaded_is_retried(self):
+        fake = _ScriptedServer([_busy("overloaded", 0.02), _PONG])
+        try:
+            client = ServeClient(*fake.address, retry=RetryPolicy(
+                max_attempts=3, base_delay_s=0.01, jitter=0.0))
+            response = client.request({"op": "ping", "id": "p-2"})
+            client.close()
+        finally:
+            fake.close()
+        assert response["ok"] is True
+        assert len(fake.requests) == 2
+
+    def test_unhinted_overloaded_is_not_retried(self):
+        # Without a retry_after_s hint the envelope is returned
+        # immediately — the pre-hardening contract.
+        fake = _ScriptedServer([_busy("overloaded")])
+        try:
+            client = ServeClient(*fake.address, retry=RetryPolicy(
+                max_attempts=5, base_delay_s=0.01, jitter=0.0))
+            response = client.request({"op": "ping", "id": "p-3"})
+            client.close()
+        finally:
+            fake.close()
+        assert response["ok"] is False
+        assert response["error"]["code"] == "overloaded"
+        assert len(fake.requests) == 1
+
+    def test_hint_floors_the_backoff(self):
+        import time
+
+        fake = _ScriptedServer([_busy("draining", 0.25), _PONG])
+        try:
+            client = ServeClient(*fake.address, retry=RetryPolicy(
+                max_attempts=3, base_delay_s=0.001, jitter=0.0))
+            begin = time.monotonic()
+            response = client.request({"op": "ping", "id": "p-4"})
+            elapsed = time.monotonic() - begin
+            client.close()
+        finally:
+            fake.close()
+        assert response["ok"] is True
+        # The 1 ms policy backoff was floored to the server's hint.
+        assert elapsed >= 0.2
+
+    def test_exhausted_retries_return_the_busy_envelope(self):
+        fake = _ScriptedServer([_busy("draining", 0.01)] * 2)
+        try:
+            client = ServeClient(*fake.address, retry=RetryPolicy(
+                max_attempts=2, base_delay_s=0.01, jitter=0.0))
+            response = client.request({"op": "ping", "id": "p-5"})
+            client.close()
+        finally:
+            fake.close()
+        # No raise: the last busy envelope comes back structured.
+        assert response["ok"] is False
+        assert response["error"]["code"] == "draining"
+        assert len(fake.requests) == 2
+
+    def test_client_without_retry_gets_the_envelope_at_once(self):
+        import time
+
+        fake = _ScriptedServer([_busy("draining", 5.0)])
+        try:
+            client = ServeClient(*fake.address)
+            begin = time.monotonic()
+            response = client.request({"op": "ping", "id": "p-6"})
+            elapsed = time.monotonic() - begin
+            client.close()
+        finally:
+            fake.close()
+        assert response["error"]["code"] == "draining"
+        assert elapsed < 1.0  # the 5 s hint was not slept on

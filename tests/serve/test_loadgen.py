@@ -143,3 +143,35 @@ def test_run_load_respects_server_config():
                 report.deadline_expired + report.errors)
     assert answered == 16
     assert report.errors == 0
+
+
+class TestTimeoutAccounting:
+    def test_dropped_response_is_a_counted_timeout(self):
+        from repro.resilience import FaultPlan, FaultSpec
+
+        docs = [
+            {"op": "decompose", "id": f"t-{i}", "shape": [16, 16],
+             "seed": i, "deadline_s": 60.0}
+            for i in range(4)
+        ]
+        plan = FaultPlan(faults=[
+            FaultSpec(site="serve.response_drop", at=(3,)),
+        ])
+        with plan.activate():
+            report = run_load(docs=docs, connections=1,
+                              request_timeout_s=2.0)
+        answered = (report.ok + report.rejected +
+                    report.deadline_expired + report.errors)
+        assert report.total == 4
+        assert report.timeout == 1
+        assert report.duplicates == 0
+        assert answered + report.timeout == report.total
+        assert report.ok == 3
+        metrics = report.metrics()
+        assert metrics["timeout"] == 1
+        assert metrics["duplicates"] == 0
+
+    def test_report_metrics_expose_timeout_and_duplicate_keys(self):
+        metrics = LoadReport(total=0, wall_s=0.0).metrics()
+        assert metrics["timeout"] == 0
+        assert metrics["duplicates"] == 0

@@ -473,3 +473,59 @@ class TestConcurrentResponsesOnOneConnection:
                 assert response["ok"]
                 seen.add(response["id"])
         assert seen == {doc["id"] for doc in docs}
+
+
+class TestShutdownAndSideTasks:
+    def test_drain_on_shutdown_answers_each_queued_job_exactly_once(self):
+        from repro.serve.protocol import CoalesceKey
+
+        key = CoalesceKey(8, 8, "float64", "auto", 4)
+
+        async def run():
+            server = _loose_server()
+            try:
+                jobs = [_loose_job(server, i, key) for i in range(3)]
+                for job in jobs:
+                    server.queue.push(job)
+                # One job was already answered (e.g. by _fail_orphans
+                # after a dispatcher crash): the drain must not touch
+                # its settled future.
+                jobs[1].future.set_result({"id": "j1", "ok": True})
+                server._drain_on_shutdown()
+                first = [job.future.result() for job in jobs]
+                # Idempotent: the queue is empty and every future is
+                # done, so a second drain changes nothing (a double
+                # set_result would raise InvalidStateError).
+                server._drain_on_shutdown()
+                second = [job.future.result() for job in jobs]
+                return first, second
+            finally:
+                server._pool.shutdown(wait=True)
+
+        first, second = asyncio.run(run())
+        assert first == second
+        assert first[1]["ok"] is True
+        for response in (first[0], first[2]):
+            assert response["ok"] is False
+            assert response["error"]["code"] == "shutdown"
+
+    def test_spawn_tracks_then_discards_side_tasks(self):
+        async def run():
+            server = _loose_server()
+            try:
+                async def noop():
+                    return 42
+
+                task = server._spawn(noop())
+                assert task in server._side_tasks
+                assert await task == 42
+                # Let the done-callback run.
+                await asyncio.sleep(0)
+                return len(server._side_tasks)
+            finally:
+                server._pool.shutdown(wait=True)
+
+        assert asyncio.run(run()) == 0
+
+    def test_stats_report_draining_flag(self, client):
+        assert client.stats()["draining"] == 0
