@@ -44,12 +44,16 @@ bench-smoke:
 	$(PYTHON) -m repro.cli bench --suite chaos --size 48 --out . \
 		--baseline $(BASELINE_DIR)/BENCH_chaos.json --threshold 0.5; \
 		test $$? -eq 0 -o $$? -eq 3
+	$(PYTHON) -m repro.cli bench --suite workloads --size 48 --out . \
+		--baseline $(BASELINE_DIR)/BENCH_workloads.json --threshold 0.5; \
+		test $$? -eq 0 -o $$? -eq 3
 	$(PYTHON) -m repro.cli bench --check BENCH_solver.json
 	$(PYTHON) -m repro.cli bench --check BENCH_dse.json
 	$(PYTHON) -m repro.cli bench --check BENCH_scheduler.json
 	$(PYTHON) -m repro.cli bench --check BENCH_batch.json
 	$(PYTHON) -m repro.cli bench --check BENCH_serve.json
 	$(PYTHON) -m repro.cli bench --check BENCH_chaos.json
+	$(PYTHON) -m repro.cli bench --check BENCH_workloads.json
 
 # Re-record the blessed baselines (commit the result deliberately).
 baselines:
@@ -60,6 +64,7 @@ baselines:
 	$(PYTHON) -m repro.cli bench --suite batch --size 16 --out $(BASELINE_DIR) --no-compare
 	$(PYTHON) -m repro.cli bench --suite serve --size 64 --out $(BASELINE_DIR) --no-compare
 	$(PYTHON) -m repro.cli bench --suite chaos --size 48 --out $(BASELINE_DIR) --no-compare
+	$(PYTHON) -m repro.cli bench --suite workloads --size 48 --out $(BASELINE_DIR) --no-compare
 
 # Serving-layer smoke: real daemon subprocess, 200-request wire-driven
 # mix (deadline + oversized probes), counter assertions, then the
@@ -86,6 +91,7 @@ validate:
 lint:
 	$(PYTHON) -m compileall -q src benchmarks examples tests tools
 	$(PYTHON) tools/check_doc_links.py
+	$(PYTHON) tools/check_docstrings.py
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src benchmarks examples tests; \
 	else \

@@ -49,6 +49,7 @@ DEFAULT_SIZES = {
     "batch": 32,
     "serve": 200,
     "chaos": 120,
+    "workloads": 96,
 }
 
 
@@ -282,6 +283,83 @@ def _chaos_cases(size: int) -> List[BenchCase]:
     return [BenchCase(f"serve_chaos_{size}", run)]
 
 
+def _workloads_cases(size: int) -> List[BenchCase]:
+    """The three new workload classes plus their crossover partner.
+
+    ``streaming_fold`` tracks an evolving rating matrix chunk by
+    chunk, ``tsqr`` reduces a tall-skinny panel stack, ``dnc`` and
+    ``block_square`` factor the same dense square matrix — together
+    they are the measured legs of the crossover study in
+    ``docs/workloads.md`` / ``EXPERIMENTS.md``.  Each case reports
+    ``sigma_rel_err`` (worst relative singular-value deviation vs
+    LAPACK), so a numerical regression fails ``--check`` the same way
+    a wall-time one does.
+    """
+    import numpy as np
+
+    from repro.linalg import StreamingSVD, svd, tall_skinny_svd
+    from repro.workloads import (
+        random_matrix,
+        rating_stream,
+        tall_skinny_matrix,
+    )
+
+    def rel_err(sigma, ref) -> float:
+        k = min(len(sigma), len(ref))
+        scale = float(ref[0]) if len(ref) and ref[0] > 0 else 1.0
+        return float(np.max(np.abs(sigma[:k] - ref[:k])) / scale)
+
+    def streaming_run(seed: int) -> Dict[str, Any]:
+        rank = 8
+        stream = rating_stream(
+            n_users=2 * size, n_items=max(rank, size // 2),
+            latent_rank=rank, chunk_rows=max(rank, size // 4), seed=seed,
+        )
+        tracker = StreamingSVD(rank=rank)
+        tracker.update(stream.initial)
+        for block in stream.updates:
+            tracker.update(block)
+        ref = np.linalg.svd(stream.full_matrix(), compute_uv=False)
+        return {
+            "updates": tracker.updates,
+            "rows": tracker.rows,
+            "rank": rank,
+            "sigma_rel_err": rel_err(tracker.singular_values, ref),
+            "error_bound": tracker.error_bound(),
+        }
+
+    def tsqr_run(seed: int) -> Dict[str, Any]:
+        a = tall_skinny_matrix(8 * size, max(8, size // 4), seed=seed)
+        result = tall_skinny_svd(a)
+        ref = np.linalg.svd(a, compute_uv=False)
+        return {
+            "m": a.shape[0], "n": a.shape[1],
+            "panels": result.panels,
+            "tree_levels": result.tree_levels,
+            "sigma_rel_err": rel_err(result.singular_values, ref),
+        }
+
+    def square_run(method: str) -> Callable[[int], Dict[str, Any]]:
+        def run(seed: int) -> Dict[str, Any]:
+            a = random_matrix(size, size, seed=seed)
+            result = svd(a, method=method)
+            ref = np.linalg.svd(a, compute_uv=False)
+            return {
+                "n": size, "method": method,
+                "sweeps": result.sweeps,
+                "sigma_rel_err": rel_err(result.singular_values, ref),
+            }
+
+        return run
+
+    return [
+        BenchCase(f"streaming_fold_{size}", streaming_run),
+        BenchCase(f"tsqr_{size}", tsqr_run),
+        BenchCase(f"dnc_{size}", square_run("dnc")),
+        BenchCase(f"block_square_{size}", square_run("block")),
+    ]
+
+
 #: Suite registry: name -> cases factory taking the problem size.
 SUITES: Dict[str, Callable[[int], List[BenchCase]]] = {
     "solver": _solver_cases,
@@ -290,6 +368,7 @@ SUITES: Dict[str, Callable[[int], List[BenchCase]]] = {
     "batch": _batch_cases,
     "serve": _serve_cases,
     "chaos": _chaos_cases,
+    "workloads": _workloads_cases,
 }
 
 

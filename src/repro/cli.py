@@ -116,6 +116,8 @@ def cmd_svd(args) -> int:
     """
     if args.batch > 1:
         return _cmd_svd_batch(args)
+    if args.method != "accelerator":
+        return _cmd_svd_software(args)
     deadline = _make_deadline(args)
     a = _load_matrix(args)
     if args.validate:
@@ -168,6 +170,65 @@ def cmd_svd(args) -> int:
     return 0
 
 
+def _cmd_svd_software(args) -> int:
+    """Factor one matrix with a software solver (``--method`` != the
+    accelerator model): block/hestenes Jacobi, TSQR, divide-and-
+    conquer, or the streaming fold."""
+    from repro.linalg import svd
+
+    deadline = _make_deadline(args)
+    a = _load_matrix(args)
+    if args.validate:
+        from repro.guard import validate_matrix
+
+        validate_matrix(a, name="input matrix")
+    m, n = a.shape
+    result = svd(
+        a,
+        method=args.method,
+        block_width=args.p_eng if args.method == "block" else None,
+        precision=args.precision,
+        strategy=args.strategy,
+        validate=False,
+        deadline=deadline,
+        check_invariants=(
+            args.check_invariants
+            and args.method in ("block", "hestenes")
+        ),
+    )
+    s_ref = np.linalg.svd(a, compute_uv=False)
+    k = min(len(s_ref), len(result.singular_values))
+    deviation = float(
+        np.max(np.abs(result.singular_values[:k] - s_ref[:k]))
+    )
+    print(f"matrix {m}x{n}, method={args.method}")
+    print(f"sweeps: {result.sweeps} (converged={result.converged}"
+          + (", DEGRADED" if result.degraded else "") + ")")
+    print(f"leading singular values: "
+          + ", ".join(f"{v:.4f}" for v in result.singular_values[:5]))
+    print(f"max deviation vs LAPACK: {deviation:.3e}")
+    if args.check_invariants and args.method not in ("block", "hestenes"):
+        from repro.guard import check_factor_invariants
+
+        report = check_factor_invariants(
+            a, result.u * result.singular_values, result.v,
+            args.precision, converged=result.converged,
+        )
+        print(f"invariants: {'ok' if report.ok else 'VIOLATED'} "
+              f"(reconstruction {report.reconstruction_error:.3e}, "
+              f"orthogonality {report.orthogonality_residual:.3e})")
+        if not report.ok:
+            print("error: factor invariants violated", file=sys.stderr)
+            return 1
+    if args.output:
+        np.savez(
+            args.output, u=result.u, sigma=result.singular_values,
+            v=result.v,
+        )
+        print(f"saved factors to {args.output}")
+    return 0
+
+
 def _cmd_svd_batch(args) -> int:
     """Run a batch of SVD tasks through the pipeline executor."""
     from repro.exec.batch import BatchExecutor
@@ -189,14 +250,20 @@ def _cmd_svd_batch(args) -> int:
         p_task=args.p_task,
         precision=args.precision,
     )
+    # A non-accelerator --method implies the software engine; the
+    # default keeps --engine in charge (software engine runs "block").
+    engine = args.engine if args.method == "accelerator" else "software"
+    method = "block" if args.method == "accelerator" else args.method
     executor = BatchExecutor(
-        config, engine=args.engine, jobs=args.jobs, cache=_make_cache(args),
+        config, engine=engine, jobs=args.jobs, cache=_make_cache(args),
         retry=_make_retry(args), strategy=args.strategy,
-        check_invariants=args.check_invariants,
+        check_invariants=args.check_invariants, method=method,
     )
     report = executor.run(batch, deadline=_make_deadline(args))
     print(f"batch of {len(batch)} {args.size}x{args.size} SVDs on "
-          f"{config.p_task} pipelines ({args.engine} engine)")
+          f"{config.p_task} pipelines ({engine} engine"
+          + (f", {method} method" if engine == "software" else "")
+          + ")")
     for run in report.runs:
         print(f"  pipeline {run.pipeline}: {len(run.task_ids)} tasks, "
               f"{run.wall_time:.3f} s wall "
@@ -728,6 +795,15 @@ def build_parser() -> argparse.ArgumentParser:
         "(auto probes native, then vectorized; see "
         "docs/performance.md)",
     )
+    p_svd.add_argument(
+        "--method", default="accelerator",
+        choices=["accelerator", "block", "hestenes", "tsqr", "dnc",
+                 "streaming"],
+        help="solver: the functional accelerator model (default) or a "
+        "software method — block/hestenes Jacobi, tsqr panel "
+        "reduction, dnc bidiagonal divide-and-conquer, streaming "
+        "row-block fold (crossover study in docs/workloads.md)",
+    )
     add_jobs_flag(p_svd)
     add_cache_flag(p_svd)
     add_obs_flags(p_svd)
@@ -825,7 +901,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument(
         "--suite", default=None, metavar="NAME",
-        help="suite to run: solver, dse, scheduler or batch",
+        help="suite to run: solver, dse, scheduler, batch, serve, "
+        "chaos or workloads",
     )
     p_bench.add_argument(
         "--size", type=int, default=None, metavar="N",

@@ -44,6 +44,7 @@ from repro.resilience.retry import call_with_retry
 from repro.workloads.batch import TaskBatch
 
 VALID_ENGINES = ("accelerator", "software")
+VALID_METHODS = ("block", "hestenes", "tsqr", "dnc", "streaming")
 
 
 @dataclass(frozen=True)
@@ -136,13 +137,16 @@ def _factor_task(
     strategy: str = "auto",
     deadline: Optional[Deadline] = None,
     check_invariants: bool = False,
+    method: str = "block",
 ) -> np.ndarray:
     """Singular values of one task matrix via the selected engine.
 
     ``strategy`` selects the Jacobi inner-loop implementation for the
     software engine (see :func:`repro.linalg.svd`); the accelerator
     engine models hardware round by round and ignores it (deadlines
-    apply between its tasks, not within them).
+    apply between its tasks, not within them).  ``method`` selects the
+    software solver (``"block"``, ``"hestenes"``, ``"tsqr"``,
+    ``"dnc"`` or ``"streaming"``); the accelerator engine ignores it.
     """
     if engine == "accelerator":
         from repro.core.accelerator import HeteroSVDAccelerator
@@ -164,8 +168,8 @@ def _factor_task(
 
     return svd(
         matrix,
-        method="block",
-        block_width=config.p_eng,
+        method=method,
+        block_width=config.p_eng if method == "block" else None,
         precision=config.precision,
         strategy=strategy,
         deadline=deadline,
@@ -192,7 +196,7 @@ def _run_pipeline(
     flags into one :class:`~repro.errors.DeadlineExceeded`.
     """
     (pipeline, config, engine, tasks, degrade, worker_plan, strategy,
-     budget_s, check_invariants) = payload
+     budget_s, check_invariants, method) = payload
     started = time.perf_counter()
     deadline = Deadline(budget_s) if budget_s is not None else None
     expired = False
@@ -218,6 +222,7 @@ def _run_pipeline(
                 sigma = _factor_task(
                     matrix, config, engine, strategy,
                     deadline=deadline, check_invariants=check_invariants,
+                    method=method,
                 )
             except DeadlineExceeded:
                 expired = True
@@ -265,6 +270,11 @@ class BatchExecutor:
         check_invariants: Verify factorization invariants for every
             software-engine task (see :func:`repro.linalg.svd`);
             ignored by the accelerator engine.
+        method: Solver for the software engine — ``"block"``
+            (default), ``"hestenes"``, ``"tsqr"``, ``"dnc"`` or
+            ``"streaming"`` (see :func:`repro.linalg.svd` and the
+            crossover study in ``docs/workloads.md``); ignored by the
+            accelerator engine.
     """
 
     def __init__(
@@ -278,10 +288,15 @@ class BatchExecutor:
         strategy: str = "auto",
         stall_timeout: Optional[float] = None,
         check_invariants: bool = False,
+        method: str = "block",
     ):
         if engine not in VALID_ENGINES:
             raise ConfigurationError(
                 f"unknown engine {engine!r}; expected one of {VALID_ENGINES}"
+            )
+        if method not in VALID_METHODS:
+            raise ConfigurationError(
+                f"unknown method {method!r}; expected one of {VALID_METHODS}"
             )
         from repro.linalg.hestenes import resolve_strategy
 
@@ -293,6 +308,7 @@ class BatchExecutor:
         self.strategy = resolve_strategy(strategy)
         self.stall_timeout = stall_timeout
         self.check_invariants = check_invariants
+        self.method = method
         self.scheduler = BatchScheduler(config, cost_cache=cache)
 
     def run(
@@ -343,6 +359,7 @@ class BatchExecutor:
                 self.strategy,
                 deadline.remaining() if deadline is not None else None,
                 self.check_invariants,
+                self.method,
             )
             for pipeline, specs_ in enumerate(assignment)
             if specs_

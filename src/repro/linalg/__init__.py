@@ -16,6 +16,12 @@ accelerates (paper Section II-A):
 * :mod:`repro.linalg.block` — column-block partitioning and block-pair
   enumeration used by the block-Jacobi variant (Algorithm 1).
 * :mod:`repro.linalg.svd` — the public entry point.
+* :mod:`repro.linalg.streaming` — incremental rank-k SVD with
+  row-block folding (``method="streaming"``).
+* :mod:`repro.linalg.tsqr` — tall-skinny SVD via TSQR panel reduction
+  (``method="tsqr"``).
+* :mod:`repro.linalg.dnc` — bidiagonal divide-and-conquer SVD
+  (``method="dnc"``).
 * :mod:`repro.linalg.reference` — validation against ``numpy.linalg``.
 """
 
@@ -54,6 +60,9 @@ from repro.linalg.block import (
 from repro.linalg.svd import SVDResult, svd
 from repro.linalg.kogbetliantz import KogbetliantzResult, kogbetliantz_svd
 from repro.linalg.truncated import TruncatedSVDResult, truncated_svd
+from repro.linalg.streaming import StreamingResult, StreamingSVD, streaming_svd
+from repro.linalg.tsqr import TSQRResult, tall_skinny_svd
+from repro.linalg.dnc import DnCResult, dnc_svd
 
 __all__ = [
     "JacobiRotation",
@@ -84,4 +93,11 @@ __all__ = [
     "kogbetliantz_svd",
     "TruncatedSVDResult",
     "truncated_svd",
+    "StreamingSVD",
+    "StreamingResult",
+    "streaming_svd",
+    "TSQRResult",
+    "tall_skinny_svd",
+    "DnCResult",
+    "dnc_svd",
 ]

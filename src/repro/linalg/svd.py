@@ -319,8 +319,14 @@ def svd(
             the transpose; odd column counts by zero-padding one column
             (the padding contributes a zero singular value that is
             dropped from the result).
-        method: ``"hestenes"`` for the monolithic driver or ``"block"``
-            for the block-Jacobi restructuring of Algorithm 1.
+        method: ``"hestenes"`` for the monolithic driver, ``"block"``
+            for the block-Jacobi restructuring of Algorithm 1,
+            ``"tsqr"`` for tall-skinny TSQR panel reduction
+            (:mod:`repro.linalg.tsqr`), ``"dnc"`` for bidiagonal
+            divide-and-conquer (:mod:`repro.linalg.dnc`), or
+            ``"streaming"`` for the incremental row-block fold
+            (:mod:`repro.linalg.streaming`).  The crossover study in
+            ``docs/workloads.md`` maps which method wins where.
         block_width: Columns per block for the block method (defaults to
             ``min(8, n // 2)``, i.e. the largest engine parallelism the
             paper evaluates).
@@ -408,7 +414,10 @@ def svd(
     work = a.T.copy() if transposed else a.copy()
     rank_bound = min(m, n)
 
-    padded = work.shape[1] % 2 != 0
+    # The reduction-based methods (tsqr/dnc/streaming) handle any
+    # m >= n shape directly; odd-column zero-padding is a Jacobi
+    # pairing requirement only.
+    padded = method in ("hestenes", "block") and work.shape[1] % 2 != 0
     padded_row = False
     if padded:
         work = np.hstack([work, np.zeros((work.shape[0], 1))])
@@ -444,6 +453,43 @@ def svd(
             strategy=strategy,
             deadline=deadline,
             check_invariants=check_invariants,
+        )
+    elif method == "tsqr":
+        from repro.linalg.tsqr import tall_skinny_svd
+
+        result = tall_skinny_svd(
+            work,
+            block_width=block_width,
+            precision=precision,
+            max_sweeps=max_sweeps,
+            strategy=strategy,
+            fallback=fallback,
+            validate=False,
+            deadline=deadline,
+            check_invariants=check_invariants,
+        )
+    elif method == "dnc":
+        from repro.linalg.dnc import dnc_svd
+
+        result = dnc_svd(
+            work,
+            precision=precision,
+            max_sweeps=max_sweeps,
+            strategy=strategy,
+            fallback=fallback,
+            validate=False,
+            deadline=deadline,
+        )
+    elif method == "streaming":
+        from repro.linalg.streaming import streaming_svd
+
+        result = streaming_svd(
+            work,
+            precision=precision,
+            max_sweeps=max_sweeps,
+            strategy=strategy,
+            validate=False,
+            deadline=deadline,
         )
     else:
         raise NumericalError(f"unknown SVD method {method!r}")

@@ -207,6 +207,7 @@ class ServeClient:
         tenant: Optional[str] = None,
         dtype: Optional[str] = None,
         strategy: Optional[str] = None,
+        method: Optional[str] = None,
         block_width: Optional[int] = None,
         deadline_s: Optional[float] = None,
         request_id: Optional[str] = None,
@@ -233,6 +234,8 @@ class ServeClient:
             doc["dtype"] = dtype
         if strategy is not None:
             doc["strategy"] = strategy
+        if method is not None:
+            doc["method"] = method
         if block_width is not None:
             doc["block_width"] = int(block_width)
         if deadline_s is not None:

@@ -16,6 +16,10 @@ Request (``op="decompose"``)::
 The matrix arrives either as ``shape`` + ``seed`` (the server
 regenerates it with :func:`repro.workloads.random_matrix` — the load
 generator's zero-copy path) or inline as ``matrix`` (list of rows).
+An optional ``method`` field selects the software solver
+(``"block"``, the default, ``"hestenes"``, ``"tsqr"``, ``"dnc"`` or
+``"streaming"`` — see ``docs/workloads.md`` for the crossover study);
+jobs with different methods never coalesce into one engine run.
 ``float64`` values survive the JSON round trip exactly (``repr``
 shortest round-trip), which is what makes the server's answers
 byte-identical to a local :func:`repro.linalg.svd` call.
@@ -72,6 +76,10 @@ WIRE_STRATEGIES = ("auto", "scalar", "vectorized", "native")
 #: Matrix dtypes accepted on the wire.
 WIRE_DTYPES = ("float64", "float32")
 
+#: Solver methods accepted on the wire (mirrors the software-engine
+#: methods of :class:`~repro.exec.batch.BatchExecutor`).
+WIRE_METHODS = ("block", "hestenes", "tsqr", "dnc", "streaming")
+
 #: Declarative request schema (see :mod:`repro.guard.schemas`).
 REQUEST_SCHEMA = {
     "fields": {
@@ -83,12 +91,13 @@ REQUEST_SCHEMA = {
         "matrix": {"items": {"items": (int, float)}, "min_len": 1},
         "dtype": {"enum": WIRE_DTYPES},
         "strategy": {"enum": WIRE_STRATEGIES},
+        "method": {"enum": WIRE_METHODS},
         "block_width": int,
         "deadline_s": (int, float),
     },
     "optional": {
         "tenant", "shape", "seed", "matrix", "dtype", "strategy",
-        "block_width", "deadline_s",
+        "method", "block_width", "deadline_s",
     },
 }
 
@@ -126,21 +135,25 @@ RESPONSE_SCHEMA = {
 MAX_LINE_BYTES = 1 << 24
 
 
-class CoalesceKey(Tuple[int, int, str, str, int]):
-    """Hashable batching key: ``(m, n, dtype, strategy, block_width)``.
+class CoalesceKey(Tuple[int, int, str, str, int, str]):
+    """Hashable batching key:
+    ``(m, n, dtype, strategy, block_width, method)``.
 
     Jobs sharing a key are interchangeable for the executor — same
     shape feeds the same scheduler plan, same dtype/strategy/block
-    width feed the same solver configuration — so the dispatcher may
-    coalesce them into one :class:`~repro.exec.batch.BatchExecutor`
-    run without changing any job's numerical result.
+    width/method feed the same solver configuration — so the
+    dispatcher may coalesce them into one
+    :class:`~repro.exec.batch.BatchExecutor` run without changing any
+    job's numerical result.
     """
 
     __slots__ = ()
 
     def __new__(cls, m: int, n: int, dtype: str, strategy: str,
-                block_width: int):
-        return super().__new__(cls, (m, n, dtype, strategy, block_width))
+                block_width: int, method: str = "block"):
+        return super().__new__(
+            cls, (m, n, dtype, strategy, block_width, method)
+        )
 
     @property
     def m(self) -> int:
@@ -161,6 +174,10 @@ class CoalesceKey(Tuple[int, int, str, str, int]):
     @property
     def block_width(self) -> int:
         return self[4]
+
+    @property
+    def method(self) -> str:
+        return self[5]
 
     @property
     def cells(self) -> int:
@@ -311,6 +328,7 @@ def request_key(doc: Dict[str, Any], shape: Tuple[int, int],
         dtype=doc.get("dtype", "float64"),
         strategy=resolve_strategy(doc.get("strategy", "auto")),
         block_width=int(doc.get("block_width", default_block_width)),
+        method=doc.get("method", "block"),
     )
 
 

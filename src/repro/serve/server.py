@@ -765,6 +765,7 @@ class SVDServer:
                     jobs=config.jobs,
                     retry=self._retry,
                     strategy=effective,
+                    method=key.method,
                 )
                 batch = TaskBatch(
                     m=key.m, n=key.n,

@@ -11,6 +11,10 @@ SVD workloads for the examples, tests, and benchmark harness:
   subspace utilities (the sensor-array use case).
 * :mod:`repro.workloads.batch` — batched task streams for throughput
   experiments.
+* :mod:`repro.workloads.streaming` — rating matrices delivered as row
+  streams (the evolving-recommender use case).
+* :mod:`repro.workloads.tallskinny` — tall-skinny matrices with graded
+  spectra (the least-squares / PCA panel use case).
 """
 
 from repro.workloads.matrices import (
@@ -22,6 +26,8 @@ from repro.workloads.mimo import mimo_channel, rayleigh_channel_real
 from repro.workloads.recsys import rating_matrix
 from repro.workloads.signal import snapshot_matrix, estimate_doa
 from repro.workloads.batch import TaskBatch, make_batch, solve_batch
+from repro.workloads.streaming import RatingStream, rating_stream
+from repro.workloads.tallskinny import tall_skinny_matrix
 
 __all__ = [
     "random_matrix",
@@ -35,4 +41,7 @@ __all__ = [
     "TaskBatch",
     "make_batch",
     "solve_batch",
+    "RatingStream",
+    "rating_stream",
+    "tall_skinny_matrix",
 ]

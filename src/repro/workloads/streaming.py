@@ -1,0 +1,117 @@
+"""Streamed rating matrices — the evolving-recommender use case.
+
+A production recommender never sees its rating matrix at rest: new
+users arrive as row blocks while the item catalogue (and the latent
+preference structure behind it) stays fixed.  :func:`rating_stream`
+models exactly that — one shared set of item factors, user rows drawn
+per chunk — so the chunks are statistically exchangeable with the rows
+of :func:`repro.workloads.recsys.rating_matrix` and the stream as a
+whole has the same low-rank-plus-noise shape.  Feed the chunks to
+:class:`repro.linalg.StreamingSVD` to track the factorization without
+re-touching old rows (the crossover study in ``docs/workloads.md``
+measures when that wins).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class RatingStream:
+    """A rating matrix delivered as an initial block plus row updates.
+
+    Attributes:
+        initial: The warm-start block, ``(chunk_rows, n_items)``.
+        updates: Subsequent row blocks, each ``(chunk_rows, n_items)``.
+        latent_rank: Rank of the shared preference structure — the
+            natural retained rank for a streaming factorization.
+    """
+
+    initial: np.ndarray
+    updates: List[np.ndarray]
+    latent_rank: int
+
+    @property
+    def n_items(self) -> int:
+        """Item count (column count of every block)."""
+        return self.initial.shape[1]
+
+    @property
+    def total_rows(self) -> int:
+        """User rows across the initial block and all updates."""
+        return self.initial.shape[0] + sum(
+            block.shape[0] for block in self.updates
+        )
+
+    def full_matrix(self) -> np.ndarray:
+        """All blocks stacked — the batch view of the stream, for
+        comparing a streamed factorization against a one-shot solve."""
+        return np.vstack([self.initial, *self.updates])
+
+
+def rating_stream(
+    n_users: int,
+    n_items: int,
+    latent_rank: int = 8,
+    chunk_rows: int = 16,
+    noise: float = 0.3,
+    seed: Optional[int] = None,
+) -> RatingStream:
+    """Synthetic rating stream: fixed item factors, streamed users.
+
+    The item factors are drawn once; each chunk draws fresh user
+    factors against them and applies the same
+    ``3.0 + 1.2 * scores`` clip-to-[1, 5] transform as
+    :func:`repro.workloads.recsys.rating_matrix`, so every chunk obeys
+    the same rating model and the stacked stream is a low-rank-plus-
+    noise rating matrix of ``n_users`` rows.
+
+    Args:
+        n_users: Total user rows across all chunks.
+        n_items: Item (column) count.
+        latent_rank: Rank of the shared preference structure.
+        chunk_rows: Rows per chunk; the last chunk may be shorter.
+        noise: Standard deviation of the rating noise.
+        seed: RNG seed.
+
+    Returns:
+        A :class:`RatingStream` whose first chunk is ``initial`` and
+        whose remaining chunks are ``updates`` (possibly empty when
+        ``n_users <= chunk_rows``).
+    """
+    if n_users < 1 or n_items < 1:
+        raise ConfigurationError(
+            f"invalid shape: {n_users} users x {n_items} items"
+        )
+    if not 1 <= latent_rank <= n_items:
+        raise ConfigurationError(
+            f"latent rank must be in [1, {n_items}], got {latent_rank}"
+        )
+    if chunk_rows < 1:
+        raise ConfigurationError(
+            f"chunk_rows must be >= 1, got {chunk_rows}"
+        )
+    rng = np.random.default_rng(seed)
+    items = rng.standard_normal((latent_rank, n_items))
+
+    def chunk(rows: int) -> np.ndarray:
+        users = rng.standard_normal((rows, latent_rank))
+        scores = users @ items / np.sqrt(latent_rank)
+        ratings = (
+            3.0 + 1.2 * scores + noise * rng.standard_normal(scores.shape)
+        )
+        return np.clip(ratings, 1.0, 5.0)
+
+    blocks = [
+        chunk(min(chunk_rows, n_users - start))
+        for start in range(0, n_users, chunk_rows)
+    ]
+    return RatingStream(
+        initial=blocks[0], updates=blocks[1:], latent_rank=latent_rank
+    )

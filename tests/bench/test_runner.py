@@ -179,7 +179,7 @@ class TestCompareReports:
 class TestSuiteRegistry:
     def test_registered_names(self):
         assert suite_names() == ["batch", "chaos", "dse", "scheduler",
-                                  "serve", "solver"]
+                                  "serve", "solver", "workloads"]
 
     def test_unknown_suite_raises(self):
         with pytest.raises(BenchmarkError, match="unknown suite"):
@@ -209,6 +209,25 @@ class TestSuiteRegistry:
         lpt = report.case("schedule_lpt_16")
         assert lpt.metrics["tasks"] == 16
         assert lpt.metrics["obs.schedule.cost_evaluations"] >= 1
+
+    def test_workloads_suite_case_names(self):
+        names = [case.name for case in build_suite("workloads", 16)]
+        assert names == ["streaming_fold_16", "tsqr_16", "dnc_16",
+                         "block_square_16"]
+
+    def test_workloads_suite_runs_smoke(self):
+        report = run_suite("workloads",
+                           build_suite("workloads", 16), seed=1)
+        # The dense-core legs obey the solver accuracy contract; the
+        # streaming leg tracks a truncated rank so its deviation is
+        # truncation-dominated but must stay bounded by the tracker's
+        # own error estimate (relative to the leading singular value).
+        for name in ("tsqr_16", "dnc_16", "block_square_16"):
+            assert report.case(name).metrics["sigma_rel_err"] < 1e-8
+        streaming = report.case("streaming_fold_16").metrics
+        assert streaming["updates"] >= 2
+        assert streaming["sigma_rel_err"] < 1.0
+        assert streaming["error_bound"] >= 0.0
 
 
 class TestStrategySpeedups:

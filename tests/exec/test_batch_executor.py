@@ -79,6 +79,32 @@ class TestBatchExecutor:
         # same-sized tasks: one cost evaluation serves the whole batch
         assert cache.stats.stores == 1
 
+    def test_rejects_unknown_method(self, config):
+        with pytest.raises(ConfigurationError, match="method"):
+            BatchExecutor(config, method="qr")
+
+    @pytest.mark.parametrize("method", ["tsqr", "dnc", "streaming",
+                                        "hestenes"])
+    def test_software_methods_match_lapack(self, config, batch, method):
+        report = BatchExecutor(
+            config, engine="software", jobs=1, method=method,
+        ).run(batch)
+        for result, matrix in zip(report.results, batch):
+            reference = np.linalg.svd(matrix, compute_uv=False)
+            sigma = np.sort(result.sigma)[::-1][: len(reference)]
+            np.testing.assert_allclose(sigma, reference, atol=1e-6)
+            assert not result.degraded
+
+    def test_method_crosses_process_pool(self, config, batch):
+        # The method must survive payload pickling into pool workers.
+        report = BatchExecutor(
+            config, engine="software", jobs=2, method="dnc",
+        ).run(batch)
+        for result, matrix in zip(report.results, batch):
+            reference = np.linalg.svd(matrix, compute_uv=False)
+            sigma = np.sort(result.sigma)[::-1][: len(reference)]
+            np.testing.assert_allclose(sigma, reference, atol=1e-6)
+
 
 class TestTaskBatchViews:
     def test_to_specs_ids_are_batch_indices(self, batch):

@@ -1,0 +1,155 @@
+"""Tests for the incremental streaming SVD (``method="streaming"``)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, NumericalError
+from repro.linalg.streaming import (
+    StreamingResult,
+    StreamingSVD,
+    streaming_svd,
+)
+from repro.linalg.svd import svd
+from repro.workloads.streaming import rating_stream
+
+
+class TestOneShotStreaming:
+    @pytest.mark.parametrize("shape", [
+        (64, 16), (500, 24), (24, 500), (33, 17), (100, 100),
+    ])
+    def test_full_rank_matches_lapack(self, rng, shape):
+        # At full rank nothing is ever truncated, so the stream of
+        # folds must land on the batch answer to the solver contract.
+        a = rng.standard_normal(shape)
+        result = streaming_svd(a)
+        s_ref = np.linalg.svd(a, compute_uv=False)
+        assert np.max(np.abs(result.singular_values - s_ref)) \
+            <= 1e-10 * s_ref[0]
+        assert np.allclose(result.reconstruct(), a, atol=1e-8)
+
+    def test_multiple_folds_happen(self, rng):
+        a = rng.standard_normal((200, 16))
+        result = streaming_svd(a, chunk_rows=32)
+        assert result.updates == 7  # ceil(200 / 32)
+        assert result.converged is True
+        assert result.degraded is False
+
+    def test_truncated_rank(self, rng):
+        a = rng.standard_normal((120, 40))
+        result = streaming_svd(a, rank=10, chunk_rows=30)
+        assert result.singular_values.shape == (10,)
+        assert result.u.shape == (120, 10)
+        assert result.v.shape == (40, 10)
+
+    def test_invalid_inputs(self, rng):
+        with pytest.raises(NumericalError):
+            streaming_svd(np.zeros((0, 4)))
+        with pytest.raises(ConfigurationError):
+            streaming_svd(rng.standard_normal((8, 4)), rank=0)
+        with pytest.raises(ConfigurationError):
+            streaming_svd(rng.standard_normal((8, 4)), chunk_rows=0)
+
+    def test_result_type(self, rng):
+        assert isinstance(streaming_svd(rng.standard_normal((16, 4))),
+                          StreamingResult)
+
+
+class TestStreamingUpdates:
+    def test_exact_on_low_rank_stream(self, rng):
+        # Rank-k data tracked at rank k: every fold is exact.
+        k = 5
+        left = rng.standard_normal((150, k))
+        right = rng.standard_normal((k, 40))
+        a = left @ right
+        stream = StreamingSVD(rank=k)
+        for start in range(0, 150, 25):
+            stream.update(a[start:start + 25])
+        s_ref = np.linalg.svd(a, compute_uv=False)[:k]
+        assert np.max(np.abs(stream.singular_values - s_ref)) \
+            <= 1e-10 * s_ref[0]
+        assert np.allclose(stream.reconstruct(), a, atol=1e-8)
+        assert stream.error_bound() <= 1e-8
+
+    def test_error_bound_holds_and_is_monotone(self, rng):
+        # The documented contract: the bound dominates the true error
+        # at every rank, and both shrink as the rank grows.
+        a = rng.standard_normal((160, 40))
+        bounds, errors = [], []
+        for rank in (4, 8, 16, 32, 40):
+            stream = StreamingSVD(rank=rank)
+            for start in range(0, 160, 20):
+                stream.update(a[start:start + 20])
+            true_err = np.linalg.norm(a - stream.reconstruct())
+            assert true_err <= stream.error_bound() + 1e-9
+            bounds.append(stream.error_bound())
+            errors.append(true_err)
+        assert all(hi >= lo - 1e-9
+                   for hi, lo in zip(bounds, bounds[1:]))
+        assert all(hi >= lo - 1e-9
+                   for hi, lo in zip(errors, errors[1:]))
+        assert bounds[-1] <= 1e-8  # full rank truncates nothing
+
+    def test_from_matrix_warm_start(self, rng):
+        a = rng.standard_normal((80, 24))
+        stream = StreamingSVD.from_matrix(a, rank=24, seed=0)
+        b = rng.standard_normal((40, 24))
+        stream.update(b)
+        full = np.vstack([a, b])
+        s_ref = np.linalg.svd(full, compute_uv=False)
+        assert np.allclose(stream.singular_values, s_ref, rtol=1e-6)
+        assert stream.rows == 120
+
+    def test_rating_stream_tracking(self, rng):
+        # The workload generator and the tracker, end to end: rank-r
+        # structure plus noise tracked at the structural rank.
+        stream_data = rating_stream(120, 30, latent_rank=6,
+                                    chunk_rows=24, seed=7)
+        tracker = StreamingSVD(rank=6)
+        tracker.update(stream_data.initial)
+        for block in stream_data.updates:
+            tracker.update(block)
+        assert tracker.rows == 120
+        assert tracker.updates == 5
+        full = stream_data.full_matrix()
+        s_ref = np.linalg.svd(full, compute_uv=False)
+        # Rank-6 tracking of a rank-6-plus-noise matrix: the retained
+        # spectrum tracks the top of the batch spectrum to a few
+        # percent, and the bound covers the deviation.
+        assert np.allclose(tracker.singular_values, s_ref[:6], rtol=0.1)
+        true_err = np.linalg.norm(full - tracker.reconstruct())
+        assert true_err <= tracker.error_bound() + 1e-9
+
+    def test_update_validation(self, rng):
+        stream = StreamingSVD(rank=4)
+        with pytest.raises(NumericalError):
+            stream.update(np.ones(3))
+        with pytest.raises(NumericalError):
+            stream.update(np.zeros((0, 4)))
+        stream.update(rng.standard_normal((6, 8)))
+        with pytest.raises(NumericalError):
+            stream.update(rng.standard_normal((6, 9)))
+        with pytest.raises(NumericalError):
+            stream.update(np.full((2, 8), np.nan))
+
+    def test_empty_tracker_raises(self):
+        stream = StreamingSVD(rank=4)
+        with pytest.raises(NumericalError):
+            _ = stream.singular_values
+        with pytest.raises(ConfigurationError):
+            StreamingSVD(rank=0)
+
+
+class TestStreamingDispatch:
+    def test_svd_method_streaming(self, rng):
+        a = rng.standard_normal((96, 20))
+        via_svd = svd(a, method="streaming")
+        s_ref = np.linalg.svd(a, compute_uv=False)
+        assert np.max(np.abs(via_svd.singular_values - s_ref)) \
+            <= 1e-10 * s_ref[0]
+        assert via_svd.method == "streaming"
+
+    def test_odd_columns_no_padding(self, rng):
+        a = rng.standard_normal((40, 11))
+        result = svd(a, method="streaming")
+        assert result.v.shape == (11, 11)
+        assert np.allclose(result.reconstruct(), a, atol=1e-8)

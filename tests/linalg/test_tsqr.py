@@ -1,0 +1,118 @@
+"""Tests for the tall-skinny TSQR SVD (``method="tsqr"``)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeadlineExceeded, NumericalError
+from repro.linalg.svd import svd
+from repro.linalg.tsqr import TSQRResult, panel_r, tall_skinny_svd
+from repro.workloads.tallskinny import tall_skinny_matrix
+
+
+def _check(a, result, rtol=1e-10):
+    s_ref = np.linalg.svd(a, compute_uv=False)
+    scale = s_ref[0] if s_ref[0] > 0 else 1.0
+    assert np.max(np.abs(result.singular_values - s_ref)) <= rtol * scale
+    assert np.allclose(result.reconstruct(), a, atol=1e-8 * max(scale, 1.0))
+
+
+class TestTSQRAccuracy:
+    @pytest.mark.parametrize("shape", [
+        (600, 20), (4096, 16), (100, 100), (24, 500), (33, 17),
+    ])
+    def test_matches_lapack(self, rng, shape):
+        a = rng.standard_normal(shape)
+        _check(a, tall_skinny_svd(a))
+
+    def test_graded_columns(self):
+        a = tall_skinny_matrix(2000, 24, decay=0.7, seed=3)
+        _check(a, tall_skinny_svd(a))
+
+    def test_orthogonal_factors(self, rng):
+        a = rng.standard_normal((900, 18))
+        result = tall_skinny_svd(a)
+        eye = np.eye(18)
+        # U comes from the A V / s recovery, so its orthogonality is
+        # set by the core's convergence threshold (1e-8), not eps.
+        assert np.allclose(result.u.T @ result.u, eye, atol=1e-7)
+        assert np.allclose(result.v.T @ result.v, eye, atol=1e-10)
+
+    def test_tree_shape(self, rng):
+        a = rng.standard_normal((600, 20))
+        result = tall_skinny_svd(a, panel_rows=80)
+        assert result.panels == 8
+        assert result.tree_levels == 3
+
+    def test_single_panel(self, rng):
+        a = rng.standard_normal((50, 10))
+        result = tall_skinny_svd(a)
+        assert result.panels == 1
+        assert result.tree_levels == 0
+        _check(a, result)
+
+
+class TestTSQRParallel:
+    def test_bit_identical_across_job_counts(self, rng):
+        # Panel Rs are computed independently, so the process-pool
+        # fan-out must not change a single bit of the result.
+        a = rng.standard_normal((600, 20))
+        serial = tall_skinny_svd(a, panel_rows=80, jobs=1)
+        parallel = tall_skinny_svd(a, panel_rows=80, jobs=3)
+        assert np.array_equal(serial.singular_values,
+                              parallel.singular_values)
+        assert np.array_equal(serial.u, parallel.u)
+        assert np.array_equal(serial.v, parallel.v)
+
+    def test_panel_r_is_module_level(self):
+        # Process pools pickle by qualified name.
+        assert panel_r.__module__ == "repro.linalg.tsqr"
+        r = panel_r(np.eye(4))
+        assert r.shape == (4, 4)
+
+
+class TestTSQREdges:
+    def test_invalid_inputs(self):
+        with pytest.raises(NumericalError):
+            tall_skinny_svd(np.zeros((0, 4)))
+        with pytest.raises(NumericalError):
+            tall_skinny_svd(np.ones(5))
+        with pytest.raises(NumericalError):
+            tall_skinny_svd(np.eye(4), panel_rows=0)
+
+    def test_rank_deficient_zero_columns(self, rng):
+        # Singular values below the cutoff must produce exactly-zero
+        # U columns, not amplified noise.
+        a = rng.standard_normal((300, 4)) @ rng.standard_normal((4, 12))
+        result = tall_skinny_svd(a)
+        s_ref = np.linalg.svd(a, compute_uv=False)
+        assert np.allclose(result.singular_values, s_ref,
+                           atol=1e-9 * s_ref[0])
+        assert np.all(result.u[:, 6:] == 0.0)
+
+    def test_expired_deadline_raises(self, rng):
+        a = rng.standard_normal((600, 20))
+        with pytest.raises(DeadlineExceeded):
+            tall_skinny_svd(a, panel_rows=40, deadline=1e-12)
+
+    def test_result_type(self, rng):
+        assert isinstance(tall_skinny_svd(rng.standard_normal((64, 8))),
+                          TSQRResult)
+
+
+class TestTSQRDispatch:
+    def test_svd_method_tsqr(self, rng):
+        a = rng.standard_normal((400, 18))
+        via_svd = svd(a, method="tsqr")
+        direct = tall_skinny_svd(a)
+        assert np.allclose(via_svd.singular_values,
+                           direct.singular_values, rtol=1e-12)
+        assert via_svd.method == "tsqr"
+        _check(a, via_svd)
+
+    def test_odd_core_width_picks_valid_block_width(self, rng):
+        # n=18 pads to 18 inside the block core; the auto-picked width
+        # must divide it (the naive min(8, n//2)=8 would not).
+        a = rng.standard_normal((300, 18))
+        _check(a, tall_skinny_svd(a))
+        a = rng.standard_normal((300, 9))
+        _check(a, tall_skinny_svd(a))

@@ -166,3 +166,17 @@ class TestCoalesceKey:
         assert (key.m, key.n, key.dtype, key.strategy,
                 key.block_width) == (16, 32, "float64", "auto", 4)
         assert key.cells == 512
+        assert key.method == "block"
+
+    def test_method_splits_keys(self):
+        base = request_key(_decompose(), (16, 16), 4)
+        tsqr = request_key(_decompose(method="tsqr"), (16, 16), 4)
+        assert tsqr != base
+        assert tsqr.method == "tsqr"
+        assert base.method == "block"
+        # Explicit default method coalesces with the omitted field.
+        assert request_key(_decompose(method="block"), (16, 16), 4) == base
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ServeProtocolError, match="method"):
+            validate_request(_decompose(method="qr"))

@@ -146,6 +146,35 @@ class TestByteIdentity:
             ).tobytes() == np.asarray(local, dtype=np.float64).tobytes()
 
 
+class TestMethodField:
+    def test_explicit_block_byte_identical_to_default(self, client):
+        # Requests that spell out method="block" must coalesce with —
+        # and answer identically to — requests that omit the field.
+        default = client.decompose(shape=[16, 16], seed=3)
+        explicit = client.decompose(shape=[16, 16], seed=3,
+                                    method="block")
+        assert np.asarray(default["sigma"]).tobytes() == np.asarray(
+            explicit["sigma"]
+        ).tobytes()
+
+    @pytest.mark.parametrize("method", ["tsqr", "dnc", "streaming",
+                                        "hestenes"])
+    def test_alternate_methods_match_lapack(self, client, method):
+        matrix = random_matrix(32, 16, seed=8)
+        response = client.decompose(matrix=matrix.tolist(),
+                                    method=method)
+        assert response["degraded"] is False
+        reference = np.linalg.svd(matrix, compute_uv=False)
+        sigma = np.asarray(response["sigma"])[: len(reference)]
+        np.testing.assert_allclose(sigma, reference, atol=1e-6)
+
+    def test_unknown_method_answered_schema(self, client):
+        from repro.errors import ServeProtocolError
+
+        with pytest.raises(ServeProtocolError, match="method"):
+            client.decompose(shape=[16, 16], seed=1, method="qr")
+
+
 class TestBrownoutTier:
     def test_oversized_request_is_shed_and_degraded(self):
         config = ServeConfig(

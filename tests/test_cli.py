@@ -80,6 +80,35 @@ class TestCommands:
         assert "singular values" in out
         assert "LAPACK" in out
 
+    @pytest.mark.parametrize("method", ["block", "hestenes", "tsqr",
+                                        "dnc", "streaming"])
+    def test_svd_software_methods(self, capsys, method):
+        assert main(["svd", "--size", "16", "--p-eng", "2",
+                     "--method", method]) == 0
+        out = capsys.readouterr().out
+        assert f"method={method}" in out
+        deviation = float(out.split("max deviation vs LAPACK: ")[1]
+                          .split()[0])
+        assert deviation < 1e-6
+
+    def test_svd_method_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["svd", "--method", "qr"])
+
+    def test_svd_method_saves_factors(self, tmp_path, capsys, rng):
+        out_path = tmp_path / "factors.npz"
+        assert main(["svd", "--size", "12", "--method", "dnc",
+                     "--output", str(out_path)]) == 0
+        saved = np.load(out_path)
+        assert set(saved.files) == {"u", "sigma", "v"}
+        assert saved["u"].shape == (12, 12)
+
+    def test_svd_batch_with_method(self, capsys):
+        assert main(["svd", "--size", "16", "--batch", "3",
+                     "--p-eng", "2", "--method", "tsqr"]) == 0
+        out = capsys.readouterr().out
+        assert "software engine, tsqr method" in out
+
     def test_svd_stdout_identical_across_strategies(self, capsys):
         """The default accelerator path is strategy-independent.
 

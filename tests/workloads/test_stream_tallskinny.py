@@ -1,0 +1,84 @@
+"""Tests for the streaming and tall-skinny workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.streaming import RatingStream, rating_stream
+from repro.workloads.tallskinny import tall_skinny_matrix
+
+
+class TestRatingStream:
+    def test_chunking_covers_all_users(self):
+        stream = rating_stream(100, 20, chunk_rows=16, seed=0)
+        assert isinstance(stream, RatingStream)
+        assert stream.total_rows == 100
+        assert stream.initial.shape == (16, 20)
+        assert [b.shape[0] for b in stream.updates] == [16] * 5 + [4]
+        assert stream.full_matrix().shape == (100, 20)
+
+    def test_single_chunk_stream(self):
+        stream = rating_stream(10, 8, chunk_rows=16, seed=0)
+        assert stream.updates == []
+        assert stream.initial.shape == (10, 8)
+
+    def test_rating_scale(self):
+        stream = rating_stream(200, 30, seed=1)
+        full = stream.full_matrix()
+        assert full.min() >= 1.0
+        assert full.max() <= 5.0
+
+    def test_low_rank_structure(self):
+        # Noise-free chunks share the item factors: latent_rank
+        # preference directions plus the 3.0 DC offset carry the
+        # matrix; the [1, 5] clipping nonlinearity leaves only a thin
+        # tail beyond those latent_rank + 1 directions.
+        stream = rating_stream(120, 40, latent_rank=5, noise=0.0,
+                               seed=2)
+        s = np.linalg.svd(stream.full_matrix(), compute_uv=False)
+        tail = np.sum(s[6:] ** 2)
+        assert tail < 0.01 * np.sum(s ** 2)
+
+    def test_deterministic(self):
+        a = rating_stream(64, 16, seed=9)
+        b = rating_stream(64, 16, seed=9)
+        assert np.array_equal(a.full_matrix(), b.full_matrix())
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            rating_stream(0, 10)
+        with pytest.raises(ConfigurationError):
+            rating_stream(10, 10, latent_rank=11)
+        with pytest.raises(ConfigurationError):
+            rating_stream(10, 10, chunk_rows=0)
+
+
+class TestTallSkinnyMatrix:
+    def test_shape_and_determinism(self):
+        a = tall_skinny_matrix(500, 20, seed=3)
+        b = tall_skinny_matrix(500, 20, seed=3)
+        assert a.shape == (500, 20)
+        assert np.array_equal(a, b)
+
+    def test_graded_spectrum(self):
+        a = tall_skinny_matrix(2000, 16, decay=0.5, seed=4)
+        s = np.linalg.svd(a, compute_uv=False)
+        # Geometric column scaling drives the condition number toward
+        # 1 / decay**(n-1); with sampling noise, an order of magnitude
+        # of slack is ample.
+        assert s[0] / s[-1] > 0.5 ** -(16 - 1) / 10
+
+    def test_unit_decay_is_plain_gaussian_scale(self):
+        a = tall_skinny_matrix(3000, 10, decay=1.0, seed=5)
+        s = np.linalg.svd(a, compute_uv=False)
+        assert s[0] / s[-1] < 3.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            tall_skinny_matrix(5, 10)  # wide is rejected
+        with pytest.raises(ConfigurationError):
+            tall_skinny_matrix(10, 0)
+        with pytest.raises(ConfigurationError):
+            tall_skinny_matrix(10, 5, decay=0.0)
+        with pytest.raises(ConfigurationError):
+            tall_skinny_matrix(10, 5, decay=1.5)
