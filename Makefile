@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test bench bench-smoke baselines serve-smoke chaos-serve microbench validate examples lint smoke guard-smoke ci all clean
+.PHONY: install test bench bench-smoke baselines serve-smoke chaos-serve dse-chaos microbench validate examples lint smoke guard-smoke ci all clean
 
 BASELINE_DIR := benchmarks/baselines
 
@@ -47,6 +47,9 @@ bench-smoke:
 	$(PYTHON) -m repro.cli bench --suite workloads --size 48 --out . \
 		--baseline $(BASELINE_DIR)/BENCH_workloads.json --threshold 0.5; \
 		test $$? -eq 0 -o $$? -eq 3
+	$(PYTHON) -m repro.cli bench --suite dse_sharded --size 32 --out . \
+		--baseline $(BASELINE_DIR)/BENCH_dse_sharded.json --threshold 0.5; \
+		test $$? -eq 0 -o $$? -eq 3
 	$(PYTHON) -m repro.cli bench --check BENCH_solver.json
 	$(PYTHON) -m repro.cli bench --check BENCH_dse.json
 	$(PYTHON) -m repro.cli bench --check BENCH_scheduler.json
@@ -54,6 +57,7 @@ bench-smoke:
 	$(PYTHON) -m repro.cli bench --check BENCH_serve.json
 	$(PYTHON) -m repro.cli bench --check BENCH_chaos.json
 	$(PYTHON) -m repro.cli bench --check BENCH_workloads.json
+	$(PYTHON) -m repro.cli bench --check BENCH_dse_sharded.json
 
 # Re-record the blessed baselines (commit the result deliberately).
 baselines:
@@ -65,6 +69,7 @@ baselines:
 	$(PYTHON) -m repro.cli bench --suite serve --size 64 --out $(BASELINE_DIR) --no-compare
 	$(PYTHON) -m repro.cli bench --suite chaos --size 48 --out $(BASELINE_DIR) --no-compare
 	$(PYTHON) -m repro.cli bench --suite workloads --size 48 --out $(BASELINE_DIR) --no-compare
+	$(PYTHON) -m repro.cli bench --suite dse_sharded --size 32 --out $(BASELINE_DIR) --no-compare
 
 # Serving-layer smoke: real daemon subprocess, 200-request wire-driven
 # mix (deadline + oversized probes), counter assertions, then the
@@ -78,6 +83,12 @@ serve-smoke:
 # script CI runs.
 chaos-serve:
 	$(PYTHON) tools/chaos_soak.py --out .
+
+# Sharded-DSE chaos: 3-shard CLI sweep, SIGKILL one shard mid-chunk,
+# assert lease reclaim + work stealing + corrupt-ledger quarantine +
+# merged-frontier parity with the serial sweep.  Same script CI runs.
+dse-chaos:
+	$(PYTHON) tools/dse_chaos.py
 
 # pytest-benchmark microbenchmarks (kernel-level timings).
 microbench:
@@ -125,7 +136,7 @@ guard-smoke:
 	rm -f guard_nan.npy guard_ck.json
 
 # Reproduce the GitHub Actions pipeline locally.
-ci: lint test smoke guard-smoke serve-smoke chaos-serve
+ci: lint test smoke guard-smoke serve-smoke chaos-serve dse-chaos
 
 examples:
 	$(PYTHON) examples/quickstart.py

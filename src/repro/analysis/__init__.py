@@ -11,13 +11,21 @@
 """
 
 from repro.analysis.roofline import RooflinePoint, roofline_analysis
-from repro.analysis.pareto import pareto_front
+from repro.analysis.pareto import (
+    ShardMerge,
+    ShardProvenance,
+    merge_shards,
+    pareto_front,
+)
 from repro.analysis.sensitivity import SensitivityResult, sensitivity_analysis
 
 __all__ = [
     "RooflinePoint",
     "roofline_analysis",
     "pareto_front",
+    "merge_shards",
+    "ShardMerge",
+    "ShardProvenance",
     "SensitivityResult",
     "sensitivity_analysis",
 ]

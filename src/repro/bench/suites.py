@@ -13,6 +13,10 @@ smoke test in CI (``--size 48``).  The registry:
   the batching speedup directly (see :func:`strategy_speedups`).
 * ``dse`` — a full design-space exploration sweep (feasibility +
   modelled evaluation of every candidate point).
+* ``dse_sharded`` — the widened space (ring orderings x frequency
+  derates) swept serially and as a 2-shard process sweep with merge;
+  the sharded case asserts merged-frontier parity with the serial
+  reference (see docs/resilience.md's sharded-sweeps section).
 * ``scheduler`` — LPT scheduling and pipeline assignment of a large
   mixed-size batch through :class:`~repro.core.scheduler.BatchScheduler`.
 * ``batch`` — end-to-end :class:`~repro.exec.batch.BatchExecutor` runs
@@ -45,6 +49,7 @@ from repro.errors import BenchmarkError
 DEFAULT_SIZES = {
     "solver": 256,
     "dse": 64,
+    "dse_sharded": 48,
     "scheduler": 400,
     "batch": 32,
     "serve": 200,
@@ -124,6 +129,75 @@ def _dse_cases(size: int) -> List[BenchCase]:
     return [
         BenchCase(f"dse_latency_{size}", explore("latency")),
         BenchCase(f"dse_throughput_{size}", explore("throughput")),
+    ]
+
+
+def _dse_sharded_cases(size: int) -> List[BenchCase]:
+    """The sharded sweep over the widened space, parity-pinned.
+
+    ``dse_wide_serial_<n>`` measures the serial reference sweep of the
+    widened space (orderings x derates, several times the classic
+    candidate count); ``dse_sharded_<n>`` runs the same space as a
+    2-shard process sweep plus merge and *asserts* the merged Pareto
+    frontier is byte-identical to the serial one — a silent parity
+    break fails the benchmark rather than blessing a wrong frontier.
+    """
+    import json
+    import shutil
+    import tempfile
+
+    from repro.analysis.pareto import merge_shards, pareto_front
+    from repro.dse import DesignSpace, run_sharded
+    from repro.io import design_point_to_dict
+
+    def space() -> "DesignSpace":
+        return DesignSpace(size, size, fixed_iterations=4)
+
+    def frontier_bytes(points) -> str:
+        return json.dumps(
+            [design_point_to_dict(p) for p in points], sort_keys=True
+        )
+
+    def serial_run(seed: int) -> Dict[str, Any]:
+        s = space()
+        points = s.explore_serial()
+        front = pareto_front(points)
+        return {
+            "units": len(s.units()),
+            "points": len(points),
+            "frontier": len(front),
+        }
+
+    def sharded_run(seed: int) -> Dict[str, Any]:
+        s = space()
+        reference = frontier_bytes(pareto_front(s.explore_serial()))
+        workdir = tempfile.mkdtemp(prefix="bench-dse-sharded-")
+        try:
+            summary = run_sharded(
+                workdir, s, shards=2, seed=seed, lease_ttl=10.0,
+            )
+            merge = merge_shards(workdir, recover=True)
+            parity = frontier_bytes(merge.frontier) == reference
+            if not parity:
+                raise BenchmarkError(
+                    "merged frontier diverged from the serial sweep "
+                    "over the same space"
+                )
+            return {
+                "units": merge.total_units,
+                "merged": merge.merged_units,
+                "frontier": len(merge.frontier),
+                "duplicates": merge.duplicates,
+                "shards_failed": summary["failed"],
+                "recovered": summary["recovered"] + merge.recovered,
+                "parity": int(parity),
+            }
+        finally:
+            shutil.rmtree(workdir, ignore_errors=True)
+
+    return [
+        BenchCase(f"dse_wide_serial_{size}", serial_run),
+        BenchCase(f"dse_sharded_{size}", sharded_run),
     ]
 
 
@@ -364,6 +438,7 @@ def _workloads_cases(size: int) -> List[BenchCase]:
 SUITES: Dict[str, Callable[[int], List[BenchCase]]] = {
     "solver": _solver_cases,
     "dse": _dse_cases,
+    "dse_sharded": _dse_sharded_cases,
     "scheduler": _scheduler_cases,
     "batch": _batch_cases,
     "serve": _serve_cases,

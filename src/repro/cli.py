@@ -283,8 +283,168 @@ def _cmd_svd_batch(args) -> int:
     return 0
 
 
+def _split_csv(raw, cast):
+    return tuple(cast(part) for part in str(raw).split(",") if part)
+
+
+def _build_design_space(args):
+    """The widened DesignSpace described by the dse flags."""
+    from repro.dse import DesignSpace
+
+    return DesignSpace(
+        args.size,
+        args.size,
+        precision=args.precision,
+        batch=args.batch,
+        orderings=_split_csv(args.orderings, str),
+        freq_derates=_split_csv(args.derates, float),
+        power_cap_w=args.power_cap,
+    )
+
+
+def _reset_workdir(workdir, shard=None) -> None:
+    """Discard sweep state so a non-resume run starts clean.
+
+    Only the sweep's own file kinds are touched — never the directory
+    itself or anything a user may have put next to it.
+    """
+    import os
+    from pathlib import Path
+
+    workdir = Path(workdir)
+    if not workdir.exists():
+        return
+    if shard is not None:
+        patterns = [f"shard-{shard}.json", f"shard-{shard}.json.corrupt-*",
+                    f"shard-{shard}.lease"]
+    else:
+        patterns = ["plan.json", "shard-*.json", "shard-*.json.corrupt-*",
+                    "shard-*.lease", "recovered.json",
+                    "recovered.json.corrupt-*"]
+    for pattern in patterns:
+        for path in workdir.glob(pattern):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+
+def _print_frontier(space, merge, args) -> None:
+    """Render a merged frontier the way classic dse renders rankings."""
+    ranked = space.ranked(merge.points, args.objective)
+    table = Table(
+        f"Sharded DSE: {space.m}x{space.n}, objective={args.objective}, "
+        f"{merge.merged_units}/{merge.total_units} units",
+        ["rank", "P_eng", "P_task", "ordering", "freq MHz", "latency ms",
+         "tasks/s", "power W", "front"],
+    )
+    frontier_ids = {id(p) for p in merge.frontier}
+    shown = 0
+    for point in ranked:
+        if shown >= args.top:
+            break
+        shown += 1
+        table.add_row(
+            shown, point.config.p_eng, point.config.p_task,
+            "codesign" if point.config.use_codesign else "traditional",
+            f"{point.config.pl_frequency_hz / 1e6:.0f}",
+            f"{point.latency * 1e3:.3f}",
+            f"{point.throughput:.2f}",
+            f"{point.power.total:.1f}",
+            "*" if id(point) in frontier_ids else "",
+        )
+    table.print()
+    print(f"merge: {merge.describe()}", file=sys.stderr)
+    for prov in merge.shards:
+        if prov.present or prov.quarantined or prov.shard != "recovered":
+            print(
+                f"  shard {prov.shard}: entries={prov.entries} "
+                f"steals={prov.steal_count} "
+                f"quarantined={len(prov.quarantined)}"
+                + ("" if prov.present else " (ledger missing)"),
+                file=sys.stderr,
+            )
+    if args.save:
+        from repro.io import save_design_points
+
+        save_design_points(ranked, args.save)
+        print(f"saved {len(ranked)} design points to {args.save}")
+
+
+def _cmd_dse_sharded(args) -> int:
+    """The --shards path of cmd_dse: worker or coordinator mode."""
+    from repro.analysis.pareto import merge_shards
+    from repro.dse import run_shard, run_sharded
+    from repro.resilience import active_plan
+
+    space = _build_design_space(args)
+    if args.shard_id is not None:
+        # Worker mode: run exactly one shard in this process (the
+        # chaos tools SIGKILL these; siblings steal the leftovers).
+        if not args.resume:
+            _reset_workdir(args.workdir, shard=args.shard_id)
+        stats = run_shard(
+            args.workdir,
+            args.shard_id,
+            space=space,
+            shards=args.shards,
+            seed=args.shard_seed,
+            lease_ttl=args.lease_ttl,
+            steal=args.steal,
+        )
+        print(
+            f"shard {args.shard_id}/{args.shards}: "
+            f"{stats['evaluated']} evaluated "
+            f"({stats['skipped']} resumed, {stats['stolen']} stolen in "
+            f"{stats['steals']} steals)"
+        )
+        return 0
+    # Coordinator mode: supervise every shard, then merge.
+    if not args.resume:
+        _reset_workdir(args.workdir)
+    summary = run_sharded(
+        args.workdir,
+        space,
+        shards=args.shards,
+        seed=args.shard_seed,
+        lease_ttl=args.lease_ttl,
+        steal=args.steal,
+        fault_plan=active_plan(),
+    )
+    if summary["failed"] or summary["recovered"]:
+        print(
+            f"supervision: {summary['failed']} shard(s) failed, "
+            f"{summary['recovered']} unit(s) recovered inline",
+            file=sys.stderr,
+        )
+    merge = merge_shards(args.workdir, recover=True)
+    _print_frontier(space, merge, args)
+    return 0
+
+
+def cmd_dse_merge(args) -> int:
+    """Merge shard ledgers into the global Pareto frontier."""
+    from repro.analysis.pareto import merge_shards
+    from repro.dse.sharded import ShardPlan
+
+    plan = ShardPlan.load(args.workdir)
+    merge = merge_shards(args.workdir, recover=args.recover)
+    _print_frontier(plan.space, merge, args)
+    if not merge.complete:
+        print(
+            f"merge incomplete: {merge.missing_units} unit(s) missing — "
+            f"rerun the owning shards with --resume, or merge with "
+            f"--recover",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def cmd_dse(args) -> int:
     """Run the two-stage DSE and print the ranked design points."""
+    if args.shards is not None:
+        return _cmd_dse_sharded(args)
     dse = DesignSpaceExplorer(args.size, args.size, precision=args.precision)
     cache = _make_cache(args)
     checkpoint = _make_checkpoint(args, "dse-sweep")
@@ -824,6 +984,51 @@ def build_parser() -> argparse.ArgumentParser:
     p_dse.add_argument("--precision", type=float, default=1e-6)
     p_dse.add_argument("--top", type=int, default=10)
     p_dse.add_argument("--save", help="write ranked points to a JSON file")
+
+    def add_sharded_space_flags(sub_parser):
+        sub_parser.add_argument(
+            "--workdir", default=".heterosvd_dse", metavar="DIR",
+            help="shared sweep directory holding the plan, per-shard "
+            "ledgers and leases (default: .heterosvd_dse)",
+        )
+        sub_parser.add_argument(
+            "--orderings", default="codesign,traditional",
+            metavar="A,B",
+            help="ring-ordering axis values swept "
+            "(default: codesign,traditional)",
+        )
+        sub_parser.add_argument(
+            "--derates", default="1.0,0.9", metavar="X,Y",
+            help="frequency-derate axis values swept (default: 1.0,0.9)",
+        )
+
+    p_dse.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="run the widened-space sharded sweep across N shards "
+        "(lease-based work stealing; see docs/resilience.md) instead "
+        "of the classic single-process exploration",
+    )
+    p_dse.add_argument(
+        "--shard-id", type=int, default=None, metavar="I",
+        help="run only shard I of the sweep in this process (worker "
+        "mode; omit to supervise every shard and merge)",
+    )
+    p_dse.add_argument(
+        "--lease-ttl", type=float, default=10.0, metavar="S",
+        help="seconds without a heartbeat before a shard's lease "
+        "expires and its remaining work may be stolen (default: 10)",
+    )
+    p_dse.add_argument(
+        "--shard-seed", type=int, default=0, metavar="N",
+        help="partition seed deciding which shard owns which unit "
+        "(default: 0)",
+    )
+    p_dse.add_argument(
+        "--steal", action=argparse.BooleanOptionalAction, default=True,
+        help="steal expired siblings' remaining work after finishing "
+        "own units (default: on)",
+    )
+    add_sharded_space_flags(p_dse)
     add_jobs_flag(p_dse)
     add_cache_flag(p_dse)
     add_obs_flags(p_dse)
@@ -832,6 +1037,29 @@ def build_parser() -> argparse.ArgumentParser:
     add_checkpoint_flags(p_dse)
     add_deadline_flag(p_dse)
     p_dse.set_defaults(func=cmd_dse)
+
+    p_merge = sub.add_parser(
+        "dse-merge",
+        help="fold sharded-sweep ledgers into the global Pareto frontier",
+    )
+    p_merge.add_argument(
+        "--workdir", default=".heterosvd_dse", metavar="DIR",
+        help="the sweep directory to merge (default: .heterosvd_dse)",
+    )
+    p_merge.add_argument(
+        "--objective", default="latency",
+        choices=["latency", "throughput", "energy_efficiency"],
+    )
+    p_merge.add_argument("--top", type=int, default=10)
+    p_merge.add_argument(
+        "--recover", action="store_true",
+        help="evaluate missing units inline instead of reporting an "
+        "incomplete merge (exit 1)",
+    )
+    p_merge.add_argument("--save", help="write ranked points to a JSON file")
+    add_obs_flags(p_merge)
+    add_fault_plan_flag(p_merge)
+    p_merge.set_defaults(func=cmd_dse_merge)
 
     p_model = sub.add_parser("model", help="performance-model breakdown")
     p_model.add_argument("--size", type=int, default=256)
@@ -1067,11 +1295,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         fault_path = getattr(args, "fault_plan", None)
         if fault_path is None:
             return args.func(args)
-        if getattr(args, "command", None) == "serve":
+        command = getattr(args, "command", None)
+        if command == "serve":
             # load_fault_plan rejects unregistered site names, and the
             # serve.* sites register at serve-module import — which
             # cmd_serve would otherwise only reach after the plan load.
             import repro.serve.server  # noqa: F401
+        if command in ("dse", "dse-merge"):
+            # Same pattern: dse.shard_crash / dse.shard_stall /
+            # checkpoint.torn_write register at sharded-module import.
+            import repro.dse.sharded  # noqa: F401
         from repro.resilience import load_fault_plan
 
         plan = load_fault_plan(fault_path)

@@ -220,9 +220,24 @@ class DesignSpaceExplorer:
         frequency_hz: Optional[float] = None,
     ) -> DesignPoint:
         """Stage 2 of Fig. 8: score one design point with the model."""
+        return self.evaluate_config(
+            self.make_config(p_eng, p_task, frequency_hz), batch
+        )
+
+    def evaluate_config(
+        self,
+        config: HeteroSVDConfig,
+        batch: int = 1,
+    ) -> DesignPoint:
+        """Score an explicit configuration.
+
+        This is :meth:`evaluate` minus the config construction, so the
+        widened design space (:mod:`repro.dse.space` — ring ordering,
+        frequency derating) can score variants that
+        ``make_config`` alone cannot express.
+        """
         if batch < 1:
             raise ConfigurationError(f"batch must be >= 1, got {batch}")
-        config = self.make_config(p_eng, p_task, frequency_hz)
         placement = place(config)
         usage = estimate_resources(config, placement)
         check_budgets(usage, config)

@@ -19,7 +19,13 @@ and testable under failure:
   recover it by probing (see ``docs/serving.md``);
 * :mod:`repro.resilience.checkpoint` — :class:`SweepCheckpoint`,
   atomic JSON checkpointing of completed design-point evaluations so a
-  killed sweep resumes (``--resume``) losing at most one chunk.
+  killed sweep resumes (``--resume``) losing at most one chunk; a
+  torn or corrupt ledger is quarantined (``*.corrupt-<n>``), never
+  fatal;
+* :mod:`repro.resilience.lease` — heartbeat/lease files
+  (:class:`Lease`, :class:`LeaseMonitor`) that let a sharded sweep
+  detect dead workers and steal their remaining work (see
+  ``docs/resilience.md`` § sharded sweeps).
 
 Graceful numerical degradation (non-convergent blocks falling back to
 the reference LAPACK SVD) lives with the solvers in
@@ -50,6 +56,14 @@ from repro.resilience.faults import (
     load_fault_plan,
     register_site,
 )
+from repro.resilience.lease import (
+    Lease,
+    LeaseMonitor,
+    LeaseRecord,
+    claim,
+    read_lease,
+    wall_expired,
+)
 from repro.resilience.retry import RetryPolicy, call_with_retry
 
 __all__ = [
@@ -57,12 +71,18 @@ __all__ = [
     "CircuitBreaker",
     "FaultPlan",
     "FaultSpec",
+    "Lease",
+    "LeaseMonitor",
+    "LeaseRecord",
     "RetryPolicy",
     "SweepCheckpoint",
     "active_plan",
     "as_checkpoint",
     "call_with_retry",
+    "claim",
     "fired",
     "load_fault_plan",
+    "read_lease",
     "register_site",
+    "wall_expired",
 ]

@@ -21,14 +21,20 @@ import json
 import os
 import warnings
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, List, Optional, Union
 
 from repro.errors import CheckpointError, SchemaValidationError
 from repro.guard.schemas import validate_json
 from repro.obs import metrics as _metrics
+from repro.resilience import faults as _faults
 
 #: Bump when the on-disk layout changes incompatibly.
 FORMAT_VERSION = 1
+
+#: Chaos site: a flush whose rename lands but whose payload is cut
+#: short, as a crash mid-write (or a lying disk) would leave it.  The
+#: next ``_load`` of that file must quarantine it, never crash on it.
+TORN_WRITE_SITE = _faults.register_site("checkpoint.torn_write")
 
 #: Structural schema of a checkpoint file.  ``format``/``model``/
 #: ``kind`` values are checked semantically in :meth:`_load` (stale
@@ -90,35 +96,69 @@ class SweepCheckpoint:
         self._pending = 0
         self.resumed = 0
         self.recorded = 0
+        #: Quarantine destinations created while loading this path.
+        self.quarantined: List[str] = []
         self._load()
 
     # -- persistence ---------------------------------------------------------
+    def _quarantine(self, reason: Exception) -> None:
+        """Move a damaged checkpoint aside as ``<name>.corrupt-<n>``.
+
+        The rename preserves the evidence for post-mortems while
+        guaranteeing the next flush cannot be confused with the damaged
+        bytes.  ``n`` is the first free suffix, so repeated corruption
+        of one path keeps every specimen.
+        """
+        n = 1
+        while True:
+            target = self.path.parent / f"{self.path.name}.corrupt-{n}"
+            if not target.exists():
+                break
+            n += 1
+        try:
+            self.path.replace(target)
+            where = f"quarantined as {target.name}"
+        except OSError:
+            # Quarantine is best-effort; a rename failure still leaves
+            # the sweep restarting empty, and the next flush overwrites.
+            where = "quarantine rename failed; file left in place"
+        self.quarantined.append(str(target))
+        _metrics.counter("checkpoint.corrupt_files").inc()
+        warnings.warn(
+            f"ignoring corrupt checkpoint {self.path} ({where}): {reason}",
+            stacklevel=4,
+        )
+
     def _load(self) -> None:
         """Populate from an existing file; tolerate absence/corruption.
 
-        A corrupt or stale (other model version) file is ignored with a
-        warning — the sweep then simply starts from scratch, which is
-        the resilient behavior, and the next flush overwrites the file.
-        A *kind* mismatch raises instead: that is a caller bug, not
-        bit rot.
+        A corrupt file — truncated JSON, torn write, binary garbage —
+        is quarantined (renamed ``*.corrupt-<n>``, counted in the
+        ``checkpoint.corrupt_files`` metric) with a warning, and the
+        sweep starts from scratch: that is the resilient behavior.  A
+        stale file (other model version) is ignored with a warning but
+        left in place.  A *kind* mismatch raises instead: that is a
+        caller bug, not bit rot.
         """
         model_version, _, _ = _codec()
         try:
             raw = self.path.read_text()
         except OSError:
             return  # no checkpoint yet
+        except UnicodeDecodeError as exc:
+            # Binary garbage where JSON should be — same damage class
+            # as unparseable text, same quarantine.
+            self._quarantine(exc)
+            return
         try:
             data = json.loads(raw)
             validate_json(data, _CHECKPOINT_SCHEMA)
             entries = data["entries"]
         except (ValueError, SchemaValidationError) as exc:
             # SchemaValidationError carries the precise JSON path of
-            # the damage; the recovery policy is unchanged — warn and
-            # start the sweep from scratch.
-            warnings.warn(
-                f"ignoring corrupt checkpoint {self.path}: {exc}",
-                stacklevel=3,
-            )
+            # the damage; the recovery policy is the same — quarantine
+            # and start the sweep from scratch.
+            self._quarantine(exc)
             return
         if data.get("kind", self.kind) != self.kind:
             raise CheckpointError(
@@ -164,6 +204,14 @@ class SweepCheckpoint:
             except OSError:
                 pass
             return
+        if _faults.fired(TORN_WRITE_SITE) is not None:
+            # Simulate a crash that tore the write in half: the rename
+            # landed but the payload did not all reach the platter.
+            try:
+                with self.path.open("r+b") as handle:
+                    handle.truncate(max(1, len(payload.encode()) // 2))
+            except OSError:
+                pass
         self._pending = 0
 
     # -- ledger API ----------------------------------------------------------
@@ -186,6 +234,16 @@ class SweepCheckpoint:
     def contains(self, key: str) -> bool:
         """Whether ``key`` is recorded (without counting a resume)."""
         return key in self._entries
+
+    def raw_entry(self, key: str) -> Optional[Dict]:
+        """The encoded (undecoded) entry for ``key``, or None.
+
+        The shard merger compares duplicate evaluations at this level —
+        canonical-JSON byte identity of the encoded entry — which is
+        stricter than comparing decoded values and needs no decoding
+        for the common non-duplicate case.
+        """
+        return self._entries.get(key)
 
     def record(self, key: str, value: Any) -> None:
         """Add one completed evaluation; flushes every

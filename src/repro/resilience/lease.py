@@ -1,0 +1,347 @@
+"""Lease files: crash-detectable work ownership for sharded sweeps.
+
+A *lease* is a tiny JSON file naming which worker currently owns one
+shard's work.  The owner rewrites it (atomic temp + rename, like every
+other persistent file in this library) on a heartbeat cadence, stamping
+each write with a strictly increasing ``beat`` counter and a fresh
+wall-clock expiry.  Anyone else — the coordinator, or a sibling shard
+looking for work to steal — decides the owner is dead when the lease
+stops advancing:
+
+* the primary signal is the ``beat`` counter observed through a
+  :class:`LeaseMonitor`: a beat that has not moved for longer than the
+  lease TTL (measured on the *observer's* monotonic clock, so a
+  wall-clock jump cannot fake liveness) means the owner is gone;
+* for a cold observer that has no history yet, the writer-side
+  ``expires_at`` wall stamp is the fallback — a lease whose expiry is
+  already in the past at first sight is claimable immediately.
+
+Claiming an expired lease bumps its ``generation``; the generation is
+therefore the shard's *steal count* and rides into merge provenance.
+Two racing claimants may both win the rename — that is deliberate:
+shard evaluation is idempotent (results dedupe by evaluation key at
+merge time), so a duplicated claim costs recompute, never correctness.
+
+Nothing here is DSE-specific; the lease protocol only knows about
+shard ids, owners, beats and TTLs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import uuid
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.errors import CheckpointError
+from repro.obs import metrics as _metrics
+
+#: Bump when the on-disk lease layout changes incompatibly.
+LEASE_FORMAT = 1
+
+#: Default seconds a lease stays valid after its last heartbeat.
+DEFAULT_TTL_S = 10.0
+
+
+def _owner_token() -> str:
+    """Globally unique owner identity (pid alone recycles too fast)."""
+    return f"{os.getpid()}-{uuid.uuid4().hex[:8]}"
+
+
+@dataclass(frozen=True)
+class LeaseRecord:
+    """One on-disk lease state.
+
+    Attributes:
+        shard: Shard id whose work this lease guards.
+        owner: Opaque token of the current owner process.
+        generation: Times the lease changed hands (0 = original owner;
+            each steal/claim increments it).
+        beat: Heartbeats written by the current owner — strictly
+            increasing while the owner lives, which is what observers
+            watch for.
+        ttl_s: Seconds without a heartbeat after which the lease is
+            considered expired.
+        wall: Wall-clock time of the last write (diagnostics).
+        expires_at: Wall-clock instant the lease lapses if no further
+            heartbeat lands (``wall + ttl_s``).
+        done: The shard's work is complete; a done lease never expires
+            and is never claimable.
+    """
+
+    shard: int
+    owner: str
+    generation: int
+    beat: int
+    ttl_s: float
+    wall: float
+    expires_at: float
+    done: bool = False
+
+    def to_dict(self) -> Dict:
+        return {
+            "format": LEASE_FORMAT,
+            "shard": self.shard,
+            "owner": self.owner,
+            "generation": self.generation,
+            "beat": self.beat,
+            "ttl_s": self.ttl_s,
+            "wall": self.wall,
+            "expires_at": self.expires_at,
+            "done": self.done,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "LeaseRecord":
+        return cls(
+            shard=int(data["shard"]),
+            owner=str(data["owner"]),
+            generation=int(data["generation"]),
+            beat=int(data["beat"]),
+            ttl_s=float(data["ttl_s"]),
+            wall=float(data["wall"]),
+            expires_at=float(data["expires_at"]),
+            done=bool(data.get("done", False)),
+        )
+
+
+def read_lease(path: Union[str, Path]) -> Optional[LeaseRecord]:
+    """The lease currently on disk, or None.
+
+    A missing file means the lease was never taken (claimable).  A
+    torn or garbled file is treated the same way — the worst a damaged
+    lease can cause is a duplicated (idempotent) evaluation, so it is
+    not worth failing a sweep over.
+    """
+    path = Path(path)
+    try:
+        raw = path.read_text()
+    except OSError:
+        return None
+    try:
+        data = json.loads(raw)
+        if not isinstance(data, dict):
+            return None
+        if data.get("format") != LEASE_FORMAT:
+            return None
+        return LeaseRecord.from_dict(data)
+    except (ValueError, KeyError, TypeError):
+        return None
+
+
+def _write_record(path: Path, record: LeaseRecord) -> None:
+    payload = json.dumps(record.to_dict(), sort_keys=True)
+    tmp = path.parent / f"{path.name}.{os.getpid()}.tmp"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    try:
+        tmp.write_text(payload)
+        tmp.replace(path)
+    except OSError:
+        # A failed heartbeat must not kill the worker it protects; the
+        # next beat retries, and an unrenewed lease merely invites a
+        # (harmless, idempotent) steal.
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+
+
+class Lease:
+    """The live handle an owner holds on one shard's lease file.
+
+    Args:
+        path: Lease file location.
+        shard: Shard id this lease guards.
+        ttl_s: Heartbeat validity window.
+        owner: Owner token; defaults to a fresh pid-unique token.
+        generation: Hand-over count to stamp (claimers pass the
+            incremented value; fresh acquisitions inherit or start at 0).
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        shard: int,
+        ttl_s: float = DEFAULT_TTL_S,
+        owner: Optional[str] = None,
+        generation: int = 0,
+    ):
+        if ttl_s <= 0:
+            raise CheckpointError(f"lease ttl must be > 0 s, got {ttl_s}")
+        self.path = Path(path)
+        self.shard = shard
+        self.ttl_s = float(ttl_s)
+        self.owner = owner if owner is not None else _owner_token()
+        self.generation = generation
+        self.beat = 0
+        self.done = False
+
+    # -- owner-side protocol -------------------------------------------------
+    def _record(self) -> LeaseRecord:
+        now = time.time()
+        return LeaseRecord(
+            shard=self.shard,
+            owner=self.owner,
+            generation=self.generation,
+            beat=self.beat,
+            ttl_s=self.ttl_s,
+            wall=now,
+            expires_at=now + self.ttl_s,
+            done=self.done,
+        )
+
+    def heartbeat(self) -> LeaseRecord:
+        """Advance the beat and rewrite the lease atomically."""
+        self.beat += 1
+        record = self._record()
+        _write_record(self.path, record)
+        _metrics.counter("lease.heartbeats").inc()
+        return record
+
+    def mark_done(self) -> LeaseRecord:
+        """Final write: the shard's work is complete."""
+        self.done = True
+        return self.heartbeat()
+
+    @classmethod
+    def acquire(
+        cls,
+        path: Union[str, Path],
+        shard: int,
+        ttl_s: float = DEFAULT_TTL_S,
+        owner: Optional[str] = None,
+    ) -> "Lease":
+        """Take (or retake) a shard's lease as its primary owner.
+
+        A fresh lease starts at generation 0; re-acquiring a file left
+        behind by a previous (dead or resumed) run continues from its
+        generation so steal counts survive restarts.
+
+        Raises:
+            CheckpointError: when the lease is currently held live by a
+                *different* owner — two workers must never run the same
+                shard id concurrently on purpose.
+        """
+        existing = read_lease(path)
+        lease = cls(path, shard, ttl_s=ttl_s, owner=owner)
+        if existing is not None:
+            if not existing.done and not wall_expired(existing) \
+                    and existing.owner != lease.owner:
+                raise CheckpointError(
+                    f"lease {path} is held by {existing.owner!r} until "
+                    f"{existing.expires_at:.3f}; refusing to double-run "
+                    f"shard {shard}"
+                )
+            lease.generation = existing.generation
+            lease.beat = existing.beat
+        lease.heartbeat()
+        return lease
+
+
+def wall_expired(record: LeaseRecord, now: Optional[float] = None) -> bool:
+    """Writer-stamp fallback expiry test (cold observers only)."""
+    if record.done:
+        return False
+    now = time.time() if now is None else now
+    return now > record.expires_at
+
+
+def claim(
+    path: Union[str, Path],
+    record: Optional[LeaseRecord],
+    shard: int,
+    ttl_s: float,
+    owner: Optional[str] = None,
+) -> Lease:
+    """Take over an expired (or absent) lease as a stealer.
+
+    Bumps the generation and writes the claim atomically.  The caller
+    is responsible for having established expiry (via a
+    :class:`LeaseMonitor` or :func:`wall_expired`); claims themselves
+    are always safe because shard evaluation is idempotent.
+    """
+    lease = Lease(
+        path, shard, ttl_s=ttl_s, owner=owner,
+        generation=(record.generation + 1) if record is not None else 1,
+    )
+    lease.heartbeat()
+    _metrics.counter("lease.claims").inc()
+    return lease
+
+
+class LeaseMonitor:
+    """Observer-side liveness tracking over a set of lease files.
+
+    The monitor remembers, per path, the last ``(generation, beat)``
+    it saw and *when it saw it change* on its own monotonic clock.
+    :meth:`expired` is then immune to wall-clock jumps on either side:
+    a lease is expired only if its beat has provably not advanced for
+    longer than its TTL — or, before any history exists, if the
+    writer's own ``expires_at`` stamp has already lapsed.
+    """
+
+    def __init__(self):
+        self._seen: Dict[str, "tuple[int, int, float]"] = {}
+
+    def observe(self, path: Union[str, Path]) -> Optional[LeaseRecord]:
+        """Read a lease and update its liveness history."""
+        path = Path(path)
+        record = read_lease(path)
+        key = str(path)
+        if record is None:
+            self._seen.pop(key, None)
+            return None
+        now = time.monotonic()
+        seen = self._seen.get(key)
+        if seen is None or (record.generation, record.beat) != seen[:2]:
+            self._seen[key] = (record.generation, record.beat, now)
+        return record
+
+    def expired(self, path: Union[str, Path]) -> bool:
+        """Whether the lease at ``path`` is claimable *right now*.
+
+        A missing lease is claimable; a ``done`` lease never is.
+        """
+        record = self.observe(path)
+        if record is None:
+            return True
+        if record.done:
+            return False
+        seen = self._seen[str(path)]
+        stale_for = time.monotonic() - seen[2]
+        if stale_for > record.ttl_s:
+            _metrics.counter("lease.expirations").inc()
+            return True
+        # Cold start: no beat history yet, but the writer's own stamp
+        # says the lease lapsed before we arrived.
+        if record.beat == seen[1] and record.generation == seen[0] \
+                and stale_for <= record.ttl_s and wall_expired(record):
+            _metrics.counter("lease.expirations").inc()
+            return True
+        return False
+
+
+def touch_claimed(lease: Lease) -> LeaseRecord:
+    """Heartbeat helper for a stealer working a claimed lease."""
+    return lease.heartbeat()
+
+
+def describe_lease(record: Optional[LeaseRecord]) -> str:
+    """One-line human-readable lease summary."""
+    if record is None:
+        return "absent"
+    state = "done" if record.done else (
+        "expired" if wall_expired(record) else "live"
+    )
+    return (
+        f"{state} owner={record.owner} generation={record.generation} "
+        f"beat={record.beat}"
+    )
+
+
+def replace_owner(record: LeaseRecord, owner: str) -> LeaseRecord:
+    """A copy of ``record`` under a different owner (tests/tools)."""
+    return replace(record, owner=owner)

@@ -1,0 +1,166 @@
+"""Merge-semantics tests for the sharded-sweep Pareto merge.
+
+The contract under test (see ``docs/resilience.md``): merging is
+idempotent, independent of the partition, tolerant of missing and
+quarantined shards (reported, optionally recovered, never fatal), and
+the merged frontier is byte-identical to the serial sweep of the same
+space — while byte-*divergent* duplicate evaluations are a determinism
+bug and must raise.
+"""
+
+import json
+import shutil
+
+import pytest
+
+from repro.analysis.pareto import merge_shards, pareto_front
+from repro.dse import DesignSpace, ShardPlan, run_shard
+from repro.dse.sharded import shard_ledger_path
+from repro.errors import DesignSpaceError
+from repro.io import design_point_to_dict
+
+
+def small_space():
+    return DesignSpace(32, 32, orderings=("codesign",), freq_derates=(1.0,))
+
+
+def frontier_bytes(points):
+    return json.dumps(
+        [design_point_to_dict(p) for p in points], sort_keys=True
+    )
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return frontier_bytes(pareto_front(small_space().explore_serial()))
+
+
+@pytest.fixture(scope="module")
+def sweep_dir(tmp_path_factory):
+    """A completed, healthy 2-shard sweep (no stealing involved)."""
+    workdir = tmp_path_factory.mktemp("sweep")
+    for shard in (0, 1):
+        run_shard(workdir, shard, space=small_space(), shards=2,
+                  steal=False)
+    return workdir
+
+
+def _clone(sweep_dir, tmp_path):
+    clone = tmp_path / "sweep"
+    shutil.copytree(sweep_dir, clone)
+    return clone
+
+
+class TestMergeParity:
+    def test_complete_merge_matches_serial_frontier(
+        self, sweep_dir, reference
+    ):
+        merge = merge_shards(sweep_dir)
+        assert merge.complete
+        assert merge.merged_units == merge.total_units
+        assert merge.duplicates == 0
+        assert frontier_bytes(merge.frontier) == reference
+
+    def test_merge_is_idempotent(self, sweep_dir):
+        first = merge_shards(sweep_dir)
+        second = merge_shards(sweep_dir)
+        assert frontier_bytes(first.frontier) == frontier_bytes(
+            second.frontier
+        )
+        assert first.merged_units == second.merged_units
+        assert first.duplicates == second.duplicates
+
+    def test_frontier_is_partition_independent(
+        self, reference, tmp_path
+    ):
+        """A different seed assigns units to different shards; the
+        merged frontier must not notice."""
+        for shard in range(3):
+            run_shard(tmp_path, shard, space=small_space(), shards=3,
+                      seed=99, steal=False)
+        merge = merge_shards(tmp_path)
+        assert merge.complete
+        assert frontier_bytes(merge.frontier) == reference
+
+
+class TestMergeDamageTolerance:
+    def test_missing_shard_is_reported_not_fatal(
+        self, sweep_dir, tmp_path
+    ):
+        clone = _clone(sweep_dir, tmp_path)
+        shard_ledger_path(clone, 1).unlink()
+        merge = merge_shards(clone)
+        plan = ShardPlan.load(clone)
+        assert not merge.complete
+        assert merge.missing_units == len(plan.units_for(1))
+        assert merge.shards[1].present is False
+        assert "missing" in merge.describe()
+
+    def test_recover_restores_parity(self, sweep_dir, reference, tmp_path):
+        clone = _clone(sweep_dir, tmp_path)
+        shard_ledger_path(clone, 1).unlink()
+        merge = merge_shards(clone, recover=True)
+        assert merge.complete
+        assert merge.recovered == len(ShardPlan.load(clone).units_for(1))
+        assert frontier_bytes(merge.frontier) == reference
+        # The recovery persisted: a plain re-merge is now complete too.
+        assert merge_shards(clone).complete
+
+    def test_quarantined_shard_is_reported_and_recoverable(
+        self, sweep_dir, reference, tmp_path
+    ):
+        clone = _clone(sweep_dir, tmp_path)
+        ledger = shard_ledger_path(clone, 1)
+        payload = ledger.read_text()
+        ledger.write_text(payload[: len(payload) // 2])
+        with pytest.warns(UserWarning, match="corrupt checkpoint"):
+            merge = merge_shards(clone)
+        assert not merge.complete
+        assert merge.shards[1].quarantined
+        assert merge.shards[1].present is False
+        recovered = merge_shards(clone, recover=True)
+        assert recovered.complete
+        assert frontier_bytes(recovered.frontier) == reference
+        # Quarantine provenance survives the recovery pass.
+        assert recovered.shards[1].quarantined
+
+    def test_nothing_to_merge_raises(self, tmp_path):
+        ShardPlan.partition(small_space(), 2).save(tmp_path)
+        with pytest.raises(DesignSpaceError, match="merge"):
+            merge_shards(tmp_path)
+
+
+class TestDuplicateSemantics:
+    def _copy_entry(self, clone, key=None, tamper=False):
+        """Duplicate one of shard 1's entries into shard 0's ledger."""
+        source = json.loads(shard_ledger_path(clone, 1).read_text())
+        target_path = shard_ledger_path(clone, 0)
+        target = json.loads(target_path.read_text())
+        key = key or next(iter(source["entries"]))
+        entry = json.loads(json.dumps(source["entries"][key]))
+        if tamper:
+            data = entry["data"]
+            numeric = next(
+                k for k, v in data.items()
+                if isinstance(v, (int, float)) and not isinstance(v, bool)
+            )
+            data[numeric] = data[numeric] + 1.0
+        target["entries"][key] = entry
+        target_path.write_text(json.dumps(target))
+        return key
+
+    def test_byte_identical_duplicates_are_safe(
+        self, sweep_dir, reference, tmp_path
+    ):
+        clone = _clone(sweep_dir, tmp_path)
+        self._copy_entry(clone, tamper=False)
+        merge = merge_shards(clone)
+        assert merge.complete
+        assert merge.duplicates == 1
+        assert frontier_bytes(merge.frontier) == reference
+
+    def test_divergent_duplicates_raise(self, sweep_dir, tmp_path):
+        clone = _clone(sweep_dir, tmp_path)
+        self._copy_entry(clone, tamper=True)
+        with pytest.raises(DesignSpaceError, match="disagree"):
+            merge_shards(clone)

@@ -178,8 +178,9 @@ class TestCompareReports:
 
 class TestSuiteRegistry:
     def test_registered_names(self):
-        assert suite_names() == ["batch", "chaos", "dse", "scheduler",
-                                  "serve", "solver", "workloads"]
+        assert suite_names() == ["batch", "chaos", "dse", "dse_sharded",
+                                  "scheduler", "serve", "solver",
+                                  "workloads"]
 
     def test_unknown_suite_raises(self):
         with pytest.raises(BenchmarkError, match="unknown suite"):

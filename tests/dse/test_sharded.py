@@ -1,0 +1,219 @@
+"""Tests for the crash-safe sharded sweep (partition, leases, steal)."""
+
+import json
+
+import pytest
+
+from repro.analysis.pareto import merge_shards, pareto_front
+from repro.dse import DesignSpace, ShardPlan, run_shard
+from repro.dse.sharded import (
+    recover_missing_units,
+    shard_ledger_path,
+    shard_lease_path,
+)
+from repro.errors import (
+    ConfigurationError,
+    FaultInjectionError,
+)
+from repro.io import design_point_to_dict
+from repro.resilience import FaultPlan, FaultSpec, read_lease
+
+
+def small_space():
+    """One-ordering, one-derate space: 95 units, fast to sweep."""
+    return DesignSpace(32, 32, orderings=("codesign",), freq_derates=(1.0,))
+
+
+def frontier_bytes(points):
+    return json.dumps(
+        [design_point_to_dict(p) for p in points], sort_keys=True
+    )
+
+
+@pytest.fixture(scope="module")
+def space():
+    return small_space()
+
+
+@pytest.fixture(scope="module")
+def reference(space):
+    return frontier_bytes(pareto_front(space.explore_serial()))
+
+
+class TestShardPlan:
+    def test_partition_is_disjoint_and_total(self, space):
+        plan = ShardPlan.partition(space, shards=3)
+        seen = []
+        for shard in range(3):
+            seen.extend(key for _, _, key in plan.units_for(shard))
+        assert sorted(seen) == sorted(space.unit_keys())
+        assert len(seen) == len(set(seen))
+
+    def test_assignment_depends_only_on_seed_and_key(self, space):
+        plan_a = ShardPlan.partition(space, shards=3, seed=5)
+        plan_b = ShardPlan.partition(small_space(), shards=3, seed=5)
+        for key in space.unit_keys():
+            assert plan_a.shard_of(key) == plan_b.shard_of(key)
+
+    def test_seed_reshuffles_the_partition(self, space):
+        plan_a = ShardPlan.partition(space, shards=3, seed=0)
+        plan_b = ShardPlan.partition(space, shards=3, seed=1)
+        moved = [
+            key for key in space.unit_keys()
+            if plan_a.shard_of(key) != plan_b.shard_of(key)
+        ]
+        assert moved  # a different seed is a different partition
+
+    def test_units_keep_canonical_order_within_a_shard(self, space):
+        plan = ShardPlan.partition(space, shards=2)
+        for shard in range(2):
+            indices = [index for index, _, _ in plan.units_for(shard)]
+            assert indices == sorted(indices)
+
+    def test_shard_count_validation(self, space):
+        with pytest.raises(ConfigurationError, match="shards"):
+            ShardPlan.partition(space, shards=0)
+        plan = ShardPlan.partition(space, shards=2)
+        with pytest.raises(ConfigurationError, match="shard id"):
+            plan.units_for(2)
+
+    def test_save_load_round_trip(self, space, tmp_path):
+        plan = ShardPlan.partition(space, shards=2, seed=9)
+        plan.save(tmp_path)
+        loaded = ShardPlan.load(tmp_path)
+        assert loaded.to_dict() == plan.to_dict()
+        assert loaded.space.unit_keys() == space.unit_keys()
+
+    def test_save_refuses_a_different_plan(self, space, tmp_path):
+        ShardPlan.partition(space, shards=2).save(tmp_path)
+        with pytest.raises(ConfigurationError, match="different sweep"):
+            ShardPlan.partition(space, shards=3).save(tmp_path)
+
+    def test_ensure_requires_a_first_participant(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="first participant"):
+            ShardPlan.ensure(tmp_path)
+
+
+class TestRunShard:
+    def test_two_shards_cover_the_space(self, space, reference, tmp_path):
+        stats = [
+            run_shard(tmp_path, shard, space=space, shards=2, steal=False)
+            for shard in (0, 1)
+        ]
+        total = sum(s["evaluated"] for s in stats)
+        assert total == len(space.units())
+        merge = merge_shards(tmp_path)
+        assert merge.complete
+        assert frontier_bytes(merge.frontier) == reference
+
+    def test_rerun_resumes_from_the_ledger(self, space, tmp_path):
+        run_shard(tmp_path, 0, space=space, shards=2, steal=False)
+        again = run_shard(tmp_path, 0, space=space, shards=2, steal=False)
+        assert again["evaluated"] == 0
+        assert again["skipped"] == len(
+            ShardPlan.partition(space, 2).units_for(0)
+        )
+
+    def test_steals_an_absent_sibling(self, space, reference, tmp_path):
+        """A sibling that never starts has no lease — its whole work
+        list is claimable immediately."""
+        stats = run_shard(
+            tmp_path, 0, space=space, shards=2, lease_ttl=0.5, steal=True
+        )
+        plan = ShardPlan.partition(space, 2)
+        assert stats["steals"] == 1
+        assert stats["stolen"] == len(plan.units_for(1))
+        # The claim is on the record: generation bumped, marked done.
+        lease = read_lease(shard_lease_path(tmp_path, 1))
+        assert lease.generation == 1
+        assert lease.done
+        merge = merge_shards(tmp_path)
+        assert merge.complete
+        assert frontier_bytes(merge.frontier) == reference
+        assert merge.shards[1].steal_count == 1
+
+    def test_crash_keeps_partial_progress_then_resumes(
+        self, space, reference, tmp_path
+    ):
+        plan = FaultPlan(
+            faults=[FaultSpec(site="dse.shard_crash", at=(1,))]
+        )
+        with plan.activate():
+            with pytest.raises(FaultInjectionError, match="crash"):
+                run_shard(tmp_path, 0, space=space, shards=1, chunk=8,
+                          lease_ttl=0.05)
+        survived = len(
+            json.loads(shard_ledger_path(tmp_path, 0).read_text())["entries"]
+        )
+        assert survived == 8  # exactly the chunks before the crash
+        # The crashed run's lease is still on disk; once its TTL lapses
+        # the resuming owner may retake it.
+        import time
+
+        time.sleep(0.1)
+        resumed = run_shard(tmp_path, 0, chunk=8)
+        assert resumed["skipped"] == survived
+        assert resumed["evaluated"] == len(space.units()) - survived
+        merge = merge_shards(tmp_path)
+        assert frontier_bytes(merge.frontier) == reference
+
+    def test_stall_site_only_delays(self, space, tmp_path):
+        plan = FaultPlan(
+            faults=[FaultSpec(site="dse.shard_stall", at=(0,),
+                              param=0.01)]
+        )
+        with plan.activate():
+            stats = run_shard(tmp_path, 0, space=space, shards=1)
+        assert stats["evaluated"] == len(space.units())
+
+    def test_shard_id_out_of_range(self, space, tmp_path):
+        with pytest.raises(ConfigurationError, match="shard id"):
+            run_shard(tmp_path, 5, space=space, shards=2, steal=False)
+
+    def test_torn_ledger_quarantined_on_resume(
+        self, space, reference, tmp_path
+    ):
+        run_shard(tmp_path, 0, space=space, shards=1)
+        ledger = shard_ledger_path(tmp_path, 0)
+        payload = ledger.read_text()
+        ledger.write_text(payload[: len(payload) // 2])
+        with pytest.warns(UserWarning, match="corrupt checkpoint"):
+            stats = run_shard(tmp_path, 0)
+        assert stats["evaluated"] == len(space.units())  # full re-sweep
+        assert list(tmp_path.glob("shard-0.json.corrupt-*"))
+        merge = merge_shards(tmp_path)
+        assert frontier_bytes(merge.frontier) == reference
+        assert merge.shards[0].quarantined
+
+
+class TestFaultSites:
+    def test_sharded_sites_are_registered(self):
+        from repro.resilience.faults import registered_sites
+
+        for site in ("dse.shard_crash", "dse.shard_stall",
+                     "checkpoint.torn_write"):
+            assert site in registered_sites()
+
+    def test_committed_chaos_plan_loads(self):
+        from pathlib import Path
+
+        from repro.resilience import load_fault_plan
+
+        plan_path = Path(__file__).resolve().parents[2] / (
+            "examples/fault_plans/dse_chaos.json"
+        )
+        plan = load_fault_plan(plan_path)
+        assert set(plan.specs) == {"dse.shard_crash", "dse.shard_stall",
+                                   "checkpoint.torn_write"}
+
+
+class TestRecovery:
+    def test_recover_missing_units_closes_the_gap(self, space, tmp_path):
+        run_shard(tmp_path, 0, space=space, shards=2, steal=False)
+        plan = ShardPlan.partition(space, 2)
+        missing = len(plan.units_for(1))
+        assert recover_missing_units(tmp_path) == missing
+        assert (tmp_path / "recovered.json").exists()
+        assert recover_missing_units(tmp_path) == 0  # idempotent
+        merge = merge_shards(tmp_path)
+        assert merge.complete

@@ -109,6 +109,95 @@ class TestSweepCheckpoint:
         assert opened.kind == "dse-sweep"
 
 
+class TestCheckpointQuarantine:
+    """A damaged ledger is moved aside and re-swept, never fatal."""
+
+    def _half_written(self, tmp_path):
+        """A ledger whose flush was cut mid-payload (torn write)."""
+        path = tmp_path / "ck.json"
+        ck = SweepCheckpoint(path, kind="sweep")
+        ck.record("a", 1.0)
+        ck.record("b", 2.0)
+        ck.flush()
+        payload = path.read_text()
+        path.write_text(payload[: len(payload) // 2])
+        return path
+
+    def test_half_written_ledger_quarantined_and_restarted(self, tmp_path):
+        path = self._half_written(tmp_path)
+        with pytest.warns(UserWarning, match="corrupt checkpoint"):
+            fresh = SweepCheckpoint(path, kind="sweep")
+        assert len(fresh) == 0  # restart empty, recompute
+        assert not path.exists()  # the damaged file was moved aside
+        quarantine = tmp_path / "ck.json.corrupt-1"
+        assert quarantine.exists()
+        assert fresh.quarantined == [str(quarantine)]
+        # The evidence is intact: exactly the torn bytes, where a
+        # human (or the merge provenance) can inspect them.
+        assert quarantine.read_text().startswith("{")
+        fresh.record("a", 3.0)
+        fresh.flush()
+        assert SweepCheckpoint(path, kind="sweep").get("a") == 3.0
+
+    def test_binary_garbage_quarantined(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_bytes(b"\xff\xfe\x00garbage\x9c")
+        with pytest.warns(UserWarning, match="corrupt checkpoint"):
+            ck = SweepCheckpoint(path, kind="sweep")
+        assert len(ck) == 0
+        assert (tmp_path / "ck.json.corrupt-1").exists()
+
+    def test_quarantine_names_never_collide(self, tmp_path):
+        (tmp_path / "ck.json.corrupt-1").write_text("older damage")
+        path = self._half_written(tmp_path)
+        with pytest.warns(UserWarning, match="corrupt checkpoint"):
+            ck = SweepCheckpoint(path, kind="sweep")
+        assert ck.quarantined == [str(tmp_path / "ck.json.corrupt-2")]
+        assert (tmp_path / "ck.json.corrupt-1").read_text() == "older damage"
+
+    def test_corrupt_files_counter(self, tmp_path):
+        from repro import obs
+
+        path = self._half_written(tmp_path)
+        obs.reset()
+        obs.enable()
+        try:
+            with pytest.warns(UserWarning, match="corrupt checkpoint"):
+                SweepCheckpoint(path, kind="sweep")
+            counters = obs.get_metrics().snapshot()["counters"]
+            assert counters["checkpoint.corrupt_files"] == 1
+        finally:
+            obs.disable()
+
+    def test_torn_write_fault_site_round_trip(self, tmp_path):
+        """The injected torn flush is exactly what quarantine repairs."""
+        path = tmp_path / "ck.json"
+        plan = FaultPlan(
+            faults=[FaultSpec(site="checkpoint.torn_write", at=(0,))]
+        )
+        ck = SweepCheckpoint(path, kind="sweep")
+        ck.record("a", 1.0)
+        with plan.activate():
+            ck.flush()
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(path.read_text())  # the flush really tore
+        with pytest.warns(UserWarning, match="corrupt checkpoint"):
+            fresh = SweepCheckpoint(path, kind="sweep")
+        assert len(fresh) == 0
+        fresh.record("a", 1.0)
+        fresh.flush()
+        assert SweepCheckpoint(path, kind="sweep").get("a") == 1.0
+
+    def test_healthy_ledger_is_not_quarantined(self, tmp_path):
+        path = tmp_path / "ck.json"
+        ck = SweepCheckpoint(path, kind="sweep")
+        ck.record("a", 1.0)
+        ck.flush()
+        fresh = SweepCheckpoint(path, kind="sweep")
+        assert fresh.quarantined == []
+        assert not list(tmp_path.glob("*.corrupt-*"))
+
+
 class TestDSEResume:
     def test_kill_and_resume_matches_uninterrupted(self, tmp_path, explorer):
         baseline = explorer.explore()

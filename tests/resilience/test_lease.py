@@ -1,0 +1,197 @@
+"""Tests for the lease protocol (crash-detectable shard ownership)."""
+
+import json
+import time
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.resilience import (
+    Lease,
+    LeaseMonitor,
+    LeaseRecord,
+    claim,
+    read_lease,
+    wall_expired,
+)
+from repro.resilience.lease import (
+    LEASE_FORMAT,
+    describe_lease,
+    replace_owner,
+)
+
+
+def _record(**overrides):
+    now = time.time()
+    base = dict(
+        shard=3, owner="w-1", generation=2, beat=7, ttl_s=5.0,
+        wall=now, expires_at=now + 5.0, done=False,
+    )
+    base.update(overrides)
+    return LeaseRecord(**base)
+
+
+class TestLeaseRecord:
+    def test_round_trip(self):
+        record = _record()
+        data = record.to_dict()
+        assert data["format"] == LEASE_FORMAT
+        assert LeaseRecord.from_dict(data) == record
+
+    def test_done_defaults_false(self):
+        data = _record().to_dict()
+        del data["done"]
+        assert LeaseRecord.from_dict(data).done is False
+
+
+class TestReadLease:
+    def test_missing_file_is_none(self, tmp_path):
+        assert read_lease(tmp_path / "absent.lease") is None
+
+    def test_torn_file_is_none(self, tmp_path):
+        path = tmp_path / "torn.lease"
+        path.write_text('{"format": 1, "shard"')
+        assert read_lease(path) is None
+
+    def test_wrong_format_is_none(self, tmp_path):
+        path = tmp_path / "old.lease"
+        path.write_text(json.dumps({"format": 99, "shard": 0}))
+        assert read_lease(path) is None
+
+    def test_non_object_is_none(self, tmp_path):
+        path = tmp_path / "list.lease"
+        path.write_text("[1, 2, 3]")
+        assert read_lease(path) is None
+
+
+class TestLease:
+    def test_ttl_must_be_positive(self, tmp_path):
+        with pytest.raises(CheckpointError, match="ttl"):
+            Lease(tmp_path / "a.lease", 0, ttl_s=0.0)
+
+    def test_heartbeat_advances_beat_atomically(self, tmp_path):
+        path = tmp_path / "a.lease"
+        lease = Lease(path, shard=1, ttl_s=5.0, owner="me")
+        first = lease.heartbeat()
+        second = lease.heartbeat()
+        assert (first.beat, second.beat) == (1, 2)
+        on_disk = read_lease(path)
+        assert on_disk == second
+        assert on_disk.owner == "me"
+        assert not list(tmp_path.glob("*.tmp"))  # temp cleaned up
+
+    def test_mark_done(self, tmp_path):
+        lease = Lease(tmp_path / "a.lease", shard=0, ttl_s=5.0)
+        lease.heartbeat()
+        record = lease.mark_done()
+        assert record.done
+        assert read_lease(tmp_path / "a.lease").done
+
+    def test_acquire_fresh_starts_at_generation_zero(self, tmp_path):
+        lease = Lease.acquire(tmp_path / "a.lease", shard=2, ttl_s=5.0)
+        assert lease.generation == 0
+        assert read_lease(tmp_path / "a.lease").beat == 1
+
+    def test_acquire_inherits_generation_from_dead_lease(self, tmp_path):
+        path = tmp_path / "a.lease"
+        previous = Lease(path, shard=0, ttl_s=0.05, owner="dead",
+                         generation=3)
+        previous.heartbeat()
+        time.sleep(0.1)  # writer stamp lapses
+        retaken = Lease.acquire(path, shard=0, ttl_s=5.0, owner="new")
+        assert retaken.generation == 3
+        assert read_lease(path).owner == "new"
+
+    def test_acquire_live_foreign_lease_raises(self, tmp_path):
+        path = tmp_path / "a.lease"
+        Lease(path, shard=0, ttl_s=60.0, owner="other").heartbeat()
+        with pytest.raises(CheckpointError, match="held by"):
+            Lease.acquire(path, shard=0, ttl_s=60.0, owner="me")
+
+    def test_acquire_done_lease_is_allowed(self, tmp_path):
+        path = tmp_path / "a.lease"
+        Lease(path, shard=0, ttl_s=60.0, owner="other").mark_done()
+        resumed = Lease.acquire(path, shard=0, ttl_s=60.0, owner="me")
+        assert resumed.owner == "me"
+
+
+class TestClaim:
+    def test_claim_bumps_generation(self, tmp_path):
+        path = tmp_path / "a.lease"
+        Lease(path, shard=4, ttl_s=0.05, owner="dead").heartbeat()
+        record = read_lease(path)
+        stolen = claim(path, record, shard=4, ttl_s=5.0, owner="thief")
+        assert stolen.generation == record.generation + 1
+        on_disk = read_lease(path)
+        assert on_disk.owner == "thief"
+        assert on_disk.generation == 1
+
+    def test_claim_absent_lease_starts_at_generation_one(self, tmp_path):
+        stolen = claim(tmp_path / "a.lease", None, shard=0, ttl_s=5.0)
+        assert stolen.generation == 1
+
+
+class TestWallExpired:
+    def test_done_never_expires(self):
+        record = _record(done=True, expires_at=0.0)
+        assert not wall_expired(record)
+
+    def test_past_stamp_expires(self):
+        assert wall_expired(_record(expires_at=time.time() - 1.0))
+        assert not wall_expired(_record())
+
+
+class TestLeaseMonitor:
+    def test_missing_lease_is_claimable(self, tmp_path):
+        assert LeaseMonitor().expired(tmp_path / "absent.lease")
+
+    def test_done_lease_is_never_claimable(self, tmp_path):
+        path = tmp_path / "a.lease"
+        Lease(path, shard=0, ttl_s=0.05).mark_done()
+        time.sleep(0.1)
+        assert not LeaseMonitor().expired(path)
+
+    def test_live_lease_is_not_expired(self, tmp_path):
+        path = tmp_path / "a.lease"
+        Lease(path, shard=0, ttl_s=60.0).heartbeat()
+        assert not LeaseMonitor().expired(path)
+
+    def test_stalled_beat_expires_on_observer_clock(self, tmp_path):
+        path = tmp_path / "a.lease"
+        Lease(path, shard=0, ttl_s=0.05).heartbeat()
+        monitor = LeaseMonitor()
+        monitor.observe(path)
+        time.sleep(0.12)  # beat never advances past the TTL
+        assert monitor.expired(path)
+
+    def test_cold_observer_uses_writer_stamp(self, tmp_path):
+        path = tmp_path / "a.lease"
+        Lease(path, shard=0, ttl_s=0.05).heartbeat()
+        time.sleep(0.1)
+        # A fresh monitor has no beat history, but the writer's own
+        # expires_at already lapsed — claimable at first sight.
+        assert LeaseMonitor().expired(path)
+
+    def test_advancing_beat_resets_staleness(self, tmp_path):
+        path = tmp_path / "a.lease"
+        lease = Lease(path, shard=0, ttl_s=0.2)
+        lease.heartbeat()
+        monitor = LeaseMonitor()
+        monitor.observe(path)
+        time.sleep(0.1)
+        lease.heartbeat()  # still alive, just slow
+        assert not monitor.expired(path)
+
+
+class TestHelpers:
+    def test_describe_lease_states(self, tmp_path):
+        assert describe_lease(None) == "absent"
+        assert describe_lease(_record()).startswith("live")
+        assert describe_lease(_record(done=True)).startswith("done")
+        stale = _record(expires_at=time.time() - 1.0)
+        assert describe_lease(stale).startswith("expired")
+
+    def test_replace_owner(self):
+        swapped = replace_owner(_record(), "new-owner")
+        assert swapped.owner == "new-owner"
+        assert swapped.beat == _record().beat

@@ -31,6 +31,32 @@ class TestParser:
         args = build_parser().parse_args(["dse", "--cache", "/tmp/c"])
         assert args.cache == "/tmp/c"
 
+    def test_dse_sharded_flags(self):
+        args = build_parser().parse_args(["dse"])
+        assert args.shards is None
+        assert args.shard_id is None
+        assert args.lease_ttl == 10.0
+        assert args.shard_seed == 0
+        assert args.steal is True
+        assert args.workdir == ".heterosvd_dse"
+        assert args.orderings == "codesign,traditional"
+        assert args.derates == "1.0,0.9"
+        args = build_parser().parse_args(
+            ["dse", "--shards", "4", "--shard-id", "2", "--no-steal",
+             "--lease-ttl", "2.5"]
+        )
+        assert (args.shards, args.shard_id) == (4, 2)
+        assert args.steal is False
+        assert args.lease_ttl == 2.5
+
+    def test_dse_merge_flags(self):
+        args = build_parser().parse_args(["dse-merge"])
+        assert args.workdir == ".heterosvd_dse"
+        assert args.recover is False
+        assert args.objective == "latency"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dse-merge", "--objective", "area"])
+
     def test_svd_batch_flags(self):
         args = build_parser().parse_args(["svd", "--batch", "4"])
         assert args.batch == 4
@@ -203,6 +229,37 @@ class TestCommands:
             "dse", "--size", "128", "--objective", "throughput",
             "--batch", "10", "--power-cap", "39", "--top", "2",
         ]) == 0
+
+    def test_dse_sharded_worker_and_merge(self, tmp_path, capsys):
+        workdir = str(tmp_path / "sweep")
+        worker = [
+            "dse", "--size", "32", "--shards", "1", "--shard-id", "0",
+            "--workdir", workdir, "--orderings", "codesign",
+            "--derates", "1.0",
+        ]
+        assert main(worker) == 0
+        out = capsys.readouterr().out
+        assert "shard 0/1" in out
+        assert main(["dse-merge", "--workdir", workdir, "--top", "3"]) == 0
+        merged = capsys.readouterr()
+        assert "ordering" in merged.out  # widened-frontier table
+        assert "merge:" in merged.err
+
+    def test_dse_merge_incomplete_then_recovered(self, tmp_path, capsys):
+        workdir = str(tmp_path / "sweep")
+        # Only one of two shards ever runs; no stealing.
+        assert main([
+            "dse", "--size", "32", "--shards", "2", "--shard-id", "0",
+            "--workdir", workdir, "--orderings", "codesign",
+            "--derates", "1.0", "--no-steal",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["dse-merge", "--workdir", workdir]) == 1
+        assert "merge incomplete" in capsys.readouterr().err
+        assert main(["dse-merge", "--workdir", workdir, "--recover"]) == 0
+        capsys.readouterr()
+        # The recovery ledger persisted; a plain merge now succeeds.
+        assert main(["dse-merge", "--workdir", workdir]) == 0
 
     def test_model_command(self, capsys):
         assert main(["model", "--size", "128", "--p-eng", "4"]) == 0
